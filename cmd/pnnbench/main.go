@@ -1,0 +1,718 @@
+// Command pnnbench regenerates the quantitative results of the paper.
+// Each experiment id matches a row of the experiment index in DESIGN.md
+// and a section of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pnnbench -experiment all            # everything (slow)
+//	pnnbench -experiment lb-cubic       # one experiment
+//	pnnbench -experiment complexity-random -quick
+//
+// Output is plain text tables on stdout, one row per parameter setting, so
+// runs can be diffed across machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"pnn/internal/baseline"
+	"pnn/internal/core"
+	"pnn/internal/dist"
+	"pnn/internal/envelope"
+	"pnn/internal/geom"
+	"pnn/internal/linf"
+	"pnn/internal/nnq"
+	"pnn/internal/quantify"
+	"pnn/internal/rtree"
+	"pnn/internal/stats"
+	"pnn/internal/workload"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "experiment id (see DESIGN.md) or 'all'")
+	quick      = flag.Bool("quick", false, "smaller parameter sweeps")
+	seed       = flag.Int64("seed", 1, "random seed")
+)
+
+type exp struct {
+	id   string
+	desc string
+	run  func()
+}
+
+func main() {
+	flag.Parse()
+	exps := []exp{
+		{"fig1", "Figure 1(b): distance pdf of a uniform-disk point", expFig1},
+		{"complexity-random", "Thm 2.5: V≠0 complexity on random disks", expComplexityRandom},
+		{"lb-cubic", "Thm 2.7: Ω(n³) lower-bound construction", expLBCubic},
+		{"lb-cubic-equal", "Thm 2.8: Ω(n³) with equal radii", expLBCubicEqual},
+		{"disjoint-lambda", "Thm 2.10: disjoint disks, O(λn²)", expDisjointLambda},
+		{"lb-quadratic", "Thm 2.10: Ω(n²) lower-bound construction", expLBQuadratic},
+		{"complexity-discrete", "Thm 2.14: discrete V≠0 complexity O(kn³)", expComplexityDiscrete},
+		{"ptloc", "Thm 2.11: diagram point-location queries", expPointLocation},
+		{"nnq-continuous", "Thm 3.1: near-linear NN≠0 index (disks)", expNNQContinuous},
+		{"nnq-discrete", "Thm 3.2: NN≠0 index (discrete)", expNNQDiscrete},
+		{"vpr-complexity", "Lemma 4.1/Thm 4.2: V_Pr size and queries", expVPr},
+		{"mc-error", "Thm 4.3: Monte Carlo error vs ε (discrete)", expMCError},
+		{"mc-continuous", "Thm 4.5: Monte Carlo on continuous points", expMCContinuous},
+		{"spiral", "Thm 4.7: spiral search error and cost", expSpiral},
+		{"spiral-adversarial", "§4.3 Remark (i): light weights cannot be dropped", expSpiralAdversarial},
+		{"baselines", "query-time comparison: diagram vs index vs R-tree vs brute", expBaselines},
+		{"expected-vs-prob", "§1.2: expected-distance NN disagrees with probability ranking", expExpectedVsProb},
+		{"linf", "§3 Remark (ii): L∞ metric with square regions", expLInf},
+		{"ablation-persist", "ablation: persistent vs explicit face-set storage (Thm 2.11)", expAblationPersist},
+		{"ablation-envelope", "ablation: envelope grid resolution vs vertex counts", expAblationEnvelope},
+		{"ablation-flatten", "ablation: arc flattening density vs query agreement", expAblationFlatten},
+	}
+	if *experiment == "list" {
+		for _, e := range exps {
+			fmt.Printf("%-22s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := false
+	for _, e := range exps {
+		if *experiment == "all" || *experiment == e.id {
+			fmt.Printf("== %s — %s\n", e.id, e.desc)
+			start := time.Now()
+			e.run()
+			fmt.Printf("-- done in %v\n\n", time.Since(start).Round(time.Millisecond))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -experiment list\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(*seed)) }
+
+// E1 — Figure 1(b): the pdf of the distance between q = (6,8) and a point
+// uniform on the disk of radius 5 at the origin.
+func expFig1() {
+	u := dist.UniformDisk{D: geom.Dsk(0, 0, 5)}
+	q := geom.Pt(6, 8)
+	fmt.Println("r      g_qi(r)   G_qi(r)")
+	for r := 5.0; r <= 15.0+1e-9; r += 0.5 {
+		fmt.Printf("%5.1f  %8.5f  %8.5f\n", r, u.DistPDF(q, r), u.DistCDF(q, r))
+	}
+}
+
+// E2 — Theorem 2.5: complexity of V≠0 on random disks; the upper bound is
+// O(n³), random inputs grow far slower (near-linear breakpoints dominate).
+func expComplexityRandom() {
+	ns := []int{8, 12, 16, 24, 32}
+	if *quick {
+		ns = []int{8, 12, 16}
+	}
+	trials := 3
+	r := rng()
+	var xs, ys []float64
+	fmt.Println("n    vertices(avg)  breakpoints  crossings  build")
+	for _, n := range ns {
+		sumV, sumB, sumC := 0, 0, 0
+		var el time.Duration
+		for t := 0; t < trials; t++ {
+			disks := workload.RandomDisks(r, n, 100, 1, 5)
+			start := time.Now()
+			d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+			el += time.Since(start)
+			sumV += d.VertexCount()
+			sumB += d.BreakpointCount()
+			sumC += d.CrossingCount()
+		}
+		v := float64(sumV) / float64(trials)
+		fmt.Printf("%-4d %-14.1f %-12.1f %-10.1f %v\n",
+			n, v, float64(sumB)/float64(trials), float64(sumC)/float64(trials),
+			(el / time.Duration(trials)).Round(time.Microsecond))
+		xs = append(xs, float64(n))
+		ys = append(ys, v+1)
+	}
+	fmt.Printf("growth exponent (log-log fit): %.2f (paper: ≤ 3)\n", stats.LogLogSlope(xs, ys))
+}
+
+// E3 — Theorem 2.7.
+func expLBCubic() {
+	ns := []int{8, 12, 16, 20}
+	if *quick {
+		ns = []int{8, 12}
+	}
+	var xs, ys []float64
+	fmt.Println("n    m   vertices  guaranteed(4m³)  ratio")
+	for _, n := range ns {
+		disks := workload.LowerBoundCubic(n)
+		d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+		want := workload.LowerBoundCubicExpected(n)
+		got := d.CrossingCount()
+		fmt.Printf("%-4d %-3d %-9d %-16d %.2f\n", n, n/4, got, want, float64(got)/float64(want))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(got))
+	}
+	fmt.Printf("growth exponent: %.2f (paper: 3)\n", stats.LogLogSlope(xs, ys))
+}
+
+// E4 — Theorem 2.8.
+func expLBCubicEqual() {
+	ns := []int{9, 12, 15, 18}
+	if *quick {
+		ns = []int{9, 12}
+	}
+	var xs, ys []float64
+	fmt.Println("n    m   vertices  guaranteed(m³)  ratio")
+	for _, n := range ns {
+		disks := workload.LowerBoundCubicEqualRadii(n)
+		d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+		want := workload.LowerBoundCubicEqualRadiiExpected(n)
+		got := d.CrossingCount()
+		fmt.Printf("%-4d %-3d %-9d %-15d %.2f\n", n, n/3, got, want, float64(got)/float64(want))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(got))
+	}
+	fmt.Printf("growth exponent: %.2f (paper: 3)\n", stats.LogLogSlope(xs, ys))
+}
+
+// E5a — Theorem 2.10 upper bound: disjoint disks with radius ratio λ.
+func expDisjointLambda() {
+	r := rng()
+	n := 24
+	if *quick {
+		n = 16
+	}
+	fmt.Println("lambda  vertices(avg over 3)")
+	for _, lambda := range []float64{1, 2, 4, 8} {
+		sum := 0
+		for t := 0; t < 3; t++ {
+			disks := workload.DisjointDisks(r, n, lambda)
+			d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+			sum += d.VertexCount()
+		}
+		fmt.Printf("%-7.0f %.1f\n", lambda, float64(sum)/3)
+	}
+	// n sweep at fixed λ = 2: exponent should be ≈ 2 or below.
+	var xs, ys []float64
+	fmt.Println("n (λ=2)  vertices(avg)")
+	ns := []int{8, 16, 24, 32}
+	if *quick {
+		ns = []int{8, 16}
+	}
+	for _, n := range ns {
+		sum := 0
+		for t := 0; t < 3; t++ {
+			disks := workload.DisjointDisks(r, n, 2)
+			d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+			sum += d.VertexCount()
+		}
+		v := float64(sum) / 3
+		fmt.Printf("%-8d %.1f\n", n, v)
+		xs = append(xs, float64(n))
+		ys = append(ys, v+1)
+	}
+	fmt.Printf("growth exponent: %.2f (paper: ≤ 2 for constant λ)\n", stats.LogLogSlope(xs, ys))
+}
+
+// E5b — Theorem 2.10 lower bound.
+func expLBQuadratic() {
+	ns := []int{8, 16, 24, 32, 48}
+	if *quick {
+		ns = []int{8, 16, 24}
+	}
+	var xs, ys []float64
+	fmt.Println("n    vertices  guaranteed((n−2)(n−1))  ratio")
+	for _, n := range ns {
+		disks := workload.LowerBoundQuadratic(n)
+		d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+		want := workload.LowerBoundQuadraticExpected(n)
+		got := d.CrossingCount()
+		fmt.Printf("%-4d %-9d %-23d %.2f\n", n, got, want, float64(got)/float64(want))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(got))
+	}
+	fmt.Printf("growth exponent: %.2f (paper: 2)\n", stats.LogLogSlope(xs, ys))
+}
+
+// E6 — Theorem 2.14.
+func expComplexityDiscrete() {
+	r := rng()
+	type cfg struct{ n, k int }
+	cfgs := []cfg{{4, 2}, {6, 2}, {8, 2}, {6, 3}, {8, 3}}
+	if *quick {
+		cfgs = []cfg{{4, 2}, {6, 2}}
+	}
+	fmt.Println("n   k   vertices(avg over 3)  kn³")
+	for _, c := range cfgs {
+		sum := 0
+		for t := 0; t < 3; t++ {
+			pts := workload.Supports(workload.RandomDiscrete(r, c.n, c.k, 60, 6, 1))
+			d := core.BuildDiscreteDiagram(pts, core.DiscreteDiagramOptions{SkipSubdivision: true})
+			sum += d.VertexCount()
+		}
+		fmt.Printf("%-3d %-3d %-21.1f %d\n", c.n, c.k, float64(sum)/3, c.k*c.n*c.n*c.n)
+	}
+}
+
+// E7 — Theorem 2.11: point-location queries on the diagram vs brute force.
+func expPointLocation() {
+	r := rng()
+	n := 12
+	disks := workload.RandomDisks(r, n, 100, 1, 5)
+	start := time.Now()
+	d := core.BuildDiagram(disks, core.DiagramOptions{})
+	build := time.Since(start)
+	qs := workload.QueryPoints(r, 2000, workload.DisksBBox(disks))
+	start = time.Now()
+	for _, q := range qs {
+		d.Query(q)
+	}
+	tDiag := time.Since(start)
+	start = time.Now()
+	for _, q := range qs {
+		core.NonzeroSet(disks, q)
+	}
+	tBrute := time.Since(start)
+	fmt.Printf("n=%d  vertices=%d  faces=%d  slabs=%d  build=%v\n",
+		n, d.VertexCount(), d.Sub.Faces(), d.Sub.Slabs(), build.Round(time.Millisecond))
+	fmt.Printf("query: diagram %v/q   brute %v/q\n",
+		(tDiag / time.Duration(len(qs))).Round(time.Nanosecond),
+		(tBrute / time.Duration(len(qs))).Round(time.Nanosecond))
+	fmt.Printf("persistent-set nodes: %d for %d faces (%.2f nodes/face)\n",
+		d.Sub.MemoryNodes(), d.Sub.Faces(), float64(d.Sub.MemoryNodes())/float64(d.Sub.Faces()))
+}
+
+// E8 — Theorem 3.1.
+func expNNQContinuous() {
+	r := rng()
+	ns := []int{1000, 10000, 100000}
+	if *quick {
+		ns = []int{1000, 10000}
+	}
+	fmt.Println("n       build      index/q    rtree/q    brute/q    avg|NN≠0|")
+	for _, n := range ns {
+		disks := workload.RandomDisks(r, n, math.Sqrt(float64(n))*10, 0.1, 1)
+		start := time.Now()
+		ix := nnq.NewContinuous(disks)
+		build := time.Since(start)
+		rt := rtree.Build(disks)
+		qs := workload.QueryPoints(r, 2000, workload.DisksBBox(disks))
+		var outSum int
+		start = time.Now()
+		for _, q := range qs {
+			outSum += len(ix.Query(q))
+		}
+		tIx := time.Since(start)
+		start = time.Now()
+		for _, q := range qs {
+			rt.NonzeroQuery(q)
+		}
+		tRt := time.Since(start)
+		start = time.Now()
+		for _, q := range qs {
+			core.NonzeroSet(disks, q)
+		}
+		tBr := time.Since(start)
+		per := func(d time.Duration) time.Duration { return (d / time.Duration(len(qs))).Round(time.Nanosecond) }
+		fmt.Printf("%-7d %-10v %-10v %-10v %-10v %.2f\n",
+			n, build.Round(time.Millisecond), per(tIx), per(tRt), per(tBr),
+			float64(outSum)/float64(len(qs)))
+	}
+}
+
+// E9 — Theorem 3.2.
+func expNNQDiscrete() {
+	r := rng()
+	type cfg struct{ n, k int }
+	cfgs := []cfg{{1000, 4}, {10000, 4}, {10000, 8}}
+	if *quick {
+		cfgs = []cfg{{1000, 4}}
+	}
+	fmt.Println("n      k   N       build      index/q    brute/q")
+	for _, c := range cfgs {
+		pts := workload.Supports(workload.RandomDiscrete(r, c.n, c.k, math.Sqrt(float64(c.n))*10, 1, 1))
+		start := time.Now()
+		ix := nnq.NewDiscrete(pts)
+		build := time.Since(start)
+		bb := geom.EmptyBBox()
+		for _, p := range pts {
+			bb = bb.Union(geom.BBoxOf(p.Locs))
+		}
+		qs := workload.QueryPoints(r, 1000, bb)
+		start = time.Now()
+		for _, q := range qs {
+			ix.Query(q)
+		}
+		tIx := time.Since(start)
+		start = time.Now()
+		for _, q := range qs {
+			core.NonzeroSetDiscrete(pts, q)
+		}
+		tBr := time.Since(start)
+		per := func(d time.Duration) time.Duration { return (d / time.Duration(len(qs))).Round(time.Nanosecond) }
+		fmt.Printf("%-6d %-3d %-7d %-10v %-10v %-10v\n",
+			c.n, c.k, c.n*c.k, build.Round(time.Millisecond), per(tIx), per(tBr))
+	}
+}
+
+// E10 — Lemma 4.1 and Theorem 4.2.
+func expVPr() {
+	r := rng()
+	ns := []int{2, 3, 4, 5}
+	if *quick {
+		ns = []int{2, 3}
+	}
+	fmt.Println("n   k   N   faces    N⁴      build      vpr/q      sweep/q")
+	for _, n := range ns {
+		pts := workload.VPrLowerBound(r, n)
+		box := geom.BBox{MinX: -2, MinY: -2, MaxX: 2, MaxY: 2}
+		start := time.Now()
+		v := quantify.NewVPr(pts, box)
+		build := time.Since(start)
+		qs := workload.QueryPoints(r, 500, box)
+		start = time.Now()
+		for _, q := range qs {
+			v.Query(q)
+		}
+		tV := time.Since(start)
+		start = time.Now()
+		for _, q := range qs {
+			quantify.ExactAll(pts, q)
+		}
+		tS := time.Since(start)
+		N := 2 * n
+		per := func(d time.Duration) time.Duration { return (d / time.Duration(len(qs))).Round(time.Nanosecond) }
+		fmt.Printf("%-3d %-3d %-3d %-8d %-7d %-10v %-10v %-10v\n",
+			n, 2, N, v.Faces(), N*N*N*N, build.Round(time.Millisecond), per(tV), per(tS))
+	}
+}
+
+// E11 — Theorem 4.3.
+func expMCError() {
+	r := rng()
+	n, k := 20, 4
+	pts := workload.RandomDiscrete(r, n, k, 60, 6, 4)
+	qs := workload.QueryPoints(r, 100, workload.DiscreteBBox(pts))
+	fmt.Println("eps    s(thm)   maxErr(meas)  query")
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		s := quantify.SampleCountDiscrete(n, k, eps, 0.05)
+		mc := quantify.NewMonteCarloDiscrete(pts, s, r)
+		maxErr := 0.0
+		start := time.Now()
+		for _, q := range qs {
+			got := mc.Estimate(q)
+			want := quantify.ExactAll(pts, q)
+			maxErr = math.Max(maxErr, stats.MaxAbsDiff(got, want))
+		}
+		el := time.Since(start)
+		fmt.Printf("%-6.2f %-8d %-13.4f %v/q\n",
+			eps, s, maxErr, (el / time.Duration(len(qs))).Round(time.Microsecond))
+	}
+}
+
+// E12 — Theorem 4.5.
+func expMCContinuous() {
+	r := rng()
+	n := 8
+	ps := make([]dist.Continuous, n)
+	uds := make([]dist.UniformDisk, n)
+	for i := range ps {
+		uds[i] = dist.UniformDisk{D: geom.Dsk(r.Float64()*30, r.Float64()*30, 1+r.Float64()*2)}
+		ps[i] = uds[i]
+	}
+	qs := make([]geom.Point, 30)
+	for i := range qs {
+		qs[i] = geom.Pt(r.Float64()*30, r.Float64()*30)
+	}
+	fmt.Println("eps    s       maxErr(vs integration)")
+	for _, eps := range []float64{0.1, 0.05} {
+		// Theorem 4.5's constant is conservative; use the single-query
+		// Chernoff count scaled by ln n for the measurement.
+		s := int(math.Ceil(math.Log(float64(2*n)*100) / (2 * eps * eps / 4)))
+		mc := quantify.NewMonteCarloContinuous(ps, s, r)
+		maxErr := 0.0
+		for _, q := range qs {
+			got := mc.Estimate(q)
+			want := baseline.IntegrateAll(ps, q, 512)
+			maxErr = math.Max(maxErr, stats.MaxAbsDiff(got, want))
+		}
+		fmt.Printf("%-6.2f %-7d %.4f\n", eps, s, maxErr)
+	}
+}
+
+// E13 — Theorem 4.7.
+func expSpiral() {
+	r := rng()
+	n, k := 50, 4
+	fmt.Println("rho(max) rho(meas) eps    m     maxUnder  maxOver   query")
+	for _, spread := range []float64{1, 2, 4, 8} {
+		pts := workload.RandomDiscrete(r, n, k, 100, 4, spread)
+		sp := quantify.NewSpiral(pts)
+		qs := workload.QueryPoints(r, 100, workload.DiscreteBBox(pts))
+		for _, eps := range []float64{0.1, 0.01} {
+			maxUnder, maxOver := 0.0, 0.0
+			start := time.Now()
+			for _, q := range qs {
+				got := sp.Estimate(q, eps)
+				want := quantify.ExactAll(pts, q)
+				for i := range want {
+					maxUnder = math.Max(maxUnder, want[i]-got[i]) // must be ≤ ε
+					maxOver = math.Max(maxOver, got[i]-want[i])   // must be ≤ 0
+				}
+			}
+			el := time.Since(start)
+			fmt.Printf("%-8.0f %-9.2f %-6.2f %-5d %-9.4f %-9.2g %v/q\n",
+				spread, sp.Rho(), eps, sp.M(eps), maxUnder, maxOver,
+				(el / time.Duration(len(qs))).Round(time.Microsecond))
+		}
+	}
+}
+
+// E14 — Section 4.3, Remark (i): ignoring locations with weight below ε/k
+// distorts probabilities by more than 2ε and can invert the ranking. The
+// instance follows the paper: p1's nearest location has weight 3ε, the
+// next nMid closest locations belong to distinct points with tiny weight
+// 2/nMid each, then p2's location with weight 5ε. Each point's remaining
+// mass sits at one shared faraway spot so it cannot interfere (the tie
+// semantics of Eq. 2 zero out coincident far locations).
+func expSpiralAdversarial() {
+	eps := 0.02
+	nMid := 400
+	far := geom.Pt(1e6, 0)
+	var pts []*dist.Discrete
+	mk := func(locs []geom.Point, w []float64) *dist.Discrete {
+		d, err := dist.NewDiscrete(locs, w)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	pts = append(pts, mk([]geom.Point{{X: 1, Y: 0}, far}, []float64{3 * eps, 1 - 3*eps}))
+	pts = append(pts, mk([]geom.Point{{X: 0, Y: 30}, far}, []float64{5 * eps, 1 - 5*eps}))
+	light := 2 / float64(nMid)
+	for i := 0; i < nMid; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(nMid)
+		pts = append(pts, mk(
+			[]geom.Point{geom.Dir(ang).Scale(10), far},
+			[]float64{light, 1 - light}))
+	}
+	q := geom.Pt(0, 0)
+	exact := quantify.ExactAll(pts, q)
+	sp := quantify.NewSpiral(pts)
+	approx := sp.Estimate(q, eps)
+
+	// The flawed heuristic from Remark (i): drop locations with weight
+	// below ε/k, then evaluate.
+	var kept []quantify.Location
+	for _, l := range quantify.Flatten(pts) {
+		if l.W >= eps/2 {
+			kept = append(kept, l)
+		}
+	}
+	dropped := quantify.ExactSubset(kept, len(pts), q)
+	fmt.Printf("point  exact    spiral   drop-light\n")
+	fmt.Printf("p1     %.4f   %.4f   %.4f\n", exact[0], approx[0], dropped[0])
+	fmt.Printf("p2     %.4f   %.4f   %.4f\n", exact[1], approx[1], dropped[1])
+	fmt.Printf("exact ranking: p1 > p2 = %v; spiral preserves it: %v; drop-light preserves it: %v\n",
+		exact[0] > exact[1], approx[0] > approx[1], dropped[0] > dropped[1])
+	fmt.Printf("drop-light error on p2: %.4f (> 2ε = %.4f: %v)\n",
+		math.Abs(dropped[1]-exact[1]), 2*eps, math.Abs(dropped[1]-exact[1]) > 2*eps)
+}
+
+// E15 — query-time comparison across all NN≠0 methods.
+func expBaselines() {
+	r := rng()
+	n := 5000
+	if *quick {
+		n = 1000
+	}
+	disks := workload.RandomDisks(r, n, math.Sqrt(float64(n))*10, 0.1, 1)
+	ix := nnq.NewContinuous(disks)
+	rt := rtree.Build(disks)
+	qs := workload.QueryPoints(r, 2000, workload.DisksBBox(disks))
+	check := 0
+	for _, q := range qs[:50] {
+		a := ix.Query(q)
+		b := rt.NonzeroQuery(q)
+		c := baseline.NonzeroBrute(disks, q)
+		if eq(a, c) && eq(b, c) {
+			check++
+		}
+	}
+	methods := []struct {
+		name string
+		f    func(geom.Point)
+	}{
+		{"index(Thm3.1)", func(q geom.Point) { ix.Query(q) }},
+		{"rtree(CKP04)", func(q geom.Point) { rt.NonzeroQuery(q) }},
+		{"brute(Lemma2.1)", func(q geom.Point) { baseline.NonzeroBrute(disks, q) }},
+	}
+	fmt.Printf("n=%d, cross-check %d/50 agree\n", n, check)
+	var rows []string
+	for _, m := range methods {
+		start := time.Now()
+		for _, q := range qs {
+			m.f(q)
+		}
+		el := time.Since(start)
+		rows = append(rows, fmt.Sprintf("%-16s %v/q", m.name, (el/time.Duration(len(qs))).Round(time.Nanosecond)))
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// E17 — §1.2: expected-distance NN ([AESZ12]) vs the most-probable NN.
+// Under growing uncertainty the two rankings diverge on a growing fraction
+// of queries — the argument ([YTX+10]) for quantification probabilities.
+func expExpectedVsProb() {
+	r := rng()
+	n, k := 20, 4
+	fmt.Println("cluster-radius  disagreement-rate (expected-NN != argmax π, 200 queries)")
+	for _, radius := range []float64{1, 4, 8, 16} {
+		pts := workload.RandomDiscrete(r, n, k, 60, radius, 6)
+		qs := workload.QueryPoints(r, 200, workload.DiscreteBBox(pts))
+		disagree := 0
+		for _, q := range qs {
+			expIdx, _ := quantify.ExpectedNNDiscrete(pts, q)
+			pi := quantify.ExactAll(pts, q)
+			argmax, best := -1, -1.0
+			for i, p := range pi {
+				if p > best {
+					best = p
+					argmax = i
+				}
+			}
+			if expIdx != argmax {
+				disagree++
+			}
+		}
+		fmt.Printf("%-15.0f %.1f%%\n", radius, 100*float64(disagree)/float64(len(qs)))
+	}
+}
+
+// E18 — §3 Remark (ii): the L∞ variant.
+func expLInf() {
+	r := rng()
+	n := 10000
+	if *quick {
+		n = 1000
+	}
+	squares := make([]linf.Square, n)
+	for i := range squares {
+		squares[i] = linf.Square{
+			C: geom.Pt(r.Float64()*1000, r.Float64()*1000),
+			R: 0.1 + r.Float64(),
+		}
+	}
+	start := time.Now()
+	ix := linf.Build(squares)
+	build := time.Since(start)
+	var qs []geom.Point
+	for i := 0; i < 2000; i++ {
+		qs = append(qs, geom.Pt(r.Float64()*1000, r.Float64()*1000))
+	}
+	// Correctness against the oracle first.
+	for _, q := range qs[:100] {
+		if !eq(ix.Query(q), linf.NonzeroSet(squares, q)) {
+			fmt.Println("MISMATCH against L∞ oracle")
+			return
+		}
+	}
+	start = time.Now()
+	for _, q := range qs {
+		ix.Query(q)
+	}
+	tIx := time.Since(start)
+	start = time.Now()
+	for _, q := range qs {
+		linf.NonzeroSet(squares, q)
+	}
+	tBr := time.Since(start)
+	fmt.Printf("n=%d  build=%v  index=%v/q  brute=%v/q  (oracle agreement 100/100)\n",
+		n, build.Round(time.Millisecond),
+		(tIx / time.Duration(len(qs))).Round(time.Nanosecond),
+		(tBr / time.Duration(len(qs))).Round(time.Nanosecond))
+}
+
+// E19 — ablation: the [DSST89] persistence of Theorem 2.11. Compares the
+// measured persistent-node count against what explicit per-face sets
+// would store (Σ per-face set size).
+func expAblationPersist() {
+	r := rng()
+	// Two regimes: sparse disks (small NN≠0 sets — persistence overhead
+	// comparable to explicit storage) and dense overlapping disks (large
+	// sets — the regime Theorem 2.11's O(μ) claim targets).
+	for _, cfg := range []struct {
+		name       string
+		rmin, rmax float64
+	}{
+		{"sparse", 1, 5},
+		{"dense", 10, 25},
+	} {
+		for _, n := range []int{8, 12, 16} {
+			disks := workload.RandomDisks(r, n, 100, cfg.rmin, cfg.rmax)
+			d := core.BuildDiagram(disks, core.DiagramOptions{})
+			faces := d.Sub.Faces()
+			nodes := d.Sub.MemoryNodes()
+			explicit := d.Sub.ExplicitSetSize()
+			fmt.Printf("%-7s n=%-3d faces=%-8d persistent-nodes=%-8d explicit-elements=%-10d saving=%.1fx\n",
+				cfg.name, n, faces, nodes, explicit, float64(explicit)/float64(nodes))
+		}
+	}
+}
+
+// E20 — ablation: the numeric envelope's pairwise-crossing grid. Vertex
+// counts on the Ω(n²) construction (whose exact count is known) must be
+// stable across grid resolutions; too-coarse grids lose vertices.
+func expAblationEnvelope() {
+	n := 16
+	disks := workload.LowerBoundQuadratic(n)
+	want := workload.LowerBoundQuadraticExpected(n)
+	fmt.Printf("grid  crossings (exact %d)\n", want)
+	for _, grid := range []int{4, 8, 16, 32, 64} {
+		d := core.BuildDiagram(disks, core.DiagramOptions{
+			SkipSubdivision: true,
+			CrossGrid:       grid,
+			Gamma:           core.GammaOptions{Env: envelope.Options{GridPerPair: grid}},
+		})
+		fmt.Printf("%-5d %d\n", grid, d.CrossingCount())
+	}
+}
+
+// E21 — ablation: polyline flattening density vs diagram-query agreement
+// with the brute oracle (the DESIGN.md §5(3) tolerance trade).
+func expAblationFlatten() {
+	r := rng()
+	disks := workload.RandomDisks(r, 10, 100, 1, 5)
+	qs := workload.QueryPoints(r, 2000, workload.DisksBBox(disks))
+	fmt.Println("perArc  faces     agree")
+	for _, perArc := range []int{4, 8, 16, 32} {
+		d := core.BuildDiagram(disks, core.DiagramOptions{FlattenPerArc: perArc})
+		agree := 0
+		for _, q := range qs {
+			if eq(d.Query(q), core.NonzeroSet(disks, q)) {
+				agree++
+			}
+		}
+		fmt.Printf("%-7d %-9d %.2f%%\n", perArc, d.Sub.Faces(),
+			100*float64(agree)/float64(len(qs)))
+	}
+}

@@ -1,0 +1,83 @@
+// Command pnngen generates uncertain-point datasets in the JSON format
+// cmd/pnnquery consumes.
+//
+// Usage:
+//
+//	pnngen -kind disks -n 100 -rmin 0.5 -rmax 3 > sensors.json
+//	pnngen -kind discrete -n 50 -k 4 -spread 5 > fleet.json
+//	pnngen -kind lb-cubic -n 16 > worstcase.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pnn/internal/datafile"
+	"pnn/internal/workload"
+)
+
+var (
+	kind   = flag.String("kind", "disks", "disks | discrete | disjoint | lb-cubic | lb-cubic-equal | lb-quadratic")
+	n      = flag.Int("n", 50, "number of uncertain points")
+	k      = flag.Int("k", 4, "locations per discrete point")
+	extent = flag.Float64("extent", 100, "side of the placement square")
+	rmin   = flag.Float64("rmin", 0.5, "minimum disk radius")
+	rmax   = flag.Float64("rmax", 3, "maximum disk radius")
+	lambda = flag.Float64("lambda", 2, "radius ratio for disjoint disks")
+	spread = flag.Float64("spread", 1, "maximum weight spread ρ for discrete points")
+	radius = flag.Float64("radius", 3, "cluster radius for discrete points")
+	seed   = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	r := rand.New(rand.NewSource(*seed))
+	var f datafile.File
+	switch *kind {
+	case "disks":
+		f.Kind = datafile.KindDisks
+		for _, d := range workload.RandomDisks(r, *n, *extent, *rmin, *rmax) {
+			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
+		}
+	case "disjoint":
+		f.Kind = datafile.KindDisks
+		for _, d := range workload.DisjointDisks(r, *n, *lambda) {
+			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
+		}
+	case "lb-cubic":
+		f.Kind = datafile.KindDisks
+		for _, d := range workload.LowerBoundCubic(*n) {
+			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
+		}
+	case "lb-cubic-equal":
+		f.Kind = datafile.KindDisks
+		for _, d := range workload.LowerBoundCubicEqualRadii(*n) {
+			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
+		}
+	case "lb-quadratic":
+		f.Kind = datafile.KindDisks
+		for _, d := range workload.LowerBoundQuadratic(*n) {
+			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
+		}
+	case "discrete":
+		f.Kind = datafile.KindDiscrete
+		for _, p := range workload.RandomDiscrete(r, *n, *k, *extent, *radius, *spread) {
+			var dj datafile.DiscreteJSON
+			for t, l := range p.Locs {
+				dj.X = append(dj.X, l.X)
+				dj.Y = append(dj.Y, l.Y)
+				dj.W = append(dj.W, p.W[t])
+			}
+			f.Discrete = append(f.Discrete, dj)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pnngen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := datafile.Write(os.Stdout, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "pnngen: %v\n", err)
+		os.Exit(1)
+	}
+}

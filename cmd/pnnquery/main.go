@@ -1,0 +1,135 @@
+// Command pnnquery loads an uncertain-point dataset and answers nonzero-NN
+// and quantification-probability queries.
+//
+// Usage:
+//
+//	pnngen -kind discrete -n 20 > fleet.json
+//	pnnquery -data fleet.json -q 42,17                 # NN≠0 + exact π
+//	pnnquery -data fleet.json -q 42,17 -method spiral -eps 0.05
+//	pnnquery -data sensors.json -q 10,20 -method mc -eps 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pnn"
+	"pnn/internal/datafile"
+)
+
+var (
+	dataPath = flag.String("data", "", "dataset JSON (from pnngen)")
+	queryStr = flag.String("q", "", "query point as x,y")
+	method   = flag.String("method", "exact", "exact | spiral | mc | integrate")
+	eps      = flag.Float64("eps", 0.05, "additive error for spiral/mc")
+	delta    = flag.Float64("delta", 0.05, "failure probability for mc")
+	seed     = flag.Int64("seed", 1, "random seed for mc")
+)
+
+func main() {
+	flag.Parse()
+	if *dataPath == "" || *queryStr == "" {
+		fmt.Fprintln(os.Stderr, "pnnquery: -data and -q are required")
+		os.Exit(2)
+	}
+	q, err := parsePoint(*queryStr)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	df, err := datafile.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch df.Kind {
+	case datafile.KindDisks:
+		set, err := df.ContinuousSet()
+		if err != nil {
+			fatal(err)
+		}
+		ix := set.NewNonzeroIndex()
+		nz := ix.Query(q)
+		fmt.Printf("NN≠0(%g, %g) = %v  (%d of %d points)\n", q.X, q.Y, nz, len(nz), set.Len())
+		switch *method {
+		case "integrate":
+			pi := set.IntegrateProbabilities(q, 512)
+			printProbs(pi, 1e-9)
+		case "mc":
+			mc := set.NewMonteCarlo(*eps, *delta, rand.New(rand.NewSource(*seed)))
+			fmt.Printf("monte carlo: %d rounds\n", mc.Rounds())
+			printIndexProbs(mc.EstimatePositive(q))
+		case "exact":
+			// No exact algorithm exists for continuous inputs; integrate.
+			pi := set.IntegrateProbabilities(q, 512)
+			printProbs(pi, 1e-9)
+		default:
+			fatal(fmt.Errorf("method %q not available for disk datasets", *method))
+		}
+	case datafile.KindDiscrete:
+		set, err := df.DiscreteSet()
+		if err != nil {
+			fatal(err)
+		}
+		ix := set.NewNonzeroIndex()
+		nz := ix.Query(q)
+		fmt.Printf("NN≠0(%g, %g) = %v  (%d of %d points)\n", q.X, q.Y, nz, len(nz), set.Len())
+		switch *method {
+		case "exact":
+			printProbs(set.ExactProbabilities(q), 1e-12)
+		case "spiral":
+			sp := set.NewSpiral()
+			fmt.Printf("spiral: ρ=%.2f m(ρ,ε)=%d\n", sp.Rho(), sp.RetrievalSize(*eps))
+			printIndexProbs(sp.EstimatePositive(q, *eps))
+		case "mc":
+			mc := set.NewMonteCarlo(*eps, *delta, rand.New(rand.NewSource(*seed)))
+			fmt.Printf("monte carlo: %d rounds\n", mc.Rounds())
+			printIndexProbs(mc.EstimatePositive(q))
+		default:
+			fatal(fmt.Errorf("method %q not available for discrete datasets", *method))
+		}
+	}
+}
+
+func parsePoint(s string) (pnn.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return pnn.Point{}, fmt.Errorf("query %q must be x,y", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return pnn.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return pnn.Point{}, err
+	}
+	return pnn.Pt(x, y), nil
+}
+
+func printProbs(pi []float64, eps float64) {
+	for i, p := range pi {
+		if p > eps {
+			fmt.Printf("  π_%d = %.6f\n", i, p)
+		}
+	}
+}
+
+func printIndexProbs(ips []pnn.IndexProb) {
+	for _, ip := range ips {
+		fmt.Printf("  π_%d ≈ %.6f\n", ip.Index, ip.Prob)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pnnquery: %v\n", err)
+	os.Exit(1)
+}

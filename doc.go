@@ -1,0 +1,29 @@
+// Package pnn implements probabilistic nearest-neighbor search over
+// uncertain points in the plane, reproducing "Nearest-Neighbor Searching
+// Under Uncertainty II" (Agarwal, Aronov, Har-Peled, Phillips, Yi, Zhang;
+// PODS 2013).
+//
+// An uncertain point is either continuous — a probability density with a
+// disk support (uniform or truncated Gaussian) — or discrete: k candidate
+// locations with probabilities. Two query families are provided:
+//
+// Nonzero nearest neighbors. NN≠0(q) is the set of points with a nonzero
+// probability of being the nearest neighbor of q. It can be answered
+// three ways, trading preprocessing for query time:
+//
+//   - brute force (NonzeroAt), O(n) per query;
+//   - the nonzero Voronoi diagram V≠0 (BuildDiagram), worst-case Θ(n³)
+//     space with O(log n + t) queries (Theorems 2.5–2.14);
+//   - near-linear two-stage indexes (NewNonzeroIndex), Theorems 3.1/3.2.
+//
+// Quantification probabilities. π_i(q) = Pr[P_i is the NN of q] can be
+// computed exactly for discrete points (ExactProbabilities, or the V_Pr
+// diagram of Theorem 4.2 via NewVPr), estimated by Monte Carlo within ±ε
+// with probability 1−δ (NewMonteCarlo, Theorems 4.3/4.5), or approximated
+// deterministically by spiral search with one-sided error ε
+// (NewSpiral, Theorem 4.7).
+//
+// The quickstart in examples/quickstart shows both families end to end;
+// DESIGN.md maps every theorem of the paper to its implementation and
+// EXPERIMENTS.md records the measured reproductions.
+package pnn

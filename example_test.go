@@ -1,0 +1,63 @@
+package pnn_test
+
+import (
+	"fmt"
+
+	"pnn"
+)
+
+// Two couriers with uncertain positions; which can be nearest to the
+// pickup, and with what probability?
+func ExampleDiscreteSet() {
+	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
+		{Locations: []pnn.Point{{X: 1, Y: 0}, {X: 3, Y: 0}}, Weights: []float64{0.4, 0.6}},
+		{Locations: []pnn.Point{{X: 0, Y: 2}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	q := pnn.Pt(0, 0)
+	fmt.Println("candidates:", set.NonzeroAt(q))
+	for _, ip := range set.PositiveProbabilities(q, 0) {
+		fmt.Printf("π_%d = %.1f\n", ip.Index, ip.Prob)
+	}
+	// Output:
+	// candidates: [0 1]
+	// π_0 = 0.4
+	// π_1 = 0.6
+}
+
+// Disk-shaped uncertainty regions: the nonzero-NN index answers exactly.
+func ExampleContinuousSet() {
+	set, err := pnn.NewContinuousSet([]pnn.DiskPoint{
+		{Support: pnn.Disk{Center: pnn.Pt(0, 0), R: 1}},
+		{Support: pnn.Disk{Center: pnn.Pt(10, 0), R: 1}},
+		{Support: pnn.Disk{Center: pnn.Pt(5, 4), R: 2}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ix := set.NewNonzeroIndex()
+	fmt.Println(ix.Query(pnn.Pt(0, 0)))
+	fmt.Println(ix.Query(pnn.Pt(5, 0)))
+	// Output:
+	// [0]
+	// [0 1 2]
+}
+
+// Spiral search gives deterministic one-sided estimates: π̂ ≤ π ≤ π̂ + ε.
+func ExampleSpiral_Threshold() {
+	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
+		{Locations: []pnn.Point{{X: 1, Y: 0}}},
+		{Locations: []pnn.Point{{X: 2, Y: 0}, {X: 50, Y: 0}}, Weights: []float64{0.5, 0.5}},
+		{Locations: []pnn.Point{{X: 60, Y: 0}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	sp := set.NewSpiral()
+	res := sp.Threshold(pnn.Pt(0, 0), 0.3, 0.01)
+	fmt.Println("certainly above 0.3:", res.Certain)
+	// Output:
+	// certainly above 0.3: [0]
+}

@@ -1,0 +1,138 @@
+// Diagramsvg renders figure-style artifacts from the paper as SVG files in
+// the current directory:
+//
+//	gamma.svg        — a γ curve as the lower envelope of hyperbola
+//	                   branches (Figure 4)
+//	diagram.svg      — the full nonzero Voronoi diagram of a small random
+//	                   instance (Figures 2–3 setting)
+//	lb-quadratic.svg — the Ω(n²) construction of Theorem 2.10 with its
+//	                   arrangement vertices
+//
+// It uses internal packages (it is a rendering utility, not an API demo;
+// see quickstart/sensornet/fleet for the public API).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"pnn/internal/core"
+	"pnn/internal/geom"
+	"pnn/internal/svg"
+	"pnn/internal/workload"
+)
+
+func main() {
+	renderGamma()
+	renderDiagram()
+	renderLBQuadratic()
+	fmt.Println("wrote gamma.svg, diagram.svg, lb-quadratic.svg")
+}
+
+func writeSVG(name string, c *svg.Canvas) {
+	f, err := os.Create(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := c.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// renderGamma reproduces the Figure 4 setting: γ_1 for a disk against a
+// handful of others, drawn as the envelope of its arcs.
+func renderGamma() {
+	disks := []geom.Disk{
+		geom.Dsk(0, 0, 2),
+		geom.Dsk(12, 3, 3),
+		geom.Dsk(10, -8, 2),
+		geom.Dsk(-2, 12, 2.5),
+		geom.Dsk(-10, -4, 2),
+	}
+	g := core.BuildGamma(disks, 0, core.GammaOptions{})
+	box := geom.BBox{MinX: -25, MinY: -25, MaxX: 25, MaxY: 25}
+	c := svg.New(box, 800)
+	for i, d := range disks {
+		stroke := "steelblue"
+		if i == 0 {
+			stroke = "black"
+		}
+		c.Circle(d, stroke, "none", 1.5)
+		c.Text(d.C, 12, "gray", fmt.Sprintf("D%d", i+1))
+	}
+	for _, arc := range g.Arcs {
+		var pts []geom.Point
+		const m = 64
+		for k := 0; k <= m; k++ {
+			th := arc.Lo + (arc.Hi-arc.Lo)*float64(k)/float64(m)
+			r := arc.Eval(th)
+			if r > 60 {
+				continue
+			}
+			pts = append(pts, arc.Point(disks[0].C, th))
+		}
+		c.Polyline(pts, "crimson", 2)
+	}
+	for _, bp := range g.Breakpoints {
+		c.Dot(bp, 4, "darkorange")
+	}
+	writeSVG("gamma.svg", c)
+}
+
+// renderDiagram draws all curves and vertices of V≠0 for a small random
+// instance (the Figures 2–3 setting).
+func renderDiagram() {
+	r := rand.New(rand.NewSource(3))
+	disks := workload.RandomDisks(r, 7, 40, 2, 5)
+	d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+	box := workload.DisksBBox(disks).Pad(20)
+	c := svg.New(box, 900)
+	for i, dk := range disks {
+		c.Circle(dk, "steelblue", "none", 1.2)
+		c.Text(dk.C, 11, "gray", fmt.Sprintf("D%d", i+1))
+	}
+	colors := []string{"crimson", "seagreen", "darkorange", "purple", "teal", "chocolate", "navy"}
+	for i, g := range d.Gammas {
+		for _, arc := range g.Arcs {
+			var pts []geom.Point
+			const m = 64
+			for k := 0; k <= m; k++ {
+				th := arc.Lo + (arc.Hi-arc.Lo)*float64(k)/float64(m)
+				rr := arc.Eval(th)
+				if rr > box.Width()+box.Height() {
+					continue
+				}
+				pts = append(pts, arc.Point(disks[i].C, th))
+			}
+			c.Polyline(pts, colors[i%len(colors)], 1.4)
+		}
+	}
+	for _, v := range d.Vertices {
+		c.Dot(v.P, 3, "black")
+	}
+	writeSVG("diagram.svg", c)
+}
+
+// renderLBQuadratic draws Theorem 2.10's Ω(n²) construction (Figure 8).
+func renderLBQuadratic() {
+	n := 8
+	disks := workload.LowerBoundQuadratic(n)
+	d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+	box := workload.DisksBBox(disks).Pad(30)
+	c := svg.New(box, 1000)
+	for _, dk := range disks {
+		c.Circle(dk, "steelblue", "none", 1.5)
+	}
+	for _, v := range d.Vertices {
+		if v.Kind == core.Crossing {
+			c.Dot(v.P, 3, "crimson")
+		}
+	}
+	c.Text(geom.Pt(box.MinX+2, box.MaxY-3), 14, "black",
+		fmt.Sprintf("Theorem 2.10 construction, n=%d: %d crossing vertices (guaranteed %d)",
+			n, d.CrossingCount(), workload.LowerBoundQuadraticExpected(n)))
+	writeSVG("lb-quadratic.svg", c)
+}

@@ -1,0 +1,78 @@
+// Quickstart: build uncertain points, ask who can be the nearest neighbor,
+// and quantify how likely each candidate is — the two query families of
+// "Nearest-Neighbor Searching Under Uncertainty II" in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnn"
+)
+
+func main() {
+	// Three discrete uncertain points: last-known positions of three
+	// delivery couriers, each with a few possible current locations.
+	couriers := []pnn.DiscretePoint{
+		{
+			Locations: []pnn.Point{{X: 1, Y: 1}, {X: 3, Y: 2}, {X: 2, Y: 4}},
+			Weights:   []float64{0.5, 0.3, 0.2},
+		},
+		{
+			Locations: []pnn.Point{{X: 8, Y: 1}, {X: 9, Y: 3}},
+			Weights:   []float64{0.6, 0.4},
+		},
+		{
+			Locations: []pnn.Point{{X: 5, Y: 9}, {X: 6, Y: 7}, {X: 4, Y: 8}},
+			// nil weights mean uniform (1/3 each)
+		},
+	}
+	set, err := pnn.NewDiscreteSet(couriers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pickup := pnn.Pt(5, 4)
+
+	// 1. Which couriers have any chance of being closest to the pickup?
+	//    (Lemma 2.1 / Section 3 of the paper.)
+	index := set.NewNonzeroIndex()
+	candidates := index.Query(pickup)
+	fmt.Printf("couriers that can be nearest to %v: %v\n", pickup, candidates)
+
+	// 2. Exactly how likely is each? (Eq. 2 / Section 4.1.)
+	for _, ip := range set.PositiveProbabilities(pickup, 1e-9) {
+		fmt.Printf("  courier %d: π = %.4f\n", ip.Index, ip.Prob)
+	}
+
+	// 3. The same probabilities with the fast deterministic approximation
+	//    (spiral search, Theorem 4.7): guaranteed π̂ ≤ π ≤ π̂ + ε.
+	spiral := set.NewSpiral()
+	const eps = 0.01
+	fmt.Printf("spiral search (ε=%.2f, inspects %d of %d locations):\n",
+		eps, spiral.RetrievalSize(eps), 8)
+	for _, ip := range spiral.EstimatePositive(pickup, eps) {
+		fmt.Printf("  courier %d: π̂ = %.4f\n", ip.Index, ip.Prob)
+	}
+
+	// 4. Continuous uncertainty works the same way: sensors whose
+	//    positions are only known up to a disk.
+	sensors := []pnn.DiskPoint{
+		{Support: pnn.Disk{Center: pnn.Pt(0, 0), R: 2}},
+		{Support: pnn.Disk{Center: pnn.Pt(10, 0), R: 3}},
+		{Support: pnn.Disk{Center: pnn.Pt(5, 8), R: 1}},
+	}
+	cset, err := pnn.NewContinuousSet(sensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	event := pnn.Pt(5, 2)
+	fmt.Printf("sensors that can be nearest to %v: %v\n",
+		event, cset.NewNonzeroIndex().Query(event))
+	pi := cset.IntegrateProbabilities(event, 512)
+	for i, p := range pi {
+		if p > 1e-6 {
+			fmt.Printf("  sensor %d: π = %.4f\n", i, p)
+		}
+	}
+}

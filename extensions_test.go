@@ -1,0 +1,163 @@
+package pnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpectedNNDiscrete(t *testing.T) {
+	set, err := NewDiscreteSet([]DiscretePoint{
+		{Locations: []Point{{X: 10, Y: 0}}},                                              // concentrated, E[d]=10
+		{Locations: []Point{{X: 5, Y: 0}, {X: -30, Y: 0}}, Weights: []float64{0.7, 0.3}}, // E[d]=12.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Pt(0, 0)
+	i, d := set.ExpectedNN(q)
+	if i != 0 || math.Abs(d-10) > 1e-12 {
+		t.Fatalf("expected NN %d at %v", i, d)
+	}
+	if got := set.ExpectedDistance(q, 1); math.Abs(got-12.5) > 1e-12 {
+		t.Fatalf("E[d_1] = %v", got)
+	}
+	// §1.2's point: probability ranking disagrees with expected distance.
+	pi := set.ExactProbabilities(q)
+	if pi[1] <= pi[0] {
+		t.Fatalf("probability should favor the spread point: %v", pi)
+	}
+}
+
+func TestExpectedNNContinuous(t *testing.T) {
+	set, err := NewContinuousSet([]DiskPoint{
+		{Support: Disk{Center: Pt(5, 0), R: 1}},
+		{Support: Disk{Center: Pt(2, 0), R: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := set.ExpectedNN(Pt(0, 0), 128)
+	if i != 1 {
+		t.Fatalf("continuous expected NN %d", i)
+	}
+}
+
+func TestThresholdQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.NewSpiral()
+	q := Pt(50, 50)
+	res := sp.Threshold(q, 0.25, 0.05)
+	exact := set.ExactProbabilities(q)
+	for _, i := range res.Certain {
+		if exact[i] < 0.25-1e-9 {
+			t.Fatalf("certain %d has π=%v", i, exact[i])
+		}
+	}
+	inRes := map[int]bool{}
+	for _, i := range res.Certain {
+		inRes[i] = true
+	}
+	for _, i := range res.Possible {
+		inRes[i] = true
+	}
+	for i, p := range exact {
+		if p >= 0.25 && !inRes[i] {
+			t.Fatalf("missed point %d with π=%v", i, p)
+		}
+	}
+}
+
+func TestContinuousSpiral(t *testing.T) {
+	set, err := NewContinuousSet([]DiskPoint{
+		{Support: Disk{Center: Pt(0, 0), R: 1}},
+		{Support: Disk{Center: Pt(10, 0), R: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.NewSpiral(500, nil)
+	pi := sp.Estimate(Pt(5, 0.01), 0.01)
+	if math.Abs(pi[0]-0.5) > 0.06 || math.Abs(pi[1]-0.5) > 0.06 {
+		t.Fatalf("continuous spiral: %v", pi)
+	}
+}
+
+func TestSquareSetAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([]SquarePoint, 50)
+	for i := range pts {
+		pts[i] = SquarePoint{Center: Pt(r.Float64()*100, r.Float64()*100), R: 0.5 + r.Float64()*3}
+	}
+	set, err := NewSquareSet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := set.NewNonzeroIndex()
+	for probe := 0; probe < 200; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		if !equalIntsPNN(ix.Query(q), set.NonzeroAt(q)) {
+			t.Fatalf("L∞ index disagrees at %v", q)
+		}
+	}
+}
+
+func TestSquareSetValidation(t *testing.T) {
+	if _, err := NewSquareSet(nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	if _, err := NewSquareSet([]SquarePoint{{R: -1}}); err == nil {
+		t.Fatal("negative radius must error")
+	}
+}
+
+func TestMonteCarloParallelPublic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := set.NewMonteCarloParallel(500, 9, 0)
+	q := Pt(50, 50)
+	serial := mc.Estimate(q)
+	parallel := mc.EstimateParallel(q, 4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel estimate differs at %d: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+	// Deterministic across worker counts at build time too.
+	mc2 := set.NewMonteCarloParallel(500, 9, 1)
+	for i, p := range mc2.Estimate(q) {
+		if p != serial[i] {
+			t.Fatalf("build parallelism changed results at %d", i)
+		}
+	}
+}
+
+func TestTopKPublic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Pt(50, 50)
+	exactTop := set.TopKProbable(q, 3)
+	if len(exactTop) == 0 {
+		t.Fatal("no top-k results")
+	}
+	for i := 1; i < len(exactTop); i++ {
+		if exactTop[i-1].Prob < exactTop[i].Prob {
+			t.Fatal("top-k not sorted")
+		}
+	}
+	sp := set.NewSpiral()
+	spTop := sp.TopK(q, 3, 0.01)
+	if len(spTop) == 0 || spTop[0].Index != exactTop[0].Index {
+		t.Fatalf("spiral top-1 %v vs exact top-1 %v", spTop, exactTop)
+	}
+}

@@ -1,0 +1,187 @@
+package pnn
+
+// Cross-structure integration tests: every way of answering the same
+// question must agree (up to each method's documented tolerance) on shared
+// randomized workloads. These are the end-to-end counterparts of the
+// per-module oracle tests.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// All NN≠0 structures for disks answer identically away from boundaries:
+// brute oracle, two-stage index, diagram point location.
+func TestAllContinuousNonzeroStructuresAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 3; trial++ {
+		set, err := NewContinuousSet(randomDiskPoints(r, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := set.NewNonzeroIndex()
+		diag := set.BuildDiagram()
+		diagMiss := 0
+		for probe := 0; probe < 300; probe++ {
+			q := Pt(r.Float64()*120-10, r.Float64()*120-10)
+			brute := set.NonzeroAt(q)
+			if !equalIntsPNN(ix.Query(q), brute) {
+				t.Fatalf("index vs brute at %v", q)
+			}
+			if !equalIntsPNN(diag.Query(q), brute) {
+				diagMiss++ // flattening-tolerance boundary effects only
+			}
+		}
+		if diagMiss > 15 {
+			t.Fatalf("diagram missed %d/300 (tolerance budget 15)", diagMiss)
+		}
+	}
+}
+
+// All quantification engines agree within their guarantees on the same
+// workload: exact sweep, V_Pr lookup, spiral (one-sided ε), MC (±ε whp).
+func TestAllQuantifiersAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr := set.NewVPr(-20, -20, 120, 120)
+	sp := set.NewSpiral()
+	mc := set.NewMonteCarloRounds(4000, r)
+	eps := 0.05
+	vprMiss := 0
+	for probe := 0; probe < 60; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		exact := set.ExactProbabilities(q)
+		// V_Pr: exact up to cell-boundary roundoff.
+		vq := vpr.Query(q)
+		for i := range exact {
+			if math.Abs(vq[i]-exact[i]) > 1e-9 {
+				vprMiss++
+				break
+			}
+		}
+		// Spiral: one-sided.
+		sq := sp.Estimate(q, eps)
+		for i := range exact {
+			if sq[i] > exact[i]+1e-9 || exact[i] > sq[i]+eps+1e-9 {
+				t.Fatalf("spiral bound at %v idx %d: %v vs %v", q, i, sq[i], exact[i])
+			}
+		}
+		// MC: two-sided with slack (4000 rounds → ~0.05 at 3σ).
+		mq := mc.Estimate(q)
+		for i := range exact {
+			if math.Abs(mq[i]-exact[i]) > 0.07 {
+				t.Fatalf("MC at %v idx %d: %v vs %v", q, i, mq[i], exact[i])
+			}
+		}
+	}
+	if vprMiss > 2 {
+		t.Fatalf("V_Pr missed %d/60", vprMiss)
+	}
+}
+
+// Certain points (radius 0 / single location) collapse every structure to
+// the classical Voronoi answer.
+func TestCertainPointCollapse(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	n := 30
+	disks := make([]DiskPoint, n)
+	discs := make([]DiscretePoint, n)
+	for i := range disks {
+		p := Pt(r.Float64()*100, r.Float64()*100)
+		disks[i] = DiskPoint{Support: Disk{Center: p, R: 0}}
+		discs[i] = DiscretePoint{Locations: []Point{p}}
+	}
+	cset, err := NewContinuousSet(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dset, err := NewDiscreteSet(discs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cix := cset.NewNonzeroIndex()
+	dix := dset.NewNonzeroIndex()
+	for probe := 0; probe < 200; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		want := nearestIndex(disks, q)
+		cg := cix.Query(q)
+		dg := dix.Query(q)
+		if len(cg) != 1 || cg[0] != want {
+			t.Fatalf("continuous collapse at %v: %v want [%d]", q, cg, want)
+		}
+		if len(dg) != 1 || dg[0] != want {
+			t.Fatalf("discrete collapse at %v: %v want [%d]", q, dg, want)
+		}
+		// The probability vector is an indicator.
+		pi := dset.ExactProbabilities(q)
+		if math.Abs(pi[want]-1) > 1e-12 {
+			t.Fatalf("certain-point probability: %v", pi[want])
+		}
+	}
+}
+
+func nearestIndex(disks []DiskPoint, q Point) int {
+	best, bd := -1, math.Inf(1)
+	for i, d := range disks {
+		dx := d.Support.Center.X - q.X
+		dy := d.Support.Center.Y - q.Y
+		if v := dx*dx + dy*dy; v < bd {
+			bd = v
+			best = i
+		}
+	}
+	return best
+}
+
+// Monte Carlo on a continuous set and numeric integration agree.
+func TestContinuousQuantifiersAgree(t *testing.T) {
+	set, err := NewContinuousSet([]DiskPoint{
+		{Support: Disk{Center: Pt(0, 0), R: 2}},
+		{Support: Disk{Center: Pt(5, 1), R: 1.5}},
+		{Support: Disk{Center: Pt(2, 6), R: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := set.NewMonteCarloRounds(20000, rand.New(rand.NewSource(103)))
+	for _, q := range []Point{{X: 2, Y: 2}, {X: 0, Y: 4}} {
+		est := mc.Estimate(q)
+		ref := set.IntegrateProbabilities(q, 512)
+		for i := range ref {
+			if math.Abs(est[i]-ref[i]) > 0.02 {
+				t.Fatalf("MC vs integration at %v idx %d: %v vs %v", q, i, est[i], ref[i])
+			}
+		}
+	}
+}
+
+// The probability mass reported by every estimator sums to ≈ 1.
+func TestProbabilityMassConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 15, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := set.NewSpiral()
+	q := Pt(50, 50)
+	sum := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if s := sum(set.ExactProbabilities(q)); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("exact mass %v", s)
+	}
+	// Spiral may undercount by at most ε per point but the total deficit
+	// is bounded by the retrieved tail mass; with ε=0.01 on this workload
+	// it stays near 1.
+	if s := sum(sp.Estimate(q, 0.01)); s < 0.9 || s > 1+1e-9 {
+		t.Fatalf("spiral mass %v", s)
+	}
+}

@@ -1,0 +1,128 @@
+// Package awvd answers additively weighted nearest-neighbor queries over
+// disks: Δ(q) = min_i (d(q, c_i) + r_i), the lower envelope of the maximum
+// distances whose projection is the additively weighted Voronoi diagram M
+// of the paper (Section 2.1). It is stage 1 of the NN≠0 query structure of
+// Theorem 3.1.
+//
+// The structure is a kd-tree over the centers with a per-subtree minimum
+// radius, searched best-first with the lower bound
+// dist(q, bbox) + minR(subtree) ≤ min_i∈subtree (d(q, c_i) + r_i).
+// Queries are O(log n) on inputs of bounded density; construction is
+// O(n log n).
+package awvd
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+)
+
+// Index answers Δ(q) and weighted-nearest queries.
+type Index struct {
+	disks []geom.Disk
+	nodes []node
+	order []int // disk indices in tree layout
+	root  int
+}
+
+type node struct {
+	lo, hi      int
+	left, right int // -1 at leaves
+	bbox        geom.BBox
+	minR        float64
+}
+
+const leafSize = 8
+
+// Build constructs the index over the disks. The slice is not copied;
+// callers must not mutate it afterwards.
+func Build(disks []geom.Disk) *Index {
+	idx := &Index{disks: disks, order: make([]int, len(disks))}
+	for i := range idx.order {
+		idx.order[i] = i
+	}
+	if len(disks) == 0 {
+		idx.root = -1
+		return idx
+	}
+	idx.root = idx.build(0, len(disks))
+	return idx
+}
+
+func (idx *Index) build(lo, hi int) int {
+	bb := geom.EmptyBBox()
+	minR := math.Inf(1)
+	for i := lo; i < hi; i++ {
+		d := idx.disks[idx.order[i]]
+		bb = bb.Extend(d.C)
+		minR = math.Min(minR, d.R)
+	}
+	ni := len(idx.nodes)
+	idx.nodes = append(idx.nodes, node{lo: lo, hi: hi, left: -1, right: -1, bbox: bb, minR: minR})
+	if hi-lo <= leafSize {
+		return ni
+	}
+	sub := idx.order[lo:hi]
+	if bb.Width() >= bb.Height() {
+		sort.Slice(sub, func(a, b int) bool { return idx.disks[sub[a]].C.X < idx.disks[sub[b]].C.X })
+	} else {
+		sort.Slice(sub, func(a, b int) bool { return idx.disks[sub[a]].C.Y < idx.disks[sub[b]].C.Y })
+	}
+	mid := (lo + hi) / 2
+	l := idx.build(lo, mid)
+	r := idx.build(mid, hi)
+	idx.nodes[ni].left = l
+	idx.nodes[ni].right = r
+	return ni
+}
+
+// Nearest returns the index minimizing d(q, c_i) + r_i and the minimum
+// value Δ(q). ok is false on an empty index.
+func (idx *Index) Nearest(q geom.Point) (int, float64, bool) {
+	if idx.root < 0 {
+		return 0, 0, false
+	}
+	best := -1
+	bestV := math.Inf(1)
+	idx.search(idx.root, q, &best, &bestV)
+	return best, bestV, true
+}
+
+// Delta returns Δ(q) = min_i (d(q, c_i) + r_i); +Inf on an empty index.
+func (idx *Index) Delta(q geom.Point) float64 {
+	_, v, ok := idx.Nearest(q)
+	if !ok {
+		return math.Inf(1)
+	}
+	return v
+}
+
+func (idx *Index) search(ni int, q geom.Point, best *int, bestV *float64) {
+	n := &idx.nodes[ni]
+	if n.bbox.DistToPoint(q)+n.minR >= *bestV {
+		return
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			di := idx.order[i]
+			if v := idx.disks[di].MaxDist(q); v < *bestV {
+				*bestV = v
+				*best = di
+			}
+		}
+		return
+	}
+	// Descend toward the child whose box is closer first.
+	l, r := n.left, n.right
+	dl := idx.nodes[l].bbox.DistToPoint(q) + idx.nodes[l].minR
+	dr := idx.nodes[r].bbox.DistToPoint(q) + idx.nodes[r].minR
+	if dr < dl {
+		l, r = r, l
+	}
+	idx.search(l, q, best, bestV)
+	idx.search(r, q, best, bestV)
+}
+
+// Len returns the number of indexed disks.
+func (idx *Index) Len() int { return len(idx.disks) }

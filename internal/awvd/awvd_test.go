@@ -1,0 +1,74 @@
+package awvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	ix := Build(nil)
+	if _, _, ok := ix.Nearest(geom.Pt(0, 0)); ok {
+		t.Fatal("nearest on empty index")
+	}
+	if !math.IsInf(ix.Delta(geom.Pt(0, 0)), 1) {
+		t.Fatal("Delta on empty index should be +Inf")
+	}
+}
+
+func TestNearestAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		disks := make([]geom.Disk, n)
+		for i := range disks {
+			disks[i] = geom.Disk{
+				C: geom.Pt(r.Float64()*100, r.Float64()*100),
+				R: r.Float64() * 10,
+			}
+		}
+		ix := Build(disks)
+		for probe := 0; probe < 50; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			_, gotV, ok := ix.Nearest(q)
+			if !ok {
+				t.Fatal("nearest failed")
+			}
+			want := math.Inf(1)
+			for _, d := range disks {
+				want = math.Min(want, d.MaxDist(q))
+			}
+			if math.Abs(gotV-want) > 1e-9 {
+				t.Fatalf("Δ(q): got %v want %v", gotV, want)
+			}
+		}
+	}
+}
+
+func TestWeightsMatter(t *testing.T) {
+	// A far center with tiny radius beats a near center with huge radius.
+	disks := []geom.Disk{
+		geom.Dsk(1, 0, 100), // Δ at origin: 101
+		geom.Dsk(50, 0, 1),  // Δ at origin: 51
+	}
+	ix := Build(disks)
+	arg, v, _ := ix.Nearest(geom.Pt(0, 0))
+	if arg != 1 || math.Abs(v-51) > 1e-12 {
+		t.Fatalf("weighted nearest: arg=%d v=%v", arg, v)
+	}
+}
+
+func BenchmarkDelta10k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	disks := make([]geom.Disk, 10000)
+	for i := range disks {
+		disks[i] = geom.Disk{C: geom.Pt(r.Float64()*1000, r.Float64()*1000), R: r.Float64()}
+	}
+	ix := Build(disks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Delta(geom.Pt(r.Float64()*1000, r.Float64()*1000))
+	}
+}

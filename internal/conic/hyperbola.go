@@ -1,0 +1,167 @@
+// Package conic implements the hyperbola branches that arise as bisector
+// curves between uncertain disks. Every curve γ_ij of the paper —
+// {x : δ_i(x) = Δ_j(x)} — is the branch of the hyperbola with foci c_i, c_j
+// and focal-distance difference r_i + r_j that lies nearer to c_j. The
+// additively weighted Voronoi diagram's bisectors are the same family with
+// difference r_j − r_i. The package provides focal (polar) evaluation,
+// which is what Lemma 2.2's polar lower envelope needs, plus implicit
+// membership tests used by root-finding.
+package conic
+
+import (
+	"math"
+
+	"pnn/internal/geom"
+)
+
+// Branch is the locus {x : d(x, F1) − d(x, F2) = 2A} with A ≥ 0; it is the
+// hyperbola branch wrapping around F2 (the "near" focus). A = 0 degenerates
+// to the perpendicular bisector of F1F2. The branch is empty when
+// 2A ≥ d(F1, F2).
+type Branch struct {
+	F1, F2 geom.Point
+	A      float64 // half the focal distance difference, ≥ 0
+}
+
+// GammaIJ returns the curve γ_ij = {x : δ_i(x) = Δ_j(x)} for uncertainty
+// disks di, dj. Empty (ok=false) when the disks intersect — then
+// δ_i(x) ≤ Δ_j(x) holds everywhere and j never excludes i.
+func GammaIJ(di, dj geom.Disk) (Branch, bool) {
+	b := Branch{F1: di.C, F2: dj.C, A: (di.R + dj.R) / 2}
+	return b, b.Valid()
+}
+
+// AWBisector returns the additively weighted bisector
+// {x : d(x,ci)+ri = d(x,cj)+rj} oriented so the branch wraps the center
+// with the larger weight. ok is false when one disk contains the other's
+// center region so the bisector is empty.
+func AWBisector(di, dj geom.Disk) (Branch, bool) {
+	if dj.R >= di.R {
+		b := Branch{F1: di.C, F2: dj.C, A: (dj.R - di.R) / 2}
+		return b, b.Valid()
+	}
+	b := Branch{F1: dj.C, F2: di.C, A: (di.R - dj.R) / 2}
+	return b, b.Valid()
+}
+
+// C returns the half focal distance.
+func (b Branch) C() float64 { return b.F1.Dist(b.F2) / 2 }
+
+// Valid reports whether the branch is nonempty and nondegenerate:
+// 0 ≤ A < C.
+func (b Branch) Valid() bool {
+	c := b.C()
+	return c > 0 && b.A >= 0 && b.A < c
+}
+
+// Axis returns the unit vector from F1 toward F2.
+func (b Branch) Axis() geom.Point { return b.F2.Sub(b.F1).Normalize() }
+
+// HalfAngle returns φmax = arccos(A/C): rays from F1 within angle φmax of
+// the axis meet the branch exactly once; other rays miss it.
+func (b Branch) HalfAngle() float64 {
+	c := b.C()
+	if c == 0 {
+		return 0
+	}
+	ratio := b.A / c
+	if ratio >= 1 {
+		return 0
+	}
+	return math.Acos(ratio)
+}
+
+// RAt returns the distance from F1 to the branch along the ray at angle phi
+// from the axis (|phi| must be < HalfAngle; outside, ok is false).
+//
+// Derivation: with r = d(x,F1), d(x,F2)² = r² + 4C² − 4Cr·cosφ and
+// d(x,F2) = r − 2A give r = (C² − A²)/(C·cosφ − A).
+func (b Branch) RAt(phi float64) (float64, bool) {
+	c := b.C()
+	den := c*math.Cos(phi) - b.A
+	if den <= 0 {
+		return 0, false
+	}
+	return (c*c - b.A*b.A) / den, true
+}
+
+// PointAt returns the point of the branch at angle phi from the axis
+// (measured counterclockwise at F1).
+func (b Branch) PointAt(phi float64) (geom.Point, bool) {
+	r, ok := b.RAt(phi)
+	if !ok {
+		return geom.Point{}, false
+	}
+	dir := b.Axis().Rotate(phi)
+	return b.F1.Add(dir.Scale(r)), true
+}
+
+// PolarFunc returns γ viewed as a partial function of the absolute polar
+// angle θ around F1: domain center θ0 (the axis angle) ± HalfAngle, value =
+// distance from F1. The margin parameter shrinks the domain slightly from
+// both ends to keep evaluations finite near the asymptotes.
+func (b Branch) PolarFunc(margin float64) (theta0, halfAngle float64, eval func(theta float64) float64) {
+	theta0 = b.Axis().Angle()
+	halfAngle = b.HalfAngle() - margin
+	if halfAngle < 0 {
+		halfAngle = 0
+	}
+	eval = func(theta float64) float64 {
+		r, ok := b.RAt(angleDiff(theta, theta0))
+		if !ok {
+			return math.Inf(1)
+		}
+		return r
+	}
+	return theta0, halfAngle, eval
+}
+
+// Implicit returns d(p,F1) − d(p,F2) − 2A: zero on the branch, negative on
+// the F1 side, positive beyond.
+func (b Branch) Implicit(p geom.Point) float64 {
+	return p.Dist(b.F1) - p.Dist(b.F2) - 2*b.A
+}
+
+// Contains reports whether p lies on the branch within tolerance tol.
+func (b Branch) Contains(p geom.Point, tol float64) bool {
+	return math.Abs(b.Implicit(p)) <= tol
+}
+
+// Vertex returns the apex of the branch: the point on segment F1F2 at
+// distance C + A from F1 (where the branch crosses the focal axis).
+func (b Branch) Vertex() geom.Point {
+	return b.F1.Add(b.Axis().Scale(b.C() + b.A))
+}
+
+// Sample returns n+1 points of the branch for |phi| ≤ f·HalfAngle
+// (0 < f < 1), evenly spaced in angle. Used for rendering.
+func (b Branch) Sample(n int, f float64) []geom.Point {
+	if n < 1 || !b.Valid() {
+		return nil
+	}
+	ha := b.HalfAngle() * f
+	out := make([]geom.Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		phi := -ha + 2*ha*float64(i)/float64(n)
+		if p, ok := b.PointAt(phi); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// angleDiff returns the signed difference a−b normalized to (−π, π].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// AngleDiff is the exported form of angleDiff for packages that need
+// consistent circular arithmetic with conic domains.
+func AngleDiff(a, b float64) float64 { return angleDiff(a, b) }

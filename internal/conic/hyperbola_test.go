@@ -1,0 +1,210 @@
+package conic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func TestBranchBasics(t *testing.T) {
+	b := Branch{F1: geom.Pt(-3, 0), F2: geom.Pt(3, 0), A: 1}
+	if !b.Valid() {
+		t.Fatal("branch should be valid")
+	}
+	if got := b.C(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("C = %v", got)
+	}
+	v := b.Vertex()
+	// Apex at distance C + A = 4 from F1 along the axis: (1, 0).
+	if !v.Eq(geom.Pt(1, 0), 1e-12) {
+		t.Fatalf("vertex %v", v)
+	}
+	if math.Abs(b.Implicit(v)) > 1e-12 {
+		t.Fatalf("vertex not on branch: %v", b.Implicit(v))
+	}
+}
+
+func TestBranchEmptyWhenTooClose(t *testing.T) {
+	b := Branch{F1: geom.Pt(0, 0), F2: geom.Pt(1, 0), A: 1}
+	if b.Valid() {
+		t.Fatal("2A ≥ d(F1,F2): branch must be empty")
+	}
+	if _, ok := GammaIJ(geom.Dsk(0, 0, 2), geom.Dsk(1, 0, 2)); ok {
+		t.Fatal("intersecting disks must yield empty γ_ij")
+	}
+}
+
+func TestRAtOnCurve(t *testing.T) {
+	b := Branch{F1: geom.Pt(-2, 1), F2: geom.Pt(4, -1), A: 1.3}
+	ha := b.HalfAngle()
+	for i := 0; i < 50; i++ {
+		phi := -ha * 0.99 * (1 - 2*float64(i)/49)
+		p, ok := b.PointAt(phi)
+		if !ok {
+			t.Fatalf("PointAt(%v) failed", phi)
+		}
+		if !b.Contains(p, 1e-9) {
+			t.Fatalf("point %v not on branch: implicit %v", p, b.Implicit(p))
+		}
+	}
+	// Outside the half-angle the ray misses.
+	if _, ok := b.RAt(ha + 0.01); ok {
+		t.Fatal("ray beyond half-angle must miss the branch")
+	}
+}
+
+func TestGammaIJCharacterization(t *testing.T) {
+	// On γ_ij, δ_i = Δ_j must hold exactly.
+	di := geom.Dsk(0, 0, 1)
+	dj := geom.Dsk(10, 0, 2)
+	b, ok := GammaIJ(di, dj)
+	if !ok {
+		t.Fatal("γ_ij should exist for disjoint disks")
+	}
+	for _, phi := range []float64{0, 0.2, -0.3, 0.7, -0.9} {
+		if math.Abs(phi) >= b.HalfAngle() {
+			continue
+		}
+		p, ok := b.PointAt(phi)
+		if !ok {
+			t.Fatalf("PointAt(%v)", phi)
+		}
+		deltaI := di.MinDist(p)
+		DeltaJ := dj.MaxDist(p)
+		if math.Abs(deltaI-DeltaJ) > 1e-9 {
+			t.Fatalf("δ_i=%v ≠ Δ_j=%v at %v", deltaI, DeltaJ, p)
+		}
+	}
+}
+
+func TestGammaIJBranchSide(t *testing.T) {
+	// The branch must wrap around c_j (points on it are closer to c_j).
+	di := geom.Dsk(0, 0, 1)
+	dj := geom.Dsk(8, 0, 1)
+	b, _ := GammaIJ(di, dj)
+	p, _ := b.PointAt(0)
+	if p.Dist(dj.C) >= p.Dist(di.C) {
+		t.Fatalf("branch apex %v should be closer to F2", p)
+	}
+}
+
+func TestAWBisector(t *testing.T) {
+	di := geom.Dsk(0, 0, 1)
+	dj := geom.Dsk(6, 0, 3)
+	b, ok := AWBisector(di, dj)
+	if !ok {
+		t.Fatal("bisector should exist")
+	}
+	for _, phi := range []float64{0, 0.4, -0.6} {
+		p, ok := b.PointAt(phi)
+		if !ok {
+			continue
+		}
+		wi := di.MaxDist(p) // d + r_i
+		wj := dj.MaxDist(p)
+		if math.Abs(wi-wj) > 1e-9 {
+			t.Fatalf("weighted distances differ at %v: %v vs %v", p, wi, wj)
+		}
+	}
+	// Swapped radii must still produce a valid branch.
+	b2, ok := AWBisector(dj, di)
+	if !ok {
+		t.Fatal("swapped bisector should exist")
+	}
+	if b2.A != b.A {
+		t.Fatalf("A mismatch: %v vs %v", b2.A, b.A)
+	}
+}
+
+func TestAWBisectorEqualWeights(t *testing.T) {
+	// Equal radii: the bisector is the perpendicular bisector line (A=0).
+	di := geom.Dsk(0, 0, 2)
+	dj := geom.Dsk(4, 0, 2)
+	b, ok := AWBisector(di, dj)
+	if !ok {
+		t.Fatal("bisector of equal-weight disks should exist")
+	}
+	if b.A != 0 {
+		t.Fatalf("A should be 0, got %v", b.A)
+	}
+	p, _ := b.PointAt(0.3)
+	if math.Abs(p.Dist(di.C)-p.Dist(dj.C)) > 1e-9 {
+		t.Fatalf("point %v not equidistant", p)
+	}
+}
+
+func TestPolarFuncMatchesRAt(t *testing.T) {
+	b := Branch{F1: geom.Pt(1, 2), F2: geom.Pt(5, -1), A: 0.8}
+	theta0, ha, eval := b.PolarFunc(1e-6)
+	for i := 0; i < 20; i++ {
+		phi := -ha + 2*ha*float64(i)/19
+		want, ok := b.RAt(phi)
+		if !ok {
+			continue
+		}
+		got := eval(theta0 + phi)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("polar eval mismatch at φ=%v: %v vs %v", phi, got, want)
+		}
+	}
+}
+
+func TestRayHitsBranchAtMostOnce(t *testing.T) {
+	// Paper's Lemma 2.2 rests on each ray from c_i meeting γ_ij at most
+	// once. Verify numerically: walking outward along any ray, the
+	// implicit function crosses zero at most once.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		f1 := geom.Pt(r.Float64()*10-5, r.Float64()*10-5)
+		f2 := geom.Pt(r.Float64()*10-5, r.Float64()*10-5)
+		a := r.Float64() * 2
+		b := Branch{F1: f1, F2: f2, A: a}
+		if !b.Valid() {
+			continue
+		}
+		theta := r.Float64() * 2 * math.Pi
+		dir := geom.Dir(theta)
+		signChanges := 0
+		prev := b.Implicit(f1)
+		for s := 0.05; s < 50; s += 0.05 {
+			cur := b.Implicit(f1.Add(dir.Scale(s)))
+			if (prev < 0) != (cur < 0) {
+				signChanges++
+			}
+			prev = cur
+		}
+		if signChanges > 1 {
+			t.Fatalf("ray crossed branch %d times", signChanges)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{math.Pi / 2, 0, math.Pi / 2},
+		{0, math.Pi / 2, -math.Pi / 2},
+		{2 * math.Pi, 0, 0},
+		{-math.Pi + 0.1, math.Pi - 0.1, 0.2},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("AngleDiff(%v,%v) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	b := Branch{F1: geom.Pt(0, 0), F2: geom.Pt(6, 0), A: 1}
+	pts := b.Sample(32, 0.95)
+	if len(pts) != 33 {
+		t.Fatalf("want 33 samples, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p, 1e-9) {
+			t.Fatalf("sample %v off branch", p)
+		}
+	}
+}

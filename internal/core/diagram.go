@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+
+	"pnn/internal/conic"
+	"pnn/internal/geom"
+)
+
+// Diagram is the nonzero Voronoi diagram V≠0(P) for uncertainty disks
+// (Section 2.1): the curves Γ = {γ_1..γ_n}, the vertices of the
+// arrangement A(Γ), and (optionally) the slab subdivision answering
+// NN≠0 queries per Theorem 2.11.
+type Diagram struct {
+	Disks    []geom.Disk
+	Gammas   []Gamma
+	Vertices []Vertex
+	Sub      *Subdivision
+	Box      geom.BBox
+}
+
+// DiagramOptions tune construction.
+type DiagramOptions struct {
+	Gamma GammaOptions
+	// CrossGrid is the per-arc sample count used to bracket γ_i ∩ γ_j
+	// crossings. Default 32.
+	CrossGrid int
+	// FlattenPerArc is the number of polyline samples per arc when
+	// building the subdivision. Default 24.
+	FlattenPerArc int
+	// SkipSubdivision computes curves and vertices only (complexity
+	// counting mode, used by the Θ(n³) experiments where the subdivision
+	// itself is not needed).
+	SkipSubdivision bool
+	// PadFactor grows the working box beyond the disk bounding box by this
+	// multiple of its diagonal. Default 1.5.
+	PadFactor float64
+}
+
+func (o DiagramOptions) withDefaults() DiagramOptions {
+	if o.CrossGrid == 0 {
+		o.CrossGrid = 32
+	}
+	if o.FlattenPerArc == 0 {
+		o.FlattenPerArc = 24
+	}
+	if o.PadFactor == 0 {
+		o.PadFactor = 1.5
+	}
+	return o
+}
+
+// BuildDiagram computes V≠0(P) for the given uncertainty disks.
+func BuildDiagram(disks []geom.Disk, opt DiagramOptions) *Diagram {
+	opt = opt.withDefaults()
+	d := &Diagram{Disks: disks}
+
+	bb := geom.EmptyBBox()
+	for _, dk := range disks {
+		bb = bb.Union(dk.BBox())
+	}
+	diag := math.Hypot(bb.Width(), bb.Height())
+	if diag == 0 {
+		diag = 1
+	}
+	d.Box = bb.Pad(opt.PadFactor * diag)
+
+	// Γ: one envelope per disk (Lemma 2.2).
+	d.Gammas = make([]Gamma, len(disks))
+	for i := range disks {
+		d.Gammas[i] = BuildGamma(disks, i, opt.Gamma)
+	}
+
+	// Vertices: breakpoints plus pairwise crossings (Theorem 2.5).
+	// anchors[i] holds, per curve, the absolute angles of vertices lying on
+	// γ_i; the flattened polylines are anchored there so that true vertices
+	// are polyline vertices.
+	anchors := make([][]float64, len(disks))
+	for i, g := range d.Gammas {
+		for _, bp := range g.Breakpoints {
+			d.Vertices = append(d.Vertices, Vertex{P: bp, Kind: Breakpoint, I: i})
+			anchors[i] = append(anchors[i], bp.Sub(disks[i].C).Angle())
+		}
+	}
+	for i := 0; i < len(disks); i++ {
+		for j := i + 1; j < len(disks); j++ {
+			if len(d.Gammas[i].Arcs) == 0 || len(d.Gammas[j].Arcs) == 0 {
+				continue
+			}
+			pts := CrossGammas(disks, d.Gammas[i], d.Gammas[j], opt.CrossGrid)
+			for _, p := range pts {
+				d.Vertices = append(d.Vertices, Vertex{P: p, Kind: Crossing, I: i, J: j})
+				anchors[i] = append(anchors[i], p.Sub(disks[i].C).Angle())
+				anchors[j] = append(anchors[j], p.Sub(disks[j].C).Angle())
+			}
+		}
+	}
+
+	if opt.SkipSubdivision {
+		return d
+	}
+
+	var walls []Wall
+	for i, g := range d.Gammas {
+		for _, arc := range g.Arcs {
+			walls = append(walls, flattenArc(disks[i].C, arc, anchors[i], d.Box, opt.FlattenPerArc)...)
+		}
+	}
+	eval := func(q geom.Point) []int { return NonzeroSet(disks, q) }
+	d.Sub = BuildSubdivision(walls, d.Box, eval)
+	return d
+}
+
+// flattenArc converts one arc of γ_i into polyline walls. Sampling is
+// uniform in angle within the portion of the arc whose radius stays inside
+// the working box, with the exact vertex angles in anchors inserted so the
+// polyline passes through every arrangement vertex on the arc.
+func flattenArc(c geom.Point, arc Arc, anchors []float64, box geom.BBox, perArc int) []Wall {
+	// Restrict to radii that can intersect the padded box.
+	maxR := box.MaxDistToPoint(c)
+	lo, hi := arc.Lo, arc.Hi
+	phiCap := radiusCapAngle(arc.Branch, maxR)
+	if phiCap > 0 {
+		tl := conic.AngleDiff(lo, arc.theta0)
+		th := conic.AngleDiff(hi, arc.theta0)
+		if tl < -phiCap {
+			lo += (-phiCap - tl)
+		}
+		if th > phiCap {
+			hi -= (th - phiCap)
+		}
+	}
+	if hi <= lo {
+		return nil
+	}
+	thetas := make([]float64, 0, perArc+4)
+	for k := 0; k <= perArc; k++ {
+		thetas = append(thetas, lo+(hi-lo)*float64(k)/float64(perArc))
+	}
+	for _, a := range anchors {
+		if a > lo && a < hi {
+			thetas = append(thetas, a)
+		}
+	}
+	sortFloat64s(thetas)
+	var walls []Wall
+	var prev geom.Point
+	havePrev := false
+	for _, th := range thetas {
+		r := arc.Eval(th)
+		if math.IsInf(r, 0) || r > maxR*1.5 {
+			havePrev = false
+			continue
+		}
+		p := c.Add(geom.Dir(th).Scale(r))
+		if havePrev && !p.Eq(prev, 1e-12) {
+			walls = append(walls, Wall{Owner: arc.I, Seg: geom.Seg(prev, p)})
+		}
+		prev = p
+		havePrev = true
+	}
+	return walls
+}
+
+// radiusCapAngle returns the |φ| beyond which the branch's polar radius
+// exceeds maxR (0 when the whole branch stays within maxR is impossible —
+// callers treat 0 as "no cap").
+func radiusCapAngle(b conic.Branch, maxR float64) float64 {
+	c := b.C()
+	if c == 0 || maxR <= 0 {
+		return 0
+	}
+	// r(φ) = (c²−a²)/(c·cosφ − a) ≤ maxR  ⇔  cosφ ≥ (a + (c²−a²)/maxR)/c
+	v := (b.A + (c*c-b.A*b.A)/maxR) / c
+	if v >= 1 {
+		return 0
+	}
+	if v <= -1 {
+		return math.Pi
+	}
+	return math.Acos(v)
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// VertexCount returns the number of arrangement vertices — the quantity all
+// complexity theorems of Section 2 bound.
+func (d *Diagram) VertexCount() int { return len(d.Vertices) }
+
+// BreakpointCount returns the number of envelope breakpoints across all
+// curves (each is a vertex of A(Γ) lying on an edge of the weighted Voronoi
+// diagram M).
+func (d *Diagram) BreakpointCount() int {
+	n := 0
+	for _, v := range d.Vertices {
+		if v.Kind == Breakpoint {
+			n++
+		}
+	}
+	return n
+}
+
+// CrossingCount returns the number of pairwise curve crossings.
+func (d *Diagram) CrossingCount() int { return len(d.Vertices) - d.BreakpointCount() }
+
+// Query answers NN≠0(q) via the subdivision (Theorem 2.11), falling back
+// to direct evaluation when the subdivision was skipped.
+func (d *Diagram) Query(q geom.Point) []int {
+	if d.Sub == nil {
+		return NonzeroSet(d.Disks, q)
+	}
+	return d.Sub.Query(q)
+}
+
+// CheckVertex verifies the defining tangency conditions of an arrangement
+// vertex within tolerance tol: the witness disk of radius Δ(v) centered at
+// v touches the required uncertainty regions. Used by tests.
+func (d *Diagram) CheckVertex(v Vertex, tol float64) bool {
+	delta := Delta(d.Disks, v.P)
+	switch v.Kind {
+	case Breakpoint:
+		// δ_I(v) = Δ(v).
+		return math.Abs(d.Disks[v.I].MinDist(v.P)-delta) <= tol
+	case Crossing:
+		return math.Abs(d.Disks[v.I].MinDist(v.P)-delta) <= tol &&
+			math.Abs(d.Disks[v.J].MinDist(v.P)-delta) <= tol
+	}
+	return false
+}

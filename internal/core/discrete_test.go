@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+// randomDiscretePoints places n uncertain points, each with k locations in
+// a cluster of the given radius around a random center in [0,100]².
+func randomDiscretePoints(r *rand.Rand, n, k int, radius float64) []DiscretePoint {
+	pts := make([]DiscretePoint, n)
+	for i := range pts {
+		cx, cy := r.Float64()*100, r.Float64()*100
+		locs := make([]geom.Point, k)
+		for t := range locs {
+			ang := r.Float64() * 2 * math.Pi
+			rr := r.Float64() * radius
+			locs[t] = geom.Pt(cx+rr*math.Cos(ang), cy+rr*math.Sin(ang))
+		}
+		pts[i] = DiscretePoint{Locs: locs}
+	}
+	return pts
+}
+
+func TestNonzeroSetDiscreteBasics(t *testing.T) {
+	pts := []DiscretePoint{
+		{Locs: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}},
+		{Locs: []geom.Point{{X: 10, Y: 0}, {X: 11, Y: 0}}},
+	}
+	// At the left cluster both locations of P_0 are within Δ = max dist to
+	// P_0's farthest location; P_1 is far outside.
+	got := NonzeroSetDiscrete(pts, geom.Pt(0, 0))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NN≠0 at left cluster: %v", got)
+	}
+	got = NonzeroSetDiscrete(pts, geom.Pt(5.5, 0))
+	if len(got) != 2 {
+		t.Fatalf("NN≠0 at midpoint: %v", got)
+	}
+}
+
+func TestDiscreteCurveOnBoundaryIdentity(t *testing.T) {
+	// Sampled points of γ_i must satisfy δ_i = Δ.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		pts := randomDiscretePoints(r, 5, 3, 3)
+		d := BuildDiscreteDiagram(pts, DiscreteDiagramOptions{SkipSubdivision: true})
+		for i, segs := range d.Curves {
+			for _, s := range segs {
+				for _, tt := range []float64{0.25, 0.5, 0.75} {
+					x := s.At(tt)
+					if !d.Box.Contains(x) {
+						continue
+					}
+					deltaI := pts[i].MinDist(x)
+					delta := DeltaDiscrete(pts, x)
+					if math.Abs(deltaI-delta) > 1e-7*(1+delta) {
+						t.Fatalf("trial %d: γ_%d point %v: δ_i=%v Δ=%v",
+							trial, i, x, deltaI, delta)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDiscreteDiagramVerticesSatisfyEqualities(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5; trial++ {
+		pts := randomDiscretePoints(r, 5, 3, 3)
+		d := BuildDiscreteDiagram(pts, DiscreteDiagramOptions{SkipSubdivision: true})
+		for _, v := range d.Vertices {
+			if !d.CheckVertex(v, 1e-6) {
+				t.Fatalf("trial %d: vertex %+v fails equalities", trial, v)
+			}
+		}
+	}
+}
+
+func TestDiscreteSubdivisionAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 3; trial++ {
+		pts := randomDiscretePoints(r, 6, 3, 4)
+		d := BuildDiscreteDiagram(pts, DiscreteDiagramOptions{})
+		mismatch := 0
+		for probe := 0; probe < 400; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			got := d.Query(q)
+			want := NonzeroSetDiscrete(pts, q)
+			if !sameInts(got, want) {
+				delta := DeltaDiscrete(pts, q)
+				for _, i := range diffInts(got, want) {
+					margin := math.Abs(pts[i].MinDist(q) - delta)
+					if margin > 1e-6*(1+delta) {
+						t.Fatalf("trial %d query %v: got %v want %v (i=%d margin %v)",
+							trial, q, got, want, i, margin)
+					}
+				}
+				mismatch++
+			}
+		}
+		if mismatch > 8 {
+			t.Fatalf("too many boundary mismatches: %d/400", mismatch)
+		}
+	}
+}
+
+func TestDiscreteSingletonLocationsMatchCertainVoronoi(t *testing.T) {
+	// k = 1 degenerates to certain points: NN≠0(q) is exactly the set of
+	// nearest points (singleton away from bisectors).
+	pts := []DiscretePoint{
+		{Locs: []geom.Point{{X: 0, Y: 0}}},
+		{Locs: []geom.Point{{X: 10, Y: 0}}},
+		{Locs: []geom.Point{{X: 5, Y: 8}}},
+	}
+	got := NonzeroSetDiscrete(pts, geom.Pt(1, 1))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("certain-point NN: %v", got)
+	}
+	got = NonzeroSetDiscrete(pts, geom.Pt(9, 1))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("certain-point NN: %v", got)
+	}
+}
+
+func TestDiscreteDiagramEmptyCurveWhenCoLocated(t *testing.T) {
+	// Two uncertain points with interleaved supports: neither can exclude
+	// the other anywhere, so both curves are empty and both points are
+	// nonzero NNs everywhere.
+	pts := []DiscretePoint{
+		{Locs: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}},
+		{Locs: []geom.Point{{X: 5, Y: 0}, {X: 15, Y: 0}}},
+	}
+	d := BuildDiscreteDiagram(pts, DiscreteDiagramOptions{SkipSubdivision: true})
+	for _, q := range []geom.Point{{X: -5, Y: 3}, {X: 7, Y: -2}, {X: 30, Y: 1}} {
+		got := NonzeroSetDiscrete(pts, q)
+		if len(got) != 2 {
+			t.Fatalf("both points should be nonzero NNs at %v: %v", q, got)
+		}
+	}
+	_ = d // curves may be empty or outside the box; the semantic test above is the contract
+}
+
+func TestSegConvexInterval(t *testing.T) {
+	sq := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}}
+	// Segment crossing the square horizontally.
+	lo, hi, ok := segConvexInterval(geom.Seg(geom.Pt(-2, 2), geom.Pt(6, 2)), sq)
+	if !ok || math.Abs(lo-0.25) > 1e-12 || math.Abs(hi-0.75) > 1e-12 {
+		t.Fatalf("interval [%v, %v] ok=%v", lo, hi, ok)
+	}
+	// Segment missing the square.
+	if _, _, ok := segConvexInterval(geom.Seg(geom.Pt(-2, 5), geom.Pt(6, 7)), sq); ok {
+		t.Fatal("segment above the square should miss")
+	}
+	// Segment inside the square.
+	lo, hi, ok = segConvexInterval(geom.Seg(geom.Pt(1, 1), geom.Pt(3, 3)), sq)
+	if !ok || lo != 0 || hi != 1 {
+		t.Fatalf("inside segment [%v, %v] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestSubtractConvexCover(t *testing.T) {
+	sq := [][]geom.Point{
+		nil, // skip slot
+		{{X: 1, Y: -1}, {X: 3, Y: -1}, {X: 3, Y: 1}, {X: 1, Y: 1}},
+	}
+	seg := geom.Seg(geom.Pt(0, 0), geom.Pt(4, 0))
+	out := subtractConvexCover(seg, sq, 0)
+	if len(out) != 2 {
+		t.Fatalf("want 2 pieces, got %v", out)
+	}
+	if math.Abs(out[0].B.X-1) > 1e-9 || math.Abs(out[1].A.X-3) > 1e-9 {
+		t.Fatalf("pieces %v", out)
+	}
+	// Fully covered.
+	big := [][]geom.Point{nil, {{X: -1, Y: -1}, {X: 5, Y: -1}, {X: 5, Y: 1}, {X: -1, Y: 1}}}
+	if out := subtractConvexCover(seg, big, 0); len(out) != 0 {
+		t.Fatalf("fully covered segment should vanish, got %v", out)
+	}
+}

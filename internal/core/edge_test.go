@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func TestSingleDiskDiagram(t *testing.T) {
+	disks := []geom.Disk{geom.Dsk(5, 5, 2)}
+	d := BuildDiagram(disks, DiagramOptions{})
+	if d.VertexCount() != 0 {
+		t.Fatalf("single disk: %d vertices", d.VertexCount())
+	}
+	for _, q := range []geom.Point{{X: 0, Y: 0}, {X: 100, Y: -50}} {
+		got := d.Query(q)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("single disk query at %v: %v", q, got)
+		}
+	}
+}
+
+func TestNestedDisksDiagram(t *testing.T) {
+	// D_1 strictly inside D_0: they intersect, so neither excludes the
+	// other; a third far disk is excluded near them.
+	disks := []geom.Disk{
+		geom.Dsk(0, 0, 10),
+		geom.Dsk(1, 0, 2),
+		geom.Dsk(100, 0, 1),
+	}
+	got := NonzeroSet(disks, geom.Pt(0, 0))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("nested disks at center: %v", got)
+	}
+	// Near the far disk all three can matter (D_0 is huge).
+	got = NonzeroSet(disks, geom.Pt(100, 0))
+	found2 := false
+	for _, i := range got {
+		if i == 2 {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatalf("far disk must be its own nonzero NN: %v", got)
+	}
+}
+
+func TestIdenticalDisks(t *testing.T) {
+	// Exactly coincident disks never exclude each other.
+	disks := []geom.Disk{geom.Dsk(3, 3, 2), geom.Dsk(3, 3, 2), geom.Dsk(50, 50, 2)}
+	got := NonzeroSet(disks, geom.Pt(3, 3))
+	if len(got) != 2 {
+		t.Fatalf("coincident disks: %v", got)
+	}
+	d := BuildDiagram(disks, DiagramOptions{SkipSubdivision: true})
+	for _, v := range d.Vertices {
+		if !d.CheckVertex(v, 1e-5) {
+			t.Fatalf("vertex check failed: %+v", v)
+		}
+	}
+}
+
+func TestCollinearCentersDiagram(t *testing.T) {
+	// Collinear configuration (degenerate for many CG algorithms): the
+	// subdivision must still answer consistently with the oracle.
+	disks := []geom.Disk{
+		geom.Dsk(0, 0, 1), geom.Dsk(10, 0, 1.5), geom.Dsk(20, 0, 1), geom.Dsk(30, 0, 2),
+	}
+	d := BuildDiagram(disks, DiagramOptions{})
+	r := rand.New(rand.NewSource(1))
+	mismatch := 0
+	for probe := 0; probe < 300; probe++ {
+		q := geom.Pt(r.Float64()*40-5, r.Float64()*30-15)
+		got := d.Query(q)
+		want := NonzeroSet(disks, q)
+		if !sameInts(got, want) {
+			delta := Delta(disks, q)
+			for _, i := range diffInts(got, want) {
+				if math.Abs(disks[i].MinDist(q)-delta) > 1e-2*(1+delta) {
+					t.Fatalf("collinear: query %v got %v want %v", q, got, want)
+				}
+			}
+			mismatch++
+		}
+	}
+	if mismatch > 15 {
+		t.Fatalf("collinear: %d/300 boundary mismatches", mismatch)
+	}
+}
+
+func TestQueryContains(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	disks := randomDisks(r, 8, 1, 5)
+	d := BuildDiagram(disks, DiagramOptions{})
+	for probe := 0; probe < 200; probe++ {
+		q := geom.Pt(r.Float64()*100, r.Float64()*100)
+		set := d.Query(q)
+		inSet := map[int]bool{}
+		for _, i := range set {
+			inSet[i] = true
+		}
+		for i := range disks {
+			if got := d.Sub.QueryContains(q, i); got != inSet[i] {
+				t.Fatalf("QueryContains(%v, %d) = %v, Query gave %v", q, i, got, set)
+			}
+		}
+	}
+}
+
+func TestDeltaMonotoneUnderDiskRemoval(t *testing.T) {
+	// Removing a disk can only increase Δ(q).
+	r := rand.New(rand.NewSource(3))
+	disks := randomDisks(r, 10, 1, 4)
+	for probe := 0; probe < 100; probe++ {
+		q := geom.Pt(r.Float64()*100, r.Float64()*100)
+		full := Delta(disks, q)
+		partial := Delta(disks[1:], q)
+		if partial < full-1e-12 {
+			t.Fatalf("Δ decreased after removal: %v -> %v", full, partial)
+		}
+	}
+}
+
+func TestNonzeroSetNeverEmpty(t *testing.T) {
+	// Some point always has nonzero probability of being the NN.
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(20)
+		disks := randomDisks(r, n, 0.5, 6)
+		q := geom.Pt(r.Float64()*200-50, r.Float64()*200-50)
+		if len(NonzeroSet(disks, q)) == 0 {
+			t.Fatalf("empty NN≠0 for n=%d at %v", n, q)
+		}
+	}
+}
+
+func TestNonzeroSetContainsWeightedNearest(t *testing.T) {
+	// The disk realizing Δ(q) always has nonzero probability (its whole
+	// region is within Δ of q), except in the degenerate zero-radius tie.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		disks := randomDisks(r, 12, 0.5, 5)
+		q := geom.Pt(r.Float64()*100, r.Float64()*100)
+		delta := Delta(disks, q)
+		arg := -1
+		for i, d := range disks {
+			if d.MaxDist(q) == delta {
+				arg = i
+			}
+		}
+		got := NonzeroSet(disks, q)
+		found := false
+		for _, i := range got {
+			if i == arg {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("argmin disk %d missing from %v", arg, got)
+		}
+	}
+}
+
+func TestSubdivisionEmptyWalls(t *testing.T) {
+	// All curves empty (all disks mutually intersecting): one face.
+	disks := []geom.Disk{geom.Dsk(0, 0, 10), geom.Dsk(1, 0, 10), geom.Dsk(0, 1, 10)}
+	d := BuildDiagram(disks, DiagramOptions{})
+	got := d.Query(geom.Pt(0, 0))
+	if len(got) != 3 {
+		t.Fatalf("mutually intersecting disks: %v", got)
+	}
+	if d.VertexCount() != 0 {
+		t.Fatalf("no curves, no vertices: %d", d.VertexCount())
+	}
+}
+
+func TestDiscreteDiagramSinglePoint(t *testing.T) {
+	pts := []DiscretePoint{{Locs: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}}}
+	d := BuildDiscreteDiagram(pts, DiscreteDiagramOptions{})
+	got := d.Query(geom.Pt(50, 50))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single discrete point: %v", got)
+	}
+}
+
+func TestCrossGridOption(t *testing.T) {
+	// The Ω(n²) construction's exact count must be reached even at a
+	// coarse crossing grid (each arc carries O(1) crossings per pair).
+	disks := LowerBoundQuadraticLocal(10)
+	for _, grid := range []int{8, 64} {
+		d := BuildDiagram(disks, DiagramOptions{SkipSubdivision: true, CrossGrid: grid})
+		if d.CrossingCount() < 72 { // (10−2)(10−1) = 72
+			t.Fatalf("grid %d: %d crossings < 72", grid, d.CrossingCount())
+		}
+	}
+}
+
+// LowerBoundQuadraticLocal avoids an import cycle with internal/workload.
+func LowerBoundQuadraticLocal(n int) []geom.Disk {
+	m := n / 2
+	ds := make([]geom.Disk, 2*m)
+	for i := 1; i <= 2*m; i++ {
+		ds[i-1] = geom.Disk{C: geom.Pt(float64(4*(i-m)-2), 0), R: 1}
+	}
+	return ds
+}

@@ -1,0 +1,367 @@
+// Package core implements the paper's primary contribution: the nonzero
+// Voronoi diagram V≠0(P) of a set of uncertain points, its combinatorial
+// complexity, and the point-location structure of Theorem 2.11.
+//
+// The continuous case (Section 2.1) works with uncertainty disks. For each
+// disk D_i the curve γ_i = {x : δ_i(x) = Δ(x)} is computed as the lower
+// envelope, in polar coordinates around c_i, of the hyperbola branches
+// γ_ij (Lemma 2.2). The arrangement A(Γ) of the curves γ_1..γ_n is V≠0(P)
+// (Corollary 2.4); its vertices are the envelope breakpoints plus the
+// pairwise crossings γ_i ∩ γ_j (Theorem 2.5), which this package finds by
+// root refinement along the curves.
+//
+// The discrete case (Section 2.2) is in gammadiscrete.go; the shared
+// slab-based subdivision and point location are in subdivision.go.
+package core
+
+import (
+	"math"
+
+	"pnn/internal/conic"
+	"pnn/internal/envelope"
+	"pnn/internal/geom"
+)
+
+// Arc is a maximal piece of γ_i lying on a single branch γ_ij. The arc is
+// the graph, in polar coordinates around c_i, of the branch over the
+// absolute-angle interval [Lo, Hi] ⊆ [−π, π].
+type Arc struct {
+	I, J   int // piece of γ_I realized against Δ_J
+	Lo, Hi float64
+	Branch conic.Branch
+	theta0 float64 // cached axis angle of the branch at focus c_I
+}
+
+// Eval returns the distance from c_I to the arc at absolute angle theta.
+func (a Arc) Eval(theta float64) float64 {
+	r, ok := a.Branch.RAt(conic.AngleDiff(theta, a.theta0))
+	if !ok {
+		return math.Inf(1)
+	}
+	return r
+}
+
+// Point returns the point of the arc at absolute angle theta, given the
+// focus c (the center of disk I).
+func (a Arc) Point(c geom.Point, theta float64) geom.Point {
+	return c.Add(geom.Dir(theta).Scale(a.Eval(theta)))
+}
+
+// Gamma is the curve γ_i: the locus where δ_i equals the lower envelope Δ.
+// Arcs are stored in increasing angle order over [−π, π]; the curve may be
+// empty (the disk intersects every other disk, so P_i is a nonzero NN of
+// every query point).
+type Gamma struct {
+	I           int
+	Arcs        []Arc
+	Breakpoints []geom.Point // envelope transition points (vertices of A(Γ) on edges of M)
+}
+
+// GammaOptions tune the numeric construction.
+type GammaOptions struct {
+	// Envelope options; see envelope.Options.
+	Env envelope.Options
+	// DomainMargin shrinks each γ_ij polar domain to keep evaluations away
+	// from the asymptotes. Default 1e-7 radians.
+	DomainMargin float64
+}
+
+func (o GammaOptions) withDefaults() GammaOptions {
+	if o.DomainMargin == 0 {
+		o.DomainMargin = 1e-7
+	}
+	return o
+}
+
+// BuildGamma computes γ_i for disks[i] against every other disk. Per
+// Lemma 2.2 the result has O(n) arcs and breakpoints and costs
+// O(n log n + n²·grid) with the numeric envelope.
+func BuildGamma(disks []geom.Disk, i int, opt GammaOptions) Gamma {
+	opt = opt.withDefaults()
+	ci := disks[i].C
+
+	type branchInfo struct {
+		j      int
+		branch conic.Branch
+		theta0 float64
+	}
+	branches := make(map[int]branchInfo)
+
+	var funcs []envelope.Func
+	for j := range disks {
+		if j == i {
+			continue
+		}
+		b, ok := conic.GammaIJ(disks[i], disks[j])
+		if !ok {
+			continue // intersecting disks: j never excludes i
+		}
+		theta0, half, eval := b.PolarFunc(opt.DomainMargin)
+		if half <= 0 {
+			continue
+		}
+		branches[j] = branchInfo{j: j, branch: b, theta0: theta0}
+		lo, hi := theta0-half, theta0+half
+		// Split domains that wrap outside [−π, π].
+		segs := splitWrapped(lo, hi)
+		for _, s := range segs {
+			funcs = append(funcs, envelope.Func{ID: j, Lo: s[0], Hi: s[1], Eval: eval})
+		}
+	}
+	if len(funcs) == 0 {
+		return Gamma{I: i}
+	}
+
+	pieces := envelope.Lower(funcs, opt.Env)
+	g := Gamma{I: i}
+	for _, pc := range pieces {
+		bi := branches[pc.ID]
+		g.Arcs = append(g.Arcs, Arc{
+			I: i, J: pc.ID,
+			Lo: pc.Lo, Hi: pc.Hi,
+			Branch: bi.branch,
+			theta0: bi.theta0,
+		})
+	}
+	// Breakpoints: boundaries where two consecutive arcs with different
+	// winners meet at a finite envelope value, including the wrap junction
+	// at ±π. Gaps (the curve escaping to infinity along an asymptote) are
+	// not breakpoints.
+	n := len(g.Arcs)
+	for k := 0; k < n; k++ {
+		cur := g.Arcs[k]
+		next := g.Arcs[(k+1)%n]
+		var meet float64
+		switch {
+		case k+1 < n && next.Lo-cur.Hi <= 1e-7:
+			meet = cur.Hi
+		case k+1 == n && (cur.Hi >= math.Pi-1e-7) && (next.Lo <= -math.Pi+1e-7):
+			meet = math.Pi // wrap junction
+		default:
+			continue // gap
+		}
+		if cur.J == next.J {
+			continue // same branch continues (wrap split artifact)
+		}
+		r := cur.Eval(meet)
+		if math.IsInf(r, 0) {
+			r = next.Eval(meet)
+		}
+		if math.IsInf(r, 0) {
+			continue
+		}
+		g.Breakpoints = append(g.Breakpoints, ci.Add(geom.Dir(meet).Scale(r)))
+	}
+	return g
+}
+
+// LogicalArcs returns the number of maximal single-branch pieces of γ_i,
+// merging the representation artifact where one branch whose angular
+// domain wraps ±π is stored as two arcs.
+func (g Gamma) LogicalArcs() int {
+	n := len(g.Arcs)
+	if n <= 1 {
+		return n
+	}
+	count := n
+	first, last := g.Arcs[0], g.Arcs[n-1]
+	if first.J == last.J && first.Lo <= -math.Pi+1e-7 && last.Hi >= math.Pi-1e-7 {
+		count--
+	}
+	return count
+}
+
+// splitWrapped normalizes the angular interval [lo, hi] (with hi−lo ≤ 2π)
+// into subintervals of [−π, π].
+func splitWrapped(lo, hi float64) [][2]float64 {
+	norm := func(a float64) float64 {
+		for a > math.Pi {
+			a -= 2 * math.Pi
+		}
+		for a < -math.Pi {
+			a += 2 * math.Pi
+		}
+		return a
+	}
+	nlo, nhi := norm(lo), norm(hi)
+	if nlo <= nhi {
+		return [][2]float64{{nlo, nhi}}
+	}
+	// Wraps around ±π.
+	return [][2]float64{{nlo, math.Pi}, {-math.Pi, nhi}}
+}
+
+// Delta returns Δ(q) = min_i (d(q, c_i) + r_i), the lower envelope of the
+// maximum distances (Eq. 4 context).
+func Delta(disks []geom.Disk, q geom.Point) float64 {
+	best := math.Inf(1)
+	for _, d := range disks {
+		if v := d.MaxDist(q); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// NonzeroSet returns NN≠0(q) by direct evaluation of Lemma 2.1:
+// {i : δ_i(q) < Δ_j(q) ∀ j ≠ i}, in O(n) time. It is the brute-force
+// oracle every data structure in this repository is validated against.
+// Note the exclusion of j = i: it only matters for degenerate
+// (zero-radius) regions, where δ_i = Δ_i.
+func NonzeroSet(disks []geom.Disk, q geom.Point) []int {
+	min1, min2, argmin := twoSmallest(len(disks), func(j int) float64 { return disks[j].MaxDist(q) })
+	var out []int
+	for i, d := range disks {
+		bound := min1
+		if i == argmin {
+			bound = min2
+		}
+		if d.MinDist(q) < bound {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// twoSmallest returns the smallest and second-smallest of f(0..n-1) and the
+// argmin. With n == 1 the second value is +Inf.
+func twoSmallest(n int, f func(int) float64) (min1, min2 float64, argmin int) {
+	min1, min2 = math.Inf(1), math.Inf(1)
+	argmin = -1
+	for j := 0; j < n; j++ {
+		v := f(j)
+		switch {
+		case v < min1:
+			min2 = min1
+			min1 = v
+			argmin = j
+		case v < min2:
+			min2 = v
+		}
+	}
+	return min1, min2, argmin
+}
+
+// Vertex is a vertex of the arrangement A(Γ) = V≠0(P).
+type Vertex struct {
+	P geom.Point
+	// Kind distinguishes envelope breakpoints (δ_i = Δ_j = Δ_k) from curve
+	// crossings (δ_i = δ_j = Δ(x)).
+	Kind VertexKind
+	I, J int // the two indices involved (for breakpoints, I is the curve, J the winning branch before the break)
+}
+
+// VertexKind labels the two vertex types of A(Γ).
+type VertexKind uint8
+
+// Vertex kinds.
+const (
+	Breakpoint VertexKind = iota // transition between arcs of one γ_i
+	Crossing                     // intersection of two curves γ_i, γ_j
+)
+
+// CrossGammas returns the intersection points of γ_i and γ_j (i = gi.I,
+// j = gj.I). On γ_i the identity δ_i = Δ holds, so crossings are exactly
+// the roots of δ_j − δ_i along γ_i, found by bracketed bisection on each
+// arc. Per the proof of Theorem 2.5 each pair crosses O(n) times; per arc
+// the crossing count is O(1), so a constant grid per arc suffices.
+func CrossGammas(disks []geom.Disk, gi, gj Gamma, grid int) []geom.Point {
+	if grid <= 0 {
+		grid = 32
+	}
+	ci := disks[gi.I].C
+	ri := disks[gi.I].R
+	dj := disks[gj.I]
+
+	// The crossing function δ_j − δ_i is continuous along the whole curve
+	// γ_i, including across breakpoints, so sign changes are bracketed over
+	// the global sample sequence. A sign change between two samples of the
+	// same arc is refined by bisection; one straddling an arc junction is a
+	// vertex coinciding with a breakpoint (a degeneracy the lower-bound
+	// constructions of Theorems 2.7/2.10 realize exactly) and is reported
+	// at the junction point.
+	type sample struct {
+		arc   int
+		theta float64
+		f     float64
+		ok    bool
+	}
+	fAt := func(arc Arc, theta float64) (float64, geom.Point, bool) {
+		r := arc.Eval(theta)
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			return 0, geom.Point{}, false
+		}
+		x := ci.Add(geom.Dir(theta).Scale(r))
+		return dj.MinDist(x) - (r - ri), x, true
+	}
+	var samples []sample
+	for ai, arc := range gi.Arcs {
+		span := arc.Hi - arc.Lo
+		if span <= 0 {
+			continue
+		}
+		margin := math.Min(1e-9, span/1000)
+		for k := 0; k <= grid; k++ {
+			th := arc.Lo + margin + (span-2*margin)*float64(k)/float64(grid)
+			f, _, ok := fAt(arc, th)
+			samples = append(samples, sample{arc: ai, theta: th, f: f, ok: ok})
+		}
+	}
+	var out []geom.Point
+	for s := 1; s < len(samples); s++ {
+		a, b := samples[s-1], samples[s]
+		if !a.ok || !b.ok {
+			continue
+		}
+		if a.f == 0 {
+			if _, x, ok := fAt(gi.Arcs[a.arc], a.theta); ok {
+				out = append(out, x)
+			}
+			continue
+		}
+		if (a.f > 0) == (b.f > 0) {
+			continue
+		}
+		if a.arc == b.arc {
+			arc := gi.Arcs[a.arc]
+			root := geom.Bisect(func(th float64) float64 {
+				f, _, ok := fAt(arc, th)
+				if !ok {
+					return math.NaN()
+				}
+				return f
+			}, a.theta, b.theta, 1e-13)
+			if _, x, ok := fAt(arc, root); ok {
+				out = append(out, x)
+			}
+			continue
+		}
+		// Junction-straddling sign change. Only adjacent arcs that meet at
+		// a finite point qualify; a gap (both samples near asymptotes)
+		// cannot bracket a root because δ_j − δ_i stays bounded away from
+		// zero at infinity on each side separately.
+		if b.arc == a.arc+1 && gi.Arcs[b.arc].Lo-gi.Arcs[a.arc].Hi <= 1e-7 {
+			if _, x, ok := fAt(gi.Arcs[b.arc], gi.Arcs[b.arc].Lo); ok {
+				out = append(out, x)
+			}
+		}
+	}
+	return dedupePoints(out, 1e-7)
+}
+
+func dedupePoints(pts []geom.Point, tol float64) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.Dist2(q) <= tol*tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+
+	"pnn/internal/geom"
+	"pnn/internal/halfplane"
+)
+
+// DiscretePoint is an uncertain point with a finite location set (weights
+// are irrelevant to V≠0, which depends only on the support).
+type DiscretePoint struct {
+	Locs []geom.Point
+}
+
+// MinDist returns δ_i(q).
+func (p DiscretePoint) MinDist(q geom.Point) float64 {
+	_, d := geom.NearestPoint(p.Locs, q)
+	return d
+}
+
+// MaxDist returns Δ_i(q).
+func (p DiscretePoint) MaxDist(q geom.Point) float64 {
+	_, d := geom.FarthestPoint(p.Locs, q)
+	return d
+}
+
+// DeltaDiscrete returns Δ(q) = min_i Δ_i(q) over discrete points.
+func DeltaDiscrete(pts []DiscretePoint, q geom.Point) float64 {
+	best := math.Inf(1)
+	for _, p := range pts {
+		if v := p.MaxDist(q); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// NonzeroSetDiscrete returns NN≠0(q) for discrete uncertain points by
+// direct Lemma 2.1 evaluation in O(nk) time. As in NonzeroSet, the
+// comparison excludes j = i so single-location (certain) points behave
+// like a standard Voronoi diagram.
+func NonzeroSetDiscrete(pts []DiscretePoint, q geom.Point) []int {
+	min1, min2, argmin := twoSmallest(len(pts), func(j int) float64 { return pts[j].MaxDist(q) })
+	var out []int
+	for i, p := range pts {
+		bound := min1
+		if i == argmin {
+			bound = min2
+		}
+		if p.MinDist(q) < bound {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DiscreteDiagram is V≠0(P) for discrete uncertain points (Section 2.2).
+// Each curve γ_i is the boundary of the union of the convex kill regions
+// K_ij = {x : δ_i(x) ≥ Δ_j(x)} (Lemma 2.13), represented exactly as
+// segments; the arrangement vertices and subdivision follow Theorem 2.14.
+type DiscreteDiagram struct {
+	Points   []DiscretePoint
+	Curves   [][]geom.Segment // γ_i as exact segments (union boundary)
+	Vertices []Vertex
+	Sub      *Subdivision
+	Box      geom.BBox
+}
+
+// DiscreteDiagramOptions tune construction.
+type DiscreteDiagramOptions struct {
+	// SkipSubdivision computes curves and vertices only.
+	SkipSubdivision bool
+	// PadFactor grows the working box beyond the location bounding box by
+	// this multiple of its diagonal. Default 1.5. Kill regions are clipped
+	// to a box grown by 4× that padding so clipping artifacts stay outside
+	// the reported region.
+	PadFactor float64
+}
+
+func (o DiscreteDiagramOptions) withDefaults() DiscreteDiagramOptions {
+	if o.PadFactor == 0 {
+		o.PadFactor = 1.5
+	}
+	return o
+}
+
+// BuildDiscreteDiagram computes V≠0(P) for discrete uncertain points.
+func BuildDiscreteDiagram(pts []DiscretePoint, opt DiscreteDiagramOptions) *DiscreteDiagram {
+	opt = opt.withDefaults()
+	d := &DiscreteDiagram{Points: pts}
+
+	bb := geom.EmptyBBox()
+	for _, p := range pts {
+		for _, l := range p.Locs {
+			bb = bb.Extend(l)
+		}
+	}
+	diag := math.Hypot(bb.Width(), bb.Height())
+	if diag == 0 {
+		diag = 1
+	}
+	d.Box = bb.Pad(opt.PadFactor * diag)
+	clipBox := bb.Pad(4 * opt.PadFactor * diag)
+
+	n := len(pts)
+	// Kill regions K_ij for all ordered pairs.
+	kill := make([][][]geom.Point, n)
+	for i := 0; i < n; i++ {
+		kill[i] = make([][]geom.Point, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			kill[i][j] = halfplane.KillRegion(pts[i].Locs, pts[j].Locs, clipBox)
+		}
+	}
+
+	// γ_i = boundary of ∪_j K_ij: keep the parts of each ∂K_ij not strictly
+	// inside any other K_il.
+	d.Curves = make([][]geom.Segment, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			poly := kill[i][j]
+			if len(poly) == 0 {
+				continue
+			}
+			for e := 0; e < len(poly); e++ {
+				seg := geom.Seg(poly[e], poly[(e+1)%len(poly)])
+				pieces := subtractConvexCover(seg, kill[i], j)
+				d.Curves[i] = append(d.Curves[i], pieces...)
+			}
+		}
+	}
+
+	// Vertices: segment endpoints interior to the scene (breakpoints of the
+	// union boundary) plus pairwise crossings of γ_i and γ_j segments.
+	inner := d.Box
+	for i := 0; i < n; i++ {
+		var eps []geom.Point
+		for _, s := range d.Curves[i] {
+			eps = append(eps, s.A, s.B)
+		}
+		eps = dedupePoints(eps, 1e-9)
+		for _, p := range eps {
+			if inner.Contains(p) {
+				d.Vertices = append(d.Vertices, Vertex{P: p, Kind: Breakpoint, I: i})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var pts2 []geom.Point
+			for _, si := range d.Curves[i] {
+				for _, sj := range d.Curves[j] {
+					if p, ok := si.Intersect(sj); ok && inner.Contains(p) {
+						pts2 = append(pts2, p)
+					}
+				}
+			}
+			for _, p := range dedupePoints(pts2, 1e-9) {
+				d.Vertices = append(d.Vertices, Vertex{P: p, Kind: Crossing, I: i, J: j})
+			}
+		}
+	}
+
+	if opt.SkipSubdivision {
+		return d
+	}
+	var walls []Wall
+	for i, segs := range d.Curves {
+		for _, s := range segs {
+			walls = append(walls, Wall{Owner: i, Seg: s})
+		}
+	}
+	eval := func(q geom.Point) []int { return NonzeroSetDiscrete(pts, q) }
+	d.Sub = BuildSubdivision(walls, d.Box, eval)
+	return d
+}
+
+// subtractConvexCover returns the sub-segments of seg not strictly inside
+// any of the convex polygons in polys (skipping index skip, whose boundary
+// seg lies on). Each convex polygon intersects the segment in one
+// parameter interval, so this is interval subtraction on [0,1].
+func subtractConvexCover(seg geom.Segment, polys [][]geom.Point, skip int) []geom.Segment {
+	type iv struct{ lo, hi float64 }
+	var cover []iv
+	for l, poly := range polys {
+		if l == skip || len(poly) == 0 {
+			continue
+		}
+		lo, hi, ok := segConvexInterval(seg, poly)
+		if ok && hi-lo > 1e-12 {
+			cover = append(cover, iv{lo, hi})
+		}
+	}
+	if len(cover) == 0 {
+		return []geom.Segment{seg}
+	}
+	// Sort and merge.
+	for i := 1; i < len(cover); i++ {
+		v := cover[i]
+		j := i - 1
+		for j >= 0 && cover[j].lo > v.lo {
+			cover[j+1] = cover[j]
+			j--
+		}
+		cover[j+1] = v
+	}
+	var out []geom.Segment
+	cur := 0.0
+	for _, c := range cover {
+		if c.lo > cur+1e-12 {
+			out = append(out, geom.Seg(seg.At(cur), seg.At(c.lo)))
+		}
+		if c.hi > cur {
+			cur = c.hi
+		}
+	}
+	if cur < 1-1e-12 {
+		out = append(out, geom.Seg(seg.At(cur), seg.At(1)))
+	}
+	return out
+}
+
+// segConvexInterval returns the parameter interval [lo, hi] ⊆ [0,1] of the
+// part of seg inside the convex polygon (counterclockwise). ok is false
+// when the segment misses the polygon.
+func segConvexInterval(seg geom.Segment, poly []geom.Point) (float64, float64, bool) {
+	lo, hi := 0.0, 1.0
+	d := seg.B.Sub(seg.A)
+	n := len(poly)
+	for k := 0; k < n; k++ {
+		p0 := poly[k]
+		p1 := poly[(k+1)%n]
+		edge := p1.Sub(p0)
+		// Inside is to the left of the edge: cross(edge, x - p0) ≥ 0.
+		denom := edge.Cross(d)
+		num := edge.Cross(seg.A.Sub(p0))
+		if denom == 0 {
+			if num < 0 {
+				return 0, 0, false
+			}
+			continue
+		}
+		t := -num / denom
+		if denom > 0 {
+			if t > lo {
+				lo = t
+			}
+		} else {
+			if t < hi {
+				hi = t
+			}
+		}
+		if lo >= hi {
+			return 0, 0, false
+		}
+	}
+	return lo, hi, true
+}
+
+// VertexCount returns the number of arrangement vertices.
+func (d *DiscreteDiagram) VertexCount() int { return len(d.Vertices) }
+
+// Query answers NN≠0(q), via the subdivision when built.
+func (d *DiscreteDiagram) Query(q geom.Point) []int {
+	if d.Sub == nil {
+		return NonzeroSetDiscrete(d.Points, q)
+	}
+	return d.Sub.Query(q)
+}
+
+// CheckVertex verifies that an arrangement vertex satisfies its defining
+// equalities within tol.
+func (d *DiscreteDiagram) CheckVertex(v Vertex, tol float64) bool {
+	delta := DeltaDiscrete(d.Points, v.P)
+	switch v.Kind {
+	case Breakpoint:
+		return math.Abs(d.Points[v.I].MinDist(v.P)-delta) <= tol
+	case Crossing:
+		return math.Abs(d.Points[v.I].MinDist(v.P)-delta) <= tol &&
+			math.Abs(d.Points[v.J].MinDist(v.P)-delta) <= tol
+	}
+	return false
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+	"pnn/internal/persist"
+)
+
+// Wall is a piece of some curve γ_owner used as a face boundary in the slab
+// subdivision. Continuous diagrams supply flattened arc polylines anchored
+// at the exact arrangement vertices; discrete diagrams supply exact
+// segments.
+type Wall struct {
+	Owner int
+	Seg   geom.Segment
+}
+
+// Subdivision is a vertical-slab point-location structure over the
+// arrangement of the curves γ_i. Within each slab the walls crossing it are
+// ordered by height; the region between two consecutive walls is a face of
+// V≠0(P), and its NN≠0 set is stored as a persistent set derived from the
+// face below by a single toggle (the symmetric-difference-1 property the
+// paper exploits with [DSST89]).
+type Subdivision struct {
+	box   geom.BBox
+	xs    []float64
+	slabs []slab
+	// eval answers a query by direct Lemma 2.1 evaluation; used for points
+	// outside the covered box and as the per-slab bottom-face seed.
+	eval func(q geom.Point) []int
+	// contains reports membership of one index (for toggling validation).
+	faces int
+}
+
+type slab struct {
+	segs []Wall
+	sets []persist.Set // len(segs)+1, bottom to top
+}
+
+// BuildSubdivision constructs the slab structure from walls clipped to box.
+// eval must return the NN≠0 set at an arbitrary point (used at one probe
+// point per slab and for out-of-box queries).
+func BuildSubdivision(walls []Wall, box geom.BBox, eval func(q geom.Point) []int) *Subdivision {
+	s := &Subdivision{box: box, eval: eval}
+
+	// Clip walls to the box and collect slab boundaries.
+	var clipped []Wall
+	xsSet := map[float64]struct{}{box.MinX: {}, box.MaxX: {}}
+	for _, w := range walls {
+		seg, ok := clipSegToBox(w.Seg, box)
+		if !ok || seg.A.X == seg.B.X {
+			continue // vertical or outside: contributes no slab-spanning wall
+		}
+		if seg.A.X > seg.B.X {
+			seg.A, seg.B = seg.B, seg.A
+		}
+		clipped = append(clipped, Wall{Owner: w.Owner, Seg: seg})
+		xsSet[seg.A.X] = struct{}{}
+		xsSet[seg.B.X] = struct{}{}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	s.xs = xs
+	if len(xs) < 2 {
+		s.xs = []float64{box.MinX, box.MaxX}
+		s.slabs = []slab{{sets: []persist.Set{persist.FromSlice(eval(box.Center()))}}}
+		s.faces = 1
+		return s
+	}
+
+	// Distribute walls to slabs with an event sweep.
+	type event struct {
+		x    float64
+		add  bool
+		wall int
+	}
+	events := make([]event, 0, 2*len(clipped))
+	for wi, w := range clipped {
+		events = append(events, event{w.Seg.A.X, true, wi})
+		events = append(events, event{w.Seg.B.X, false, wi})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].x != events[j].x {
+			return events[i].x < events[j].x
+		}
+		return !events[i].add && events[j].add // removals first
+	})
+
+	active := map[int]struct{}{}
+	ei := 0
+	s.slabs = make([]slab, len(xs)-1)
+	for si := 0; si+1 < len(xs); si++ {
+		xlo, xhi := xs[si], xs[si+1]
+		for ei < len(events) && events[ei].x <= xlo {
+			if events[ei].add {
+				active[events[ei].wall] = struct{}{}
+			} else {
+				delete(active, events[ei].wall)
+			}
+			ei++
+		}
+		mid := xlo + (xhi-xlo)/2
+		sl := &s.slabs[si]
+		for wi := range active {
+			w := clipped[wi]
+			if w.Seg.A.X <= xlo && w.Seg.B.X >= xhi {
+				sl.segs = append(sl.segs, w)
+			}
+		}
+		sort.Slice(sl.segs, func(a, b int) bool {
+			ya, _ := sl.segs[a].Seg.YAtX(mid)
+			yb, _ := sl.segs[b].Seg.YAtX(mid)
+			return ya < yb
+		})
+		// Seed the bottom face just below the lowest wall (or anywhere in
+		// an empty slab), then toggle upward.
+		var yProbe float64
+		if len(sl.segs) > 0 {
+			y0, _ := sl.segs[0].Seg.YAtX(mid)
+			yProbe = y0 - 1 - math.Abs(y0)*1e-6
+		} else {
+			yProbe = box.Center().Y
+		}
+		bottom := persist.FromSlice(eval(geom.Pt(mid, yProbe)))
+		sl.sets = make([]persist.Set, len(sl.segs)+1)
+		sl.sets[0] = bottom
+		cur := bottom
+		for k, w := range sl.segs {
+			cur, _ = cur.Toggle(w.Owner)
+			sl.sets[k+1] = cur
+		}
+		s.faces += len(sl.sets)
+	}
+	return s
+}
+
+// Faces returns the total number of slab faces (trapezoids) stored.
+func (s *Subdivision) Faces() int { return s.faces }
+
+// Slabs returns the number of vertical slabs.
+func (s *Subdivision) Slabs() int { return len(s.slabs) }
+
+// ExplicitSetSize returns Σ over faces of |NN≠0 set| — the storage an
+// implementation without [DSST89] persistence would need. Compared with
+// MemoryNodes by the persistence ablation.
+func (s *Subdivision) ExplicitSetSize() int {
+	total := 0
+	for _, sl := range s.slabs {
+		for _, set := range sl.sets {
+			total += set.Len()
+		}
+	}
+	return total
+}
+
+// MemoryNodes returns the number of distinct persistent-set nodes stored
+// across all faces — the quantity the persistence ablation reports.
+func (s *Subdivision) MemoryNodes() int {
+	var all []persist.Set
+	for _, sl := range s.slabs {
+		all = append(all, sl.sets...)
+	}
+	return persist.NodeCount(all)
+}
+
+// Query returns NN≠0(q) in O(log μ + t) time for in-box queries, falling
+// back to the direct O(n) evaluation outside the box.
+func (s *Subdivision) Query(q geom.Point) []int {
+	set, ok := s.querySet(q)
+	if !ok {
+		return s.eval(q)
+	}
+	return set.Elements(nil)
+}
+
+// QueryContains reports whether index i belongs to NN≠0(q), without
+// materializing the set.
+func (s *Subdivision) QueryContains(q geom.Point, i int) bool {
+	set, ok := s.querySet(q)
+	if !ok {
+		for _, j := range s.eval(q) {
+			if j == i {
+				return true
+			}
+		}
+		return false
+	}
+	return set.Contains(i)
+}
+
+func (s *Subdivision) querySet(q geom.Point) (persist.Set, bool) {
+	if !s.box.Contains(q) || len(s.slabs) == 0 {
+		return persist.Set{}, false
+	}
+	si := sort.SearchFloat64s(s.xs, q.X) - 1
+	if si < 0 {
+		si = 0
+	}
+	if si >= len(s.slabs) {
+		si = len(s.slabs) - 1
+	}
+	sl := &s.slabs[si]
+	// Binary search: number of walls strictly below q.
+	lo, hi := 0, len(sl.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		y, _ := sl.segs[mid].Seg.YAtX(q.X)
+		if y < q.Y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return sl.sets[lo], true
+}
+
+func clipSegToBox(seg geom.Segment, box geom.BBox) (geom.Segment, bool) {
+	// Liang–Barsky clipping.
+	x0, y0 := seg.A.X, seg.A.Y
+	dx, dy := seg.B.X-seg.A.X, seg.B.Y-seg.A.Y
+	t0, t1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		r := q / p
+		if p < 0 {
+			if r > t1 {
+				return false
+			}
+			if r > t0 {
+				t0 = r
+			}
+		} else {
+			if r < t0 {
+				return false
+			}
+			if r < t1 {
+				t1 = r
+			}
+		}
+		return true
+	}
+	if !clip(-dx, x0-box.MinX) || !clip(dx, box.MaxX-x0) ||
+		!clip(-dy, y0-box.MinY) || !clip(dy, box.MaxY-y0) {
+		return geom.Segment{}, false
+	}
+	if t0 >= t1 {
+		return geom.Segment{}, false
+	}
+	return geom.Seg(seg.At(t0), seg.At(t1)), true
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"pnn/internal/conic"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+var clipBox = geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+
+func TestClipSegToBox(t *testing.T) {
+	// Fully inside.
+	s, ok := clipSegToBox(geom.Seg(geom.Pt(1, 1), geom.Pt(9, 9)), clipBox)
+	if !ok || !s.A.Eq(geom.Pt(1, 1), 1e-12) || !s.B.Eq(geom.Pt(9, 9), 1e-12) {
+		t.Fatalf("inside segment altered: %+v %v", s, ok)
+	}
+	// Crossing the box.
+	s, ok = clipSegToBox(geom.Seg(geom.Pt(-5, 5), geom.Pt(15, 5)), clipBox)
+	if !ok || math.Abs(s.A.X) > 1e-12 || math.Abs(s.B.X-10) > 1e-12 {
+		t.Fatalf("crossing clip: %+v %v", s, ok)
+	}
+	// Fully outside.
+	if _, ok = clipSegToBox(geom.Seg(geom.Pt(-5, -5), geom.Pt(-1, -1)), clipBox); ok {
+		t.Fatal("outside segment should vanish")
+	}
+	// Cutting across a corner region.
+	s, ok = clipSegToBox(geom.Seg(geom.Pt(-1, 8), geom.Pt(3, 12)), clipBox)
+	if !ok {
+		t.Fatal("corner-crossing segment should survive")
+	}
+	if s.A.X < -1e-9 || s.B.Y > 10+1e-9 {
+		t.Fatalf("corner clip out of bounds: %+v", s)
+	}
+	// A segment touching the box only at a corner point is degenerate and
+	// correctly rejected (zero-length clips contribute no wall).
+	if _, ok = clipSegToBox(geom.Seg(geom.Pt(-1, 9), geom.Pt(2, 12)), clipBox); ok {
+		t.Fatal("corner-grazing segment should be rejected")
+	}
+}
+
+func TestBuildSubdivisionEmptyWalls(t *testing.T) {
+	calls := 0
+	eval := func(q geom.Point) []int { calls++; return []int{7} }
+	sub := BuildSubdivision(nil, clipBox, eval)
+	if sub.Faces() != 1 {
+		t.Fatalf("faces %d", sub.Faces())
+	}
+	got := sub.Query(geom.Pt(5, 5))
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("query %v", got)
+	}
+}
+
+func TestBuildSubdivisionSingleWall(t *testing.T) {
+	// One horizontal wall owned by index 3 splits the box; below it the
+	// set is {0}, above it {0, 3} (toggled).
+	walls := []Wall{{Owner: 3, Seg: geom.Seg(geom.Pt(-1, 5), geom.Pt(11, 5))}}
+	eval := func(q geom.Point) []int {
+		if q.Y < 5 {
+			return []int{0}
+		}
+		return []int{0, 3}
+	}
+	sub := BuildSubdivision(walls, clipBox, eval)
+	below := sub.Query(geom.Pt(5, 2))
+	above := sub.Query(geom.Pt(5, 8))
+	if len(below) != 1 || below[0] != 0 {
+		t.Fatalf("below: %v", below)
+	}
+	if len(above) != 2 || above[1] != 3 {
+		t.Fatalf("above: %v", above)
+	}
+	if !sub.QueryContains(geom.Pt(5, 8), 3) || sub.QueryContains(geom.Pt(5, 2), 3) {
+		t.Fatal("QueryContains inconsistent")
+	}
+}
+
+func TestBuildSubdivisionCrossingWalls(t *testing.T) {
+	// Two crossing diagonal walls partition the box into 4 regions, each
+	// with a distinct set; the crossing point is a shared endpoint so the
+	// slab structure stays consistent.
+	mid := geom.Pt(5, 5)
+	walls := []Wall{
+		{Owner: 1, Seg: geom.Seg(geom.Pt(0, 0), mid)},
+		{Owner: 1, Seg: geom.Seg(mid, geom.Pt(10, 10))},
+		{Owner: 2, Seg: geom.Seg(geom.Pt(0, 10), mid)},
+		{Owner: 2, Seg: geom.Seg(mid, geom.Pt(10, 0))},
+	}
+	eval := func(q geom.Point) []int {
+		var set []int
+		if q.Y > q.X {
+			set = append(set, 1)
+		}
+		if q.Y > 10-q.X {
+			set = append(set, 2)
+		}
+		return set
+	}
+	sub := BuildSubdivision(walls, clipBox, eval)
+	cases := []struct {
+		q    geom.Point
+		want []int
+	}{
+		{geom.Pt(5, 1), nil},
+		{geom.Pt(1, 5), []int{1}},
+		{geom.Pt(9, 5), []int{2}},
+		{geom.Pt(5, 9), []int{1, 2}},
+	}
+	for _, c := range cases {
+		got := sub.Query(c.q)
+		if !sameInts(got, c.want) {
+			t.Fatalf("query %v: got %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSubdivisionOutOfBoxUsesEval(t *testing.T) {
+	evalHits := 0
+	eval := func(q geom.Point) []int { evalHits++; return []int{1} }
+	sub := BuildSubdivision(
+		[]Wall{{Owner: 1, Seg: geom.Seg(geom.Pt(0, 5), geom.Pt(10, 5))}},
+		clipBox, eval)
+	base := evalHits
+	sub.Query(geom.Pt(100, 100))
+	if evalHits != base+1 {
+		t.Fatal("out-of-box query must call eval")
+	}
+}
+
+func TestRadiusCapAngle(t *testing.T) {
+	b, ok := conic.GammaIJ(geom.Dsk(0, 0, 1), geom.Dsk(10, 0, 2))
+	if !ok {
+		t.Fatal("branch should exist")
+	}
+	// With a generous cap the whole half-angle survives; with a tight cap
+	// the angle shrinks; with an impossible cap it reports 0.
+	full := b.HalfAngle()
+	if got := radiusCapAngle(b, 1e9); got < full*0.99 {
+		t.Fatalf("generous cap truncated: %v < %v", got, full)
+	}
+	apexR, _ := b.RAt(0)
+	tight := radiusCapAngle(b, apexR*1.2)
+	if tight <= 0 || tight >= full {
+		t.Fatalf("tight cap angle %v (full %v)", tight, full)
+	}
+	if got := radiusCapAngle(b, apexR*0.5); got != 0 {
+		t.Fatalf("impossible cap should be 0, got %v", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package delaunay implements an incremental Delaunay triangulation with
+// walking point location, its Voronoi dual, and exact nearest-neighbor
+// queries by greedy routing on the Delaunay graph.
+//
+// The paper's Monte Carlo preprocessing (Section 4.2) builds the Voronoi
+// diagram Vor(R_j) of each instantiated round and answers NN queries by
+// point location; this package provides that exact pipeline (the kd-tree in
+// internal/kdtree is the faster practical alternative, and the two are
+// cross-validated in tests). It also serves as the certain-point baseline:
+// for k = 1 the nonzero Voronoi diagram degenerates to the structure built
+// here.
+package delaunay
+
+import (
+	"errors"
+	"math/rand"
+
+	"pnn/internal/geom"
+)
+
+// Triangulation is a Delaunay triangulation of a point set.
+type Triangulation struct {
+	pts  []geom.Point // includes 3 super-triangle vertices at the end
+	n    int          // number of real points
+	tris []tri
+	free []int // recycled triangle slots
+	last int   // walk start hint
+	// incident[v] is some triangle incident to vertex v.
+	incident []int
+}
+
+type tri struct {
+	v     [3]int // vertex indices, counterclockwise
+	adj   [3]int // adj[i] is the neighbor across the edge opposite v[i]
+	alive bool
+}
+
+// ErrTooFewPoints is returned for inputs of fewer than 3 points.
+var ErrTooFewPoints = errors.New("delaunay: need at least 3 points")
+
+// New triangulates the points by randomized incremental insertion in
+// expected O(n log n) time.
+func New(pts []geom.Point) (*Triangulation, error) {
+	if len(pts) < 3 {
+		return nil, ErrTooFewPoints
+	}
+	t := &Triangulation{n: len(pts)}
+	t.pts = make([]geom.Point, len(pts), len(pts)+3)
+	copy(t.pts, pts)
+
+	// Super-triangle far enough that its vertices' circumcircles behave
+	// like halfplanes at the data scale; hull slivers are then kept, so the
+	// real triangulation is exactly Delaunay.
+	bb := geom.BBoxOf(pts)
+	cx, cy := bb.Center().X, bb.Center().Y
+	d := (bb.Width() + bb.Height() + 1) * 1e7
+	s0 := len(t.pts)
+	t.pts = append(t.pts,
+		geom.Pt(cx-2*d, cy-d),
+		geom.Pt(cx+2*d, cy-d),
+		geom.Pt(cx, cy+2*d),
+	)
+	t.incident = make([]int, len(t.pts))
+	for i := range t.incident {
+		t.incident[i] = -1
+	}
+	root := t.addTri([3]int{s0, s0 + 1, s0 + 2}, [3]int{-1, -1, -1})
+	t.last = root
+
+	order := rand.New(rand.NewSource(1)).Perm(len(pts))
+	for _, i := range order {
+		if err := t.insert(i); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *Triangulation) addTri(v [3]int, adj [3]int) int {
+	var id int
+	if len(t.free) > 0 {
+		id = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.tris[id] = tri{v: v, adj: adj, alive: true}
+	} else {
+		id = len(t.tris)
+		t.tris = append(t.tris, tri{v: v, adj: adj, alive: true})
+	}
+	for _, vi := range v {
+		t.incident[vi] = id
+	}
+	return id
+}
+
+// locate walks from the hint triangle to one containing p.
+func (t *Triangulation) locate(p geom.Point) int {
+	cur := t.last
+	if cur < 0 || cur >= len(t.tris) || !t.tris[cur].alive {
+		for i := range t.tris {
+			if t.tris[i].alive {
+				cur = i
+				break
+			}
+		}
+	}
+	for steps := 0; steps < 4*len(t.tris)+16; steps++ {
+		tr := &t.tris[cur]
+		moved := false
+		for e := 0; e < 3; e++ {
+			a := t.pts[tr.v[(e+1)%3]]
+			b := t.pts[tr.v[(e+2)%3]]
+			if geom.Orient(a, b, p) < 0 {
+				next := tr.adj[e]
+				if next >= 0 {
+					cur = next
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			return cur
+		}
+	}
+	return cur
+}
+
+// insert adds point index pi (already present in t.pts).
+func (t *Triangulation) insert(pi int) error {
+	p := t.pts[pi]
+	seed := t.locate(p)
+
+	// Collect the cavity: all triangles whose circumcircle contains p.
+	inCavity := map[int]bool{}
+	stack := []int{seed}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || inCavity[id] || !t.tris[id].alive {
+			continue
+		}
+		tr := &t.tris[id]
+		if !t.circumContains(tr, p) {
+			continue
+		}
+		inCavity[id] = true
+		for _, a := range tr.adj {
+			stack = append(stack, a)
+		}
+	}
+	if len(inCavity) == 0 {
+		inCavity[seed] = true // numeric fallback: retriangulate the seed
+	}
+
+	// Boundary edges of the cavity, each with its outside neighbor.
+	type bedge struct {
+		a, b    int
+		outside int
+	}
+	var boundary []bedge
+	for id := range inCavity {
+		tr := &t.tris[id]
+		for e := 0; e < 3; e++ {
+			nb := tr.adj[e]
+			if nb >= 0 && inCavity[nb] {
+				continue
+			}
+			boundary = append(boundary, bedge{
+				a:       tr.v[(e+1)%3],
+				b:       tr.v[(e+2)%3],
+				outside: nb,
+			})
+		}
+	}
+	for id := range inCavity {
+		t.tris[id].alive = false
+		t.free = append(t.free, id)
+	}
+
+	// Star the cavity from p.
+	newTris := make(map[[2]int]int, len(boundary))
+	for _, be := range boundary {
+		id := t.addTri([3]int{pi, be.a, be.b}, [3]int{be.outside, -1, -1})
+		if be.outside >= 0 {
+			out := &t.tris[be.outside]
+			for e := 0; e < 3; e++ {
+				oa := out.v[(e+1)%3]
+				ob := out.v[(e+2)%3]
+				if (oa == be.b && ob == be.a) || (oa == be.a && ob == be.b) {
+					out.adj[e] = id
+				}
+			}
+		}
+		newTris[[2]int{be.a, be.b}] = id
+	}
+	// Stitch adjacent new triangles. The boundary is a cycle of directed
+	// edges (a, b) with the cavity to the left; the new triangle (p, a, b)
+	// neighbors (p, b, ·) across its edge (b, p) and (·, a) = (p, ·, a)
+	// across its edge (p, a).
+	byFirst := make(map[int]int, len(newTris))  // a → triangle (p, a, b)
+	bySecond := make(map[int]int, len(newTris)) // b → triangle (p, a, b)
+	for key, id := range newTris {
+		byFirst[key[0]] = id
+		bySecond[key[1]] = id
+	}
+	for key, id := range newTris {
+		a, b := key[0], key[1]
+		if nb, ok := byFirst[b]; ok {
+			t.tris[id].adj[1] = nb // across edge (b, p), opposite vertex a
+		}
+		if nb, ok := bySecond[a]; ok {
+			t.tris[id].adj[2] = nb // across edge (p, a), opposite vertex b
+		}
+	}
+	t.last = t.incident[pi]
+	return nil
+}
+
+func (t *Triangulation) circumContains(tr *tri, p geom.Point) bool {
+	a, b, c := t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]]
+	return geom.InCircle(a, b, c, p) > 0
+}
+
+// isSuper reports whether vertex index v is a super-triangle vertex.
+func (t *Triangulation) isSuper(v int) bool { return v >= t.n }
+
+// Triangles returns the vertex index triples of all real Delaunay
+// triangles (those without super vertices).
+func (t *Triangulation) Triangles() [][3]int {
+	var out [][3]int
+	for _, tr := range t.tris {
+		if !tr.alive {
+			continue
+		}
+		if t.isSuper(tr.v[0]) || t.isSuper(tr.v[1]) || t.isSuper(tr.v[2]) {
+			continue
+		}
+		out = append(out, tr.v)
+	}
+	return out
+}
+
+// Neighbors appends the Delaunay neighbors of vertex v (excluding super
+// vertices) to dst.
+func (t *Triangulation) Neighbors(v int, dst []int) []int {
+	start := t.incident[v]
+	if start < 0 {
+		return dst
+	}
+	seen := map[int]bool{}
+	stack := []int{start}
+	visited := map[int]bool{}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || visited[id] || !t.tris[id].alive {
+			continue
+		}
+		tr := &t.tris[id]
+		has := false
+		for _, tv := range tr.v {
+			if tv == v {
+				has = true
+			}
+		}
+		if !has {
+			continue
+		}
+		visited[id] = true
+		for _, tv := range tr.v {
+			if tv != v && !t.isSuper(tv) && !seen[tv] {
+				seen[tv] = true
+				dst = append(dst, tv)
+			}
+		}
+		for _, a := range tr.adj {
+			stack = append(stack, a)
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the point nearest to q by greedy routing on
+// the Delaunay graph, which provably terminates at the true nearest
+// neighbor.
+func (t *Triangulation) Nearest(q geom.Point) int {
+	// Start from a vertex of the triangle containing q.
+	cur := -1
+	tr := &t.tris[t.locate(q)]
+	for _, v := range tr.v {
+		if !t.isSuper(v) {
+			cur = v
+			break
+		}
+	}
+	if cur < 0 {
+		// Containing triangle touches only super vertices; fall back to
+		// any real vertex.
+		cur = 0
+	}
+	var buf []int
+	for {
+		improved := false
+		buf = t.Neighbors(cur, buf[:0])
+		best := cur
+		bd := t.pts[cur].Dist2(q)
+		for _, nb := range buf {
+			if d := t.pts[nb].Dist2(q); d < bd {
+				bd = d
+				best = nb
+			}
+		}
+		if best != cur {
+			cur = best
+			improved = true
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// VoronoiCellCount returns the number of nonempty Voronoi cells (one per
+// distinct input point).
+func (t *Triangulation) VoronoiCellCount() int { return t.n }
+
+// CircumcentersOfTriangles returns the circumcenters of the real Delaunay
+// triangles — the Voronoi vertices.
+func (t *Triangulation) CircumcentersOfTriangles() []geom.Point {
+	var out []geom.Point
+	for _, tv := range t.Triangles() {
+		if d, ok := geom.CircumDisk(t.pts[tv[0]], t.pts[tv[1]], t.pts[tv[2]]); ok {
+			out = append(out, d.C)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func randomPoints(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+	}
+	return pts
+}
+
+func TestTooFewPoints(t *testing.T) {
+	if _, err := New([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}); err != ErrTooFewPoints {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	tr, err := New([]geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tris := tr.Triangles()
+	if len(tris) != 1 {
+		t.Fatalf("three points: %d triangles", len(tris))
+	}
+}
+
+// Empty circumcircle property: no input point lies strictly inside the
+// circumcircle of any Delaunay triangle.
+func TestEmptyCircleProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(r, 30+r.Intn(70))
+		tr, err := New(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tv := range tr.Triangles() {
+			a, b, c := pts[tv[0]], pts[tv[1]], pts[tv[2]]
+			for pi, p := range pts {
+				if pi == tv[0] || pi == tv[1] || pi == tv[2] {
+					continue
+				}
+				if geom.InCircle(a, b, c, p) > 0 {
+					t.Fatalf("trial %d: point %d inside circumcircle of %v", trial, pi, tv)
+				}
+			}
+		}
+	}
+}
+
+// Triangle count: a Delaunay triangulation of n points with h hull points
+// has 2n − h − 2 triangles.
+func TestTriangleCount(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(r, 20+r.Intn(80))
+		tr, err := New(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// h must count every point on the hull boundary, including ones
+		// collinear with a hull edge (which ConvexHull's vertex list
+		// rightly omits but which still reduce the triangle count).
+		hull := geom.ConvexHull(pts)
+		h := 0
+		for _, p := range pts {
+			for i := range hull {
+				seg := geom.Seg(hull[i], hull[(i+1)%len(hull)])
+				if seg.DistToPoint(p) < 1e-9 {
+					h++
+					break
+				}
+			}
+		}
+		want := 2*len(pts) - h - 2
+		if got := len(tr.Triangles()); got != want {
+			t.Fatalf("trial %d: %d triangles want %d (n=%d h=%d)",
+				trial, got, want, len(pts), h)
+		}
+	}
+}
+
+func TestNearestAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(r, 10+r.Intn(190))
+		tr, err := New(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			got := tr.Nearest(q)
+			want, _ := geom.NearestPoint(pts, q)
+			if pts[got].Dist(q) > pts[want].Dist(q)+1e-9 {
+				t.Fatalf("trial %d: greedy NN %d (d=%v) vs brute %d (d=%v)",
+					trial, got, pts[got].Dist(q), want, pts[want].Dist(q))
+			}
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randomPoints(r, 60)
+	tr, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make([]map[int]bool, len(pts))
+	for v := range pts {
+		adj[v] = map[int]bool{}
+		for _, nb := range tr.Neighbors(v, nil) {
+			adj[v][nb] = true
+		}
+	}
+	for v := range pts {
+		for nb := range adj[v] {
+			if !adj[nb][v] {
+				t.Fatalf("adjacency not symmetric: %d→%d", v, nb)
+			}
+		}
+	}
+}
+
+func TestVoronoiVertices(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}, {X: 5, Y: 3}}
+	tr, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccs := tr.CircumcentersOfTriangles()
+	if len(ccs) != len(tr.Triangles()) {
+		t.Fatalf("%d circumcenters for %d triangles", len(ccs), len(tr.Triangles()))
+	}
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	pts := randomPoints(r, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearest1k(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	pts := randomPoints(r, 1000)
+	tr, err := New(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geom.Pt(r.Float64()*100, r.Float64()*100))
+	}
+}

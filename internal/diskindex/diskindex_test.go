@@ -1,0 +1,76 @@
+package diskindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func TestEmpty(t *testing.T) {
+	ix := Build(nil)
+	if got := ix.ReportMinDistLess(geom.Pt(0, 0), 10, nil); len(got) != 0 {
+		t.Fatalf("empty index reported %v", got)
+	}
+}
+
+func TestReportAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		disks := make([]geom.Disk, n)
+		for i := range disks {
+			disks[i] = geom.Disk{
+				C: geom.Pt(r.Float64()*100, r.Float64()*100),
+				R: r.Float64() * 5,
+			}
+		}
+		ix := Build(disks)
+		for probe := 0; probe < 30; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			bound := r.Float64() * 40
+			got := ix.ReportMinDistLess(q, bound, nil)
+			sort.Ints(got)
+			var want []int
+			for i, d := range disks {
+				if d.MinDist(q) < bound {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("count mismatch: got %d want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("got %v want %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStrictInequality(t *testing.T) {
+	disks := []geom.Disk{geom.Dsk(10, 0, 2)} // δ at origin = 8
+	ix := Build(disks)
+	if got := ix.ReportMinDistLess(geom.Pt(0, 0), 8, nil); len(got) != 0 {
+		t.Fatalf("δ = bound must not be reported (strict): %v", got)
+	}
+	if got := ix.ReportMinDistLess(geom.Pt(0, 0), 8.0001, nil); len(got) != 1 {
+		t.Fatalf("δ < bound must be reported: %v", got)
+	}
+}
+
+func BenchmarkReport10k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	disks := make([]geom.Disk, 10000)
+	for i := range disks {
+		disks[i] = geom.Disk{C: geom.Pt(r.Float64()*1000, r.Float64()*1000), R: r.Float64()}
+	}
+	ix := Build(disks)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.ReportMinDistLess(geom.Pt(500, 500), 20, buf[:0])
+	}
+}

@@ -1,0 +1,159 @@
+// Package envelope computes lower envelopes of partial univariate
+// functions. It is the engine behind Lemma 2.2 of the paper: the curve γ_i
+// is the lower envelope, in polar coordinates around the disk center c_i,
+// of the curves γ_ij for j ≠ i. The same machinery serves any family of
+// continuous partial functions whose pairwise crossing count is small
+// (Davenport–Schinzel setting).
+//
+// The algorithm is the classical candidate-breakpoint sweep: collect all
+// domain endpoints and all pairwise-crossing roots (found numerically by
+// sign bracketing and bisection), then within each elementary interval pick
+// the minimal function at the midpoint. With s-intersecting pairs the
+// envelope has O(λ_s(n)) pieces; the sweep costs O(n² · grid) which is fine
+// at the problem sizes the cubic-size diagrams admit anyway.
+package envelope
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+)
+
+// Func is a partial real function on the closed interval [Lo, Hi].
+// Eval must be continuous on the interval. ID identifies the function in
+// the output envelope (for γ_i construction, the index j of γ_ij).
+type Func struct {
+	ID     int
+	Lo, Hi float64
+	Eval   func(t float64) float64
+}
+
+// Piece is a maximal interval of the envelope on which one function is the
+// pointwise minimum.
+type Piece struct {
+	ID     int     // which function attains the minimum
+	Lo, Hi float64 // interval
+}
+
+// Options tune the numeric search. The zero value is replaced by defaults.
+type Options struct {
+	// GridPerPair is the number of samples used to bracket crossings of a
+	// pair of functions over their common domain. Default 48.
+	GridPerPair int
+	// RootTol is the bisection tolerance for crossing parameters.
+	// Default 1e-12.
+	RootTol float64
+	// MergeSep merges breakpoints closer than this. Default 1e-9.
+	MergeSep float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.GridPerPair == 0 {
+		o.GridPerPair = 48
+	}
+	if o.RootTol == 0 {
+		o.RootTol = 1e-12
+	}
+	if o.MergeSep == 0 {
+		o.MergeSep = 1e-9
+	}
+	return o
+}
+
+// Lower computes the lower envelope of fs over the union of their domains.
+// Intervals not covered by any function do not appear in the output.
+// Pieces are returned in increasing order of Lo; adjacent pieces with the
+// same winner are merged.
+func Lower(fs []Func, opt Options) []Piece {
+	opt = opt.withDefaults()
+	if len(fs) == 0 {
+		return nil
+	}
+
+	// Candidate breakpoints: all endpoints plus pairwise crossings.
+	cands := make([]float64, 0, 4*len(fs))
+	for _, f := range fs {
+		if f.Hi <= f.Lo {
+			continue
+		}
+		cands = append(cands, f.Lo, f.Hi)
+	}
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			lo := math.Max(fs[i].Lo, fs[j].Lo)
+			hi := math.Min(fs[i].Hi, fs[j].Hi)
+			if hi <= lo {
+				continue
+			}
+			fi, fj := fs[i].Eval, fs[j].Eval
+			diff := func(t float64) float64 { return fi(t) - fj(t) }
+			roots := geom.BracketRoots(diff, lo, hi, opt.GridPerPair, nil, opt.RootTol, opt.MergeSep)
+			cands = append(cands, roots...)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Float64s(cands)
+	// Deduplicate near-coincident candidates.
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if c-uniq[len(uniq)-1] > opt.MergeSep {
+			uniq = append(uniq, c)
+		}
+	}
+	cands = uniq
+
+	var pieces []Piece
+	for k := 0; k+1 < len(cands); k++ {
+		lo, hi := cands[k], cands[k+1]
+		mid := lo + (hi-lo)/2
+		best := -1
+		bestV := math.Inf(1)
+		for idx, f := range fs {
+			if mid < f.Lo || mid > f.Hi {
+				continue
+			}
+			if v := f.Eval(mid); v < bestV {
+				bestV = v
+				best = idx
+			}
+		}
+		if best < 0 {
+			continue // gap: no function defined here
+		}
+		id := fs[best].ID
+		if n := len(pieces); n > 0 && pieces[n-1].ID == id && pieces[n-1].Hi == lo {
+			pieces[n-1].Hi = hi
+		} else {
+			pieces = append(pieces, Piece{ID: id, Lo: lo, Hi: hi})
+		}
+	}
+	return pieces
+}
+
+// Upper computes the upper envelope of fs (pointwise maximum) by negating.
+func Upper(fs []Func, opt Options) []Piece {
+	neg := make([]Func, len(fs))
+	for i, f := range fs {
+		eval := f.Eval
+		neg[i] = Func{ID: f.ID, Lo: f.Lo, Hi: f.Hi, Eval: func(t float64) float64 { return -eval(t) }}
+	}
+	return Lower(neg, opt)
+}
+
+// Breakpoints returns the interior breakpoints of an envelope: boundaries
+// between consecutive pieces (including boundaries of gaps).
+func Breakpoints(pieces []Piece) []float64 {
+	var bps []float64
+	for k := 0; k < len(pieces); k++ {
+		if k > 0 {
+			bps = append(bps, pieces[k].Lo)
+			if pieces[k-1].Hi != pieces[k].Lo {
+				bps = append(bps, pieces[k-1].Hi)
+			}
+		}
+	}
+	return bps
+}

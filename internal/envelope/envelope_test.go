@@ -1,0 +1,168 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func linear(id int, lo, hi, a, b float64) Func {
+	return Func{ID: id, Lo: lo, Hi: hi, Eval: func(t float64) float64 { return a*t + b }}
+}
+
+func TestLowerTwoLines(t *testing.T) {
+	// y = t and y = 1 - t cross at t = 0.5 on [0, 1].
+	fs := []Func{
+		linear(0, 0, 1, 1, 0),
+		linear(1, 0, 1, -1, 1),
+	}
+	env := Lower(fs, Options{})
+	if len(env) != 2 {
+		t.Fatalf("want 2 pieces, got %d: %+v", len(env), env)
+	}
+	if env[0].ID != 0 || env[1].ID != 1 {
+		t.Fatalf("wrong winners: %+v", env)
+	}
+	if math.Abs(env[0].Hi-0.5) > 1e-9 {
+		t.Fatalf("breakpoint at %v, want 0.5", env[0].Hi)
+	}
+}
+
+func TestLowerWithGap(t *testing.T) {
+	fs := []Func{
+		linear(0, 0, 1, 0, 5),
+		linear(1, 2, 3, 0, 3),
+	}
+	env := Lower(fs, Options{})
+	if len(env) != 2 {
+		t.Fatalf("want 2 pieces, got %+v", env)
+	}
+	if env[0].Hi != 1 || env[1].Lo != 2 {
+		t.Fatalf("gap not preserved: %+v", env)
+	}
+}
+
+func TestLowerPartialDomination(t *testing.T) {
+	// A constant low function dominates inside its domain only.
+	fs := []Func{
+		linear(0, 0, 10, 0, 2),
+		linear(1, 4, 6, 0, 1),
+	}
+	env := Lower(fs, Options{})
+	if len(env) != 3 {
+		t.Fatalf("want 3 pieces, got %+v", env)
+	}
+	if env[0].ID != 0 || env[1].ID != 1 || env[2].ID != 0 {
+		t.Fatalf("winners wrong: %+v", env)
+	}
+}
+
+func TestLowerEmpty(t *testing.T) {
+	if env := Lower(nil, Options{}); env != nil {
+		t.Fatalf("empty input should give empty envelope, got %+v", env)
+	}
+	// Degenerate domain.
+	fs := []Func{linear(0, 3, 3, 1, 0)}
+	if env := Lower(fs, Options{}); len(env) != 0 {
+		t.Fatalf("degenerate domain: %+v", env)
+	}
+}
+
+func TestUpperIsNegatedLower(t *testing.T) {
+	fs := []Func{
+		linear(0, 0, 1, 1, 0),
+		linear(1, 0, 1, -1, 1),
+	}
+	env := Upper(fs, Options{})
+	if len(env) != 2 || env[0].ID != 1 || env[1].ID != 0 {
+		t.Fatalf("upper envelope wrong: %+v", env)
+	}
+}
+
+// The envelope of n random parabolas must (a) lower-bound every function at
+// probe points and (b) be attained by the reported winner.
+func TestLowerEnvelopeIsPointwiseMin(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(8)
+		fs := make([]Func, n)
+		for i := range fs {
+			a := r.Float64()*4 - 2
+			b := r.Float64()*4 - 2
+			c := r.Float64() * 3
+			i := i
+			fs[i] = Func{ID: i, Lo: -1, Hi: 1, Eval: func(t float64) float64 {
+				return a*(t-b)*(t-b) + c
+			}}
+		}
+		env := Lower(fs, Options{})
+		for _, pc := range env {
+			for k := 0; k < 5; k++ {
+				x := pc.Lo + (pc.Hi-pc.Lo)*(float64(k)+0.5)/5
+				winnerVal := math.Inf(1)
+				for _, f := range fs {
+					if f.ID == pc.ID {
+						winnerVal = f.Eval(x)
+					}
+				}
+				for _, f := range fs {
+					if x < f.Lo || x > f.Hi {
+						continue
+					}
+					if v := f.Eval(x); v < winnerVal-1e-7 {
+						t.Fatalf("trial %d: function %d beats winner %d at %v (%v < %v)",
+							trial, f.ID, pc.ID, x, v, winnerVal)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Pairwise-linear envelope has at most 2n-1 pieces (Davenport–Schinzel
+// λ_1(n) = n for lines, and pieces of an envelope of n segments ≤ 2n-1...
+// here full-domain lines: ≤ n pieces).
+func TestLineEnvelopeComplexity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(15)
+		fs := make([]Func, n)
+		for i := range fs {
+			a := r.Float64()*10 - 5
+			b := r.Float64()*10 - 5
+			fs[i] = linear(i, -10, 10, a, b)
+		}
+		env := Lower(fs, Options{})
+		if len(env) > n {
+			t.Fatalf("envelope of %d full-domain lines has %d pieces", n, len(env))
+		}
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	fs := []Func{
+		linear(0, 0, 1, 1, 0),
+		linear(1, 0, 1, -1, 1),
+		linear(2, 2, 3, 0, 0),
+	}
+	env := Lower(fs, Options{})
+	bps := Breakpoints(env)
+	// Interior breakpoint at 0.5, plus gap boundaries 1 and 2.
+	if len(bps) != 3 {
+		t.Fatalf("breakpoints: %v", bps)
+	}
+}
+
+func BenchmarkLowerEnvelope32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	fs := make([]Func, 32)
+	for i := range fs {
+		a := r.Float64()*4 - 2
+		c := r.Float64() * 3
+		fs[i] = Func{ID: i, Lo: -1, Hi: 1, Eval: func(t float64) float64 { return a*t*t + c }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lower(fs, Options{})
+	}
+}

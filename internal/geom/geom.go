@@ -1,0 +1,246 @@
+// Package geom provides the planar geometric primitives used throughout the
+// library: points, vectors, disks, segments, and the predicates and
+// constructions the nonzero-Voronoi machinery is built on.
+//
+// All computation is in float64. Functions that are sensitive to roundoff
+// (orientation, in-circle) are evaluated with a filtered epsilon relative to
+// the magnitude of the operands; see predicates.go. The package is
+// deliberately free of dependencies so every higher layer (envelopes,
+// arrangements, quantification) can share one vocabulary.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the default absolute tolerance used when comparing derived
+// quantities (distances, radii) for equality. Primitive predicates use
+// relative filters instead; Eps is for user-level fuzz such as "is this
+// point on the curve".
+const Eps = 1e-9
+
+// Point is a point in the plane. Vectors reuse the same representation.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + v.
+func (p Point) Add(v Point) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns p - v.
+func (p Point) Sub(v Point) Point { return Point{p.X - v.X, p.Y - v.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and v viewed as vectors.
+func (p Point) Dot(v Point) float64 { return p.X*v.X + p.Y*v.Y }
+
+// Cross returns the z-component of the cross product p × v.
+func (p Point) Cross(v Point) float64 { return p.X*v.Y - p.Y*v.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Angle returns the polar angle of p viewed as a vector, in [-π, π].
+func (p Point) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// Rotate returns p rotated by angle a (radians) about the origin.
+func (p Point) Rotate(a float64) Point {
+	s, c := math.Sincos(a)
+	return Point{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// Normalize returns p scaled to unit length. The zero vector is returned
+// unchanged.
+func (p Point) Normalize() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Perp returns p rotated by +90 degrees.
+func (p Point) Perp() Point { return Point{-p.Y, p.X} }
+
+// Lerp returns the point (1-t)p + tq.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Eq reports whether p and q coincide within tolerance tol.
+func (p Point) Eq(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Dir returns the unit vector at polar angle theta.
+func Dir(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c, s}
+}
+
+// Segment is a closed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// At returns the point A + t(B-A).
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// DistToPoint returns the distance from point p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(s.At(t))
+}
+
+// YAtX returns the y-coordinate of the segment at vertical line x and true,
+// or 0 and false when the segment's x-range excludes x. Vertical segments
+// report their lower endpoint.
+func (s Segment) YAtX(x float64) (float64, bool) {
+	x0, x1 := s.A.X, s.B.X
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if x < x0 || x > x1 {
+		return 0, false
+	}
+	if s.A.X == s.B.X {
+		return math.Min(s.A.Y, s.B.Y), true
+	}
+	t := (x - s.A.X) / (s.B.X - s.A.X)
+	return s.A.Y + t*(s.B.Y-s.A.Y), true
+}
+
+// Intersect returns the intersection point of segments s and t, if the two
+// segments properly intersect or touch. ok is false for parallel or
+// disjoint segments. Overlapping collinear segments report no intersection
+// (callers in this library perturb inputs so the case does not arise).
+func (s Segment) Intersect(t Segment) (Point, bool) {
+	d1 := s.B.Sub(s.A)
+	d2 := t.B.Sub(t.A)
+	den := d1.Cross(d2)
+	if den == 0 {
+		return Point{}, false
+	}
+	w := t.A.Sub(s.A)
+	u := w.Cross(d2) / den
+	v := w.Cross(d1) / den
+	if u < 0 || u > 1 || v < 0 || v > 1 {
+		return Point{}, false
+	}
+	return s.At(u), true
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyBBox returns a bounding box that contains nothing; extending it with
+// any point yields that point's box.
+func EmptyBBox() BBox {
+	inf := math.Inf(1)
+	return BBox{inf, inf, -inf, -inf}
+}
+
+// Extend grows the box to include p.
+func (b BBox) Extend(p Point) BBox {
+	return BBox{
+		MinX: math.Min(b.MinX, p.X),
+		MinY: math.Min(b.MinY, p.Y),
+		MaxX: math.Max(b.MaxX, p.X),
+		MaxY: math.Max(b.MaxY, p.Y),
+	}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	return BBox{
+		MinX: math.Min(b.MinX, o.MinX),
+		MinY: math.Min(b.MinY, o.MinY),
+		MaxX: math.Max(b.MaxX, o.MaxX),
+		MaxY: math.Max(b.MaxY, o.MaxY),
+	}
+}
+
+// Contains reports whether p lies inside the (closed) box.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX && p.Y >= b.MinY && p.Y <= b.MaxY
+}
+
+// Intersects reports whether two boxes overlap (closed sense).
+func (b BBox) Intersects(o BBox) bool {
+	return b.MinX <= o.MaxX && o.MinX <= b.MaxX && b.MinY <= o.MaxY && o.MinY <= b.MaxY
+}
+
+// Pad returns the box grown by d on every side.
+func (b BBox) Pad(d float64) BBox {
+	return BBox{b.MinX - d, b.MinY - d, b.MaxX + d, b.MaxY + d}
+}
+
+// Width returns MaxX - MinX.
+func (b BBox) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns MaxY - MinY.
+func (b BBox) Height() float64 { return b.MaxY - b.MinY }
+
+// Center returns the center of the box.
+func (b BBox) Center() Point { return Point{(b.MinX + b.MaxX) / 2, (b.MinY + b.MaxY) / 2} }
+
+// DistToPoint returns the distance from p to the box (0 when inside).
+func (b BBox) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(b.MinX-p.X, p.X-b.MaxX))
+	dy := math.Max(0, math.Max(b.MinY-p.Y, p.Y-b.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// MaxDistToPoint returns the maximum distance from p to any point of the box.
+func (b BBox) MaxDistToPoint(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-b.MinX), math.Abs(p.X-b.MaxX))
+	dy := math.Max(math.Abs(p.Y-b.MinY), math.Abs(p.Y-b.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// BBoxOf returns the bounding box of a point set.
+func BBoxOf(pts []Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}

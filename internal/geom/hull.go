@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of pts in counterclockwise order
+// without repeating the first point, using Andrew's monotone chain.
+// Collinear points on the hull boundary are discarded. The input slice is
+// not modified. Degenerate inputs (fewer than 3 distinct points, or all
+// collinear) return the distinct extreme points.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return ps
+	}
+	hull := make([]Point, 0, 2*len(ps))
+	// Lower chain.
+	for _, p := range ps {
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper chain.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// FarthestPoint returns the index of the point of pts farthest from q and
+// the distance. pts must be nonempty. For repeated farthest-point queries
+// against the same set, precompute the convex hull once and scan it: the
+// farthest point always lies on the hull.
+func FarthestPoint(pts []Point, q Point) (int, float64) {
+	best, bd := 0, pts[0].Dist2(q)
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Dist2(q); d > bd {
+			best, bd = i, d
+		}
+	}
+	return best, sqrt(bd)
+}
+
+// NearestPoint returns the index of the point of pts nearest to q and the
+// distance. pts must be nonempty.
+func NearestPoint(pts []Point, q Point) (int, float64) {
+	best, bd := 0, pts[0].Dist2(q)
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Dist2(q); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, sqrt(bd)
+}
+
+// PolygonArea returns the signed area of the polygon (positive when
+// counterclockwise).
+func PolygonArea(poly []Point) float64 {
+	a := 0.0
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += poly[i].Cross(poly[j])
+	}
+	return a / 2
+}
+
+// PointInConvex reports whether p lies in the closed convex polygon given
+// in counterclockwise order.
+func PointInConvex(poly []Point, p Point) bool {
+	n := len(poly)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return poly[0].Eq(p, Eps)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if Orient(poly[i], poly[j], p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonCentroid returns the centroid of a simple polygon. For degenerate
+// polygons (zero area) it averages the vertices.
+func PolygonCentroid(poly []Point) Point {
+	a := PolygonArea(poly)
+	if a == 0 {
+		var c Point
+		for _, p := range poly {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(poly)))
+	}
+	var cx, cy float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w := poly[i].Cross(poly[j])
+		cx += (poly[i].X + poly[j].X) * w
+		cy += (poly[i].Y + poly[j].Y) * w
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

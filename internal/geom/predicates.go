@@ -1,0 +1,149 @@
+package geom
+
+import "math"
+
+// Orient returns +1 if a→b→c is a counterclockwise turn, -1 if clockwise,
+// and 0 if the three points are collinear within a relative error filter.
+// The filter bounds the roundoff of the 2x2 determinant so that answers
+// returned as nonzero are certain.
+func Orient(a, b, c Point) int {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+	// Error filter following Shewchuk's orient2d static filter shape.
+	detSum := math.Abs(detLeft) + math.Abs(detRight)
+	errBound := 3.3306690738754716e-16 * detSum
+	if det > errBound {
+		return 1
+	}
+	if det < -errBound {
+		return -1
+	}
+	return 0
+}
+
+// CCW reports whether a→b→c makes a strictly counterclockwise turn.
+func CCW(a, b, c Point) bool { return Orient(a, b, c) > 0 }
+
+// InCircle returns +1 when d lies strictly inside the circle through a, b, c
+// (assumed counterclockwise), -1 when strictly outside, and 0 when on the
+// circle within a relative filter. With a clockwise triangle the sign flips.
+func InCircle(a, b, c, d Point) int {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	ad2 := adx*adx + ady*ady
+	bd2 := bdx*bdx + bdy*bdy
+	cd2 := cdx*cdx + cdy*cdy
+
+	det := ad2*(bdx*cdy-bdy*cdx) - bd2*(adx*cdy-ady*cdx) + cd2*(adx*bdy-ady*bdx)
+
+	perm := math.Abs(ad2)*(math.Abs(bdx*cdy)+math.Abs(bdy*cdx)) +
+		math.Abs(bd2)*(math.Abs(adx*cdy)+math.Abs(ady*cdx)) +
+		math.Abs(cd2)*(math.Abs(adx*bdy)+math.Abs(ady*bdx))
+	errBound := 1.1102230246251565e-15 * perm
+	if det > errBound {
+		return 1
+	}
+	if det < -errBound {
+		return -1
+	}
+	return 0
+}
+
+// NearlyEqual reports |a-b| <= tol*max(1, |a|, |b|).
+func NearlyEqual(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) have
+// opposite signs, by bisection to absolute x-tolerance tol. It returns the
+// midpoint of the final bracket. The function must be continuous on the
+// bracket; behaviour is undefined otherwise.
+func Bisect(f func(float64) float64, lo, hi, tol float64) float64 {
+	flo := f(lo)
+	if flo == 0 {
+		return lo
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // float64 exhausted
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// BracketRoots scans f over [lo, hi] at n+1 evenly spaced samples plus the
+// extra sample positions in extra (which must lie in [lo, hi]), and returns
+// one refined root per sign change, in increasing order. Roots closer than
+// sep are merged. It is the numeric workhorse used to intersect curve pairs
+// whose crossing count is combinatorially bounded (hyperbola envelopes,
+// γ-curve pairs).
+func BracketRoots(f func(float64) float64, lo, hi float64, n int, extra []float64, tol, sep float64) []float64 {
+	if n < 1 || hi <= lo {
+		return nil
+	}
+	xs := make([]float64, 0, n+1+len(extra))
+	step := (hi - lo) / float64(n)
+	for i := 0; i <= n; i++ {
+		xs = append(xs, lo+float64(i)*step)
+	}
+	for _, e := range extra {
+		if e > lo && e < hi {
+			xs = append(xs, e)
+		}
+	}
+	sortFloats(xs)
+	var roots []float64
+	prevX := xs[0]
+	prevF := f(prevX)
+	for _, x := range xs[1:] {
+		if x == prevX {
+			continue
+		}
+		fx := f(x)
+		if prevF == 0 {
+			roots = appendRoot(roots, prevX, sep)
+		} else if !math.IsNaN(prevF) && !math.IsNaN(fx) && (prevF > 0) != (fx >= 0) {
+			r := Bisect(f, prevX, x, tol)
+			roots = appendRoot(roots, r, sep)
+		}
+		prevX, prevF = x, fx
+	}
+	if prevF == 0 {
+		roots = appendRoot(roots, prevX, sep)
+	}
+	return roots
+}
+
+func appendRoot(roots []float64, r, sep float64) []float64 {
+	if len(roots) > 0 && r-roots[len(roots)-1] < sep {
+		return roots
+	}
+	return append(roots, r)
+}
+
+func sortFloats(xs []float64) {
+	// insertion sort: lists are small and mostly sorted (grid + few extras)
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func clampCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}
+
+// Convex hull is idempotent: hull(hull(P)) == hull(P).
+func TestConvexHullIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Point, 5+r.Intn(50))
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*50, r.Float64()*50)
+		}
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(h1)
+		if len(h1) != len(h2) {
+			t.Fatalf("hull not idempotent: %d vs %d vertices", len(h1), len(h2))
+		}
+	}
+}
+
+// LensArea is symmetric and bounded by the smaller disk's area.
+func TestLensAreaPropertiesQuick(t *testing.T) {
+	f := func(ax, ay, bx, by float64, ar, br uint8) bool {
+		a := Disk{C: Pt(clampCoord(ax), clampCoord(ay)), R: 0.5 + float64(ar%20)}
+		b := Disk{C: Pt(clampCoord(bx), clampCoord(by)), R: 0.5 + float64(br%20)}
+		l1 := LensArea(a, b)
+		l2 := LensArea(b, a)
+		if !NearlyEqual(l1, l2, 1e-9) {
+			return false
+		}
+		smaller := math.Min(a.Area(), b.Area())
+		return l1 >= -1e-12 && l1 <= smaller+1e-9*smaller
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Triangle inequality of the induced δ/Δ bounds:
+// δ(q) ≤ d(q, x) ≤ Δ(q) for any x in the disk.
+func TestMinMaxDistBracket(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		d := Disk{C: Pt(r.Float64()*20, r.Float64()*20), R: 0.5 + r.Float64()*5}
+		q := Pt(r.Float64()*40-10, r.Float64()*40-10)
+		// Random point inside the disk.
+		ang := r.Float64() * 2 * math.Pi
+		rad := d.R * math.Sqrt(r.Float64())
+		x := d.C.Add(Dir(ang).Scale(rad))
+		dist := q.Dist(x)
+		if dist < d.MinDist(q)-1e-9 || dist > d.MaxDist(q)+1e-9 {
+			t.Fatalf("bracket violated: δ=%v d=%v Δ=%v", d.MinDist(q), dist, d.MaxDist(q))
+		}
+	}
+}
+
+// BBox union is commutative, associative in effect, and contains both.
+func TestBBoxUnionQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := EmptyBBox().Extend(Pt(clampCoord(ax), clampCoord(ay))).Extend(Pt(clampCoord(bx), clampCoord(by)))
+		b := EmptyBBox().Extend(Pt(clampCoord(cx), clampCoord(cy))).Extend(Pt(clampCoord(dx), clampCoord(dy)))
+		u1 := a.Union(b)
+		u2 := b.Union(a)
+		if u1 != u2 {
+			return false
+		}
+		return u1.MinX <= a.MinX && u1.MaxX >= b.MaxX &&
+			u1.MinY <= math.Min(a.MinY, b.MinY) && u1.MaxY >= math.Max(a.MaxY, b.MaxY)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Segment intersection is symmetric.
+func TestSegmentIntersectSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		a := Seg(Pt(r.Float64()*10, r.Float64()*10), Pt(r.Float64()*10, r.Float64()*10))
+		b := Seg(Pt(r.Float64()*10, r.Float64()*10), Pt(r.Float64()*10, r.Float64()*10))
+		p1, ok1 := a.Intersect(b)
+		p2, ok2 := b.Intersect(a)
+		if ok1 != ok2 {
+			t.Fatalf("intersection existence asymmetric")
+		}
+		if ok1 && !p1.Eq(p2, 1e-9) {
+			t.Fatalf("intersection points differ: %v vs %v", p1, p2)
+		}
+	}
+}
+
+// InCircle is invariant under rotation of the first three arguments.
+func TestInCircleCyclicInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 500; trial++ {
+		a := Pt(r.Float64()*10, r.Float64()*10)
+		b := Pt(r.Float64()*10, r.Float64()*10)
+		c := Pt(r.Float64()*10, r.Float64()*10)
+		d := Pt(r.Float64()*10, r.Float64()*10)
+		if InCircle(a, b, c, d) != InCircle(b, c, a, d) {
+			t.Fatalf("cyclic invariance violated")
+		}
+	}
+}
+
+// Bisect finds roots of any continuous monotone bracketing.
+func TestBisectQuick(t *testing.T) {
+	f := func(root float64) bool {
+		root = clampCoord(root)
+		g := func(x float64) float64 { return x - root }
+		got := Bisect(g, root-10, root+10, 1e-12)
+		return math.Abs(got-root) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package halfplane intersects halfplanes into convex polygons. It is the
+// exact engine behind Lemma 2.13 of the paper: for discrete uncertain
+// points, the "kill region" K_ij = {x : δ_i(x) ≥ Δ_j(x)} is the
+// intersection of the k² halfplanes f(x, p_jt) ≤ f(x, p_is) with
+// f(x, p) = ‖p‖² − 2⟨x, p⟩ linear in x, and has O(k) edges.
+//
+// Unbounded intersections are clipped to a caller-supplied bounding box;
+// the nonzero-Voronoi pipeline clips to a box well outside the workload so
+// the clipping never affects reported structure inside the region of
+// interest.
+package halfplane
+
+import (
+	"math"
+
+	"pnn/internal/geom"
+)
+
+// HP is the closed halfplane {x : A·x ≤ B} for a nonzero normal A.
+type HP struct {
+	A geom.Point
+	B float64
+}
+
+// Contains reports whether p satisfies the constraint within tolerance tol
+// (tol ≥ 0 admits boundary points with roundoff).
+func (h HP) Contains(p geom.Point, tol float64) bool {
+	return h.A.Dot(p) <= h.B+tol*math.Max(1, h.A.Norm())
+}
+
+// Below returns the halfplane of points where the linear function
+// f(x) = ‖p‖² − 2⟨x,p⟩ evaluated at location p is at most its value at
+// location q, i.e. {x : f(x,p) ≤ f(x,q)}. These are exactly the points for
+// which p is at least as close as q (the perpendicular bisector halfplane
+// containing p).
+func Below(p, q geom.Point) HP {
+	// f(x,p) − f(x,q) = ‖p‖² − ‖q‖² − 2⟨x, p−q⟩ ≤ 0
+	//  ⇔  −2(p−q)·x ≤ ‖q‖² − ‖p‖²
+	return HP{A: q.Sub(p).Scale(2), B: q.Norm2() - p.Norm2()}
+}
+
+// Intersect clips the convex polygon poly (counterclockwise) by each
+// halfplane in turn (Sutherland–Hodgman). The result is convex and
+// counterclockwise; it may be empty. poly is not modified.
+func Intersect(poly []geom.Point, hps []HP) []geom.Point {
+	cur := append([]geom.Point(nil), poly...)
+	for _, h := range hps {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = clip(cur, h)
+	}
+	if len(cur) < 3 {
+		return nil
+	}
+	return cur
+}
+
+// IntersectBox intersects the halfplanes with the bounding box and returns
+// the resulting convex polygon (counterclockwise), or nil when empty.
+func IntersectBox(hps []HP, box geom.BBox) []geom.Point {
+	poly := []geom.Point{
+		{X: box.MinX, Y: box.MinY},
+		{X: box.MaxX, Y: box.MinY},
+		{X: box.MaxX, Y: box.MaxY},
+		{X: box.MinX, Y: box.MaxY},
+	}
+	return Intersect(poly, hps)
+}
+
+func clip(poly []geom.Point, h HP) []geom.Point {
+	n := len(poly)
+	out := make([]geom.Point, 0, n+1)
+	for i := 0; i < n; i++ {
+		cur := poly[i]
+		next := poly[(i+1)%n]
+		curIn := h.A.Dot(cur) <= h.B
+		nextIn := h.A.Dot(next) <= h.B
+		switch {
+		case curIn && nextIn:
+			out = append(out, next)
+		case curIn && !nextIn:
+			out = append(out, cross(cur, next, h))
+		case !curIn && nextIn:
+			out = append(out, cross(cur, next, h), next)
+		}
+	}
+	// Remove consecutive duplicates that clipping can produce.
+	return dedup(out)
+}
+
+func cross(a, b geom.Point, h HP) geom.Point {
+	da := h.A.Dot(a) - h.B
+	db := h.A.Dot(b) - h.B
+	t := da / (da - db)
+	return a.Lerp(b, t)
+}
+
+func dedup(poly []geom.Point) []geom.Point {
+	if len(poly) < 2 {
+		return poly
+	}
+	out := poly[:1]
+	for _, p := range poly[1:] {
+		if !p.Eq(out[len(out)-1], 1e-12) {
+			out = append(out, p)
+		}
+	}
+	if len(out) > 1 && out[0].Eq(out[len(out)-1], 1e-12) {
+		out = out[:len(out)-1]
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// KillRegion returns the convex polygon K_ij = {x : δ_i(x) ≥ Δ_j(x)} for
+// discrete uncertain points with locations pi and pj, clipped to box.
+// A point x is in K_ij iff every location of P_j is at least as close to x
+// as every location of P_i is far: min_s d(x, p_is) ≥ max_t d(x, p_jt),
+// which is the conjunction of the k·k bisector halfplane constraints
+// d(x, p_jt) ≤ d(x, p_is).
+func KillRegion(pi, pj []geom.Point, box geom.BBox) []geom.Point {
+	hps := make([]HP, 0, len(pi)*len(pj))
+	for _, ps := range pi {
+		for _, pt := range pj {
+			hps = append(hps, Below(pt, ps))
+		}
+	}
+	return IntersectBox(hps, box)
+}

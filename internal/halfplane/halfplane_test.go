@@ -1,0 +1,125 @@
+package halfplane
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+var box = geom.BBox{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100}
+
+func TestIntersectBoxSingle(t *testing.T) {
+	// x ≤ 0 clips the box in half.
+	poly := IntersectBox([]HP{{A: geom.Pt(1, 0), B: 0}}, box)
+	if len(poly) != 4 {
+		t.Fatalf("polygon %v", poly)
+	}
+	if got := geom.PolygonArea(poly); math.Abs(got-200*100) > 1e-6 {
+		t.Fatalf("area %v", got)
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	hps := []HP{
+		{A: geom.Pt(1, 0), B: -1},  // x ≤ −1
+		{A: geom.Pt(-1, 0), B: -1}, // x ≥ 1
+	}
+	if poly := IntersectBox(hps, box); poly != nil {
+		t.Fatalf("expected empty, got %v", poly)
+	}
+}
+
+func TestIntersectTriangle(t *testing.T) {
+	hps := []HP{
+		{A: geom.Pt(0, -1), B: 0}, // y ≥ 0
+		{A: geom.Pt(1, 1), B: 10}, // x + y ≤ 10
+		{A: geom.Pt(-1, 1), B: 0}, // y ≤ x
+	}
+	poly := IntersectBox(hps, box)
+	if len(poly) != 3 {
+		t.Fatalf("want triangle, got %v", poly)
+	}
+	if geom.PolygonArea(poly) <= 0 {
+		t.Fatal("polygon should be counterclockwise")
+	}
+}
+
+func TestBelowIsBisectorHalfplane(t *testing.T) {
+	p := geom.Pt(1, 2)
+	q := geom.Pt(5, -1)
+	h := Below(p, q)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		x := geom.Pt(r.Float64()*20-10, r.Float64()*20-10)
+		inH := h.Contains(x, 0)
+		closerToP := x.Dist(p) <= x.Dist(q)
+		if inH != closerToP {
+			t.Fatalf("halfplane disagrees with bisector at %v", x)
+		}
+	}
+}
+
+func TestKillRegionSemantics(t *testing.T) {
+	// Random small discrete point sets: membership in KillRegion must agree
+	// with min-dist ≥ max-dist pointwise.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		pi := randomPts(r, 3, 0, 0)
+		pj := randomPts(r, 3, 6, 0)
+		poly := KillRegion(pi, pj, box)
+		for probe := 0; probe < 200; probe++ {
+			x := geom.Pt(r.Float64()*40-20, r.Float64()*40-20)
+			_, minI := geom.NearestPoint(pi, x)
+			_, maxJ := geom.FarthestPoint(pj, x)
+			want := minI >= maxJ
+			got := len(poly) > 0 && geom.PointInConvex(poly, x)
+			// Skip probes near the boundary where float ties flip.
+			if math.Abs(minI-maxJ) < 1e-7 {
+				continue
+			}
+			if want != got {
+				t.Fatalf("trial %d: kill region disagrees at %v (δ_i=%v Δ_j=%v in=%v)",
+					trial, x, minI, maxJ, got)
+			}
+		}
+	}
+}
+
+func TestKillRegionComplexity(t *testing.T) {
+	// Lemma 2.13: the kill region has O(k) vertices even though it is cut
+	// from k² halfplanes.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		k := 4 + r.Intn(5)
+		pi := randomPts(r, k, 0, 0)
+		pj := randomPts(r, k, 8, 0)
+		poly := KillRegion(pi, pj, box)
+		if len(poly) > 2*(2*k)+4 {
+			t.Fatalf("kill region has %d vertices for k=%d", len(poly), k)
+		}
+	}
+}
+
+func TestKillRegionContainsJWhenSeparated(t *testing.T) {
+	// With P_i far from P_j, points at P_j's centroid are killed (every
+	// location of j is closer than every location of i).
+	pi := []geom.Point{{X: 100, Y: 0}, {X: 101, Y: 1}}
+	pj := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	poly := KillRegion(pi, pj, geom.BBox{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000})
+	if len(poly) == 0 {
+		t.Fatal("kill region should be nonempty")
+	}
+	if !geom.PointInConvex(poly, geom.Pt(0.5, 0)) {
+		t.Fatal("centroid of P_j should be in the kill region")
+	}
+}
+
+func randomPts(r *rand.Rand, k int, cx, cy float64) []geom.Point {
+	pts := make([]geom.Point, k)
+	for i := range pts {
+		pts[i] = geom.Pt(cx+r.Float64()*2-1, cy+r.Float64()*2-1)
+	}
+	return pts
+}

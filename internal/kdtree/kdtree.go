@@ -1,0 +1,245 @@
+// Package kdtree implements a static 2-d tree over points with payload
+// indices. It provides the three queries the paper's algorithms need:
+// nearest neighbor (Monte Carlo rounds, Section 4.2), k nearest neighbors
+// (spiral search retrieval of the m(ρ,ε) closest locations, Section 4.3),
+// and disk range reporting (stage 2 of the discrete NN≠0 structure,
+// Section 3). Construction is by recursive median split in O(N log N).
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+)
+
+// Item is a point with an opaque payload identifier.
+type Item struct {
+	P  geom.Point
+	ID int
+}
+
+// Tree is an immutable 2-d tree. The zero value is an empty tree.
+type Tree struct {
+	items []Item // laid out in tree order
+	nodes []node
+	root  int
+}
+
+type node struct {
+	lo, hi      int // items[lo:hi] in this subtree
+	axis        int // 0 = x, 1 = y
+	split       float64
+	left, right int // node indices, -1 when leaf
+	bbox        geom.BBox
+}
+
+const leafSize = 8
+
+// Build constructs a tree over the items. The input slice is copied.
+func Build(items []Item) *Tree {
+	t := &Tree{items: append([]Item(nil), items...)}
+	if len(t.items) == 0 {
+		t.root = -1
+		return t
+	}
+	t.root = t.build(0, len(t.items), 0)
+	return t
+}
+
+func (t *Tree) build(lo, hi, depth int) int {
+	bb := geom.EmptyBBox()
+	for i := lo; i < hi; i++ {
+		bb = bb.Extend(t.items[i].P)
+	}
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{lo: lo, hi: hi, left: -1, right: -1, bbox: bb})
+	if hi-lo <= leafSize {
+		return idx
+	}
+	axis := depth % 2
+	// Split on the wider dimension for balanced boxes.
+	if bb.Width() < bb.Height() {
+		axis = 1
+	} else {
+		axis = 0
+	}
+	mid := (lo + hi) / 2
+	sub := t.items[lo:hi]
+	sort.Slice(sub, func(i, j int) bool {
+		if axis == 0 {
+			return sub[i].P.X < sub[j].P.X
+		}
+		return sub[i].P.Y < sub[j].P.Y
+	})
+	var split float64
+	if axis == 0 {
+		split = t.items[mid].P.X
+	} else {
+		split = t.items[mid].P.Y
+	}
+	left := t.build(lo, mid, depth+1)
+	right := t.build(mid, hi, depth+1)
+	t.nodes[idx].axis = axis
+	t.nodes[idx].split = split
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Len returns the number of items.
+func (t *Tree) Len() int { return len(t.items) }
+
+// Nearest returns the item nearest to q and its distance. ok is false for
+// an empty tree.
+func (t *Tree) Nearest(q geom.Point) (Item, float64, bool) {
+	if t.root < 0 {
+		return Item{}, 0, false
+	}
+	best := Item{}
+	bestD2 := infinity
+	t.nearest(t.root, q, &best, &bestD2)
+	return best, sqrtNonneg(bestD2), true
+}
+
+const infinity = 1e308
+
+func (t *Tree) nearest(ni int, q geom.Point, best *Item, bestD2 *float64) {
+	n := &t.nodes[ni]
+	d := n.bbox.DistToPoint(q)
+	if d*d > *bestD2 {
+		return
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			if d2 := t.items[i].P.Dist2(q); d2 < *bestD2 {
+				*bestD2 = d2
+				*best = t.items[i]
+			}
+		}
+		return
+	}
+	// Visit the side containing q first.
+	var qc float64
+	if n.axis == 0 {
+		qc = q.X
+	} else {
+		qc = q.Y
+	}
+	first, second := n.left, n.right
+	if qc > n.split {
+		first, second = second, first
+	}
+	t.nearest(first, q, best, bestD2)
+	t.nearest(second, q, best, bestD2)
+}
+
+// KNearest returns the k items nearest to q in increasing distance order.
+// Fewer than k are returned when the tree is smaller.
+func (t *Tree) KNearest(q geom.Point, k int) []Item {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	if k > len(t.items) {
+		k = len(t.items)
+	}
+	h := &maxHeap{}
+	t.knearest(t.root, q, k, h)
+	out := make([]Item, len(*h))
+	for i := len(*h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(heapItem).it
+	}
+	return out
+}
+
+type heapItem struct {
+	it Item
+	d2 float64
+}
+
+type maxHeap []heapItem
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (t *Tree) knearest(ni int, q geom.Point, k int, h *maxHeap) {
+	n := &t.nodes[ni]
+	d := n.bbox.DistToPoint(q)
+	if len(*h) == k && d*d > (*h)[0].d2 {
+		return
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			d2 := t.items[i].P.Dist2(q)
+			if len(*h) < k {
+				heap.Push(h, heapItem{t.items[i], d2})
+			} else if d2 < (*h)[0].d2 {
+				(*h)[0] = heapItem{t.items[i], d2}
+				heap.Fix(h, 0)
+			}
+		}
+		return
+	}
+	var qc float64
+	if n.axis == 0 {
+		qc = q.X
+	} else {
+		qc = q.Y
+	}
+	first, second := n.left, n.right
+	if qc > n.split {
+		first, second = second, first
+	}
+	t.knearest(first, q, k, h)
+	t.knearest(second, q, k, h)
+}
+
+// InDisk appends to dst every item within (closed) distance r of q.
+func (t *Tree) InDisk(q geom.Point, r float64, dst []Item) []Item {
+	if t.root < 0 {
+		return dst
+	}
+	return t.inDisk(t.root, q, r, r*r, dst)
+}
+
+func (t *Tree) inDisk(ni int, q geom.Point, r, r2 float64, dst []Item) []Item {
+	n := &t.nodes[ni]
+	if n.bbox.DistToPoint(q) > r {
+		return dst
+	}
+	if n.bbox.MaxDistToPoint(q) <= r {
+		// Whole subtree inside: report without further tests.
+		for i := n.lo; i < n.hi; i++ {
+			dst = append(dst, t.items[i])
+		}
+		return dst
+	}
+	if n.left < 0 {
+		for i := n.lo; i < n.hi; i++ {
+			if t.items[i].P.Dist2(q) <= r2 {
+				dst = append(dst, t.items[i])
+			}
+		}
+		return dst
+	}
+	dst = t.inDisk(n.left, q, r, r2, dst)
+	dst = t.inDisk(n.right, q, r, r2, dst)
+	return dst
+}
+
+func sqrtNonneg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,314 @@
+// Package linearr builds arrangements of lines in the plane, the substrate
+// for the probabilistic Voronoi diagram V_Pr of Section 4.1: the O(N²)
+// perpendicular bisectors of all location pairs partition the plane into
+// O(N⁴) convex cells within which every quantification probability is
+// constant (Lemma 4.1).
+//
+// The arrangement is represented by a vertical slab decomposition clipped
+// to a bounding box; trapezoids adjacent across slab boundaries are merged
+// with union–find so Faces() reports true arrangement faces, the quantity
+// Lemma 4.1 counts.
+package linearr
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+)
+
+// Line is the line a·x + b·y = c. Vertical lines (b = 0) are supported.
+type Line struct {
+	A, B, C float64
+}
+
+// LineThrough returns the line through two points.
+func LineThrough(p, q geom.Point) Line {
+	a := q.Y - p.Y
+	b := p.X - q.X
+	return Line{A: a, B: b, C: a*p.X + b*p.Y}
+}
+
+// Bisector returns the perpendicular bisector of p and q.
+func Bisector(p, q geom.Point) Line {
+	a := 2 * (q.X - p.X)
+	b := 2 * (q.Y - p.Y)
+	c := q.Norm2() - p.Norm2()
+	return Line{A: a, B: b, C: c}
+}
+
+// YAtX returns the y-coordinate at x; ok is false for vertical lines.
+func (l Line) YAtX(x float64) (float64, bool) {
+	if l.B == 0 {
+		return 0, false
+	}
+	return (l.C - l.A*x) / l.B, true
+}
+
+// Intersect returns the intersection point of two lines; ok is false for
+// parallel lines.
+func (l Line) Intersect(m Line) (geom.Point, bool) {
+	det := l.A*m.B - l.B*m.A
+	if det == 0 {
+		return geom.Point{}, false
+	}
+	x := (l.C*m.B - l.B*m.C) / det
+	y := (l.A*m.C - l.C*m.A) / det
+	return geom.Pt(x, y), true
+}
+
+// Side returns the sign of a·x + b·y − c at p.
+func (l Line) Side(p geom.Point) int {
+	v := l.A*p.X + l.B*p.Y - l.C
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// Arrangement is the slab decomposition of a set of lines within a box.
+type Arrangement struct {
+	Lines []Line
+	Box   geom.BBox
+
+	xs       []float64 // slab boundaries (vertex x-coords + box edges)
+	slabs    [][]int   // per slab: line indices sorted by y at slab middle
+	vertices []geom.Point
+	faceID   [][]int // per slab, per gap (len(lines)+1): face identifier
+	nFaces   int
+}
+
+// Build constructs the arrangement. Vertical input lines are rejected by
+// rotating responsibility to the caller (the V_Pr pipeline pre-rotates its
+// input); they are skipped with their crossings intact.
+func Build(lines []Line, box geom.BBox) *Arrangement {
+	ar := &Arrangement{Lines: lines, Box: box}
+
+	xsSet := map[float64]struct{}{box.MinX: {}, box.MaxX: {}}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			p, ok := lines[i].Intersect(lines[j])
+			if !ok || !box.Contains(p) {
+				continue
+			}
+			ar.vertices = append(ar.vertices, p)
+			xsSet[p.X] = struct{}{}
+		}
+		if lines[i].B == 0 && lines[i].A != 0 {
+			// Vertical line: acts as a slab boundary.
+			xsSet[lines[i].C/lines[i].A] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	ar.xs = xs
+
+	nonVertical := make([]int, 0, len(lines))
+	for i, l := range lines {
+		if l.B != 0 {
+			nonVertical = append(nonVertical, i)
+		}
+	}
+
+	nSlabs := len(xs) - 1
+	ar.slabs = make([][]int, nSlabs)
+	ar.faceID = make([][]int, nSlabs)
+	for s := 0; s < nSlabs; s++ {
+		mid := xs[s] + (xs[s+1]-xs[s])/2
+		order := append([]int(nil), nonVertical...)
+		sort.Slice(order, func(a, b int) bool {
+			ya, _ := lines[order[a]].YAtX(mid)
+			yb, _ := lines[order[b]].YAtX(mid)
+			return ya < yb
+		})
+		ar.slabs[s] = order
+		ar.faceID[s] = make([]int, len(order)+1)
+	}
+
+	// Merge trapezoids across slab boundaries with union–find: gap g of
+	// slab s and gap h of slab s+1 belong to the same face when their
+	// open y-intervals at the shared boundary overlap.
+	total := 0
+	offsets := make([]int, nSlabs)
+	for s := 0; s < nSlabs; s++ {
+		offsets[s] = total
+		total += len(ar.faceID[s])
+	}
+	uf := newUnionFind(total)
+	verticalX := map[float64]struct{}{}
+	for _, l := range lines {
+		if l.B == 0 && l.A != 0 {
+			verticalX[l.C/l.A] = struct{}{}
+		}
+	}
+	for s := 0; s+1 < nSlabs; s++ {
+		x := xs[s+1]
+		if _, blocked := verticalX[x]; blocked {
+			continue // a vertical line walls off the whole boundary
+		}
+		ya := gapBounds(lines, ar.slabs[s], x)
+		yb := gapBounds(lines, ar.slabs[s+1], x)
+		// Two-pointer sweep over the gap interval lists.
+		a, b := 0, 0
+		for a < len(ya) && b < len(yb) {
+			lo := math.Max(ya[a][0], yb[b][0])
+			hi := math.Min(ya[a][1], yb[b][1])
+			if hi-lo > 1e-12 {
+				uf.union(offsets[s]+a, offsets[s+1]+b)
+			}
+			if ya[a][1] < yb[b][1] {
+				a++
+			} else {
+				b++
+			}
+		}
+	}
+	ids := map[int]int{}
+	for s := 0; s < nSlabs; s++ {
+		for g := range ar.faceID[s] {
+			root := uf.find(offsets[s] + g)
+			id, ok := ids[root]
+			if !ok {
+				id = len(ids)
+				ids[root] = id
+			}
+			ar.faceID[s][g] = id
+		}
+	}
+	ar.nFaces = len(ids)
+	return ar
+}
+
+// gapBounds returns the closed y-intervals of the gaps of a slab at
+// vertical line x, ordered bottom to top.
+func gapBounds(lines []Line, order []int, x float64) [][2]float64 {
+	ys := make([]float64, 0, len(order))
+	for _, li := range order {
+		if y, ok := lines[li].YAtX(x); ok {
+			ys = append(ys, y)
+		}
+	}
+	sort.Float64s(ys)
+	out := make([][2]float64, 0, len(ys)+1)
+	lo := math.Inf(-1)
+	for _, y := range ys {
+		out = append(out, [2]float64{lo, y})
+		lo = y
+	}
+	out = append(out, [2]float64{lo, math.Inf(1)})
+	return out
+}
+
+// VertexCount returns the number of line crossings inside the box.
+func (ar *Arrangement) VertexCount() int { return len(ar.vertices) }
+
+// Faces returns the number of distinct arrangement faces intersecting the
+// box.
+func (ar *Arrangement) Faces() int { return ar.nFaces }
+
+// Slabs returns the number of vertical slabs.
+func (ar *Arrangement) Slabs() int { return len(ar.slabs) }
+
+// Locate returns the face identifier containing q, and ok=false outside
+// the box. Runs in O(log V + log L).
+func (ar *Arrangement) Locate(q geom.Point) (int, bool) {
+	if !ar.Box.Contains(q) || len(ar.slabs) == 0 {
+		return 0, false
+	}
+	s := sort.SearchFloat64s(ar.xs, q.X) - 1
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(ar.slabs) {
+		s = len(ar.slabs) - 1
+	}
+	order := ar.slabs[s]
+	lo, hi := 0, len(order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		y, _ := ar.Lines[order[mid]].YAtX(q.X)
+		if y < q.Y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ar.faceID[s][lo], true
+}
+
+// FaceRepresentatives returns one interior point per face (keyed by face
+// identifier). Faces clipped to slivers may use near-boundary points.
+func (ar *Arrangement) FaceRepresentatives() map[int]geom.Point {
+	reps := make(map[int]geom.Point, ar.nFaces)
+	for s := range ar.slabs {
+		xlo, xhi := ar.xs[s], ar.xs[s+1]
+		mid := xlo + (xhi-xlo)/2
+		order := ar.slabs[s]
+		ys := make([]float64, 0, len(order))
+		for _, li := range order {
+			if y, ok := ar.Lines[li].YAtX(mid); ok {
+				ys = append(ys, y)
+			}
+		}
+		for g := 0; g < len(ys)+1; g++ {
+			id := ar.faceID[s][g]
+			if _, ok := reps[id]; ok {
+				continue
+			}
+			var y float64
+			switch {
+			case len(ys) == 0:
+				y = ar.Box.Center().Y
+			case g == 0:
+				y = ys[0] - 1
+			case g == len(ys):
+				y = ys[len(ys)-1] + 1
+			default:
+				y = ys[g-1] + (ys[g]-ys[g-1])/2
+			}
+			reps[id] = geom.Pt(mid, y)
+		}
+	}
+	return reps
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

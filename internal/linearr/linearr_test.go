@@ -1,0 +1,178 @@
+package linearr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+var box = geom.BBox{MinX: -10, MinY: -10, MaxX: 10, MaxY: 10}
+
+func TestLineBasics(t *testing.T) {
+	l := LineThrough(geom.Pt(0, 0), geom.Pt(2, 2)) // y = x
+	y, ok := l.YAtX(3)
+	if !ok || math.Abs(y-3) > 1e-12 {
+		t.Fatalf("YAtX: %v %v", y, ok)
+	}
+	m := LineThrough(geom.Pt(0, 2), geom.Pt(2, 0)) // y = 2 - x
+	p, ok := l.Intersect(m)
+	if !ok || !p.Eq(geom.Pt(1, 1), 1e-12) {
+		t.Fatalf("intersect: %v %v", p, ok)
+	}
+	if _, ok := l.Intersect(LineThrough(geom.Pt(0, 1), geom.Pt(2, 3))); ok {
+		t.Fatal("parallel lines must not intersect")
+	}
+}
+
+func TestBisector(t *testing.T) {
+	p, q := geom.Pt(1, 2), geom.Pt(5, -2)
+	b := Bisector(p, q)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := geom.Pt(r.Float64()*10-5, r.Float64()*10-5)
+		side := b.Side(x)
+		dp, dq := x.Dist(p), x.Dist(q)
+		if math.Abs(dp-dq) < 1e-9 {
+			continue
+		}
+		// All points on one side are closer to one endpoint consistently.
+		if (dp < dq) != (side < 0) && (dp < dq) != (side > 0) {
+			t.Fatal("bisector sides inconsistent")
+		}
+	}
+	// The midpoint is on the line.
+	mid := p.Lerp(q, 0.5)
+	if b.Side(mid) != 0 {
+		t.Fatalf("midpoint not on bisector")
+	}
+}
+
+func TestArrangementOneLine(t *testing.T) {
+	ar := Build([]Line{LineThrough(geom.Pt(0, 0), geom.Pt(1, 1))}, box)
+	if ar.Faces() != 2 {
+		t.Fatalf("one line: %d faces", ar.Faces())
+	}
+	if ar.VertexCount() != 0 {
+		t.Fatal("one line has no vertices")
+	}
+	above, _ := ar.Locate(geom.Pt(0, 5))
+	below, _ := ar.Locate(geom.Pt(0, -5))
+	if above == below {
+		t.Fatal("points on opposite sides must be in different faces")
+	}
+}
+
+func TestArrangementGeneralPositionCounts(t *testing.T) {
+	// L lines in general position: C(L,2) vertices and 1 + L + C(L,2)
+	// faces (all crossings inside the box).
+	r := rand.New(rand.NewSource(2))
+	for _, L := range []int{2, 3, 5, 8} {
+		lines := make([]Line, L)
+		for i := range lines {
+			// Lines through the origin-ish region with random slopes: all
+			// crossings near the center, inside the box.
+			ang := r.Float64() * math.Pi
+			c := geom.Pt(r.Float64()*2-1, r.Float64()*2-1)
+			lines[i] = LineThrough(c, c.Add(geom.Dir(ang)))
+		}
+		ar := Build(lines, box)
+		// Count crossings inside the box by brute force; nearly parallel
+		// pairs can cross outside.
+		wantV := 0
+		for i := 0; i < L; i++ {
+			for j := i + 1; j < L; j++ {
+				if p, ok := lines[i].Intersect(lines[j]); ok && box.Contains(p) {
+					wantV++
+				}
+			}
+		}
+		if ar.VertexCount() != wantV {
+			t.Fatalf("L=%d: %d vertices want %d", L, ar.VertexCount(), wantV)
+		}
+		// Incremental argument: every line crosses the box, so
+		// F = 1 + L + V_inside.
+		wantF := 1 + L + wantV
+		if ar.Faces() != wantF {
+			t.Fatalf("L=%d: %d faces want %d", L, ar.Faces(), wantF)
+		}
+	}
+}
+
+func TestLocateConsistentWithSides(t *testing.T) {
+	// Two points are in the same face iff they are on the same side of
+	// every line.
+	r := rand.New(rand.NewSource(3))
+	lines := make([]Line, 6)
+	for i := range lines {
+		a := geom.Pt(r.Float64()*16-8, r.Float64()*16-8)
+		b := geom.Pt(r.Float64()*16-8, r.Float64()*16-8)
+		lines[i] = LineThrough(a, b)
+	}
+	ar := Build(lines, box)
+	pts := make([]geom.Point, 60)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*18-9, r.Float64()*18-9)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			fi, ok1 := ar.Locate(pts[i])
+			fj, ok2 := ar.Locate(pts[j])
+			if !ok1 || !ok2 {
+				continue
+			}
+			same := true
+			onLine := false
+			for _, l := range lines {
+				si, sj := l.Side(pts[i]), l.Side(pts[j])
+				if si == 0 || sj == 0 {
+					onLine = true
+					break
+				}
+				if si != sj {
+					same = false
+				}
+			}
+			if onLine {
+				continue
+			}
+			if same != (fi == fj) {
+				t.Fatalf("locate disagrees with side vector: %v %v same=%v faces %d %d",
+					pts[i], pts[j], same, fi, fj)
+			}
+		}
+	}
+}
+
+func TestFaceRepresentatives(t *testing.T) {
+	lines := []Line{
+		LineThrough(geom.Pt(0, 0), geom.Pt(1, 0)), // y = 0
+		LineThrough(geom.Pt(0, 0), geom.Pt(0, 1)), // x = 0 (vertical)
+	}
+	ar := Build(lines, box)
+	reps := ar.FaceRepresentatives()
+	if len(reps) != ar.Faces() {
+		t.Fatalf("%d representatives for %d faces", len(reps), ar.Faces())
+	}
+	for id, rep := range reps {
+		got, ok := ar.Locate(rep)
+		if !ok {
+			continue // representatives may sit slightly outside the box
+		}
+		if got != id {
+			t.Fatalf("representative of face %d locates to %d", id, got)
+		}
+	}
+}
+
+func TestVerticalLineHandling(t *testing.T) {
+	// A vertical line splits the box into two faces via slab boundaries.
+	vert := Line{A: 1, B: 0, C: 0} // x = 0
+	ar := Build([]Line{vert}, box)
+	l, _ := ar.Locate(geom.Pt(-5, 0))
+	r, _ := ar.Locate(geom.Pt(5, 0))
+	if l == r {
+		t.Fatal("vertical line must separate the plane")
+	}
+}

@@ -1,0 +1,150 @@
+package linf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func randomSquares(r *rand.Rand, n int) []Square {
+	sq := make([]Square, n)
+	for i := range sq {
+		sq[i] = Square{
+			C: geom.Pt(r.Float64()*100, r.Float64()*100),
+			R: 0.2 + r.Float64()*4,
+		}
+	}
+	return sq
+}
+
+func TestChebyshevDistances(t *testing.T) {
+	s := Square{C: geom.Pt(0, 0), R: 2}
+	q := geom.Pt(5, 1)
+	// ‖q‖∞ = 5.
+	if got := s.MinDist(q); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("δ∞ = %v", got)
+	}
+	if got := s.MaxDist(q); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("Δ∞ = %v", got)
+	}
+	if got := s.MinDist(geom.Pt(1, 1)); got != 0 {
+		t.Fatalf("inside square: δ∞ = %v", got)
+	}
+}
+
+func TestNonzeroSetBasics(t *testing.T) {
+	squares := []Square{
+		{C: geom.Pt(0, 0), R: 1},
+		{C: geom.Pt(10, 0), R: 1},
+	}
+	got := NonzeroSet(squares, geom.Pt(0, 0))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("at left square: %v", got)
+	}
+	got = NonzeroSet(squares, geom.Pt(5, 0))
+	if len(got) != 2 {
+		t.Fatalf("midpoint: %v", got)
+	}
+}
+
+func TestIndexAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(200)
+		squares := randomSquares(r, n)
+		ix := Build(squares)
+		for probe := 0; probe < 60; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			got := ix.Query(q)
+			want := NonzeroSet(squares, q)
+			if !eq(got, want) {
+				t.Fatalf("trial %d query %v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexDegenerateZeroSize(t *testing.T) {
+	// Zero-size squares behave like an L∞ Voronoi diagram of points.
+	squares := []Square{
+		{C: geom.Pt(0, 0)},
+		{C: geom.Pt(10, 0)},
+		{C: geom.Pt(5, 9)},
+	}
+	ix := Build(squares)
+	got := ix.Query(geom.Pt(1, 1))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("degenerate: %v", got)
+	}
+}
+
+func TestIndexEmptyAndSingle(t *testing.T) {
+	if got := Build(nil).Query(geom.Pt(0, 0)); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	got := Build([]Square{{C: geom.Pt(3, 3), R: 1}}).Query(geom.Pt(50, 50))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single: %v", got)
+	}
+}
+
+func TestDeltaAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	squares := randomSquares(r, 300)
+	ix := Build(squares)
+	for probe := 0; probe < 100; probe++ {
+		q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+		want := math.Inf(1)
+		for _, s := range squares {
+			want = math.Min(want, s.MaxDist(q))
+		}
+		if got := ix.Delta(q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Δ∞: got %v want %v", got, want)
+		}
+	}
+}
+
+// L∞ and L₂ nonzero sets agree when all regions and gaps are large
+// relative to the metric distortion... they need not in general; this
+// test only pins the metric-sensitivity: a configuration where the L∞
+// answer differs from L₂ (diagonal neighbor wins under L₂ but not L∞).
+func TestMetricSensitivity(t *testing.T) {
+	squares := []Square{
+		{C: geom.Pt(8, 8), R: 0.5},  // L∞ dist from origin: 8; L₂: 11.3
+		{C: geom.Pt(0, 10), R: 0.5}, // L∞ dist: 10;           L₂: 10
+	}
+	q := geom.Pt(0, 0)
+	// Under L∞ the diagonal square is strictly closer in both δ and Δ:
+	// δ∞_0 = 7.5, Δ∞_0 = 8.5 < δ∞_1 = 9.5 → square 1 excluded.
+	got := NonzeroSet(squares, q)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("L∞ answer: %v", got)
+	}
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkLInfQuery10k(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	squares := make([]Square, 10000)
+	for i := range squares {
+		squares[i] = Square{C: geom.Pt(r.Float64()*1000, r.Float64()*1000), R: r.Float64()}
+	}
+	ix := Build(squares)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(geom.Pt(r.Float64()*1000, r.Float64()*1000))
+	}
+}

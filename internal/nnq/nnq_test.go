@@ -1,0 +1,157 @@
+package nnq
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/core"
+	"pnn/internal/geom"
+)
+
+func randomDisks(r *rand.Rand, n int, rmin, rmax float64) []geom.Disk {
+	ds := make([]geom.Disk, n)
+	for i := range ds {
+		ds[i] = geom.Disk{
+			C: geom.Pt(r.Float64()*100, r.Float64()*100),
+			R: rmin + r.Float64()*(rmax-rmin),
+		}
+	}
+	return ds
+}
+
+func TestContinuousAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(100)
+		disks := randomDisks(r, n, 0.5, 5)
+		ix := NewContinuous(disks)
+		for probe := 0; probe < 100; probe++ {
+			q := geom.Pt(r.Float64()*140-20, r.Float64()*140-20)
+			got := ix.Query(q)
+			want := core.NonzeroSet(disks, q)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d query %v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestContinuousDegenerateZeroRadius(t *testing.T) {
+	// Certain points (r = 0): NN≠0 must behave like a standard Voronoi
+	// diagram — exactly the nearest point away from bisectors.
+	disks := []geom.Disk{
+		geom.Dsk(0, 0, 0), geom.Dsk(10, 0, 0), geom.Dsk(5, 9, 0),
+	}
+	ix := NewContinuous(disks)
+	got := ix.Query(geom.Pt(1, 1))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("zero-radius query: %v", got)
+	}
+}
+
+func TestContinuousEmptyAndSingle(t *testing.T) {
+	if got := NewContinuous(nil).Query(geom.Pt(0, 0)); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	got := NewContinuous([]geom.Disk{geom.Dsk(3, 3, 1)}).Query(geom.Pt(50, 50))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single disk: %v", got)
+	}
+}
+
+func randomDiscrete(r *rand.Rand, n, k int) []core.DiscretePoint {
+	pts := make([]core.DiscretePoint, n)
+	for i := range pts {
+		cx, cy := r.Float64()*100, r.Float64()*100
+		locs := make([]geom.Point, k)
+		for t := range locs {
+			locs[t] = geom.Pt(cx+r.Float64()*6-3, cy+r.Float64()*6-3)
+		}
+		pts[i] = core.DiscretePoint{Locs: locs}
+	}
+	return pts
+}
+
+func TestDiscreteAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(60)
+		k := 1 + r.Intn(5)
+		pts := randomDiscrete(r, n, k)
+		ix := NewDiscrete(pts)
+		for probe := 0; probe < 100; probe++ {
+			q := geom.Pt(r.Float64()*140-20, r.Float64()*140-20)
+			got := ix.Query(q)
+			want := core.NonzeroSetDiscrete(pts, q)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d (n=%d k=%d) query %v: got %v want %v",
+					trial, n, k, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDiscreteDelta(t *testing.T) {
+	pts := []core.DiscretePoint{
+		{Locs: []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}}},
+		{Locs: []geom.Point{{X: 10, Y: 0}, {X: 12, Y: 0}}},
+	}
+	ix := NewDiscrete(pts)
+	q := geom.Pt(0, 0)
+	// Δ_0 = 2, Δ_1 = 12 → Δ = 2.
+	if got := ix.Delta(q); got != 2 {
+		t.Fatalf("Delta = %v", got)
+	}
+}
+
+func TestDiscreteSingletons(t *testing.T) {
+	pts := []core.DiscretePoint{
+		{Locs: []geom.Point{{X: 0, Y: 0}}},
+		{Locs: []geom.Point{{X: 10, Y: 0}}},
+	}
+	ix := NewDiscrete(pts)
+	got := ix.Query(geom.Pt(2, 0))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton NN: %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkContinuousQuery1k(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	disks := randomDisks(r, 1000, 0.1, 1)
+	ix := NewContinuous(disks)
+	qs := make([]geom.Point, 256)
+	for i := range qs {
+		qs[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkDiscreteQuery1k(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	pts := randomDiscrete(r, 1000, 4)
+	ix := NewDiscrete(pts)
+	qs := make([]geom.Point, 256)
+	for i := range qs {
+		qs[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(qs[i%len(qs)])
+	}
+}

@@ -1,0 +1,215 @@
+// Package persist provides a partially persistent ordered set of ints. Each
+// update (Insert, Delete) returns a new version sharing all untouched
+// structure with its parent, so storing one version per face of the nonzero
+// Voronoi diagram costs O(log n) memory per face even though the sets have
+// linear size — exactly the role [DSST89] persistence plays in Theorem 2.11
+// of the paper ("|P_φ ⊕ P_φ'| = 1 for adjacent cells").
+//
+// The implementation is an immutable treap with priorities derived from a
+// fixed hash of the key, which makes the shape canonical: two versions
+// holding the same elements are structurally identical, a property the
+// tests exploit.
+package persist
+
+// Set is an immutable ordered set of ints. The zero value (nil) is the
+// empty set. All operations return new sets; existing versions remain
+// valid forever.
+type Set struct {
+	root *node
+}
+
+type node struct {
+	key         int
+	prio        uint64
+	size        int
+	left, right *node
+}
+
+// Empty returns the empty set.
+func Empty() Set { return Set{} }
+
+func prioOf(key int) uint64 {
+	// SplitMix64 of the key: deterministic, well mixed.
+	z := uint64(key) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func mk(key int, prio uint64, l, r *node) *node {
+	return &node{key: key, prio: prio, size: 1 + size(l) + size(r), left: l, right: r}
+}
+
+// split returns trees with keys < key and keys > key; found reports whether
+// key was present.
+func split(n *node, key int) (l, r *node, found bool) {
+	if n == nil {
+		return nil, nil, false
+	}
+	switch {
+	case key < n.key:
+		ll, lr, f := split(n.left, key)
+		return ll, mk(n.key, n.prio, lr, n.right), f
+	case key > n.key:
+		rl, rr, f := split(n.right, key)
+		return mk(n.key, n.prio, n.left, rl), rr, f
+	default:
+		return n.left, n.right, true
+	}
+}
+
+// join merges trees l and r where every key of l is less than every key of r.
+func join(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		return mk(l.key, l.prio, l.left, join(l.right, r))
+	default:
+		return mk(r.key, r.prio, join(l, r.left), r.right)
+	}
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int { return size(s.root) }
+
+// Contains reports whether key is in the set.
+func (s Set) Contains(key int) bool {
+	n := s.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert returns the set with key added. If key is already present the
+// receiver is returned unchanged.
+func (s Set) Insert(key int) Set {
+	if s.Contains(key) {
+		return s
+	}
+	l, r, _ := split(s.root, key)
+	return Set{join(join(l, mk(key, prioOf(key), nil, nil)), r)}
+}
+
+// Delete returns the set with key removed. If key is absent the receiver is
+// returned unchanged.
+func (s Set) Delete(key int) Set {
+	l, r, found := split(s.root, key)
+	if !found {
+		return s
+	}
+	return Set{join(l, r)}
+}
+
+// Toggle returns the set with key's membership flipped, and reports whether
+// the key is present in the result.
+func (s Set) Toggle(key int) (Set, bool) {
+	l, r, found := split(s.root, key)
+	if found {
+		return Set{join(l, r)}, false
+	}
+	return Set{join(join(l, mk(key, prioOf(key), nil, nil)), r)}, true
+}
+
+// Elements appends the elements in increasing order to dst and returns it.
+func (s Set) Elements(dst []int) []int {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		dst = append(dst, n.key)
+		walk(n.right)
+	}
+	walk(s.root)
+	return dst
+}
+
+// Each calls f on every element in increasing order; if f returns false the
+// iteration stops.
+func (s Set) Each(f func(key int) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && f(n.key) && walk(n.right)
+	}
+	walk(s.root)
+}
+
+// FromSlice builds a set from keys.
+func FromSlice(keys []int) Set {
+	s := Empty()
+	for _, k := range keys {
+		s = s.Insert(k)
+	}
+	return s
+}
+
+// SymmetricDiffSize returns |a ⊕ b|. It exploits structural sharing: shared
+// subtrees are skipped in O(1), so for versions one update apart the cost
+// is O(log n).
+func SymmetricDiffSize(a, b Set) int {
+	return symDiff(a.root, b.root)
+}
+
+func symDiff(a, b *node) int {
+	if a == b {
+		return 0
+	}
+	if a == nil {
+		return size(b)
+	}
+	if b == nil {
+		return size(a)
+	}
+	// Split b around a's key and recurse.
+	bl, br, found := split(b, a.key)
+	d := symDiff(a.left, bl) + symDiff(a.right, br)
+	if !found {
+		d++
+	}
+	return d
+}
+
+// NodeCount returns the number of distinct treap nodes reachable from the
+// given versions. It measures the memory shared across versions, which the
+// persistence experiments report.
+func NodeCount(versions []Set) int {
+	seen := make(map[*node]struct{})
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if _, ok := seen[n]; ok {
+			return
+		}
+		seen[n] = struct{}{}
+		walk(n.left)
+		walk(n.right)
+	}
+	for _, v := range versions {
+		walk(v.root)
+	}
+	return len(seen)
+}

@@ -1,0 +1,179 @@
+// Package quadtree implements a point-region quadtree with best-first
+// k-nearest-neighbor search. Remark (ii) after Theorem 4.7 offers it
+// ([Har11]-style branch and bound) as the practical alternative to the
+// [AC09] structure for retrieving the m closest locations in spiral
+// search; the spiral ablation benchmarks it against the kd-tree.
+package quadtree
+
+import (
+	"container/heap"
+
+	"pnn/internal/geom"
+)
+
+// Item is a point with a payload identifier.
+type Item struct {
+	P  geom.Point
+	ID int
+}
+
+// Tree is a static PR quadtree.
+type Tree struct {
+	nodes []node
+	items []Item
+	root  int
+}
+
+type node struct {
+	box      geom.BBox
+	children [4]int // -1 when absent
+	lo, hi   int    // items[lo:hi] for leaves
+	leaf     bool
+}
+
+const leafCap = 16
+
+// Build constructs the tree over the items (copied).
+func Build(items []Item) *Tree {
+	t := &Tree{items: append([]Item(nil), items...)}
+	if len(t.items) == 0 {
+		t.root = -1
+		return t
+	}
+	bb := geom.EmptyBBox()
+	for _, it := range t.items {
+		bb = bb.Extend(it.P)
+	}
+	// Square up the box so quadrants stay balanced.
+	side := bb.Width()
+	if bb.Height() > side {
+		side = bb.Height()
+	}
+	if side == 0 {
+		side = 1
+	}
+	bb = geom.BBox{MinX: bb.MinX, MinY: bb.MinY, MaxX: bb.MinX + side, MaxY: bb.MinY + side}
+	t.root = t.build(bb, 0, len(t.items), 0)
+	return t
+}
+
+func (t *Tree) build(box geom.BBox, lo, hi, depth int) int {
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{box: box, children: [4]int{-1, -1, -1, -1}, lo: lo, hi: hi, leaf: true})
+	if hi-lo <= leafCap || depth > 32 {
+		return id
+	}
+	cx, cy := box.Center().X, box.Center().Y
+	// In-place partition into 4 quadrants: first split by y, then by x.
+	midY := partition(t.items[lo:hi], func(it Item) bool { return it.P.Y < cy }) + lo
+	midXBot := partition(t.items[lo:midY], func(it Item) bool { return it.P.X < cx }) + lo
+	midXTop := partition(t.items[midY:hi], func(it Item) bool { return it.P.X < cx }) + midY
+
+	quads := [4]struct {
+		lo, hi int
+		box    geom.BBox
+	}{
+		{lo, midXBot, geom.BBox{MinX: box.MinX, MinY: box.MinY, MaxX: cx, MaxY: cy}},
+		{midXBot, midY, geom.BBox{MinX: cx, MinY: box.MinY, MaxX: box.MaxX, MaxY: cy}},
+		{midY, midXTop, geom.BBox{MinX: box.MinX, MinY: cy, MaxX: cx, MaxY: box.MaxY}},
+		{midXTop, hi, geom.BBox{MinX: cx, MinY: cy, MaxX: box.MaxX, MaxY: box.MaxY}},
+	}
+	// Guard against degenerate splits (all points identical).
+	allInOne := false
+	for _, q := range quads {
+		if q.hi-q.lo == hi-lo {
+			allInOne = true
+		}
+	}
+	if allInOne {
+		return id
+	}
+	t.nodes[id].leaf = false
+	for qi, q := range quads {
+		if q.hi > q.lo {
+			child := t.build(q.box, q.lo, q.hi, depth+1)
+			t.nodes[id].children[qi] = child
+		}
+	}
+	return id
+}
+
+// partition reorders xs so elements satisfying pred come first, returning
+// their count.
+func partition(xs []Item, pred func(Item) bool) int {
+	i := 0
+	for j := range xs {
+		if pred(xs[j]) {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	return i
+}
+
+// Len returns the number of items.
+func (t *Tree) Len() int { return len(t.items) }
+
+// pq is a min-heap of (distance², node or item).
+type pqEntry struct {
+	d2   float64
+	node int // -1 for items
+	item int
+}
+
+type pq []pqEntry
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].d2 < p[j].d2 }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqEntry)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// KNearest returns the k items nearest to q in increasing distance order,
+// by best-first (Hjaltason–Samet) traversal.
+func (t *Tree) KNearest(q geom.Point, k int) []Item {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	if k > len(t.items) {
+		k = len(t.items)
+	}
+	h := &pq{{d2: 0, node: t.root, item: -1}}
+	out := make([]Item, 0, k)
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(pqEntry)
+		if e.node < 0 {
+			out = append(out, t.items[e.item])
+			continue
+		}
+		n := &t.nodes[e.node]
+		if n.leaf {
+			for i := n.lo; i < n.hi; i++ {
+				heap.Push(h, pqEntry{d2: t.items[i].P.Dist2(q), node: -1, item: i})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			if c >= 0 {
+				d := t.nodes[c].box.DistToPoint(q)
+				heap.Push(h, pqEntry{d2: d * d, node: c, item: -1})
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the nearest item; ok is false on an empty tree.
+func (t *Tree) Nearest(q geom.Point) (Item, bool) {
+	out := t.KNearest(q, 1)
+	if len(out) == 0 {
+		return Item{}, false
+	}
+	return out[0], true
+}

@@ -1,0 +1,107 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func randomItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{P: geom.Pt(r.Float64()*100, r.Float64()*100), ID: i}
+	}
+	return items
+}
+
+func TestEmpty(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := tr.Nearest(geom.Pt(0, 0)); ok {
+		t.Fatal("nearest on empty")
+	}
+	if got := tr.KNearest(geom.Pt(0, 0), 5); got != nil {
+		t.Fatal("knearest on empty")
+	}
+}
+
+func TestKNearestAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + r.Intn(400)
+		items := randomItems(r, n)
+		tr := Build(items)
+		for probe := 0; probe < 20; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			k := 1 + r.Intn(30)
+			got := tr.KNearest(q, k)
+			wantK := k
+			if wantK > n {
+				wantK = n
+			}
+			if len(got) != wantK {
+				t.Fatalf("len %d want %d", len(got), wantK)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].P.Dist2(q) > got[i].P.Dist2(q)+1e-12 {
+					t.Fatal("not sorted by distance")
+				}
+			}
+			ds := make([]float64, n)
+			for i, it := range items {
+				ds[i] = it.P.Dist(q)
+			}
+			sort.Float64s(ds)
+			if kd := got[len(got)-1].P.Dist(q); kd > ds[wantK-1]+1e-9 {
+				t.Fatalf("kth distance %v brute %v", kd, ds[wantK-1])
+			}
+		}
+	}
+}
+
+func TestDuplicatePointsDoNotRecurseForever(t *testing.T) {
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = Item{P: geom.Pt(1, 1), ID: i}
+	}
+	tr := Build(items)
+	got := tr.KNearest(geom.Pt(0, 0), 10)
+	if len(got) != 10 {
+		t.Fatalf("duplicates: got %d", len(got))
+	}
+}
+
+func TestNearestMatchesKdResult(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	items := randomItems(r, 500)
+	tr := Build(items)
+	for probe := 0; probe < 100; probe++ {
+		q := geom.Pt(r.Float64()*100, r.Float64()*100)
+		it, ok := tr.Nearest(q)
+		if !ok {
+			t.Fatal("nearest failed")
+		}
+		bd := -1.0
+		for _, cand := range items {
+			if d := cand.P.Dist(q); bd < 0 || d < bd {
+				bd = d
+			}
+		}
+		if it.P.Dist(q) > bd+1e-9 {
+			t.Fatalf("nearest %v vs brute %v", it.P.Dist(q), bd)
+		}
+	}
+}
+
+func BenchmarkKNearest10k(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	tr := Build(randomItems(r, 10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNearest(geom.Pt(50, 50), 32)
+	}
+}

@@ -1,0 +1,159 @@
+// Package quantify computes the quantification probabilities π_i(q) — the
+// probability that uncertain point P_i is the nearest neighbor of q —
+// implementing the three regimes of Section 4 of the paper:
+//
+//   - exact evaluation of Eq. (2) for discrete distributions, both per
+//     query (a sorted sweep) and via the probabilistic Voronoi diagram
+//     V_Pr (Theorem 4.2, vpr.go);
+//   - the Monte Carlo estimator of Theorems 4.3 and 4.5 (montecarlo.go);
+//   - the deterministic spiral-search approximation of Theorem 4.7
+//     (spiral.go).
+package quantify
+
+import (
+	"sort"
+
+	"pnn/internal/dist"
+	"pnn/internal/geom"
+)
+
+// Location is one possible position of an uncertain point.
+type Location struct {
+	Owner int // index of the uncertain point
+	P     geom.Point
+	W     float64 // location probability
+}
+
+// Flatten lists all locations of a discrete uncertain-point set.
+func Flatten(pts []*dist.Discrete) []Location {
+	var out []Location
+	for i, p := range pts {
+		for t, l := range p.Locs {
+			out = append(out, Location{Owner: i, P: l, W: p.W[t]})
+		}
+	}
+	return out
+}
+
+// ExactAll returns π_i(q) for every uncertain point by evaluating Eq. (2)
+// with a single sorted sweep over all N locations: O(N log N) per query.
+//
+// The sweep maintains, per owner j, the accumulated probability
+// G_{q,j}(d) of locations within the current distance, and the running
+// product Π_j (1 − G_{q,j}(d)) in zero-aware form so owners whose whole
+// mass is inside the current radius (factor exactly 0) never force a
+// division by zero.
+func ExactAll(pts []*dist.Discrete, q geom.Point) []float64 {
+	locs := Flatten(pts)
+	return ExactSubset(locs, len(pts), q)
+}
+
+// ExactSubset evaluates Eq. (2) restricted to the given locations (which
+// need not cover full probability mass — the spiral-search estimator of
+// Section 4.3 calls it with the m nearest locations only). n is the number
+// of owners.
+func ExactSubset(locs []Location, n int, q geom.Point) []float64 {
+	type rec struct {
+		d2 float64
+		Location
+	}
+	recs := make([]rec, len(locs))
+	for i, l := range locs {
+		recs[i] = rec{d2: l.P.Dist2(q), Location: l}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].d2 < recs[b].d2 })
+
+	pi := make([]float64, n)
+	factor := make([]float64, n) // 1 − G_{q,j}(current distance)
+	for j := range factor {
+		factor[j] = 1
+	}
+	nzProd := 1.0 // product of nonzero factors
+	zeros := 0
+
+	for lo := 0; lo < len(recs); {
+		hi := lo
+		for hi < len(recs) && recs[hi].d2 <= recs[lo].d2 {
+			hi++
+		}
+		// First fold the whole equal-distance group into the cdfs: Eq. (2)
+		// uses G(d(p,q)) with a non-strict inequality, so ties count.
+		for t := lo; t < hi; t++ {
+			o := recs[t].Owner
+			old := factor[o]
+			nf := old - recs[t].W
+			if nf < 1e-15 {
+				nf = 0
+			}
+			if old > 0 && nf == 0 {
+				zeros++
+				nzProd /= old
+			} else if old > 0 {
+				nzProd *= nf / old
+			}
+			factor[o] = nf
+		}
+		// Then credit each location in the group: w · Π_{j≠owner} factor_j.
+		// The owner's own factor is excluded from the product entirely
+		// (Eq. 2 multiplies over j ≠ i only), so its value is divided back
+		// out — or, when it is exactly zero, the zero-count bookkeeping
+		// recovers the product of the remaining factors.
+		for t := lo; t < hi; t++ {
+			o := recs[t].Owner
+			var others float64
+			switch {
+			case zeros == 0:
+				others = nzProd / factor[o]
+			case zeros == 1 && factor[o] == 0:
+				others = nzProd
+			default:
+				others = 0
+			}
+			pi[o] += recs[t].W * others
+		}
+		lo = hi
+	}
+	return pi
+}
+
+// exactNaive recomputes Eq. (2) directly in O(N²); it is the oracle the
+// sweep is tested against and is exported within the package for tests.
+func exactNaive(locs []Location, n int, q geom.Point) []float64 {
+	pi := make([]float64, n)
+	for _, l := range locs {
+		d := l.P.Dist(q)
+		prod := 1.0
+		for j := 0; j < n; j++ {
+			if j == l.Owner {
+				continue
+			}
+			g := 0.0
+			for _, m := range locs {
+				if m.Owner == j && m.P.Dist(q) <= d {
+					g += m.W
+				}
+			}
+			prod *= 1 - g
+		}
+		pi[l.Owner] += l.W * prod
+	}
+	return pi
+}
+
+// Positive filters a probability vector into (index, value) pairs with
+// value > eps, the report format of the PNN problem.
+func Positive(pi []float64, eps float64) []IndexProb {
+	var out []IndexProb
+	for i, p := range pi {
+		if p > eps {
+			out = append(out, IndexProb{I: i, P: p})
+		}
+	}
+	return out
+}
+
+// IndexProb pairs an uncertain-point index with its probability.
+type IndexProb struct {
+	I int
+	P float64
+}

@@ -1,0 +1,124 @@
+package quantify
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pnn/internal/dist"
+	"pnn/internal/geom"
+	"pnn/internal/kdtree"
+)
+
+// NewMonteCarloDiscreteParallel preprocesses the s rounds of Theorem 4.3
+// concurrently: rounds are independent, so each worker instantiates and
+// indexes its own share. Each round derives its RNG from seed+round, so
+// the result is deterministic for a given (seed, s) regardless of worker
+// count. workers ≤ 0 uses GOMAXPROCS.
+func NewMonteCarloDiscreteParallel(pts []*dist.Discrete, s int, seed int64, workers int) *MonteCarlo {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mc := &MonteCarlo{n: len(pts), rounds: make([]*kdtree.Tree, s)}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([]kdtree.Item, len(pts))
+			for j := range next {
+				r := rand.New(rand.NewSource(seed + int64(j)))
+				for i, p := range pts {
+					items[i] = kdtree.Item{P: p.Locs[p.Sample(r)], ID: i}
+				}
+				mc.rounds[j] = kdtree.Build(items)
+			}
+		}()
+	}
+	for j := 0; j < s; j++ {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return mc
+}
+
+// EstimateParallel answers one query using the given number of workers
+// over the rounds; useful when s is large (small ε). workers ≤ 0 uses
+// GOMAXPROCS.
+func (mc *MonteCarlo) EstimateParallel(q geom.Point, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := len(mc.rounds)
+	if s == 0 {
+		return make([]float64, mc.n)
+	}
+	if workers > s {
+		workers = s
+	}
+	counts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	chunk := (s + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > s {
+			hi = s
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]int32, mc.n)
+			for _, t := range mc.rounds[lo:hi] {
+				if it, _, ok := t.Nearest(q); ok {
+					local[it.ID]++
+				}
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := make([]int32, mc.n)
+	for _, local := range counts {
+		for i, c := range local {
+			total[i] += c
+		}
+	}
+	pi := make([]float64, mc.n)
+	inv := 1 / float64(s)
+	for i, c := range total {
+		pi[i] = float64(c) * inv
+	}
+	return pi
+}
+
+// TopK returns the k largest probabilities as (index, value) pairs in
+// decreasing order, breaking ties by index. It serves the top-k variants
+// the paper's Section 1.2 surveys (ranking by probability).
+func TopK(pi []float64, k int) []IndexProb {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]IndexProb, 0, len(pi))
+	for i, p := range pi {
+		if p > 0 {
+			all = append(all, IndexProb{I: i, P: p})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].P != all[b].P {
+			return all[a].P > all[b].P
+		}
+		return all[a].I < all[b].I
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,125 @@
+package quantify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+	"pnn/internal/stats"
+)
+
+func TestParallelMonteCarloDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randomPts(r, 10, 3, 40, 5)
+	a := NewMonteCarloDiscreteParallel(pts, 200, 7, 1)
+	b := NewMonteCarloDiscreteParallel(pts, 200, 7, 8)
+	q := geom.Pt(20, 20)
+	pa := a.Estimate(q)
+	pb := b.Estimate(q)
+	if stats.MaxAbsDiff(pa, pb) != 0 {
+		t.Fatalf("worker count changed the result: %v vs %v", pa, pb)
+	}
+}
+
+func TestParallelMonteCarloAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randomPts(r, 8, 3, 30, 4)
+	mc := NewMonteCarloDiscreteParallel(pts, 4000, 11, 0)
+	q := geom.Pt(15, 15)
+	want := ExactAll(pts, q)
+	got := mc.Estimate(q)
+	if d := stats.MaxAbsDiff(got, want); d > 0.05 {
+		t.Fatalf("parallel MC error %v", d)
+	}
+	// EstimateParallel agrees exactly with the serial Estimate.
+	gp := mc.EstimateParallel(q, 4)
+	if stats.MaxAbsDiff(got, gp) != 0 {
+		t.Fatalf("EstimateParallel differs from Estimate")
+	}
+}
+
+func TestEstimateParallelDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randomPts(r, 3, 2, 10, 2)
+	mc := NewMonteCarloDiscreteParallel(pts, 3, 5, 0)
+	// More workers than rounds.
+	got := mc.EstimateParallel(geom.Pt(5, 5), 16)
+	sum := 0.0
+	for _, p := range got {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass %v", sum)
+	}
+}
+
+func TestSpiralQuadtreeBackendAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randomPts(r, 20, 4, 80, 5)
+	kd := NewSpiral(pts)
+	qt := NewSpiralQuadtree(pts)
+	for probe := 0; probe < 50; probe++ {
+		q := geom.Pt(r.Float64()*90-5, r.Float64()*90-5)
+		a := kd.Estimate(q, 0.05)
+		b := qt.Estimate(q, 0.05)
+		// Both retrieve the m nearest locations; ties at the m-th distance
+		// may differ, so compare against the one-sided bound rather than
+		// exact equality.
+		exact := ExactAll(pts, q)
+		for i := range exact {
+			for _, est := range [][]float64{a, b} {
+				if est[i] > exact[i]+1e-9 || exact[i] > est[i]+0.05+1e-9 {
+					t.Fatalf("backend bound violated at %v idx %d", q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	pi := []float64{0.1, 0, 0.5, 0.2, 0.2}
+	top := TopK(pi, 3)
+	if len(top) != 3 || top[0].I != 2 || top[1].I != 3 || top[2].I != 4 {
+		t.Fatalf("topk: %+v", top)
+	}
+	if got := TopK(pi, 100); len(got) != 4 {
+		t.Fatalf("k beyond positives: %+v", got)
+	}
+	if got := TopK(pi, 0); got != nil {
+		t.Fatalf("k=0: %+v", got)
+	}
+}
+
+func BenchmarkParallelMCPreprocess(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	pts := randomPts(r, 100, 4, 300, 5)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewMonteCarloDiscrete(pts, 500, r)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewMonteCarloDiscreteParallel(pts, 500, 1, 0)
+		}
+	})
+}
+
+func BenchmarkSpiralBackends(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	pts := randomPts(r, 1000, 4, 1000, 4)
+	kd := NewSpiral(pts)
+	qt := NewSpiralQuadtree(pts)
+	q := geom.Pt(500, 500)
+	b.Run("kdtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kd.Estimate(q, 0.05)
+		}
+	})
+	b.Run("quadtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qt.Estimate(q, 0.05)
+		}
+	})
+}

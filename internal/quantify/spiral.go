@@ -1,0 +1,134 @@
+package quantify
+
+import (
+	"math"
+
+	"pnn/internal/dist"
+	"pnn/internal/geom"
+	"pnn/internal/kdtree"
+	"pnn/internal/quadtree"
+)
+
+// Spiral is the deterministic approximation of Section 4.3: retrieve the
+// m(ρ, ε) locations of S = ∪P_i nearest to q and evaluate Eq. (2) on that
+// subset. Lemma 4.6 guarantees the one-sided error
+// π̂_i(q) ≤ π_i(q) ≤ π̂_i(q) + ε. Preprocessing is O(N log N), queries run
+// in O(m log N + m log m) with m = m(ρ, ε) — the paper's
+// O(ρk log(ρ/ε) + log N) with the kd-tree k-NN standing in for the [AC09]
+// structure (DESIGN.md §5).
+type Spiral struct {
+	n       int
+	k       int     // max description complexity
+	rho     float64 // spread of location probabilities (Eq. 9)
+	backend knnBackend
+	locs    []Location
+}
+
+// knnBackend retrieves the indices (into locs) of the k locations nearest
+// to q. Remark (ii) after Theorem 4.7 discusses backend choices; both the
+// kd-tree default and the [Har11]-style quadtree are provided and
+// benchmarked against each other.
+type knnBackend interface {
+	kNearest(q geom.Point, k int) []int
+}
+
+type kdBackend struct{ t *kdtree.Tree }
+
+func (b kdBackend) kNearest(q geom.Point, k int) []int {
+	near := b.t.KNearest(q, k)
+	out := make([]int, len(near))
+	for i, it := range near {
+		out[i] = it.ID
+	}
+	return out
+}
+
+type quadBackend struct{ t *quadtree.Tree }
+
+func (b quadBackend) kNearest(q geom.Point, k int) []int {
+	near := b.t.KNearest(q, k)
+	out := make([]int, len(near))
+	for i, it := range near {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// NewSpiral preprocesses the uncertain points with the kd-tree backend.
+func NewSpiral(pts []*dist.Discrete) *Spiral {
+	s := newSpiralCommon(pts)
+	items := make([]kdtree.Item, len(s.locs))
+	for i, l := range s.locs {
+		items[i] = kdtree.Item{P: l.P, ID: i}
+	}
+	s.backend = kdBackend{kdtree.Build(items)}
+	return s
+}
+
+// NewSpiralQuadtree preprocesses with the quadtree backend of Remark (ii).
+func NewSpiralQuadtree(pts []*dist.Discrete) *Spiral {
+	s := newSpiralCommon(pts)
+	items := make([]quadtree.Item, len(s.locs))
+	for i, l := range s.locs {
+		items[i] = quadtree.Item{P: l.P, ID: i}
+	}
+	s.backend = quadBackend{quadtree.Build(items)}
+	return s
+}
+
+func newSpiralCommon(pts []*dist.Discrete) *Spiral {
+	s := &Spiral{n: len(pts), locs: Flatten(pts)}
+	wmin, wmax := math.Inf(1), 0.0
+	for _, p := range pts {
+		if p.K() > s.k {
+			s.k = p.K()
+		}
+		for _, w := range p.W {
+			wmin = math.Min(wmin, w)
+			wmax = math.Max(wmax, w)
+		}
+	}
+	if wmin > 0 {
+		s.rho = wmax / wmin
+	} else {
+		s.rho = 1
+	}
+	return s
+}
+
+// Rho returns the spread ρ of location probabilities.
+func (s *Spiral) Rho() float64 { return s.rho }
+
+// M returns m(ρ, ε) = ⌈ρk·ln(ρ/ε)⌉ + k − 1, the retrieval size Theorem 4.7
+// prescribes (capped at N).
+func (s *Spiral) M(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.5
+	}
+	m := int(math.Ceil(s.rho*float64(s.k)*math.Log(s.rho/eps))) + s.k - 1
+	if m < s.k {
+		m = s.k
+	}
+	if m > len(s.locs) {
+		m = len(s.locs)
+	}
+	return m
+}
+
+// Estimate returns π̂_i(q) for all i with additive error at most ε:
+// π̂_i ≤ π_i ≤ π̂_i + ε.
+func (s *Spiral) Estimate(q geom.Point, eps float64) []float64 {
+	m := s.M(eps)
+	near := s.backend.kNearest(q, m)
+	sub := make([]Location, len(near))
+	for i, li := range near {
+		sub[i] = s.locs[li]
+	}
+	return ExactSubset(sub, s.n, q)
+}
+
+// EstimatePositive reports the at most m(ρ,ε) points with positive
+// estimates.
+func (s *Spiral) EstimatePositive(q geom.Point, eps float64) []IndexProb {
+	return Positive(s.Estimate(q, eps), 0)
+}

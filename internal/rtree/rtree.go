@@ -1,0 +1,208 @@
+// Package rtree implements an STR-packed R-tree over uncertainty disks and
+// the branch-and-prune NN≠0 query of [CKP04] ("Querying imprecise data in
+// moving object environments"), the baseline the paper compares its query
+// structures against. Nodes carry the minimum and maximum disk radius of
+// their subtree so both query stages (computing Δ(q), then reporting all
+// disks with δ_i(q) < Δ(q)) prune on distance bounds.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"pnn/internal/geom"
+)
+
+// Tree is a static STR-packed R-tree over disks.
+type Tree struct {
+	disks []geom.Disk
+	nodes []node
+	root  int
+}
+
+type node struct {
+	mbr        geom.BBox
+	minR, maxR float64
+	children   []int // node indices; nil for leaves
+	entries    []int // disk indices; nil for internal nodes
+}
+
+const fanout = 16
+
+// Build packs the disks into a tree with Sort-Tile-Recursive loading.
+func Build(disks []geom.Disk) *Tree {
+	t := &Tree{disks: disks}
+	if len(disks) == 0 {
+		t.root = -1
+		return t
+	}
+	idx := make([]int, len(disks))
+	for i := range idx {
+		idx[i] = i
+	}
+	// STR: sort by x, slice into vertical strips, sort each by y.
+	sort.Slice(idx, func(a, b int) bool { return disks[idx[a]].C.X < disks[idx[b]].C.X })
+	nLeaves := (len(idx) + fanout - 1) / fanout
+	strips := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	perStrip := strips * fanout
+
+	var leaves []int
+	for s := 0; s*perStrip < len(idx); s++ {
+		lo := s * perStrip
+		hi := lo + perStrip
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		strip := idx[lo:hi]
+		sort.Slice(strip, func(a, b int) bool { return disks[strip[a]].C.Y < disks[strip[b]].C.Y })
+		for l := 0; l < len(strip); l += fanout {
+			r := l + fanout
+			if r > len(strip) {
+				r = len(strip)
+			}
+			leaves = append(leaves, t.addLeaf(strip[l:r]))
+		}
+	}
+	// Pack upward.
+	level := leaves
+	for len(level) > 1 {
+		var next []int
+		for l := 0; l < len(level); l += fanout {
+			r := l + fanout
+			if r > len(level) {
+				r = len(level)
+			}
+			next = append(next, t.addInternal(level[l:r]))
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func (t *Tree) addLeaf(entries []int) int {
+	n := node{mbr: geom.EmptyBBox(), minR: math.Inf(1)}
+	n.entries = append([]int(nil), entries...)
+	for _, e := range entries {
+		d := t.disks[e]
+		n.mbr = n.mbr.Union(d.BBox())
+		n.minR = math.Min(n.minR, d.R)
+		n.maxR = math.Max(n.maxR, d.R)
+	}
+	t.nodes = append(t.nodes, n)
+	return len(t.nodes) - 1
+}
+
+func (t *Tree) addInternal(children []int) int {
+	n := node{mbr: geom.EmptyBBox(), minR: math.Inf(1)}
+	n.children = append([]int(nil), children...)
+	for _, c := range children {
+		n.mbr = n.mbr.Union(t.nodes[c].mbr)
+		n.minR = math.Min(n.minR, t.nodes[c].minR)
+		n.maxR = math.Max(n.maxR, t.nodes[c].maxR)
+	}
+	t.nodes = append(t.nodes, n)
+	return len(t.nodes) - 1
+}
+
+// Len returns the number of indexed disks.
+func (t *Tree) Len() int { return len(t.disks) }
+
+// Delta returns Δ(q) = min_i (d(q, c_i) + r_i) by branch and bound. The
+// MBR stores whole disks, so d(q, c_i) ≥ dist(q, mbr) − maxR is the center
+// bound used for pruning.
+func (t *Tree) Delta(q geom.Point) float64 {
+	if t.root < 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	t.delta(t.root, q, &best)
+	return best
+}
+
+func (t *Tree) delta(ni int, q geom.Point, best *float64) {
+	n := &t.nodes[ni]
+	// Lower bound on d(q, c_i) + r_i over the subtree: centers lie inside
+	// the MBR, so d(q, c_i) ≥ dist(q, mbr).
+	lb := n.mbr.DistToPoint(q) + n.minR
+	if lb >= *best {
+		return
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			if v := t.disks[e].MaxDist(q); v < *best {
+				*best = v
+			}
+		}
+		return
+	}
+	// Order children by optimistic bound for tighter pruning.
+	type cb struct {
+		c  int
+		lb float64
+	}
+	cbs := make([]cb, len(n.children))
+	for i, c := range n.children {
+		ch := &t.nodes[c]
+		cbs[i] = cb{c, ch.mbr.DistToPoint(q) + ch.minR}
+	}
+	sort.Slice(cbs, func(a, b int) bool { return cbs[a].lb < cbs[b].lb })
+	for _, x := range cbs {
+		t.delta(x.c, q, best)
+	}
+}
+
+// NonzeroQuery implements the [CKP04] branch-and-prune: compute Δ(q), then
+// report all disks whose minimum distance is below it. Results are sorted.
+func (t *Tree) NonzeroQuery(q geom.Point) []int {
+	if t.root < 0 {
+		return nil
+	}
+	if len(t.disks) == 1 {
+		return []int{0}
+	}
+	delta := t.Delta(q)
+	var out []int
+	t.report(t.root, q, delta, &out)
+	// Degenerate-safe pass for the arg-min disk (see core.NonzeroSet):
+	// only needed for zero-radius regions where δ = Δ.
+	arg := -1
+	for i, d := range t.disks {
+		if d.MaxDist(q) == delta {
+			arg = i
+			break
+		}
+	}
+	if arg >= 0 && t.disks[arg].MinDist(q) >= delta {
+		second := math.Inf(1)
+		for j, d := range t.disks {
+			if j != arg {
+				second = math.Min(second, d.MaxDist(q))
+			}
+		}
+		if t.disks[arg].MinDist(q) < second {
+			out = append(out, arg)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (t *Tree) report(ni int, q geom.Point, bound float64, out *[]int) {
+	n := &t.nodes[ni]
+	// δ_i ≥ d(q, c_i) − r_i ≥ dist(q, mbr) − maxR over the subtree.
+	if n.mbr.DistToPoint(q)-n.maxR >= bound {
+		return
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			if t.disks[e].MinDist(q) < bound {
+				*out = append(*out, e)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.report(c, q, bound, out)
+	}
+}

@@ -1,0 +1,83 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pnn/internal/core"
+	"pnn/internal/geom"
+)
+
+func randomDisks(r *rand.Rand, n int) []geom.Disk {
+	ds := make([]geom.Disk, n)
+	for i := range ds {
+		ds[i] = geom.Disk{
+			C: geom.Pt(r.Float64()*100, r.Float64()*100),
+			R: 0.2 + r.Float64()*4,
+		}
+	}
+	return ds
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Build(nil).NonzeroQuery(geom.Pt(0, 0)); got != nil {
+		t.Fatalf("empty tree: %v", got)
+	}
+	tr := Build([]geom.Disk{geom.Dsk(5, 5, 1)})
+	if got := tr.NonzeroQuery(geom.Pt(0, 0)); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single: %v", got)
+	}
+}
+
+func TestDeltaAgainstBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		disks := randomDisks(r, 1+r.Intn(500))
+		tr := Build(disks)
+		for probe := 0; probe < 30; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			want := math.Inf(1)
+			for _, d := range disks {
+				want = math.Min(want, d.MaxDist(q))
+			}
+			if got := tr.Delta(q); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Δ: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestNonzeroQueryAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		disks := randomDisks(r, 2+r.Intn(200))
+		tr := Build(disks)
+		for probe := 0; probe < 50; probe++ {
+			q := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			got := tr.NonzeroQuery(q)
+			want := core.NonzeroSet(disks, q)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: got %v want %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkNonzeroQuery10k(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	disks := make([]geom.Disk, 10000)
+	for i := range disks {
+		disks[i] = geom.Disk{C: geom.Pt(r.Float64()*1000, r.Float64()*1000), R: r.Float64()}
+	}
+	tr := Build(disks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NonzeroQuery(geom.Pt(r.Float64()*1000, r.Float64()*1000))
+	}
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summaries of sample sets and log–log regression for
+// estimating growth exponents (the harness fits measured diagram
+// complexities against n to compare with the paper's Θ(n³), Θ(n²), Θ(N⁴)
+// claims).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P90, P99         float64
+}
+
+// Summarize computes descriptive statistics of xs (which is not modified).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum, sum2 := 0.0, 0.0
+	for _, x := range sorted {
+		sum += x
+		sum2 += x * x
+	}
+	s.Mean = sum / float64(len(xs))
+	v := sum2/float64(len(xs)) - s.Mean*s.Mean
+	if v > 0 {
+		s.Std = math.Sqrt(v)
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted slice
+// by linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// LogLogSlope fits log(y) = a + b·log(x) by least squares and returns the
+// exponent b — the measured growth rate. Points with non-positive x or y
+// are skipped. It returns 0 when fewer than two usable points remain.
+func LogLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// MaxAbsDiff returns max_i |a_i − b_i| (the ∞-norm error the ε-guarantees
+// of Section 4 bound). Slices must have equal length.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

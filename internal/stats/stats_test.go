@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 10, 20, 30, 40}
+	if q := Quantile(xs, 0.5); q != 20 {
+		t.Fatalf("median %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 10 {
+		t.Fatalf("q25 %v", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(xs, 1); q != 40 {
+		t.Fatalf("q1 %v", q)
+	}
+}
+
+func TestLogLogSlopeExact(t *testing.T) {
+	// y = 7x³ must fit slope 3 exactly.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 * x * x * x
+	}
+	if b := LogLogSlope(xs, ys); math.Abs(b-3) > 1e-12 {
+		t.Fatalf("slope %v want 3", b)
+	}
+}
+
+func TestLogLogSlopeNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := []float64{4, 8, 16, 32, 64, 128}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x * (1 + 0.05*(r.Float64()-0.5))
+	}
+	if b := LogLogSlope(xs, ys); math.Abs(b-2) > 0.1 {
+		t.Fatalf("noisy slope %v want ≈ 2", b)
+	}
+}
+
+func TestLogLogSlopeDegenerate(t *testing.T) {
+	if b := LogLogSlope([]float64{1}, []float64{1}); b != 0 {
+		t.Fatalf("single point slope %v", b)
+	}
+	if b := LogLogSlope([]float64{-1, 2}, []float64{1, 0}); b != 0 {
+		t.Fatalf("invalid points slope %v", b)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 2, 3}, []float64{1.5, 2, 2}); d != 1 {
+		t.Fatalf("max abs diff %v", d)
+	}
+}

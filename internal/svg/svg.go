@@ -1,0 +1,117 @@
+// Package svg is a minimal SVG writer used to render figure-style
+// artifacts: the γ curves of Figures 2–4, the lower-bound constructions of
+// Figures 5, 6 and 8, and the diagrams produced by the examples. It keeps
+// a world-coordinate viewport with y pointing up and maps it to SVG pixel
+// space at output time.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pnn/internal/geom"
+)
+
+// Canvas accumulates SVG elements in world coordinates.
+type Canvas struct {
+	box   geom.BBox // world viewport
+	width int       // pixel width; height follows the aspect ratio
+	body  strings.Builder
+}
+
+// New creates a canvas with the world viewport box and pixel width.
+func New(box geom.BBox, width int) *Canvas {
+	if width <= 0 {
+		width = 800
+	}
+	return &Canvas{box: box, width: width}
+}
+
+func (c *Canvas) scale() float64 {
+	w := c.box.Width()
+	if w == 0 {
+		w = 1
+	}
+	return float64(c.width) / w
+}
+
+func (c *Canvas) height() int {
+	h := c.box.Height() * c.scale()
+	if h < 1 {
+		h = 1
+	}
+	return int(h + 0.5)
+}
+
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	s := c.scale()
+	return (p.X - c.box.MinX) * s, (c.box.MaxY - p.Y) * s
+}
+
+// Circle draws a circle with the given stroke and optional fill
+// ("none" for hollow).
+func (c *Canvas) Circle(d geom.Disk, stroke, fill string, strokeWidth float64) {
+	x, y := c.tx(d.C)
+	fmt.Fprintf(&c.body,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" stroke="%s" fill="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, d.R*c.scale(), stroke, fill, strokeWidth)
+}
+
+// Dot draws a small filled disk of pixel radius px.
+func (c *Canvas) Dot(p geom.Point, px float64, fill string) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, px, fill)
+}
+
+// Polyline draws a connected path through the points.
+func (c *Canvas) Polyline(pts []geom.Point, stroke string, strokeWidth float64) {
+	if len(pts) < 2 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		x, y := c.tx(p)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.2f,%.2f", x, y)
+	}
+	fmt.Fprintf(&c.body,
+		`<polyline points="%s" stroke="%s" fill="none" stroke-width="%.2f"/>`+"\n",
+		sb.String(), stroke, strokeWidth)
+}
+
+// Segment draws one line segment.
+func (c *Canvas) Segment(s geom.Segment, stroke string, strokeWidth float64) {
+	x1, y1 := c.tx(s.A)
+	x2, y2 := c.tx(s.B)
+	fmt.Fprintf(&c.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, strokeWidth)
+}
+
+// Text places a label at p.
+func (c *Canvas) Text(p geom.Point, size float64, fill, text string) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.body, `<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s">%s</text>`+"\n",
+		x, y, size, fill, escape(text))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.width, c.height(), c.width, c.height())
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sb.WriteString(c.body.String())
+	sb.WriteString("</svg>\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}

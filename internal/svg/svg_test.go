@@ -1,0 +1,64 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"pnn/internal/geom"
+)
+
+func TestCanvasProducesValidSkeleton(t *testing.T) {
+	c := New(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 5}, 400)
+	c.Circle(geom.Dsk(5, 2.5, 1), "black", "none", 1)
+	c.Dot(geom.Pt(1, 1), 2, "red")
+	c.Polyline([]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 5}, {X: 10, Y: 0}}, "blue", 1)
+	c.Segment(geom.Seg(geom.Pt(0, 5), geom.Pt(10, 5)), "green", 0.5)
+	c.Text(geom.Pt(2, 2), 12, "black", "γ<curve>&stuff")
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<polyline", "<line", "<text", "&lt;curve&gt;&amp;stuff"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 2 {
+		t.Fatal("expected 2 circles (one hollow, one dot)")
+	}
+}
+
+func TestCoordinateFlip(t *testing.T) {
+	// World y-up: a point at the top of the box maps to pixel y ≈ 0.
+	c := New(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 100)
+	x, y := c.tx(geom.Pt(0, 10))
+	if x != 0 || y != 0 {
+		t.Fatalf("top-left maps to (%v, %v)", x, y)
+	}
+	_, y = c.tx(geom.Pt(0, 0))
+	if y != 100 {
+		t.Fatalf("bottom maps to %v", y)
+	}
+}
+
+func TestDegenerateViewport(t *testing.T) {
+	c := New(geom.BBox{MinX: 0, MinY: 0, MaxX: 0, MaxY: 0}, 0)
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Fatal("degenerate canvas still emits a document")
+	}
+}
+
+func TestPolylineTooShort(t *testing.T) {
+	c := New(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10)
+	c.Polyline([]geom.Point{{X: 0, Y: 0}}, "red", 1)
+	var sb strings.Builder
+	c.WriteTo(&sb)
+	if strings.Contains(sb.String(), "<polyline") {
+		t.Fatal("single-point polyline must be skipped")
+	}
+}

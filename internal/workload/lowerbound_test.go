@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"testing"
+
+	"pnn/internal/core"
+)
+
+// The explicit constructions must produce at least their guaranteed vertex
+// counts (Theorems 2.7 and 2.8). They typically produce more: the guarantee
+// covers only the designated triples.
+func TestLowerBoundCubicCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction sweep skipped in -short mode")
+	}
+	for _, n := range []int{8, 12} {
+		disks := LowerBoundCubic(n)
+		d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+		if got, want := d.CrossingCount(), LowerBoundCubicExpected(n); got < want {
+			t.Fatalf("Theorem 2.7 construction n=%d: %d crossings < guaranteed %d", n, got, want)
+		}
+	}
+}
+
+func TestLowerBoundCubicEqualRadiiCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction sweep skipped in -short mode")
+	}
+	for _, n := range []int{9, 12} {
+		disks := LowerBoundCubicEqualRadii(n)
+		d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+		if got, want := d.CrossingCount(), LowerBoundCubicEqualRadiiExpected(n); got < want {
+			t.Fatalf("Theorem 2.8 construction n=%d: %d crossings < guaranteed %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/core"
+	"pnn/internal/geom"
+)
+
+func TestRandomDisks(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds := RandomDisks(r, 20, 100, 1, 5)
+	if len(ds) != 20 {
+		t.Fatal("count")
+	}
+	for _, d := range ds {
+		if d.R < 1 || d.R > 5 {
+			t.Fatalf("radius out of range: %v", d.R)
+		}
+		if d.C.X < 0 || d.C.X > 100 || d.C.Y < 0 || d.C.Y > 100 {
+			t.Fatalf("center out of range: %v", d.C)
+		}
+	}
+}
+
+func TestDisjointDisks(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds := DisjointDisks(r, 30, 3)
+	for i := range ds {
+		if ds[i].R < 1 || ds[i].R > 3 {
+			t.Fatalf("radius ratio violated: %v", ds[i].R)
+		}
+		for j := i + 1; j < len(ds); j++ {
+			if ds[i].Intersects(ds[j]) {
+				t.Fatalf("disks %d and %d intersect", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomDiscrete(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := RandomDiscrete(r, 10, 4, 100, 3, 5)
+	if len(pts) != 10 {
+		t.Fatal("count")
+	}
+	for _, p := range pts {
+		if p.K() != 4 {
+			t.Fatalf("k = %d", p.K())
+		}
+		if s := p.Spread(); s > 5.0001 {
+			t.Fatalf("spread %v exceeds bound", s)
+		}
+	}
+	sup := Supports(pts)
+	if len(sup) != 10 || len(sup[0].Locs) != 4 {
+		t.Fatal("supports")
+	}
+}
+
+func TestLowerBoundQuadraticCount(t *testing.T) {
+	// The Theorem 2.10 construction must produce at least the guaranteed
+	// 2·#pairs vertices (the measured count may exceed it slightly from
+	// breakpoints).
+	n := 8
+	disks := LowerBoundQuadratic(n)
+	d := core.BuildDiagram(disks, core.DiagramOptions{SkipSubdivision: true})
+	want := LowerBoundQuadraticExpected(n)
+	if d.CrossingCount() < want {
+		t.Fatalf("Ω(n²) construction: %d crossings < guaranteed %d",
+			d.CrossingCount(), want)
+	}
+}
+
+func TestLowerBoundQuadraticKnownVertices(t *testing.T) {
+	// The paper gives closed-form vertex positions: for pairs (i,j) with
+	// j−i ≥ 2 and i+j even, v = (2(i+j−2m−1), ±((j−i)²−1)). Verify a few
+	// satisfy δ_i = δ_j = Δ_k.
+	n := 8
+	m := n / 2
+	disks := LowerBoundQuadratic(n)
+	for _, pair := range [][2]int{{1, 3}, {2, 4}, {1, 5}} {
+		i, j := pair[0], pair[1]
+		if (i+j)%2 != 0 {
+			continue
+		}
+		v := geom.Pt(float64(2*(i+j-2*m-1)), float64((j-i)*(j-i)-1))
+		di := disks[i-1].MinDist(v)
+		dj := disks[j-1].MinDist(v)
+		k := (i + j) / 2
+		dk := disks[k-1].MaxDist(v)
+		if ab(di-dj) > 1e-9 || ab(di-dk) > 1e-9 {
+			t.Fatalf("paper vertex (%d,%d) at %v: δ_i=%v δ_j=%v Δ_k=%v",
+				i, j, v, di, dj, dk)
+		}
+	}
+}
+
+func TestLowerBoundCubicStructure(t *testing.T) {
+	disks := LowerBoundCubic(8) // m = 2: 2+2+4 disks
+	if len(disks) != 8 {
+		t.Fatalf("disk count %d", len(disks))
+	}
+	// Flanking disks must be disjoint from each other and from the unit
+	// disks (touching is excluded by the 3/2 gap).
+	mHuge := 4
+	for i := 0; i < mHuge; i++ {
+		for j := mHuge; j < len(disks); j++ {
+			if disks[i].Intersects(disks[j]) {
+				t.Fatalf("disks %d, %d intersect", i, j)
+			}
+		}
+	}
+}
+
+func TestLowerBoundCubicEqualRadiiStructure(t *testing.T) {
+	disks := LowerBoundCubicEqualRadii(9) // m = 3
+	if len(disks) != 9 {
+		t.Fatalf("disk count %d", len(disks))
+	}
+	for _, d := range disks {
+		if d.R != 1 {
+			t.Fatalf("all radii must be 1, got %v", d.R)
+		}
+	}
+}
+
+func TestVPrLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := VPrLowerBound(r, 6)
+	for _, p := range pts {
+		if p.K() != 2 {
+			t.Fatalf("k = %d", p.K())
+		}
+		if p.Locs[0].Norm() > 1 {
+			t.Fatalf("near location outside unit disk: %v", p.Locs[0])
+		}
+		if p.Locs[1] != geom.Pt(100, 0) {
+			t.Fatalf("far location: %v", p.Locs[1])
+		}
+	}
+}
+
+func TestQueryPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	box := geom.BBox{MinX: -1, MinY: 2, MaxX: 3, MaxY: 4}
+	qs := QueryPoints(r, 100, box)
+	for _, q := range qs {
+		if !box.Contains(q) {
+			t.Fatalf("query %v outside box", q)
+		}
+	}
+}
+
+func ab(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,179 @@
+package pnn
+
+import (
+	"errors"
+	"fmt"
+
+	"pnn/internal/core"
+	"pnn/internal/dist"
+	"pnn/internal/geom"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Disk is a closed disk.
+type Disk struct {
+	Center Point
+	R      float64
+}
+
+// Density selects the pdf of a continuous uncertain point within its
+// support disk.
+type Density int
+
+// Supported densities.
+const (
+	// Uniform is the uniform distribution on the support disk.
+	Uniform Density = iota
+	// TruncatedGaussian is an isotropic Gaussian centered at the disk
+	// center, truncated to the disk and renormalized.
+	TruncatedGaussian
+)
+
+// DiskPoint is a continuous uncertain point: a density supported on a
+// disk. Sigma is used only by TruncatedGaussian.
+type DiskPoint struct {
+	Support Disk
+	Density Density
+	Sigma   float64
+}
+
+// DiscretePoint is an uncertain point with k possible locations;
+// Weights[i] is the probability of Locations[i] and the weights sum to 1.
+type DiscretePoint struct {
+	Locations []Point
+	Weights   []float64
+}
+
+// IndexProb pairs an uncertain-point index with a probability.
+type IndexProb struct {
+	Index int
+	Prob  float64
+}
+
+// internal conversions
+
+func toGeom(p Point) geom.Point { return geom.Point{X: p.X, Y: p.Y} }
+
+func toDisk(d Disk) geom.Disk { return geom.Disk{C: toGeom(d.Center), R: d.R} }
+
+func (p DiskPoint) continuous() dist.Continuous {
+	switch p.Density {
+	case TruncatedGaussian:
+		sigma := p.Sigma
+		if sigma <= 0 {
+			sigma = p.Support.R / 2
+		}
+		return dist.TruncatedGaussian{D: toDisk(p.Support), Sigma: sigma}
+	default:
+		return dist.UniformDisk{D: toDisk(p.Support)}
+	}
+}
+
+func (p DiscretePoint) discrete() (*dist.Discrete, error) {
+	locs := make([]geom.Point, len(p.Locations))
+	for i, l := range p.Locations {
+		locs[i] = toGeom(l)
+	}
+	if p.Weights == nil {
+		return dist.UniformDiscrete(locs), nil
+	}
+	return dist.NewDiscrete(locs, p.Weights)
+}
+
+// ContinuousSet is a collection of continuous uncertain points.
+type ContinuousSet struct {
+	points []DiskPoint
+	disks  []geom.Disk
+	conts  []dist.Continuous
+}
+
+// NewContinuousSet validates and wraps disk-supported uncertain points.
+func NewContinuousSet(points []DiskPoint) (*ContinuousSet, error) {
+	if len(points) == 0 {
+		return nil, errors.New("pnn: empty point set")
+	}
+	s := &ContinuousSet{points: points}
+	for i, p := range points {
+		if p.Support.R < 0 {
+			return nil, fmt.Errorf("pnn: point %d has negative radius", i)
+		}
+		s.disks = append(s.disks, toDisk(p.Support))
+		s.conts = append(s.conts, p.continuous())
+	}
+	return s, nil
+}
+
+// Len returns the number of uncertain points.
+func (s *ContinuousSet) Len() int { return len(s.points) }
+
+// NonzeroAt returns NN≠0(q) by direct evaluation of Lemma 2.1 in O(n).
+func (s *ContinuousSet) NonzeroAt(q Point) []int {
+	return core.NonzeroSet(s.disks, toGeom(q))
+}
+
+// DiscreteSet is a collection of discrete uncertain points.
+type DiscreteSet struct {
+	points []DiscretePoint
+	dists  []*dist.Discrete
+	sups   []core.DiscretePoint
+	maxK   int
+}
+
+// NewDiscreteSet validates and wraps discrete uncertain points. A nil
+// Weights slice means uniform weights.
+func NewDiscreteSet(points []DiscretePoint) (*DiscreteSet, error) {
+	if len(points) == 0 {
+		return nil, errors.New("pnn: empty point set")
+	}
+	s := &DiscreteSet{points: points}
+	for i, p := range points {
+		d, err := p.discrete()
+		if err != nil {
+			return nil, fmt.Errorf("pnn: point %d: %w", i, err)
+		}
+		s.dists = append(s.dists, d)
+		s.sups = append(s.sups, core.DiscretePoint{Locs: d.Locs})
+		if d.K() > s.maxK {
+			s.maxK = d.K()
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of uncertain points.
+func (s *DiscreteSet) Len() int { return len(s.points) }
+
+// K returns the maximum description complexity over the points.
+func (s *DiscreteSet) K() int { return s.maxK }
+
+// Spread returns ρ, the ratio of largest to smallest location probability
+// over all points (Section 4.3).
+func (s *DiscreteSet) Spread() float64 {
+	lo, hi := 0.0, 0.0
+	for _, d := range s.dists {
+		for _, w := range d.W {
+			if lo == 0 || w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+	}
+	if lo == 0 {
+		return 1
+	}
+	return hi / lo
+}
+
+// NonzeroAt returns NN≠0(q) by direct evaluation in O(nk).
+func (s *DiscreteSet) NonzeroAt(q Point) []int {
+	return core.NonzeroSetDiscrete(s.sups, toGeom(q))
+}

@@ -1,0 +1,241 @@
+package pnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDiskPoints(r *rand.Rand, n int) []DiskPoint {
+	pts := make([]DiskPoint, n)
+	for i := range pts {
+		pts[i] = DiskPoint{
+			Support: Disk{Center: Pt(r.Float64()*100, r.Float64()*100), R: 0.5 + r.Float64()*4},
+		}
+	}
+	return pts
+}
+
+func randomDiscretePoints(r *rand.Rand, n, k int) []DiscretePoint {
+	pts := make([]DiscretePoint, n)
+	for i := range pts {
+		cx, cy := r.Float64()*100, r.Float64()*100
+		locs := make([]Point, k)
+		w := make([]float64, k)
+		sum := 0.0
+		for t := range locs {
+			locs[t] = Pt(cx+r.Float64()*6-3, cy+r.Float64()*6-3)
+			w[t] = 0.5 + r.Float64()
+			sum += w[t]
+		}
+		for t := range w {
+			w[t] /= sum
+		}
+		pts[i] = DiscretePoint{Locations: locs, Weights: w}
+	}
+	return pts
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewContinuousSet(nil); err == nil {
+		t.Fatal("empty continuous set must error")
+	}
+	if _, err := NewContinuousSet([]DiskPoint{{Support: Disk{R: -1}}}); err == nil {
+		t.Fatal("negative radius must error")
+	}
+	if _, err := NewDiscreteSet(nil); err == nil {
+		t.Fatal("empty discrete set must error")
+	}
+	if _, err := NewDiscreteSet([]DiscretePoint{{
+		Locations: []Point{{0, 0}},
+		Weights:   []float64{0.4},
+	}}); err == nil {
+		t.Fatal("weights not summing to 1 must error")
+	}
+	// nil weights mean uniform.
+	s, err := NewDiscreteSet([]DiscretePoint{{Locations: []Point{{0, 0}, {1, 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 2 {
+		t.Fatalf("K = %d", s.K())
+	}
+}
+
+func TestPublicContinuousPipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	set, err := NewContinuousSet(randomDiskPoints(r, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := set.BuildDiagram()
+	ix := set.NewNonzeroIndex()
+	st := diag.Stats()
+	if st.Vertices != st.Breakpoints+st.Crossings {
+		t.Fatal("stats must partition")
+	}
+	agree := 0
+	for probe := 0; probe < 200; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		brute := set.NonzeroAt(q)
+		viaIx := ix.Query(q)
+		if equalIntsPNN(brute, viaIx) {
+			agree++
+		}
+		// Diagram queries may differ on flattening-tolerance boundaries;
+		// require the fast index to match brute exactly.
+		if !equalIntsPNN(brute, viaIx) {
+			t.Fatalf("index disagrees with brute at %v: %v vs %v", q, viaIx, brute)
+		}
+		_ = diag.Query(q)
+	}
+	if agree != 200 {
+		t.Fatalf("agreement %d/200", agree)
+	}
+}
+
+func TestPublicDiscretePipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := set.NewNonzeroIndex()
+	for probe := 0; probe < 100; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		if !equalIntsPNN(set.NonzeroAt(q), ix.Query(q)) {
+			t.Fatalf("discrete index disagrees at %v", q)
+		}
+	}
+	// Probabilities: exact vs spiral vs Monte Carlo.
+	q := Pt(50, 50)
+	exact := set.ExactProbabilities(q)
+	sum := 0.0
+	for _, p := range exact {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σπ = %v", sum)
+	}
+	sp := set.NewSpiral()
+	eps := 0.05
+	approx := sp.Estimate(q, eps)
+	for i := range exact {
+		if approx[i] > exact[i]+1e-9 || exact[i] > approx[i]+eps+1e-9 {
+			t.Fatalf("spiral bound violated at %d: %v vs %v", i, approx[i], exact[i])
+		}
+	}
+	mc := set.NewMonteCarloRounds(3000, r)
+	est := mc.Estimate(q)
+	for i := range exact {
+		if math.Abs(est[i]-exact[i]) > 0.05 {
+			t.Fatalf("MC estimate off at %d: %v vs %v", i, est[i], exact[i])
+		}
+	}
+}
+
+func TestPublicVPr(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := set.NewVPr(-10, -10, 110, 110)
+	if v.Faces() < 2 {
+		t.Fatalf("faces %d", v.Faces())
+	}
+	mismatches := 0
+	for probe := 0; probe < 100; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		got := v.Query(q)
+		want := set.ExactProbabilities(q)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				mismatches++
+				break
+			}
+		}
+	}
+	if mismatches > 2 {
+		t.Fatalf("V_Pr mismatches %d/100", mismatches)
+	}
+}
+
+func TestPublicDiscreteDiagram(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	set, err := NewDiscreteSet(randomDiscretePoints(r, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := set.BuildDiagram()
+	errors := 0
+	for probe := 0; probe < 100; probe++ {
+		q := Pt(r.Float64()*100, r.Float64()*100)
+		if !equalIntsPNN(diag.Query(q), set.NonzeroAt(q)) {
+			errors++
+		}
+	}
+	if errors > 3 {
+		t.Fatalf("diagram disagrees on %d/100 queries", errors)
+	}
+}
+
+func TestComplexityOnlyOption(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	set, _ := NewContinuousSet(randomDiskPoints(r, 8))
+	diag := set.BuildDiagram(ComplexityOnly())
+	if diag.Stats().Faces != 0 {
+		t.Fatal("complexity-only diagram must not build faces")
+	}
+	// Query still answers via fallback.
+	q := Pt(50, 50)
+	if !equalIntsPNN(diag.Query(q), set.NonzeroAt(q)) {
+		t.Fatal("fallback query mismatch")
+	}
+}
+
+func TestGaussianDiskPoint(t *testing.T) {
+	set, err := NewContinuousSet([]DiskPoint{
+		{Support: Disk{Center: Pt(0, 0), R: 2}, Density: TruncatedGaussian, Sigma: 1},
+		{Support: Disk{Center: Pt(10, 0), R: 2}, Density: TruncatedGaussian}, // default sigma
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := set.IntegrateProbabilities(Pt(5, 0), 256)
+	if math.Abs(pi[0]+pi[1]-1) > 1e-2 {
+		t.Fatalf("Σπ = %v", pi[0]+pi[1])
+	}
+	if math.Abs(pi[0]-0.5) > 0.02 {
+		t.Fatalf("symmetric Gaussians: π_0 = %v", pi[0])
+	}
+}
+
+func TestSpreadAndRetrievalSize(t *testing.T) {
+	set, err := NewDiscreteSet([]DiscretePoint{
+		{Locations: []Point{{0, 0}, {1, 0}}, Weights: []float64{0.2, 0.8}},
+		{Locations: []Point{{5, 5}, {6, 5}}, Weights: []float64{0.5, 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Spread(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("spread %v", got)
+	}
+	sp := set.NewSpiral()
+	if sp.RetrievalSize(0.1) < 2 {
+		t.Fatal("retrieval size too small")
+	}
+}
+
+func equalIntsPNN(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
