@@ -1,0 +1,73 @@
+package pnn
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Result is the answer to one query of a batch: the NN≠0 candidate set
+// and, when the index has a quantifier, the probability vector.
+type Result struct {
+	// Nonzero is NN≠0(q) in increasing index order.
+	Nonzero []int
+	// Probabilities is π(q) from the configured quantifier; nil when the
+	// data kind has no quantifier (L∞ squares).
+	Probabilities []float64
+}
+
+// QueryBatch answers many queries concurrently and returns results in
+// input order. The output is identical for every worker count: queries
+// are independent and every structure is read-only after construction,
+// so parallelism never changes answers (randomized quantifiers draw all
+// randomness during New). workers ≤ 0 uses GOMAXPROCS.
+//
+// Cancellation is checked between queries; on cancellation the partial
+// results are discarded and ctx.Err() is returned.
+func (ix *Index) QueryBatch(ctx context.Context, qs []Point, workers int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	res := make([]Result, len(qs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				res[i] = ix.queryOne(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *Index) queryOne(q Point) Result {
+	r := Result{Nonzero: ix.nonzero(q)}
+	if ix.probs != nil {
+		r.Probabilities = ix.probs(q)
+	}
+	return r
+}

@@ -13,14 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
+	"pnn"
 	"pnn/internal/baseline"
 	"pnn/internal/core"
 	"pnn/internal/dist"
@@ -67,6 +70,7 @@ func main() {
 		{"baselines", "query-time comparison: diagram vs index vs R-tree vs brute", expBaselines},
 		{"expected-vs-prob", "§1.2: expected-distance NN disagrees with probability ranking", expExpectedVsProb},
 		{"linf", "§3 Remark (ii): L∞ metric with square regions", expLInf},
+		{"facade-batch", "pnn.Index facade: QueryBatch throughput vs workers", expFacadeBatch},
 		{"ablation-persist", "ablation: persistent vs explicit face-set storage (Thm 2.11)", expAblationPersist},
 		{"ablation-envelope", "ablation: envelope grid resolution vs vertex counts", expAblationEnvelope},
 		{"ablation-flatten", "ablation: arc flattening density vs query agreement", expAblationFlatten},
@@ -577,6 +581,80 @@ func eq(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+func eqF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// E16 — the unified pnn.Index facade: batch-query throughput scaling
+// with worker count, with a worker-count-independence cross-check (the
+// engine is read-only after New, so answers cannot depend on schedule).
+func expFacadeBatch() {
+	r := rng()
+	n := 2000
+	if *quick {
+		n = 500
+	}
+	pts := make([]pnn.DiscretePoint, n)
+	for i := range pts {
+		cx, cy := r.Float64()*1000, r.Float64()*1000
+		k := 2 + r.Intn(4)
+		locs := make([]pnn.Point, k)
+		for t := range locs {
+			locs[t] = pnn.Pt(cx+r.Float64()*8-4, cy+r.Float64()*8-4)
+		}
+		pts[i] = pnn.DiscretePoint{Locations: locs}
+	}
+	set, err := pnn.NewDiscreteSet(pts)
+	if err != nil {
+		panic(err)
+	}
+	idx, err := pnn.New(set, pnn.WithQuantifier(pnn.SpiralSearch(0.05)))
+	if err != nil {
+		panic(err)
+	}
+	nq := 2000
+	if *quick {
+		nq = 500
+	}
+	qs := make([]pnn.Point, nq)
+	for i := range qs {
+		qs[i] = pnn.Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	ref, err := idx.QueryBatch(context.Background(), qs, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d queries=%d quantifier=spiral(0.05) gomaxprocs=%d\n",
+		n, nq, runtime.GOMAXPROCS(0))
+	fmt.Println("workers  total      per-query  identical-to-serial")
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		got, err := idx.QueryBatch(context.Background(), qs, w)
+		if err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		same := len(got) == len(ref)
+		for i := range got {
+			if !same || !eq(got[i].Nonzero, ref[i].Nonzero) || !eqF(got[i].Probabilities, ref[i].Probabilities) {
+				same = false
+				break
+			}
+		}
+		fmt.Printf("%-8d %-10v %-10v %v\n",
+			w, el.Round(time.Millisecond),
+			(el / time.Duration(nq)).Round(time.Microsecond), same)
+	}
 }
 
 // E17 — §1.2: expected-distance NN ([AESZ12]) vs the most-probable NN.

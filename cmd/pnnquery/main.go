@@ -1,5 +1,5 @@
 // Command pnnquery loads an uncertain-point dataset and answers nonzero-NN
-// and quantification-probability queries.
+// and quantification-probability queries through the pnn.Index facade.
 //
 // Usage:
 //
@@ -7,12 +7,16 @@
 //	pnnquery -data fleet.json -q 42,17                 # NN≠0 + exact π
 //	pnnquery -data fleet.json -q 42,17 -method spiral -eps 0.05
 //	pnnquery -data sensors.json -q 10,20 -method mc -eps 0.1
+//	pnnquery -data fleet.json -q "42,17;10,20;55,5" -workers 8
+//
+// Multiple queries separated by ';' are answered as one concurrent batch
+// (deterministic output order, any worker count).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -23,11 +27,13 @@ import (
 
 var (
 	dataPath = flag.String("data", "", "dataset JSON (from pnngen)")
-	queryStr = flag.String("q", "", "query point as x,y")
+	queryStr = flag.String("q", "", "query points as x,y[;x,y...]")
 	method   = flag.String("method", "exact", "exact | spiral | mc | integrate")
 	eps      = flag.Float64("eps", 0.05, "additive error for spiral/mc")
 	delta    = flag.Float64("delta", 0.05, "failure probability for mc")
 	seed     = flag.Int64("seed", 1, "random seed for mc")
+	workers  = flag.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
+	backend  = flag.String("backend", "index", "nonzero backend: index | direct | diagram")
 )
 
 func main() {
@@ -36,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pnnquery: -data and -q are required")
 		os.Exit(2)
 	}
-	q, err := parsePoint(*queryStr)
+	qs, err := parsePoints(*queryStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,54 +55,75 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	switch df.Kind {
-	case datafile.KindDisks:
-		set, err := df.ContinuousSet()
-		if err != nil {
-			fatal(err)
-		}
-		ix := set.NewNonzeroIndex()
-		nz := ix.Query(q)
-		fmt.Printf("NN≠0(%g, %g) = %v  (%d of %d points)\n", q.X, q.Y, nz, len(nz), set.Len())
-		switch *method {
-		case "integrate":
-			pi := set.IntegrateProbabilities(q, 512)
-			printProbs(pi, 1e-9)
-		case "mc":
-			mc := set.NewMonteCarlo(*eps, *delta, rand.New(rand.NewSource(*seed)))
-			fmt.Printf("monte carlo: %d rounds\n", mc.Rounds())
-			printIndexProbs(mc.EstimatePositive(q))
-		case "exact":
-			// No exact algorithm exists for continuous inputs; integrate.
-			pi := set.IntegrateProbabilities(q, 512)
-			printProbs(pi, 1e-9)
-		default:
-			fatal(fmt.Errorf("method %q not available for disk datasets", *method))
-		}
-	case datafile.KindDiscrete:
-		set, err := df.DiscreteSet()
-		if err != nil {
-			fatal(err)
-		}
-		ix := set.NewNonzeroIndex()
-		nz := ix.Query(q)
-		fmt.Printf("NN≠0(%g, %g) = %v  (%d of %d points)\n", q.X, q.Y, nz, len(nz), set.Len())
-		switch *method {
-		case "exact":
-			printProbs(set.ExactProbabilities(q), 1e-12)
-		case "spiral":
-			sp := set.NewSpiral()
-			fmt.Printf("spiral: ρ=%.2f m(ρ,ε)=%d\n", sp.Rho(), sp.RetrievalSize(*eps))
-			printIndexProbs(sp.EstimatePositive(q, *eps))
-		case "mc":
-			mc := set.NewMonteCarlo(*eps, *delta, rand.New(rand.NewSource(*seed)))
-			fmt.Printf("monte carlo: %d rounds\n", mc.Rounds())
-			printIndexProbs(mc.EstimatePositive(q))
-		default:
-			fatal(fmt.Errorf("method %q not available for discrete datasets", *method))
-		}
+	set, err := df.Set()
+	if err != nil {
+		fatal(err)
 	}
+
+	opts := []pnn.Option{pnn.WithSeed(*seed)}
+	switch *backend {
+	case "index":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendIndex))
+	case "direct":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendDirect))
+	case "diagram":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendDiagram))
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+	switch *method {
+	case "exact", "integrate":
+		// Exact() integrates Eq. (1) numerically for continuous inputs.
+		opts = append(opts, pnn.WithQuantifier(pnn.Exact()))
+	case "spiral":
+		opts = append(opts, pnn.WithQuantifier(pnn.SpiralSearch(*eps)))
+	case "mc":
+		opts = append(opts, pnn.WithQuantifier(pnn.MonteCarlo(*eps, *delta)))
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	idx, err := pnn.New(set, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if idx.Eps() > 0 {
+		fmt.Printf("quantifier: %s (ε=%g)\n", *method, idx.Eps())
+	}
+	if *method == "spiral" && df.Kind == datafile.KindDisks {
+		fmt.Println("note: continuous spiral discretizes each disk first (Lemma 4.4);" +
+			" the sampling term adds to ε")
+	}
+
+	results, err := idx.QueryBatch(context.Background(), qs, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		q := qs[i]
+		fmt.Printf("NN≠0(%g, %g) = %v  (%d of %d points)\n",
+			q.X, q.Y, res.Nonzero, len(res.Nonzero), idx.Len())
+		printProbs(res.Probabilities, 1e-9)
+	}
+}
+
+func parsePoints(s string) ([]pnn.Point, error) {
+	var qs []pnn.Point
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := parsePoint(part)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("no query points in %q", s)
+	}
+	return qs, nil
 }
 
 func parsePoint(s string) (pnn.Point, error) {
@@ -120,12 +147,6 @@ func printProbs(pi []float64, eps float64) {
 		if p > eps {
 			fmt.Printf("  π_%d = %.6f\n", i, p)
 		}
-	}
-}
-
-func printIndexProbs(ips []pnn.IndexProb) {
-	for _, ip := range ips {
-		fmt.Printf("  π_%d ≈ %.6f\n", ip.Index, ip.Prob)
 	}
 }
 

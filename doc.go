@@ -3,27 +3,66 @@
 // Under Uncertainty II" (Agarwal, Aronov, Har-Peled, Phillips, Yi, Zhang;
 // PODS 2013).
 //
+// # Quickstart
+//
+// Build an uncertain-point set, wrap it in the Index facade, and query:
+//
+//	set, err := pnn.NewDiscreteSet(points) // or NewContinuousSet, NewSquareSet
+//	idx, err := pnn.New(set)
+//	candidates, err := idx.Nonzero(q)       // NN≠0(q): who can be nearest?
+//	pi, err := idx.Probabilities(q)         // π_i(q): how likely is each?
+//	top, err := idx.TopK(q, 3)              // most probable nearest neighbors
+//	results, err := idx.QueryBatch(ctx, qs, workers) // concurrent batches
+//
 // An uncertain point is either continuous — a probability density with a
 // disk support (uniform or truncated Gaussian) — or discrete: k candidate
-// locations with probabilities. Two query families are provided:
+// locations with probabilities. Square regions under the L∞ metric
+// (§3, Remark (ii)) support the NN≠0 family.
 //
-// Nonzero nearest neighbors. NN≠0(q) is the set of points with a nonzero
-// probability of being the nearest neighbor of q. It can be answered
-// three ways, trading preprocessing for query time:
+// # Option matrix
 //
-//   - brute force (NonzeroAt), O(n) per query;
-//   - the nonzero Voronoi diagram V≠0 (BuildDiagram), worst-case Θ(n³)
-//     space with O(log n + t) queries (Theorems 2.5–2.14);
-//   - near-linear two-stage indexes (NewNonzeroIndex), Theorems 3.1/3.2.
+// New accepts functional options; every combination not listed as an
+// error below is supported.
 //
-// Quantification probabilities. π_i(q) = Pr[P_i is the NN of q] can be
-// computed exactly for discrete points (ExactProbabilities, or the V_Pr
-// diagram of Theorem 4.2 via NewVPr), estimated by Monte Carlo within ±ε
-// with probability 1−δ (NewMonteCarlo, Theorems 4.3/4.5), or approximated
-// deterministically by spiral search with one-sided error ε
-// (NewSpiral, Theorem 4.7).
+//	WithMetric          L2 (disks, discrete) | Linf (squares); inferred
+//	                    from the data when omitted.
+//	WithNonzeroBackend  BackendIndex   near-linear index, Thms 3.1/3.2 (default)
+//	                    BackendDirect  O(n) evaluation of Lemma 2.1
+//	                    BackendDiagram V≠0 point location, Thm 2.11
+//	                                   (L2 only)
+//	WithQuantifier      Exact()                 Eq. (2) sweep / Eq. (1)
+//	                                            integration (default)
+//	                    MonteCarlo(eps, delta)  Thms 4.3/4.5
+//	                    MonteCarloBudget(s)     explicit round budget
+//	                    SpiralSearch(eps)       Thm 4.7, one-sided ε
+//	                    VPrDiagram(box)         Thm 4.2 (discrete only)
+//	                    (any quantifier over a SquareSet is an error:
+//	                    L∞ supports the NN≠0 family only)
+//	WithSeed            seeds all randomized preprocessing (default 1)
+//	WithRandSource      custom rand.Source, overrides WithSeed
+//	WithIntegrationPanels / WithSpiralSamples   accuracy knobs for
+//	                    continuous inputs
 //
-// The quickstart in examples/quickstart shows both families end to end;
-// DESIGN.md maps every theorem of the paper to its implementation and
-// EXPERIMENTS.md records the measured reproductions.
+// # Determinism
+//
+// All randomness is drawn during New (Monte Carlo instantiations,
+// continuous-point discretization), so a built Index is read-only:
+// every query method is safe for concurrent use, and QueryBatch returns
+// identical results for every worker count. Two Indexes built from the
+// same data, options, and seed answer identically.
+//
+// # Legacy API
+//
+// The per-set query methods predating the facade — NonzeroAt,
+// BuildDiagram, NewNonzeroIndex, ExactProbabilities, NewMonteCarlo,
+// NewSpiral, NewVPr, and friends — remain as deprecated thin wrappers
+// over the same internals and answer exactly as the facade does; new
+// code should construct an Index instead. One breaking rename: the
+// Monte Carlo estimator type is now MonteCarloEstimator, freeing the
+// MonteCarlo name for the quantifier option (constructor calls are
+// unaffected).
+//
+// The quickstart in examples/quickstart shows both query families end to
+// end; DESIGN.md maps every theorem of the paper to its implementation
+// and EXPERIMENTS.md records the measured reproductions.
 package pnn

@@ -1,6 +1,7 @@
 package pnn_test
 
 import (
+	"context"
 	"fmt"
 
 	"pnn"
@@ -8,7 +9,7 @@ import (
 
 // Two couriers with uncertain positions; which can be nearest to the
 // pickup, and with what probability?
-func ExampleDiscreteSet() {
+func ExampleNew() {
 	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
 		{Locations: []pnn.Point{{X: 1, Y: 0}, {X: 3, Y: 0}}, Weights: []float64{0.4, 0.6}},
 		{Locations: []pnn.Point{{X: 0, Y: 2}}},
@@ -16,9 +17,15 @@ func ExampleDiscreteSet() {
 	if err != nil {
 		panic(err)
 	}
+	idx, err := pnn.New(set)
+	if err != nil {
+		panic(err)
+	}
 	q := pnn.Pt(0, 0)
-	fmt.Println("candidates:", set.NonzeroAt(q))
-	for _, ip := range set.PositiveProbabilities(q, 0) {
+	candidates, _ := idx.Nonzero(q)
+	fmt.Println("candidates:", candidates)
+	probs, _ := idx.PositiveProbabilities(q, 0)
+	for _, ip := range probs {
 		fmt.Printf("π_%d = %.1f\n", ip.Index, ip.Prob)
 	}
 	// Output:
@@ -28,7 +35,7 @@ func ExampleDiscreteSet() {
 }
 
 // Disk-shaped uncertainty regions: the nonzero-NN index answers exactly.
-func ExampleContinuousSet() {
+func ExampleIndex_Nonzero() {
 	set, err := pnn.NewContinuousSet([]pnn.DiskPoint{
 		{Support: pnn.Disk{Center: pnn.Pt(0, 0), R: 1}},
 		{Support: pnn.Disk{Center: pnn.Pt(10, 0), R: 1}},
@@ -37,16 +44,21 @@ func ExampleContinuousSet() {
 	if err != nil {
 		panic(err)
 	}
-	ix := set.NewNonzeroIndex()
-	fmt.Println(ix.Query(pnn.Pt(0, 0)))
-	fmt.Println(ix.Query(pnn.Pt(5, 0)))
+	idx, err := pnn.New(set)
+	if err != nil {
+		panic(err)
+	}
+	a, _ := idx.Nonzero(pnn.Pt(0, 0))
+	b, _ := idx.Nonzero(pnn.Pt(5, 0))
+	fmt.Println(a)
+	fmt.Println(b)
 	// Output:
 	// [0]
 	// [0 1 2]
 }
 
 // Spiral search gives deterministic one-sided estimates: π̂ ≤ π ≤ π̂ + ε.
-func ExampleSpiral_Threshold() {
+func ExampleIndex_Threshold() {
 	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
 		{Locations: []pnn.Point{{X: 1, Y: 0}}},
 		{Locations: []pnn.Point{{X: 2, Y: 0}, {X: 50, Y: 0}}, Weights: []float64{0.5, 0.5}},
@@ -55,9 +67,39 @@ func ExampleSpiral_Threshold() {
 	if err != nil {
 		panic(err)
 	}
-	sp := set.NewSpiral()
-	res := sp.Threshold(pnn.Pt(0, 0), 0.3, 0.01)
+	idx, err := pnn.New(set, pnn.WithQuantifier(pnn.SpiralSearch(0.01)))
+	if err != nil {
+		panic(err)
+	}
+	res, _ := idx.Threshold(pnn.Pt(0, 0), 0.3)
 	fmt.Println("certainly above 0.3:", res.Certain)
 	// Output:
 	// certainly above 0.3: [0]
+}
+
+// QueryBatch answers many queries concurrently with results in input
+// order, identical for every worker count.
+func ExampleIndex_QueryBatch() {
+	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
+		{Locations: []pnn.Point{{X: 0, Y: 0}}},
+		{Locations: []pnn.Point{{X: 10, Y: 0}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx, err := pnn.New(set)
+	if err != nil {
+		panic(err)
+	}
+	queries := []pnn.Point{{X: 1, Y: 0}, {X: 9, Y: 0}}
+	results, err := idx.QueryBatch(context.Background(), queries, 8)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("q%d: candidates %v, π %.0f\n", i, r.Nonzero, r.Probabilities)
+	}
+	// Output:
+	// q0: candidates [0], π [1 0]
+	// q1: candidates [1], π [0 1]
 }

@@ -6,12 +6,15 @@
 // between reports each taxi's position is one of its recent pings with
 // a recency-weighted probability. A rider requests a pickup: the system
 // must shortlist taxis that could be closest (NN≠0, Theorem 3.2) and rank
-// them by the probability of actually being closest, comparing the exact
-// sweep (Eq. 2), spiral search (Theorem 4.7) with its one-sided ε
-// guarantee, and the Monte Carlo estimator (Theorem 4.3).
+// them by the probability of actually being closest, comparing three
+// pnn.Index quantifiers — the exact sweep (Eq. 2), spiral search
+// (Theorem 4.7) with its one-sided ε guarantee, and the Monte Carlo
+// estimator (Theorem 4.3). A burst of pickups is then answered as one
+// concurrent QueryBatch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -54,20 +57,33 @@ func main() {
 	fmt.Printf("fleet: %d taxis, max pings %d, weight spread ρ=%.1f\n",
 		set.Len(), set.K(), set.Spread())
 
-	index := set.NewNonzeroIndex()
-	spiral := set.NewSpiral()
-	mc := set.NewMonteCarloRounds(2000, r)
+	// Three engines over the same fleet, differing only in quantifier.
+	const eps = 0.01
+	exactIdx, err := pnn.New(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spiralIdx, err := pnn.New(set, pnn.WithQuantifier(pnn.SpiralSearch(eps)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcIdx, err := pnn.New(set, pnn.WithQuantifier(pnn.MonteCarloBudget(2000)), pnn.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	pickup := pnn.Pt(500, 500)
 	start := time.Now()
-	shortlist := index.Query(pickup)
+	shortlist, err := exactIdx.Nonzero(pickup)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\npickup at %v: %d candidate taxis (%v)\n",
 		pickup, len(shortlist), time.Since(start))
 
-	const eps = 0.01
-	exact := set.ExactProbabilities(pickup)
-	approx := spiral.Estimate(pickup, eps)
-	est := mc.Estimate(pickup)
+	exact, _ := exactIdx.Probabilities(pickup)
+	approx, _ := spiralIdx.Probabilities(pickup)
+	est, _ := mcIdx.Probabilities(pickup)
 
 	type row struct {
 		taxi                  int
@@ -81,8 +97,7 @@ func main() {
 		rows = append(rows, row{taxi, exact[taxi], approx[taxi], est[taxi]})
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].exact > rows[b].exact })
-	fmt.Printf("\nranking (π > 0.005); spiral inspects %d of %d pings, ε=%.2f\n",
-		spiral.RetrievalSize(eps), totalPings(taxis), eps)
+	fmt.Printf("\nranking (π > 0.005), ε=%.2f\n", eps)
 	fmt.Println("taxi   exact    spiral   monte-carlo")
 	for _, rw := range rows {
 		fmt.Printf("%-6d %.4f   %.4f   %.4f\n", rw.taxi, rw.exact, rw.spiral, rw.mcProb)
@@ -97,12 +112,25 @@ func main() {
 		worst = math.Max(worst, exact[i]-approx[i])
 	}
 	fmt.Printf("\nspiral one-sided error on this query: %.5f (guarantee ≤ %.2f)\n", worst, eps)
-}
 
-func totalPings(taxis []pnn.DiscretePoint) int {
-	n := 0
-	for _, t := range taxis {
-		n += len(t.Locations)
+	// Rush hour: 500 pickups at once, answered as one deterministic
+	// concurrent batch.
+	pickups := make([]pnn.Point, 500)
+	for i := range pickups {
+		pickups[i] = pnn.Pt(r.Float64()*1000, r.Float64()*1000)
 	}
-	return n
+	start = time.Now()
+	results, err := spiralIdx.QueryBatch(context.Background(), pickups, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	totalCands := 0
+	for _, res := range results {
+		totalCands += len(res.Nonzero)
+	}
+	fmt.Printf("\nbatch: %d pickups in %v (%v/query), avg %.1f candidates\n",
+		len(pickups), el.Round(time.Millisecond),
+		(el / time.Duration(len(pickups))).Round(time.Microsecond),
+		float64(totalCands)/float64(len(pickups)))
 }

@@ -1,6 +1,7 @@
 // Quickstart: build uncertain points, ask who can be the nearest neighbor,
 // and quantify how likely each candidate is — the two query families of
-// "Nearest-Neighbor Searching Under Uncertainty II" in ~60 lines.
+// "Nearest-Neighbor Searching Under Uncertainty II" through the unified
+// pnn.Index facade.
 package main
 
 import (
@@ -32,31 +33,51 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One facade, exact probabilities (the default quantifier) over the
+	// near-linear NN≠0 index (the default backend).
+	idx, err := pnn.New(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	pickup := pnn.Pt(5, 4)
 
 	// 1. Which couriers have any chance of being closest to the pickup?
 	//    (Lemma 2.1 / Section 3 of the paper.)
-	index := set.NewNonzeroIndex()
-	candidates := index.Query(pickup)
+	candidates, err := idx.Nonzero(pickup)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("couriers that can be nearest to %v: %v\n", pickup, candidates)
 
 	// 2. Exactly how likely is each? (Eq. 2 / Section 4.1.)
-	for _, ip := range set.PositiveProbabilities(pickup, 1e-9) {
+	probs, err := idx.PositiveProbabilities(pickup, 1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ip := range probs {
 		fmt.Printf("  courier %d: π = %.4f\n", ip.Index, ip.Prob)
 	}
 
 	// 3. The same probabilities with the fast deterministic approximation
 	//    (spiral search, Theorem 4.7): guaranteed π̂ ≤ π ≤ π̂ + ε.
-	spiral := set.NewSpiral()
 	const eps = 0.01
-	fmt.Printf("spiral search (ε=%.2f, inspects %d of %d locations):\n",
-		eps, spiral.RetrievalSize(eps), 8)
-	for _, ip := range spiral.EstimatePositive(pickup, eps) {
+	spiral, err := pnn.New(set, pnn.WithQuantifier(pnn.SpiralSearch(eps)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spiral search (ε=%.2f):\n", eps)
+	approx, err := spiral.PositiveProbabilities(pickup, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ip := range approx {
 		fmt.Printf("  courier %d: π̂ = %.4f\n", ip.Index, ip.Prob)
 	}
 
 	// 4. Continuous uncertainty works the same way: sensors whose
-	//    positions are only known up to a disk.
+	//    positions are only known up to a disk. Exact() integrates
+	//    Eq. (1) numerically for continuous inputs.
 	sensors := []pnn.DiskPoint{
 		{Support: pnn.Disk{Center: pnn.Pt(0, 0), R: 2}},
 		{Support: pnn.Disk{Center: pnn.Pt(10, 0), R: 3}},
@@ -66,10 +87,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cidx, err := pnn.New(cset, pnn.WithIntegrationPanels(512))
+	if err != nil {
+		log.Fatal(err)
+	}
 	event := pnn.Pt(5, 2)
-	fmt.Printf("sensors that can be nearest to %v: %v\n",
-		event, cset.NewNonzeroIndex().Query(event))
-	pi := cset.IntegrateProbabilities(event, 512)
+	cands, _ := cidx.Nonzero(event)
+	fmt.Printf("sensors that can be nearest to %v: %v\n", event, cands)
+	pi, err := cidx.Probabilities(event)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, p := range pi {
 		if p > 1e-6 {
 			fmt.Printf("  sensor %d: π = %.4f\n", i, p)

@@ -7,10 +7,11 @@
 // could be the closest — the ones worth waking up — and (b) the
 // probability each one actually is closest, to prioritize.
 //
-// The example builds the near-linear NN≠0 index of Theorem 3.1, compares
-// it against the nonzero Voronoi diagram of Theorem 2.11 and brute force,
-// and quantifies probabilities with the Monte Carlo estimator of
-// Theorem 4.5 cross-checked by numerical integration of Eq. (1).
+// The example builds two pnn.Index engines over the same set — one on
+// the near-linear NN≠0 index of Theorem 3.1, one on the nonzero Voronoi
+// diagram of Theorem 2.11 — and quantifies probabilities with the Monte
+// Carlo estimator of Theorem 4.5 cross-checked by numerical integration
+// of Eq. (1).
 package main
 
 import (
@@ -44,41 +45,54 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Three structures answering "who can be nearest".
-	index := set.NewNonzeroIndex()
-	diagram := set.BuildDiagram()
-	st := diagram.Stats()
-	fmt.Printf("nonzero Voronoi diagram: %d vertices (%d breakpoints, %d crossings), %d faces\n",
-		st.Vertices, st.Breakpoints, st.Crossings, st.Faces)
-
-	// Preprocess the Monte Carlo rounds once (Theorem 4.5's preprocessing
-	// phase); every event query then reuses them.
-	mc := set.NewMonteCarloRounds(4000, r)
+	// Monte Carlo quantifier (Theorem 4.5's preprocessing happens inside
+	// New); every event query then reuses the preprocessed rounds.
+	mcIdx, err := pnn.New(set,
+		pnn.WithQuantifier(pnn.MonteCarloBudget(4000)),
+		pnn.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Same set behind the diagram backend, for cross-checking NN≠0.
+	diagIdx, err := pnn.New(set,
+		pnn.WithNonzeroBackend(pnn.BackendDiagram))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Integration engine for exact cross-checks of the top candidates.
+	intIdx, err := pnn.New(set, pnn.WithIntegrationPanels(192))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	events := []pnn.Point{{X: 50, Y: 50}, {X: 10, Y: 90}, {X: 75, Y: 20}}
 	for _, ev := range events {
 		start := time.Now()
-		viaIndex := index.Query(ev)
+		viaIndex, _ := mcIdx.Nonzero(ev)
 		tIndex := time.Since(start)
 		start = time.Now()
-		viaDiagram := diagram.Query(ev)
+		viaDiagram, _ := diagIdx.Nonzero(ev)
 		tDiagram := time.Since(start)
-		brute := set.NonzeroAt(ev)
 		fmt.Printf("\nevent at %v\n", ev)
 		fmt.Printf("  candidates (index, %v):   %v\n", tIndex, viaIndex)
 		fmt.Printf("  candidates (diagram, %v): %v\n", tDiagram, viaDiagram)
-		fmt.Printf("  candidates (brute):            %v\n", brute)
 
 		// Quantify with Monte Carlo (Theorem 4.5); cross-check the top
 		// candidates against numerical integration of Eq. (1).
-		est := mc.EstimatePositive(ev)
+		est, err := mcIdx.PositiveProbabilities(ev, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := intIdx.Probabilities(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println("  wake-up priority (π̂ by Monte Carlo, π by integration):")
 		for _, ip := range est {
 			if ip.Prob < 0.01 {
 				continue
 			}
-			fmt.Printf("    sensor %2d: π̂=%.3f  π=%.3f\n",
-				ip.Index, ip.Prob, set.IntegrateProbability(ev, ip.Index, 192))
+			fmt.Printf("    sensor %2d: π̂=%.3f  π=%.3f\n", ip.Index, ip.Prob, exact[ip.Index])
 		}
 	}
 }

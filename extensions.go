@@ -22,6 +22,8 @@ import (
 // distance E[d(q, P_i)] and that minimum. This is the cheaper NN notion
 // of [AESZ12]; §1.2 warns it is a poor indicator under large uncertainty
 // (see the ExpectedVsProbability experiment).
+//
+// Deprecated: use New(set).ExpectedNN.
 func (s *DiscreteSet) ExpectedNN(q Point) (int, float64) {
 	return quantify.ExpectedNNDiscrete(s.dists, toGeom(q))
 }
@@ -33,6 +35,8 @@ func (s *DiscreteSet) ExpectedDistance(q Point, i int) float64 {
 
 // ExpectedNN returns the expected-distance nearest neighbor for continuous
 // points, by quadrature with the given panel count.
+//
+// Deprecated: use New(set).ExpectedNN.
 func (s *ContinuousSet) ExpectedNN(q Point, panels int) (int, float64) {
 	return quantify.ExpectedNNContinuous(s.conts, toGeom(q), panels)
 }
@@ -60,6 +64,8 @@ func (s *Spiral) Threshold(q Point, tau, eps float64) ThresholdResult {
 // paper's open problem (iii) answered by composition. The total error
 // adds the sampling term n·α(samplesPerPoint) to the spiral ε; callers
 // control it through the sample budget. rng may be nil for a fixed seed.
+//
+// Deprecated: use New(set, WithQuantifier(SpiralSearch(eps)), WithSpiralSamples(m)).
 func (s *ContinuousSet) NewSpiral(samplesPerPoint int, rng *rand.Rand) *Spiral {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -100,6 +106,8 @@ func NewSquareSet(points []SquarePoint) (*SquareSet, error) {
 func (s *SquareSet) Len() int { return len(s.squares) }
 
 // NonzeroAt returns NN≠0(q) under the Chebyshev metric in O(n).
+//
+// Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDirect)).
 func (s *SquareSet) NonzeroAt(q Point) []int {
 	return linf.NonzeroSet(s.squares, toGeom(q))
 }
@@ -110,6 +118,8 @@ type SquareIndex struct {
 }
 
 // NewNonzeroIndex builds the L∞ query structure.
+//
+// Deprecated: query through the Index facade: New(set) uses this structure by default.
 func (s *SquareSet) NewNonzeroIndex() *SquareIndex {
 	return &SquareIndex{ix: linf.Build(s.squares)}
 }

@@ -1,0 +1,299 @@
+package pnn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pnn/internal/quantify"
+)
+
+// ErrUnsupported reports a query or option combination the chosen data
+// kind cannot answer (for example quantification probabilities under the
+// L∞ metric, or a V_Pr diagram over continuous points).
+var ErrUnsupported = errors.New("pnn: unsupported for this configuration")
+
+// UncertainSet is the common interface of the three uncertain-point
+// kinds — ContinuousSet (disk supports), DiscreteSet (weighted
+// locations), and SquareSet (L∞ squares). It is satisfied only by types
+// in this package; construct values with NewContinuousSet,
+// NewDiscreteSet, or NewSquareSet and hand them to New.
+type UncertainSet interface {
+	// Len returns the number of uncertain points.
+	Len() int
+	// defaultMetric seals the interface and infers the metric.
+	defaultMetric() Metric
+}
+
+func (s *ContinuousSet) defaultMetric() Metric { return L2 }
+func (s *DiscreteSet) defaultMetric() Metric   { return L2 }
+func (s *SquareSet) defaultMetric() Metric     { return Linf }
+
+// Index is the unified query engine over one uncertain-point set: a
+// single facade in front of every structure in the paper. Construct it
+// with New; select metric, NN≠0 backend, and probability engine with
+// options. All query methods are safe for concurrent use — every
+// randomized component is preprocessed at construction time.
+type Index struct {
+	set    UncertainSet
+	n      int
+	metric Metric
+	cfg    config
+
+	// eps is the additive query accuracy of approximate quantifiers
+	// (0 for exact engines and explicit-budget Monte Carlo, whose error
+	// is not declared up front).
+	eps float64
+	// twoSided is true when the quantifier's error band is |π̂ − π| ≤ ε
+	// (Monte Carlo) rather than one-sided π̂ ≤ π ≤ π̂ + ε (spiral).
+	twoSided bool
+
+	nonzero  func(Point) []int
+	probs    func(Point) []float64      // nil when unsupported
+	expected func(Point) (int, float64) // nil when unsupported
+}
+
+// New builds the unified query engine for any uncertain-point kind:
+//
+//	idx, err := pnn.New(set,
+//	    pnn.WithNonzeroBackend(pnn.BackendIndex),
+//	    pnn.WithQuantifier(pnn.SpiralSearch(0.01)),
+//	    pnn.WithSeed(7))
+//
+// The zero-option call pnn.New(set) gives an exact probability engine
+// over the near-linear NN≠0 index of Section 3.
+func New(data UncertainSet, opts ...Option) (*Index, error) {
+	if data == nil {
+		return nil, errors.New("pnn: nil uncertain set")
+	}
+	if data.Len() == 0 {
+		return nil, errors.New("pnn: empty uncertain set")
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.metricSet {
+		cfg.metric = data.defaultMetric()
+	}
+	if cfg.metric != data.defaultMetric() {
+		return nil, fmt.Errorf("pnn: metric %v is incompatible with %T: %w",
+			cfg.metric, data, ErrUnsupported)
+	}
+	ix := &Index{set: data, n: data.Len(), metric: cfg.metric, cfg: cfg}
+	var err error
+	switch s := data.(type) {
+	case *ContinuousSet:
+		err = ix.buildContinuous(s)
+	case *DiscreteSet:
+		err = ix.buildDiscrete(s)
+	case *SquareSet:
+		err = ix.buildSquare(s)
+	default:
+		err = fmt.Errorf("pnn: unknown uncertain set %T: %w", data, ErrUnsupported)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (ix *Index) rng() *rand.Rand {
+	if ix.cfg.src != nil {
+		return rand.New(ix.cfg.src)
+	}
+	return rand.New(rand.NewSource(ix.cfg.seed))
+}
+
+func (ix *Index) buildContinuous(s *ContinuousSet) error {
+	switch ix.cfg.backend {
+	case BackendDirect:
+		ix.nonzero = s.NonzeroAt
+	case BackendDiagram:
+		d := s.BuildDiagram()
+		ix.nonzero = d.Query
+	default:
+		nzi := s.NewNonzeroIndex()
+		ix.nonzero = nzi.Query
+	}
+	panels := ix.cfg.panels
+	switch q := ix.cfg.quant; q.kind {
+	case quantExact:
+		// No exact algorithm exists for continuous inputs; Eq. (1) is
+		// integrated numerically (the [CKP04]-style baseline).
+		ix.probs = func(p Point) []float64 { return s.IntegrateProbabilities(p, panels) }
+	case quantMonteCarlo:
+		mc := s.NewMonteCarlo(q.eps, q.delta, ix.rng())
+		ix.eps = q.eps
+		ix.twoSided = true
+		ix.probs = mc.Estimate
+	case quantMonteCarloBudget:
+		mc := s.NewMonteCarloRounds(q.rounds, ix.rng())
+		ix.probs = mc.Estimate
+	case quantSpiral:
+		sp := s.NewSpiral(ix.cfg.spiralSamples, ix.rng())
+		ix.eps = q.eps
+		// The Lemma 4.4 discretization adds a two-sided sampling term to
+		// the spiral's one-sided ε, so the continuous composition cannot
+		// certify thresholds one-sidedly; classify conservatively.
+		ix.twoSided = true
+		ix.probs = func(p Point) []float64 { return sp.Estimate(p, q.eps) }
+	case quantVPr:
+		return fmt.Errorf("pnn: VPrDiagram requires discrete points: %w", ErrUnsupported)
+	}
+	ix.expected = func(p Point) (int, float64) { return s.ExpectedNN(p, panels) }
+	return nil
+}
+
+func (ix *Index) buildDiscrete(s *DiscreteSet) error {
+	switch ix.cfg.backend {
+	case BackendDirect:
+		ix.nonzero = s.NonzeroAt
+	case BackendDiagram:
+		d := s.BuildDiagram()
+		ix.nonzero = d.Query
+	default:
+		nzi := s.NewNonzeroIndex()
+		ix.nonzero = nzi.Query
+	}
+	switch q := ix.cfg.quant; q.kind {
+	case quantExact:
+		ix.probs = s.ExactProbabilities
+	case quantMonteCarlo:
+		mc := s.NewMonteCarlo(q.eps, q.delta, ix.rng())
+		ix.eps = q.eps
+		ix.twoSided = true
+		ix.probs = mc.Estimate
+	case quantMonteCarloBudget:
+		mc := s.NewMonteCarloRounds(q.rounds, ix.rng())
+		ix.probs = mc.Estimate
+	case quantSpiral:
+		sp := s.NewSpiral()
+		ix.eps = q.eps
+		ix.probs = func(p Point) []float64 { return sp.Estimate(p, q.eps) }
+	case quantVPr:
+		v := s.NewVPr(q.minX, q.minY, q.maxX, q.maxY)
+		// V_Pr stores one vector per diagram face; copy so callers can
+		// mutate results without corrupting the cache (and so batch
+		// results never alias each other).
+		ix.probs = func(p Point) []float64 {
+			pi := v.Query(p)
+			out := make([]float64, len(pi))
+			copy(out, pi)
+			return out
+		}
+	}
+	ix.expected = s.ExpectedNN
+	return nil
+}
+
+func (ix *Index) buildSquare(s *SquareSet) error {
+	switch ix.cfg.backend {
+	case BackendDirect:
+		ix.nonzero = s.NonzeroAt
+	case BackendDiagram:
+		return fmt.Errorf("pnn: no diagram backend under L∞: %w", ErrUnsupported)
+	default:
+		nzi := s.NewNonzeroIndex()
+		ix.nonzero = nzi.Query
+	}
+	// Quantification over square regions is an open extension; NN≠0 is
+	// the query family §3 Remark (ii) supports. Reject an explicitly
+	// requested quantifier here rather than at query time.
+	if ix.cfg.quantSet {
+		return fmt.Errorf("pnn: no quantifier available under L∞: %w", ErrUnsupported)
+	}
+	return nil
+}
+
+// Len returns the number of uncertain points.
+func (ix *Index) Len() int { return ix.n }
+
+// Metric returns the metric the engine answers under.
+func (ix *Index) Metric() Metric { return ix.metric }
+
+// Eps returns the additive query accuracy of the configured quantifier
+// (0 for exact engines).
+func (ix *Index) Eps() float64 { return ix.eps }
+
+// Nonzero returns NN≠0(q): the indices with a nonzero probability of
+// being the nearest neighbor of q, in increasing order.
+func (ix *Index) Nonzero(q Point) ([]int, error) {
+	return ix.nonzero(q), nil
+}
+
+// Probabilities returns π_i(q) for every point, computed by the
+// configured quantifier. For approximate quantifiers the vector carries
+// the engine's documented error guarantee (see Eps).
+func (ix *Index) Probabilities(q Point) ([]float64, error) {
+	if ix.probs == nil {
+		return nil, fmt.Errorf("pnn: no quantifier for %T: %w", ix.set, ErrUnsupported)
+	}
+	return ix.probs(q), nil
+}
+
+// PositiveProbabilities reports only the points with π_i(q) > eps.
+func (ix *Index) PositiveProbabilities(q Point, eps float64) ([]IndexProb, error) {
+	pi, err := ix.Probabilities(q)
+	if err != nil {
+		return nil, err
+	}
+	return toIndexProbs(quantify.Positive(pi, eps)), nil
+}
+
+// TopK returns the k most probable nearest neighbors in decreasing
+// probability order, ties broken by index — the probability-ranking
+// variant of the kNN problem surveyed in §1.2.
+func (ix *Index) TopK(q Point, k int) ([]IndexProb, error) {
+	pi, err := ix.Probabilities(q)
+	if err != nil {
+		return nil, err
+	}
+	return toIndexProbs(quantify.TopK(pi, k)), nil
+}
+
+// Threshold classifies points against the probability threshold tau —
+// the [DYM+05] variant of §1.2. Certain points satisfy π_i(q) ≥ tau
+// under the quantifier's guarantee; the undecidable band is reported as
+// Possible. The classification follows the quantifier's error shape:
+// exact engines compare directly (empty Possible); the one-sided
+// SpiralSearch certifies π̂_i ≥ tau and leaves π̂_i < tau ≤ π̂_i + ε
+// possible; the two-sided MonteCarlo(eps, delta) certifies only
+// π̂_i − ε ≥ tau and leaves |π̂_i − tau| < ε possible (with probability
+// 1 − δ). SpiralSearch over continuous points composes with the
+// Lemma 4.4 discretization, whose sampling term is two-sided, so it is
+// classified like Monte Carlo (and the certification is still only as
+// good as the sample budget — see WithSpiralSamples). MonteCarloBudget
+// declares no ε, so its estimates are compared directly like an exact
+// engine — treat its Certain set as approximate.
+func (ix *Index) Threshold(q Point, tau float64) (ThresholdResult, error) {
+	pi, err := ix.Probabilities(q)
+	if err != nil {
+		return ThresholdResult{}, err
+	}
+	lo := tau // π̂ threshold certifying π ≥ tau
+	if ix.twoSided {
+		lo = tau + ix.eps
+	}
+	var res ThresholdResult
+	for i, p := range pi {
+		switch {
+		case p >= lo:
+			res.Certain = append(res.Certain, i)
+		case ix.eps > 0 && p+ix.eps >= tau:
+			res.Possible = append(res.Possible, i)
+		}
+	}
+	return res, nil
+}
+
+// ExpectedNN returns the index minimizing the expected distance
+// E[d(q, P_i)] and that minimum — the cheaper NN notion of [AESZ12]
+// that §1.2 contrasts with quantification probabilities.
+func (ix *Index) ExpectedNN(q Point) (int, float64, error) {
+	if ix.expected == nil {
+		return -1, 0, fmt.Errorf("pnn: expected distance undefined for %T: %w", ix.set, ErrUnsupported)
+	}
+	i, d := ix.expected(q)
+	return i, d, nil
+}

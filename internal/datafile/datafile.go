@@ -71,6 +71,19 @@ func Read(r io.Reader) (*File, error) {
 	return &f, nil
 }
 
+// Set converts any dataset to the uncertain-set kind it holds, ready
+// for pnn.New.
+func (f *File) Set() (pnn.UncertainSet, error) {
+	switch f.Kind {
+	case KindDisks:
+		return f.ContinuousSet()
+	case KindDiscrete:
+		return f.DiscreteSet()
+	default:
+		return nil, fmt.Errorf("datafile: unknown kind %q", f.Kind)
+	}
+}
+
 // ContinuousSet converts a disks dataset to the public API.
 func (f *File) ContinuousSet() (*pnn.ContinuousSet, error) {
 	if f.Kind != KindDisks {

@@ -1,0 +1,7 @@
+// Package dist defines the probability distributions of uncertain points:
+// the continuous disk-supported densities of Section 1 (uniform and
+// truncated Gaussian, whose distance pdf/cdf feed Eq. (1)) and the
+// discrete k-location distributions of Section 4 (whose weights feed
+// Eq. (2)). Every quantification engine — numerical integration, the
+// exact sweep, Monte Carlo, spiral search — consumes these types.
+package dist

@@ -46,6 +46,8 @@ func ComplexityOnly() DiagramOption {
 
 // BuildDiagram constructs V≠0 for continuous uncertain points
 // (Theorem 2.5: O(n³) complexity, built in O(n² log n + μ)).
+//
+// Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDiagram)).
 func (s *ContinuousSet) BuildDiagram(opts ...DiagramOption) *Diagram {
 	var cfg diagramConfig
 	for _, o := range opts {
@@ -57,6 +59,8 @@ func (s *ContinuousSet) BuildDiagram(opts ...DiagramOption) *Diagram {
 
 // BuildDiagram constructs V≠0 for discrete uncertain points
 // (Theorem 2.14: O(kn³) complexity).
+//
+// Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDiagram)).
 func (s *DiscreteSet) BuildDiagram(opts ...DiagramOption) *Diagram {
 	var cfg diagramConfig
 	for _, o := range opts {
@@ -112,11 +116,15 @@ type NonzeroIndex struct {
 }
 
 // NewNonzeroIndex builds the two-stage structure in O(n log n).
+//
+// Deprecated: query through the Index facade: New(set) uses this structure by default.
 func (s *ContinuousSet) NewNonzeroIndex() *NonzeroIndex {
 	return &NonzeroIndex{cont: nnq.NewContinuous(s.disks)}
 }
 
 // NewNonzeroIndex builds the structure in O(N log N), N = Σ k_i.
+//
+// Deprecated: query through the Index facade: New(set) uses this structure by default.
 func (s *DiscreteSet) NewNonzeroIndex() *NonzeroIndex {
 	return &NonzeroIndex{disc: nnq.NewDiscrete(s.sups)}
 }

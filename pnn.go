@@ -114,6 +114,8 @@ func NewContinuousSet(points []DiskPoint) (*ContinuousSet, error) {
 func (s *ContinuousSet) Len() int { return len(s.points) }
 
 // NonzeroAt returns NN≠0(q) by direct evaluation of Lemma 2.1 in O(n).
+//
+// Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDirect)).
 func (s *ContinuousSet) NonzeroAt(q Point) []int {
 	return core.NonzeroSet(s.disks, toGeom(q))
 }
@@ -174,6 +176,8 @@ func (s *DiscreteSet) Spread() float64 {
 }
 
 // NonzeroAt returns NN≠0(q) by direct evaluation in O(nk).
+//
+// Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDirect)).
 func (s *DiscreteSet) NonzeroAt(q Point) []int {
 	return core.NonzeroSetDiscrete(s.sups, toGeom(q))
 }

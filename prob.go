@@ -10,6 +10,8 @@ import (
 
 // ExactProbabilities returns π_i(q) for every point by the exact Eq. (2)
 // sweep, O(N log N) per query.
+//
+// Deprecated: use New(set).Probabilities (Exact is the default quantifier).
 func (s *DiscreteSet) ExactProbabilities(q Point) []float64 {
 	return quantify.ExactAll(s.dists, toGeom(q))
 }
@@ -23,6 +25,8 @@ func (s *DiscreteSet) PositiveProbabilities(q Point, eps float64) []IndexProb {
 // one-dimensional numerical quadrature with the given panel count — the
 // [CKP04]-style baseline. Accuracy grows with panels; 512 gives ~1e-4 on
 // well-conditioned inputs.
+//
+// Deprecated: use New(set, WithIntegrationPanels(panels)).Probabilities.
 func (s *ContinuousSet) IntegrateProbabilities(q Point, panels int) []float64 {
 	return baseline.IntegrateAll(s.conts, toGeom(q), panels)
 }
@@ -43,6 +47,8 @@ type VPr struct {
 // NewVPr builds the diagram covering the given region; queries outside it
 // fall back to the exact sweep. The box should comfortably contain the
 // workload's query region.
+//
+// Deprecated: use New(set, WithQuantifier(VPrDiagram(minX, minY, maxX, maxY))).
 func (s *DiscreteSet) NewVPr(minX, minY, maxX, maxY float64) *VPr {
 	box := geom.BBox{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
 	return &VPr{v: quantify.NewVPr(s.dists, box)}
@@ -54,70 +60,82 @@ func (v *VPr) Faces() int { return v.v.Faces() }
 // Query returns the exact probability vector at q.
 func (v *VPr) Query(q Point) []float64 { return v.v.Query(toGeom(q)) }
 
-// MonteCarlo estimates quantification probabilities from preprocessed
+// MonteCarloEstimator estimates quantification probabilities from
+// preprocessed
 // random instantiations (Section 4.2).
-type MonteCarlo struct {
+type MonteCarloEstimator struct {
 	mc *quantify.MonteCarlo
 }
 
 // NewMonteCarlo preprocesses enough rounds that, with probability ≥ 1−δ,
 // every estimate for every query has additive error at most ε
 // (Theorem 4.3). rng may be nil for a fixed default seed.
-func (s *DiscreteSet) NewMonteCarlo(eps, delta float64, rng *rand.Rand) *MonteCarlo {
+//
+// Deprecated: use New(set, WithQuantifier(MonteCarlo(eps, delta)), WithSeed(seed)).
+func (s *DiscreteSet) NewMonteCarlo(eps, delta float64, rng *rand.Rand) *MonteCarloEstimator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
 	rounds := quantify.SampleCountDiscrete(s.Len(), s.K(), eps, delta)
-	return &MonteCarlo{mc: quantify.NewMonteCarloDiscrete(s.dists, rounds, rng)}
+	return &MonteCarloEstimator{mc: quantify.NewMonteCarloDiscrete(s.dists, rounds, rng)}
 }
 
 // NewMonteCarloRounds preprocesses an explicit number of rounds (for
 // budget-constrained callers; the error then scales as sqrt(log/rounds)).
-func (s *DiscreteSet) NewMonteCarloRounds(rounds int, rng *rand.Rand) *MonteCarlo {
+//
+// Deprecated: use New(set, WithQuantifier(MonteCarloBudget(rounds)), WithSeed(seed)).
+func (s *DiscreteSet) NewMonteCarloRounds(rounds int, rng *rand.Rand) *MonteCarloEstimator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &MonteCarlo{mc: quantify.NewMonteCarloDiscrete(s.dists, rounds, rng)}
+	return &MonteCarloEstimator{mc: quantify.NewMonteCarloDiscrete(s.dists, rounds, rng)}
 }
 
 // NewMonteCarloParallel preprocesses rounds concurrently (rounds are
 // independent); the result is deterministic for a given seed regardless of
 // worker count. workers ≤ 0 uses GOMAXPROCS.
-func (s *DiscreteSet) NewMonteCarloParallel(rounds int, seed int64, workers int) *MonteCarlo {
-	return &MonteCarlo{mc: quantify.NewMonteCarloDiscreteParallel(s.dists, rounds, seed, workers)}
+//
+// Deprecated: use New(set, WithQuantifier(MonteCarloBudget(rounds)), WithSeed(seed))
+// with Index.QueryBatch for concurrent querying.
+func (s *DiscreteSet) NewMonteCarloParallel(rounds int, seed int64, workers int) *MonteCarloEstimator {
+	return &MonteCarloEstimator{mc: quantify.NewMonteCarloDiscreteParallel(s.dists, rounds, seed, workers)}
 }
 
 // NewMonteCarlo preprocesses rounds for continuous points (Theorem 4.5).
-func (s *ContinuousSet) NewMonteCarlo(eps, delta float64, rng *rand.Rand) *MonteCarlo {
+//
+// Deprecated: use New(set, WithQuantifier(MonteCarlo(eps, delta)), WithSeed(seed)).
+func (s *ContinuousSet) NewMonteCarlo(eps, delta float64, rng *rand.Rand) *MonteCarloEstimator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
 	rounds := quantify.SampleCountContinuous(s.Len(), eps, delta)
-	return &MonteCarlo{mc: quantify.NewMonteCarloContinuous(s.conts, rounds, rng)}
+	return &MonteCarloEstimator{mc: quantify.NewMonteCarloContinuous(s.conts, rounds, rng)}
 }
 
 // NewMonteCarloRounds preprocesses an explicit number of rounds.
-func (s *ContinuousSet) NewMonteCarloRounds(rounds int, rng *rand.Rand) *MonteCarlo {
+//
+// Deprecated: use New(set, WithQuantifier(MonteCarloBudget(rounds)), WithSeed(seed)).
+func (s *ContinuousSet) NewMonteCarloRounds(rounds int, rng *rand.Rand) *MonteCarloEstimator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &MonteCarlo{mc: quantify.NewMonteCarloContinuous(s.conts, rounds, rng)}
+	return &MonteCarloEstimator{mc: quantify.NewMonteCarloContinuous(s.conts, rounds, rng)}
 }
 
 // Rounds returns the number of preprocessed instantiations.
-func (m *MonteCarlo) Rounds() int { return m.mc.Rounds() }
+func (m *MonteCarloEstimator) Rounds() int { return m.mc.Rounds() }
 
 // Estimate returns π̂_i(q) for all i in O(s log n).
-func (m *MonteCarlo) Estimate(q Point) []float64 { return m.mc.Estimate(toGeom(q)) }
+func (m *MonteCarloEstimator) Estimate(q Point) []float64 { return m.mc.Estimate(toGeom(q)) }
 
 // EstimatePositive reports the at most s points with positive estimates.
-func (m *MonteCarlo) EstimatePositive(q Point) []IndexProb {
+func (m *MonteCarloEstimator) EstimatePositive(q Point) []IndexProb {
 	return toIndexProbs(m.mc.EstimatePositive(toGeom(q)))
 }
 
 // EstimateParallel answers one query with concurrent round evaluation;
 // identical output to Estimate. workers ≤ 0 uses GOMAXPROCS.
-func (m *MonteCarlo) EstimateParallel(q Point, workers int) []float64 {
+func (m *MonteCarloEstimator) EstimateParallel(q Point, workers int) []float64 {
 	return m.mc.EstimateParallel(toGeom(q), workers)
 }
 
@@ -128,6 +146,8 @@ type Spiral struct {
 }
 
 // NewSpiral preprocesses the locations in O(N log N).
+//
+// Deprecated: use New(set, WithQuantifier(SpiralSearch(eps))).
 func (s *DiscreteSet) NewSpiral() *Spiral {
 	return &Spiral{sp: quantify.NewSpiral(s.dists)}
 }
@@ -158,6 +178,8 @@ func (s *Spiral) TopK(q Point, k int, eps float64) []IndexProb {
 
 // TopKProbable returns the k most probable nearest neighbors by the exact
 // sweep.
+//
+// Deprecated: use New(set).TopK.
 func (s *DiscreteSet) TopKProbable(q Point, k int) []IndexProb {
 	return toIndexProbs(quantify.TopK(quantify.ExactAll(s.dists, toGeom(q)), k))
 }
