@@ -1,0 +1,98 @@
+// Package api defines the JSON wire types of the pnnserve HTTP API,
+// shared by the server (pnn/server) and the Go client (pnn/client).
+//
+// Responses are encoded with encoding/json, which is deterministic for
+// these struct types: the same answer always serializes to the same
+// bytes, so the server's result cache can store and replay encoded
+// responses verbatim.
+package api
+
+// Point is a query location.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// IndexProb pairs an uncertain-point index with a probability.
+type IndexProb struct {
+	Index int     `json:"index"`
+	P     float64 `json:"p"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Nonzero is the response of GET /v1/nonzero: NN≠0(q), the indices with
+// a nonzero probability of being the nearest neighbor, in increasing
+// order.
+type Nonzero struct {
+	Dataset string `json:"dataset"`
+	Query   Point  `json:"query"`
+	N       int    `json:"n"`
+	Indices []int  `json:"indices"`
+}
+
+// Probabilities is the response of GET /v1/probabilities: the full
+// quantification-probability vector π(q). Eps is the additive accuracy
+// of the configured quantifier (0 for exact engines).
+type Probabilities struct {
+	Dataset       string    `json:"dataset"`
+	Query         Point     `json:"query"`
+	Eps           float64   `json:"eps,omitempty"`
+	Probabilities []float64 `json:"probabilities"`
+}
+
+// TopK is the response of GET /v1/topk: the k most probable nearest
+// neighbors in decreasing probability order.
+type TopK struct {
+	Dataset string      `json:"dataset"`
+	Query   Point       `json:"query"`
+	K       int         `json:"k"`
+	Results []IndexProb `json:"results"`
+}
+
+// Threshold is the response of GET /v1/threshold. Certain points
+// satisfy π_i(q) ≥ tau under the quantifier's guarantee; Possible is
+// the undecidable band at the engine's accuracy.
+type Threshold struct {
+	Dataset  string  `json:"dataset"`
+	Query    Point   `json:"query"`
+	Tau      float64 `json:"tau"`
+	Certain  []int   `json:"certain"`
+	Possible []int   `json:"possible"`
+}
+
+// ExpectedNN is the response of GET /v1/expectednn: the point
+// minimizing the expected distance E[d(q, P_i)] and that minimum.
+type ExpectedNN struct {
+	Dataset  string  `json:"dataset"`
+	Query    Point   `json:"query"`
+	Index    int     `json:"index"`
+	Distance float64 `json:"distance"`
+}
+
+// DatasetInfo describes one hosted dataset in GET /v1/datasets.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	// Kind is "disks", "discrete", or "squares".
+	Kind string `json:"kind"`
+	// N is the number of uncertain points.
+	N int `json:"n"`
+	// Indexes is the number of distinct (backend, quantifier) engines
+	// built so far for this dataset.
+	Indexes int `json:"indexes"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+}
+
+// CacheHeader is the response header reporting whether the result was
+// served from the result cache ("hit") or computed ("miss"). It is a
+// header rather than a body field so cached bodies stay byte-identical
+// to freshly computed ones.
+const CacheHeader = "X-Pnn-Cache"

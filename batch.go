@@ -2,6 +2,7 @@ package pnn
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,13 +33,131 @@ func (ix *Index) QueryBatch(ctx context.Context, qs []Point, workers int) ([]Res
 	if len(qs) == 0 {
 		return nil, nil
 	}
+	res := make([]Result, len(qs))
+	runPool(ctx, len(qs), workers, func(i int) { res[i] = ix.queryOne(qs[i]) })
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Op selects the query method of one batched Request — the facade's
+// method surface as data, so callers that merge heterogeneous query
+// streams (a server coalescing concurrent HTTP requests, say) can
+// dispatch a mixed batch through one QueryBatchOps call.
+type Op int
+
+// Batchable query methods.
+const (
+	// OpNonzero answers Nonzero.
+	OpNonzero Op = iota
+	// OpProbabilities answers Probabilities.
+	OpProbabilities
+	// OpTopK answers TopK with Request.K.
+	OpTopK
+	// OpThreshold answers Threshold with Request.Tau.
+	OpThreshold
+	// OpExpectedNN answers ExpectedNN.
+	OpExpectedNN
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpNonzero:
+		return "nonzero"
+	case OpProbabilities:
+		return "probabilities"
+	case OpTopK:
+		return "topk"
+	case OpThreshold:
+		return "threshold"
+	case OpExpectedNN:
+		return "expectednn"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is one query of a heterogeneous batch: a point, the method to
+// answer it with, and the method's parameters.
+type Request struct {
+	Q  Point
+	Op Op
+	// K is the result count for OpTopK.
+	K int
+	// Tau is the probability threshold for OpThreshold.
+	Tau float64
+}
+
+// OpResult is the answer to one Request. Exactly the fields of the
+// request's Op are populated; Err carries a per-request failure (for
+// example ErrUnsupported) without failing the rest of the batch.
+type OpResult struct {
+	// Nonzero is set for OpNonzero.
+	Nonzero []int
+	// Probabilities is set for OpProbabilities.
+	Probabilities []float64
+	// Ranked is set for OpTopK.
+	Ranked []IndexProb
+	// Threshold is set for OpThreshold.
+	Threshold ThresholdResult
+	// ExpectedIndex and ExpectedDist are set for OpExpectedNN.
+	ExpectedIndex int
+	ExpectedDist  float64
+	// Err is the per-request error, nil on success.
+	Err error
+}
+
+// QueryBatchOps answers a heterogeneous batch — each request names its
+// own method and parameters — concurrently, returning results in input
+// order. Like QueryBatch the output is identical for every worker
+// count; per-request failures are reported in OpResult.Err so one
+// unsupported request never poisons its batchmates. workers ≤ 0 uses
+// GOMAXPROCS. On cancellation partial results are discarded and
+// ctx.Err() is returned.
+func (ix *Index) QueryBatchOps(ctx context.Context, reqs []Request, workers int) ([]OpResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	res := make([]OpResult, len(reqs))
+	runPool(ctx, len(reqs), workers, func(i int) { res[i] = ix.applyOp(reqs[i]) })
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *Index) applyOp(r Request) OpResult {
+	var out OpResult
+	switch r.Op {
+	case OpNonzero:
+		out.Nonzero, out.Err = ix.Nonzero(r.Q)
+	case OpProbabilities:
+		out.Probabilities, out.Err = ix.Probabilities(r.Q)
+	case OpTopK:
+		out.Ranked, out.Err = ix.TopK(r.Q, r.K)
+	case OpThreshold:
+		out.Threshold, out.Err = ix.Threshold(r.Q, r.Tau)
+	case OpExpectedNN:
+		out.ExpectedIndex, out.ExpectedDist, out.Err = ix.ExpectedNN(r.Q)
+	default:
+		out.Err = fmt.Errorf("pnn: unknown batch op %d: %w", r.Op, ErrUnsupported)
+	}
+	return out
+}
+
+// runPool fans fn(i) for i in [0, n) over a bounded worker pool,
+// stopping early (with work possibly undone) once ctx is cancelled.
+func runPool(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(qs) {
-		workers = len(qs)
+	if workers > n {
+		workers = n
 	}
-	res := make([]Result, len(qs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -50,18 +169,14 @@ func (ix *Index) QueryBatch(ctx context.Context, qs []Point, workers int) ([]Res
 					return
 				}
 				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
+				if i >= n {
 					return
 				}
-				res[i] = ix.queryOne(qs[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 func (ix *Index) queryOne(q Point) Result {

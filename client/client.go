@@ -1,0 +1,197 @@
+// Package client is the Go client of the pnnserve HTTP API (see
+// pnn/server). It mirrors the pnn.Index query surface — Nonzero,
+// Probabilities, TopK, Threshold, ExpectedNN — against a named dataset
+// hosted by a remote server, using only the standard library.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"pnn/api"
+)
+
+// Params selects the engine configuration a query runs against,
+// mirroring the server's query parameters. The zero value means the
+// server defaults: the near-linear NN≠0 index and the exact quantifier.
+type Params struct {
+	// Backend is "index", "direct", or "diagram".
+	Backend string
+	// Method is "exact", "spiral", "mc", or "mcbudget".
+	Method string
+	// Eps and Delta parameterize spiral and Monte Carlo quantifiers.
+	Eps, Delta float64
+	// Rounds is the explicit budget for "mcbudget".
+	Rounds int
+	// Seed seeds randomized quantifiers.
+	Seed int64
+}
+
+func (p *Params) apply(v url.Values) {
+	if p == nil {
+		return
+	}
+	if p.Backend != "" {
+		v.Set("backend", p.Backend)
+	}
+	if p.Method != "" {
+		v.Set("method", p.Method)
+	}
+	if p.Eps != 0 {
+		v.Set("eps", strconv.FormatFloat(p.Eps, 'g', -1, 64))
+	}
+	if p.Delta != 0 {
+		v.Set("delta", strconv.FormatFloat(p.Delta, 'g', -1, 64))
+	}
+	if p.Rounds != 0 {
+		v.Set("rounds", strconv.Itoa(p.Rounds))
+	}
+	if p.Seed != 0 {
+		v.Set("seed", strconv.FormatInt(p.Seed, 10))
+	}
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pnnserve: %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one pnnserve instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.get(ctx, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists the hosted datasets.
+func (c *Client) Datasets(ctx context.Context) ([]api.DatasetInfo, error) {
+	var out []api.DatasetInfo
+	if err := c.get(ctx, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Nonzero returns NN≠0(q) on the named dataset.
+func (c *Client) Nonzero(ctx context.Context, dataset string, x, y float64, p *Params) (*api.Nonzero, error) {
+	var out api.Nonzero
+	if err := c.get(ctx, "/v1/nonzero", queryValues(dataset, x, y, p), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Probabilities returns the quantification-probability vector π(q).
+func (c *Client) Probabilities(ctx context.Context, dataset string, x, y float64, p *Params) (*api.Probabilities, error) {
+	var out api.Probabilities
+	if err := c.get(ctx, "/v1/probabilities", queryValues(dataset, x, y, p), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopK returns the k most probable nearest neighbors of q.
+func (c *Client) TopK(ctx context.Context, dataset string, x, y float64, k int, p *Params) (*api.TopK, error) {
+	v := queryValues(dataset, x, y, p)
+	v.Set("k", strconv.Itoa(k))
+	var out api.TopK
+	if err := c.get(ctx, "/v1/topk", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Threshold classifies points against the probability threshold tau.
+func (c *Client) Threshold(ctx context.Context, dataset string, x, y, tau float64, p *Params) (*api.Threshold, error) {
+	v := queryValues(dataset, x, y, p)
+	v.Set("tau", strconv.FormatFloat(tau, 'g', -1, 64))
+	var out api.Threshold
+	if err := c.get(ctx, "/v1/threshold", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExpectedNN returns the expected-distance nearest neighbor of q.
+func (c *Client) ExpectedNN(ctx context.Context, dataset string, x, y float64, p *Params) (*api.ExpectedNN, error) {
+	var out api.ExpectedNN
+	if err := c.get(ctx, "/v1/expectednn", queryValues(dataset, x, y, p), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func queryValues(dataset string, x, y float64, p *Params) url.Values {
+	v := url.Values{}
+	v.Set("dataset", dataset)
+	v.Set("x", strconv.FormatFloat(x, 'g', -1, 64))
+	v.Set("y", strconv.FormatFloat(y, 'g', -1, 64))
+	p.apply(v)
+	return v
+}
+
+func (c *Client) get(ctx context.Context, path string, v url.Values, out any) error {
+	u := c.base + path
+	if len(v) > 0 {
+		u += "?" + v.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"pnn"
+	"pnn/internal/datafile"
+	"pnn/server"
+)
+
+func testServer(t *testing.T) (*Client, pnn.UncertainSet) {
+	t.Helper()
+	gp := datafile.DefaultGenParams()
+	gp.N, gp.K, gp.Seed = 15, 3, 4
+	df, err := datafile.Generate("discrete", gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := df.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add("fleet", set); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{BatchWindow: -1})
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return New(hs.URL, WithHTTPClient(hs.Client())), set
+}
+
+// TestClientMatchesIndex round-trips every client method and compares
+// against direct pnn.Index answers.
+func TestClientMatchesIndex(t *testing.T) {
+	c, set := testServer(t)
+	idx, err := pnn.New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const x, y = 12.5, 7.25
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Datasets != 1 {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+
+	infos, err := c.Datasets(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "fleet" || infos[0].N != set.Len() {
+		t.Fatalf("datasets: %+v, %v", infos, err)
+	}
+
+	nz, err := c.Nonzero(ctx, "fleet", x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNZ, _ := idx.Nonzero(pnn.Pt(x, y))
+	if !reflect.DeepEqual(nz.Indices, wantNZ) {
+		t.Errorf("nonzero = %v, want %v", nz.Indices, wantNZ)
+	}
+
+	pi, err := c.Probabilities(ctx, "fleet", x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPi, _ := idx.Probabilities(pnn.Pt(x, y))
+	if !reflect.DeepEqual(pi.Probabilities, wantPi) {
+		t.Errorf("probabilities mismatch")
+	}
+
+	tk, err := c.TopK(ctx, "fleet", x, y, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTK, _ := idx.TopK(pnn.Pt(x, y), 3)
+	if len(tk.Results) != len(wantTK) {
+		t.Fatalf("topk lengths: %d vs %d", len(tk.Results), len(wantTK))
+	}
+	for i := range wantTK {
+		if tk.Results[i].Index != wantTK[i].Index || tk.Results[i].P != wantTK[i].Prob {
+			t.Errorf("topk[%d] = %+v, want %+v", i, tk.Results[i], wantTK[i])
+		}
+	}
+
+	th, err := c.Threshold(ctx, "fleet", x, y, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTH, _ := idx.Threshold(pnn.Pt(x, y), 0.25)
+	if !reflect.DeepEqual(th.Certain, emptyIfNil(wantTH.Certain)) ||
+		!reflect.DeepEqual(th.Possible, emptyIfNil(wantTH.Possible)) {
+		t.Errorf("threshold = %+v, want %+v", th, wantTH)
+	}
+
+	enn, err := c.ExpectedNN(ctx, "fleet", x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, wd, _ := idx.ExpectedNN(pnn.Pt(x, y))
+	if enn.Index != wi || math.Abs(enn.Distance-wd) > 0 {
+		t.Errorf("expectednn = %+v, want (%d, %g)", enn, wi, wd)
+	}
+}
+
+// TestClientParams checks engine parameters reach the server: a spiral
+// engine reports its eps back.
+func TestClientParams(t *testing.T) {
+	c, _ := testServer(t)
+	pi, err := c.Probabilities(context.Background(), "fleet", 1, 2,
+		&Params{Method: "spiral", Eps: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Eps != 0.125 {
+		t.Errorf("eps = %g, want 0.125", pi.Eps)
+	}
+}
+
+// TestClientErrors checks non-2xx replies become typed APIErrors.
+func TestClientErrors(t *testing.T) {
+	c, _ := testServer(t)
+	_, err := c.Nonzero(context.Background(), "missing", 1, 2, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.StatusCode != 404 || apiErr.Message == "" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+
+	if _, err := c.TopK(context.Background(), "fleet", 1, 2, -1, nil); err == nil {
+		t.Error("negative k: want an error")
+	}
+}
+
+func emptyIfNil(s []int) []int {
+	if s == nil {
+		return []int{}
+	}
+	return s
+}

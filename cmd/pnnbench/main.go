@@ -9,18 +9,25 @@
 //	pnnbench -experiment complexity-random -quick
 //
 // Output is plain text tables on stdout, one row per parameter setting, so
-// runs can be diffed across machines.
+// runs can be diffed across machines. With -json DIR each experiment
+// additionally writes a machine-readable BENCH_<id>.json record (name,
+// params, ns_op, allocs) so the performance trajectory can be tracked
+// across commits; the "microbench" experiment records per-op hot-path
+// numbers via testing.Benchmark.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"testing"
 	"time"
 
 	"pnn"
@@ -41,6 +48,7 @@ var (
 	experiment = flag.String("experiment", "all", "experiment id (see DESIGN.md) or 'all'")
 	quick      = flag.Bool("quick", false, "smaller parameter sweeps")
 	seed       = flag.Int64("seed", 1, "random seed")
+	jsonDir    = flag.String("json", "", "directory for BENCH_<id>.json records (empty disables)")
 )
 
 type exp struct {
@@ -74,6 +82,7 @@ func main() {
 		{"ablation-persist", "ablation: persistent vs explicit face-set storage (Thm 2.11)", expAblationPersist},
 		{"ablation-envelope", "ablation: envelope grid resolution vs vertex counts", expAblationEnvelope},
 		{"ablation-flatten", "ablation: arc flattening density vs query agreement", expAblationFlatten},
+		{"microbench", "hot-path micro-benchmarks (ns/op, allocs/op)", expMicrobench},
 	}
 	if *experiment == "list" {
 		for _, e := range exps {
@@ -81,13 +90,35 @@ func main() {
 		}
 		return
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pnnbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	ran := false
 	for _, e := range exps {
 		if *experiment == "all" || *experiment == e.id {
 			fmt.Printf("== %s — %s\n", e.id, e.desc)
+			var ms0 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			start := time.Now()
 			e.run()
-			fmt.Printf("-- done in %v\n\n", time.Since(start).Round(time.Millisecond))
+			el := time.Since(start)
+			fmt.Printf("-- done in %v\n\n", el.Round(time.Millisecond))
+			if *jsonDir != "" {
+				var ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms1)
+				writeBenchRecord(benchRecord{
+					Name:   e.id,
+					Desc:   e.desc,
+					Params: map[string]any{"quick": *quick, "seed": *seed},
+					NsOp:   el.Nanoseconds(),
+					Ops:    1,
+					Allocs: int64(ms1.Mallocs - ms0.Mallocs),
+					Bytes:  int64(ms1.TotalAlloc - ms0.TotalAlloc),
+				})
+			}
 			ran = true
 		}
 	}
@@ -772,6 +803,142 @@ func expAblationEnvelope() {
 			Gamma:           core.GammaOptions{Env: envelope.Options{GridPerPair: grid}},
 		})
 		fmt.Printf("%-5d %d\n", grid, d.CrossingCount())
+	}
+}
+
+// benchRecord is the machine-readable BENCH_<name>.json schema: one
+// measurement per file so downstream tooling can diff ns_op and allocs
+// across commits without parsing the text tables.
+type benchRecord struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	// Params records the knobs the measurement depends on.
+	Params map[string]any `json:"params"`
+	// NsOp is nanoseconds per operation; for whole-experiment records
+	// Ops is 1 and NsOp is the total wall time.
+	NsOp int64 `json:"ns_op"`
+	Ops  int64 `json:"ops"`
+	// Allocs and Bytes are heap allocations per operation (for
+	// whole-experiment records: for the whole run).
+	Allocs     int64  `json:"allocs"`
+	Bytes      int64  `json:"bytes"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func writeBenchRecord(rec benchRecord) {
+	rec.Go = runtime.Version()
+	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnnbench: encode %s: %v\n", rec.Name, err)
+		return
+	}
+	path := filepath.Join(*jsonDir, "BENCH_"+rec.Name+".json")
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pnnbench: write %s: %v\n", path, err)
+	}
+}
+
+// E22 — per-op micro-benchmarks of the hot paths, measured with
+// testing.Benchmark so ns/op and allocs/op are statistically settled
+// rather than single-shot. These are the numbers to watch across PRs.
+func expMicrobench() {
+	r := rng()
+	nd := 2000
+	if *quick {
+		nd = 500
+	}
+	disks := workload.RandomDisks(r, nd, math.Sqrt(float64(nd))*10, 0.1, 1)
+	dix := nnq.NewContinuous(disks)
+	dqs := workload.QueryPoints(r, 256, workload.DisksBBox(disks))
+
+	np, kp := 50, 4
+	dpts := workload.RandomDiscrete(r, np, kp, 100, 4, 2)
+	sp := quantify.NewSpiral(dpts)
+	mc := quantify.NewMonteCarloDiscrete(dpts, 200, r)
+	pqs := workload.QueryPoints(r, 256, workload.DiscreteBBox(dpts))
+
+	fpts := make([]pnn.DiscretePoint, np)
+	for i, p := range dpts {
+		dp := pnn.DiscretePoint{Weights: append([]float64(nil), p.W...)}
+		for _, l := range p.Locs {
+			dp.Locations = append(dp.Locations, pnn.Pt(l.X, l.Y))
+		}
+		fpts[i] = dp
+	}
+	fset, err := pnn.NewDiscreteSet(fpts)
+	if err != nil {
+		panic(err)
+	}
+	fidx, err := pnn.New(fset)
+	if err != nil {
+		panic(err)
+	}
+	batch := make([]pnn.Request, 64)
+	ops := []pnn.Op{pnn.OpNonzero, pnn.OpProbabilities, pnn.OpTopK, pnn.OpThreshold, pnn.OpExpectedNN}
+	for i := range batch {
+		q := pqs[i%len(pqs)]
+		batch[i] = pnn.Request{Q: pnn.Pt(q.X, q.Y), Op: ops[i%len(ops)], K: 3, Tau: 0.2}
+	}
+
+	benches := []struct {
+		name   string
+		params map[string]any
+		fn     func(b *testing.B)
+	}{
+		{"nonzero-index", map[string]any{"n": nd}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dix.Query(dqs[i%len(dqs)])
+			}
+		}},
+		{"nonzero-brute", map[string]any{"n": nd}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NonzeroSet(disks, dqs[i%len(dqs)])
+			}
+		}},
+		{"exact-sweep", map[string]any{"n": np, "k": kp}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				quantify.ExactAll(dpts, pqs[i%len(pqs)])
+			}
+		}},
+		{"spiral-0.05", map[string]any{"n": np, "k": kp, "eps": 0.05}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp.Estimate(pqs[i%len(pqs)], 0.05)
+			}
+		}},
+		{"mc-200rounds", map[string]any{"n": np, "k": kp, "rounds": 200}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mc.Estimate(pqs[i%len(pqs)])
+			}
+		}},
+		{"facade-batchops-64", map[string]any{"n": np, "k": kp, "batch": len(batch)}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fidx.QueryBatchOps(context.Background(), batch, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	fmt.Println("name                    ns/op        allocs/op  B/op")
+	for _, bm := range benches {
+		res := testing.Benchmark(bm.fn)
+		fmt.Printf("%-23s %-12d %-10d %d\n",
+			bm.name, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
+		if *jsonDir != "" {
+			params := map[string]any{"quick": *quick, "seed": *seed}
+			for k, v := range bm.params {
+				params[k] = v
+			}
+			writeBenchRecord(benchRecord{
+				Name:   "micro-" + bm.name,
+				Params: params,
+				NsOp:   res.NsPerOp(),
+				Ops:    int64(res.N),
+				Allocs: res.AllocsPerOp(),
+				Bytes:  res.AllocedBytesPerOp(),
+			})
+		}
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command pnngen generates uncertain-point datasets in the JSON format
-// cmd/pnnquery consumes.
+// cmd/pnnquery and cmd/pnnserve consume.
 //
 // Usage:
 //
@@ -11,11 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"pnn/internal/datafile"
-	"pnn/internal/workload"
 )
 
 var (
@@ -33,50 +31,15 @@ var (
 
 func main() {
 	flag.Parse()
-	r := rand.New(rand.NewSource(*seed))
-	var f datafile.File
-	switch *kind {
-	case "disks":
-		f.Kind = datafile.KindDisks
-		for _, d := range workload.RandomDisks(r, *n, *extent, *rmin, *rmax) {
-			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
-		}
-	case "disjoint":
-		f.Kind = datafile.KindDisks
-		for _, d := range workload.DisjointDisks(r, *n, *lambda) {
-			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
-		}
-	case "lb-cubic":
-		f.Kind = datafile.KindDisks
-		for _, d := range workload.LowerBoundCubic(*n) {
-			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
-		}
-	case "lb-cubic-equal":
-		f.Kind = datafile.KindDisks
-		for _, d := range workload.LowerBoundCubicEqualRadii(*n) {
-			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
-		}
-	case "lb-quadratic":
-		f.Kind = datafile.KindDisks
-		for _, d := range workload.LowerBoundQuadratic(*n) {
-			f.Disks = append(f.Disks, datafile.DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R})
-		}
-	case "discrete":
-		f.Kind = datafile.KindDiscrete
-		for _, p := range workload.RandomDiscrete(r, *n, *k, *extent, *radius, *spread) {
-			var dj datafile.DiscreteJSON
-			for t, l := range p.Locs {
-				dj.X = append(dj.X, l.X)
-				dj.Y = append(dj.Y, l.Y)
-				dj.W = append(dj.W, p.W[t])
-			}
-			f.Discrete = append(f.Discrete, dj)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "pnngen: unknown kind %q\n", *kind)
+	f, err := datafile.Generate(*kind, datafile.GenParams{
+		N: *n, K: *k, Extent: *extent, RMin: *rmin, RMax: *rmax,
+		Lambda: *lambda, Spread: *spread, Radius: *radius, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnngen: %v\n", err)
 		os.Exit(2)
 	}
-	if err := datafile.Write(os.Stdout, &f); err != nil {
+	if err := datafile.Write(os.Stdout, f); err != nil {
 		fmt.Fprintf(os.Stderr, "pnngen: %v\n", err)
 		os.Exit(1)
 	}

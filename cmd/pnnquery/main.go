@@ -107,21 +107,25 @@ func main() {
 	}
 }
 
+// parsePoints parses "x,y[;x,y...]" strictly: every ';'-separated
+// segment must be a well-formed point, and empty segments (stray or
+// doubled separators) are errors rather than being silently skipped —
+// a malformed batch must fail loudly, not shrink.
 func parsePoints(s string) ([]pnn.Point, error) {
-	var qs []pnn.Point
-	for _, part := range strings.Split(s, ";") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		q, err := parsePoint(part)
-		if err != nil {
-			return nil, err
-		}
-		qs = append(qs, q)
-	}
-	if len(qs) == 0 {
+	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("no query points in %q", s)
+	}
+	parts := strings.Split(s, ";")
+	qs := make([]pnn.Point, len(parts))
+	for i, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			return nil, fmt.Errorf("query %d of %d is empty (stray ';' in %q)", i+1, len(parts), s)
+		}
+		q, err := parsePoint(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("query %d of %d: %w", i+1, len(parts), err)
+		}
+		qs[i] = q
 	}
 	return qs, nil
 }
@@ -129,15 +133,15 @@ func parsePoints(s string) ([]pnn.Point, error) {
 func parsePoint(s string) (pnn.Point, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 2 {
-		return pnn.Point{}, fmt.Errorf("query %q must be x,y", s)
+		return pnn.Point{}, fmt.Errorf("%q must be x,y", s)
 	}
 	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
 	if err != nil {
-		return pnn.Point{}, err
+		return pnn.Point{}, fmt.Errorf("%q: bad x coordinate %q", s, strings.TrimSpace(parts[0]))
 	}
 	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 	if err != nil {
-		return pnn.Point{}, err
+		return pnn.Point{}, fmt.Errorf("%q: bad y coordinate %q", s, strings.TrimSpace(parts[1]))
 	}
 	return pnn.Pt(x, y), nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePointsValid(t *testing.T) {
+	qs, err := parsePoints("42,17; 10 , 20 ;-3.5,2e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("len = %d, want 3", len(qs))
+	}
+	if qs[0].X != 42 || qs[0].Y != 17 || qs[1].X != 10 || qs[1].Y != 20 || qs[2].X != -3.5 || qs[2].Y != 200 {
+		t.Errorf("parsed %+v", qs)
+	}
+}
+
+// TestParsePointsMalformed ensures malformed inputs error out instead
+// of being silently skipped (each error names the offending query).
+func TestParsePointsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantErr string
+	}{
+		{"", "no query points"},
+		{"   ", "no query points"},
+		{"42,17;;10,20", "query 2 of 3 is empty"},
+		{"42,17;", "query 2 of 2 is empty"},
+		{";42,17", "query 1 of 2 is empty"},
+		{"42", "must be x,y"},
+		{"42,17,3", "must be x,y"},
+		{"abc,17", "bad x coordinate"},
+		{"42,xyz", "bad y coordinate"},
+		{"1,2;42,xyz", "query 2 of 2"},
+	} {
+		_, err := parsePoints(tc.in)
+		if err == nil {
+			t.Errorf("parsePoints(%q): want error containing %q, got nil", tc.in, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parsePoints(%q): error %q does not contain %q", tc.in, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command pnnserve hosts named uncertain-point datasets behind the
+// pnnserve HTTP/JSON API: the full pnn.Index query surface plus
+// /healthz and /metrics, with request coalescing and an LRU result
+// cache (see pnn/server).
+//
+// Usage:
+//
+//	pnngen -kind discrete -n 50 > fleet.json
+//	pnnserve -data fleet=fleet.json -gen 'demo=disks:n=100,seed=7'
+//
+//	curl 'localhost:8080/v1/nonzero?dataset=fleet&x=42&y=17'
+//	curl 'localhost:8080/v1/topk?dataset=demo&x=10&y=20&k=3&method=spiral&eps=0.05'
+//	curl localhost:8080/metrics
+//
+// -data name=path loads a pnngen JSON file; -gen name=kind:k1=v1,k2=v2
+// generates a workload in process (kinds as in pnngen; params n, k,
+// seed, extent, rmin, rmax, lambda, spread, radius). Both flags repeat.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pnn/internal/datafile"
+	"pnn/server"
+)
+
+var (
+	addr        = flag.String("addr", ":8080", "listen address")
+	cacheSize   = flag.Int("cache", 4096, "LRU result-cache entries (0 disables)")
+	batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "coalescing window (0 disables)")
+	batchMax    = flag.Int("batch-max", 64, "max coalesced batch size")
+	batchWork   = flag.Int("batch-workers", 0, "workers per batch (0 = GOMAXPROCS)")
+	timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
+)
+
+func main() {
+	reg := server.NewRegistry()
+	loaded := 0
+	flag.Func("data", "dataset as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		df, err := datafile.Read(f)
+		if err != nil {
+			return err
+		}
+		set, err := df.Set()
+		if err != nil {
+			return err
+		}
+		loaded++
+		return reg.Add(name, set)
+	})
+	flag.Func("gen", "generated dataset as name=kind:k1=v1,... (repeatable)", func(v string) error {
+		name, spec, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want name=kind:params, got %q", v)
+		}
+		df, err := generate(spec)
+		if err != nil {
+			return err
+		}
+		set, err := df.Set()
+		if err != nil {
+			return err
+		}
+		loaded++
+		return reg.Add(name, set)
+	})
+	flag.Parse()
+	if loaded == 0 {
+		fmt.Fprintln(os.Stderr, "pnnserve: no datasets; pass at least one -data or -gen")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(reg, server.Config{
+		CacheSize:      orDisabled(*cacheSize),
+		BatchWindow:    orDisabledDur(*batchWindow),
+		BatchMaxSize:   *batchMax,
+		BatchWorkers:   *batchWork,
+		RequestTimeout: orDisabledDur(*timeout),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("pnnserve: listening on %s with %d dataset(s): %s",
+		*addr, reg.Len(), strings.Join(reg.Names(), ", "))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("pnnserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("pnnserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("pnnserve: shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+// orDisabled maps the flag convention "0 disables" onto the Config
+// convention "negative disables, zero means default".
+func orDisabled(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+func orDisabledDur(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+// generate parses "kind:k1=v1,k2=v2" and builds the dataset.
+func generate(spec string) (*datafile.File, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	p := datafile.DefaultGenParams()
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("want key=value, got %q", kv)
+			}
+			if err := setGenParam(&p, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return datafile.Generate(kind, p)
+}
+
+func setGenParam(p *datafile.GenParams, key, val string) error {
+	switch key {
+	case "n", "k":
+		i, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("param %s: %w", key, err)
+		}
+		if key == "n" {
+			p.N = i
+		} else {
+			p.K = i
+		}
+		return nil
+	case "seed":
+		s, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("param seed: %w", err)
+		}
+		p.Seed = s
+		return nil
+	case "extent", "rmin", "rmax", "lambda", "spread", "radius":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("param %s: %w", key, err)
+		}
+		switch key {
+		case "extent":
+			p.Extent = f
+		case "rmin":
+			p.RMin = f
+		case "rmax":
+			p.RMax = f
+		case "lambda":
+			p.Lambda = f
+		case "spread":
+			p.Spread = f
+		case "radius":
+			p.Radius = f
+		}
+		return nil
+	default:
+		return errors.New("unknown generator param " + strconv.Quote(key))
+	}
+}

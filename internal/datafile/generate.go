@@ -1,0 +1,94 @@
+package datafile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pnn/internal/geom"
+	"pnn/internal/workload"
+)
+
+// GenParams parameterizes Generate. Values are used verbatim — an
+// explicit zero (for example RMin = 0, meaning zero-radius disks are
+// allowed) is honored, not replaced. Start from DefaultGenParams when
+// only overriding a few knobs.
+type GenParams struct {
+	// N is the number of uncertain points.
+	N int
+	// K is the locations per discrete point.
+	K int
+	// Extent is the side of the placement square.
+	Extent float64
+	// RMin and RMax bound disk radii.
+	RMin, RMax float64
+	// Lambda is the radius ratio for disjoint disks.
+	Lambda float64
+	// Spread is the maximum weight spread ρ for discrete points.
+	Spread float64
+	// Radius is the cluster radius for discrete points.
+	Radius float64
+	// Seed seeds the generator.
+	Seed int64
+}
+
+// DefaultGenParams mirrors cmd/pnngen's flag defaults.
+func DefaultGenParams() GenParams {
+	return GenParams{
+		N: 50, K: 4, Extent: 100, RMin: 0.5, RMax: 3,
+		Lambda: 2, Spread: 1, Radius: 3, Seed: 1,
+	}
+}
+
+// Generate builds a synthetic dataset of the named workload kind:
+// "disks", "disjoint", "lb-cubic", "lb-cubic-equal", "lb-quadratic"
+// (all continuous), or "discrete". It is the programmatic form of
+// cmd/pnngen, shared with the serving layer's generated datasets.
+func Generate(kind string, p GenParams) (*File, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("datafile: generator needs n > 0, got %d", p.N)
+	}
+	if kind == "discrete" && p.K <= 0 {
+		return nil, fmt.Errorf("datafile: discrete generator needs k > 0, got %d", p.K)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	var f File
+	switch kind {
+	case "disks":
+		f.Kind = KindDisks
+		f.Disks = disksJSON(workload.RandomDisks(r, p.N, p.Extent, p.RMin, p.RMax))
+	case "disjoint":
+		f.Kind = KindDisks
+		f.Disks = disksJSON(workload.DisjointDisks(r, p.N, p.Lambda))
+	case "lb-cubic":
+		f.Kind = KindDisks
+		f.Disks = disksJSON(workload.LowerBoundCubic(p.N))
+	case "lb-cubic-equal":
+		f.Kind = KindDisks
+		f.Disks = disksJSON(workload.LowerBoundCubicEqualRadii(p.N))
+	case "lb-quadratic":
+		f.Kind = KindDisks
+		f.Disks = disksJSON(workload.LowerBoundQuadratic(p.N))
+	case "discrete":
+		f.Kind = KindDiscrete
+		for _, pt := range workload.RandomDiscrete(r, p.N, p.K, p.Extent, p.Radius, p.Spread) {
+			var dj DiscreteJSON
+			for t, l := range pt.Locs {
+				dj.X = append(dj.X, l.X)
+				dj.Y = append(dj.Y, l.Y)
+				dj.W = append(dj.W, pt.W[t])
+			}
+			f.Discrete = append(f.Discrete, dj)
+		}
+	default:
+		return nil, fmt.Errorf("datafile: unknown workload kind %q", kind)
+	}
+	return &f, nil
+}
+
+func disksJSON(disks []geom.Disk) []DiskJSON {
+	out := make([]DiskJSON, len(disks))
+	for i, d := range disks {
+		out[i] = DiskJSON{X: d.C.X, Y: d.C.Y, R: d.R}
+	}
+	return out
+}

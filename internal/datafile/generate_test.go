@@ -1,0 +1,54 @@
+package datafile
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"disks", "disjoint", "lb-quadratic", "discrete"} {
+		gp := DefaultGenParams()
+		gp.N, gp.Seed = 12, 3
+		f, err := Generate(kind, gp)
+		if err != nil {
+			t.Fatalf("Generate(%q): %v", kind, err)
+		}
+		set, err := f.Set()
+		if err != nil {
+			t.Fatalf("Generate(%q).Set: %v", kind, err)
+		}
+		if set.Len() == 0 {
+			t.Errorf("Generate(%q): empty set", kind)
+		}
+	}
+	if _, err := Generate("nope", DefaultGenParams()); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	if _, err := Generate("disks", GenParams{}); err == nil {
+		t.Error("n = 0: want error")
+	}
+}
+
+// TestGenerateDeterministic pins the seed contract the serving layer
+// relies on: same kind + params → identical dataset.
+func TestGenerateDeterministic(t *testing.T) {
+	gp := DefaultGenParams()
+	gp.N, gp.K, gp.Seed = 8, 3, 9
+	a, err := Generate("discrete", gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("discrete", gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Discrete) != len(b.Discrete) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Discrete {
+		for t2 := range a.Discrete[i].X {
+			if a.Discrete[i].X[t2] != b.Discrete[i].X[t2] ||
+				a.Discrete[i].Y[t2] != b.Discrete[i].Y[t2] ||
+				a.Discrete[i].W[t2] != b.Discrete[i].W[t2] {
+				t.Fatalf("point %d differs between same-seed runs", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"pnn"
+)
+
+// ErrBatcherClosed is returned by Submit after Close.
+var ErrBatcherClosed = errors.New("server: batcher closed")
+
+// Batcher coalesces concurrent single-query requests against one
+// pnn.Index into QueryBatchOps calls. A batch is flushed when it
+// reaches MaxBatch requests ("full") or when Window elapses after the
+// first request of the batch arrives ("window"), whichever comes
+// first — so a lone request waits at most Window, and a burst of
+// requests amortizes the per-call overhead and query-level parallelism
+// of one batch call.
+//
+// The index is read-only and every query independent, so coalescing
+// never changes answers: a coalesced request returns exactly what the
+// same pnn.Index call would return sequentially.
+type Batcher struct {
+	idx      *pnn.Index
+	window   time.Duration
+	maxBatch int
+	workers  int
+	// onFlush, when non-nil, observes every flushed batch: its size and
+	// the reason — "full" (batch reached MaxBatch), "window" (the
+	// coalescing window expired), "immediate" (coalescing disabled,
+	// window ≤ 0), or "close" (flushed during Close).
+	onFlush func(size int, reason string)
+
+	mu      sync.Mutex
+	pending []pendingReq
+	timer   *time.Timer
+	closed  bool
+	flights sync.WaitGroup
+}
+
+type pendingReq struct {
+	req pnn.Request
+	ch  chan pnn.OpResult
+}
+
+// NewBatcher builds a batcher over idx. window ≤ 0 means flush every
+// submission immediately (no coalescing); maxBatch ≤ 0 defaults to 64;
+// workers follows pnn.QueryBatchOps semantics (≤ 0 means GOMAXPROCS).
+func NewBatcher(idx *pnn.Index, window time.Duration, maxBatch, workers int, onFlush func(int, string)) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	return &Batcher{
+		idx:      idx,
+		window:   window,
+		maxBatch: maxBatch,
+		workers:  workers,
+		onFlush:  onFlush,
+	}
+}
+
+// Submit enqueues one request and blocks until its batch is answered,
+// ctx is cancelled, or the batcher is closed. The result is exactly
+// what a sequential call of the request's method on the underlying
+// pnn.Index would return (per-request failures come back in
+// OpResult.Err).
+func (b *Batcher) Submit(ctx context.Context, req pnn.Request) (pnn.OpResult, error) {
+	if err := ctx.Err(); err != nil {
+		return pnn.OpResult{}, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return pnn.OpResult{}, ErrBatcherClosed
+	}
+	// Buffered so a flush never blocks on a caller that gave up.
+	ch := make(chan pnn.OpResult, 1)
+	b.pending = append(b.pending, pendingReq{req: req, ch: ch})
+	switch {
+	case len(b.pending) >= b.maxBatch:
+		batch := b.takeLocked()
+		b.flights.Add(1)
+		b.mu.Unlock()
+		go b.run(batch, "full")
+	case b.window <= 0:
+		// Coalescing disabled: each submission is its own batch.
+		batch := b.takeLocked()
+		b.flights.Add(1)
+		b.mu.Unlock()
+		go b.run(batch, "immediate")
+	default:
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.window, b.flushWindow)
+		}
+		b.mu.Unlock()
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return pnn.OpResult{}, ctx.Err()
+	}
+}
+
+// takeLocked steals the pending batch and disarms the window timer.
+// Callers must hold b.mu.
+func (b *Batcher) takeLocked() []pendingReq {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushWindow fires when the coalescing window of the oldest pending
+// request expires.
+func (b *Batcher) flushWindow() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked()
+	if len(batch) == 0 {
+		// A full flush (or Close) beat the timer to the batch.
+		b.mu.Unlock()
+		return
+	}
+	b.flights.Add(1)
+	b.mu.Unlock()
+	b.run(batch, "window")
+}
+
+// run answers one batch and delivers per-request results. The batch
+// context is Background on purpose: a coalesced batch serves many
+// callers, so no single caller's cancellation may abort it.
+func (b *Batcher) run(batch []pendingReq, reason string) {
+	defer b.flights.Done()
+	reqs := make([]pnn.Request, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	res, err := b.idx.QueryBatchOps(context.Background(), reqs, b.workers)
+	for i, p := range batch {
+		if err != nil {
+			p.ch <- pnn.OpResult{Err: err}
+			continue
+		}
+		p.ch <- res[i]
+	}
+	if b.onFlush != nil {
+		b.onFlush(len(batch), reason)
+	}
+}
+
+// Close flushes pending requests (they are answered, not dropped),
+// waits for in-flight batches, and fails all later Submits with
+// ErrBatcherClosed. It is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.flights.Wait()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	if len(batch) > 0 {
+		b.flights.Add(1)
+	}
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.run(batch, "close")
+	}
+	b.flights.Wait()
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnn"
+)
+
+func testIndex(t *testing.T, n int) *pnn.Index {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	pts := make([]pnn.DiscretePoint, n)
+	for i := range pts {
+		cx, cy := r.Float64()*50, r.Float64()*50
+		k := 2 + r.Intn(3)
+		locs := make([]pnn.Point, k)
+		for t := range locs {
+			locs[t] = pnn.Pt(cx+r.Float64()*4-2, cy+r.Float64()*4-2)
+		}
+		pts[i] = pnn.DiscretePoint{Locations: locs}
+	}
+	set, err := pnn.NewDiscreteSet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := pnn.New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+type flushLog struct {
+	mu      sync.Mutex
+	sizes   []int
+	reasons []string
+}
+
+func (f *flushLog) record(size int, reason string) {
+	f.mu.Lock()
+	f.sizes = append(f.sizes, size)
+	f.reasons = append(f.reasons, reason)
+	f.mu.Unlock()
+}
+
+func (f *flushLog) count(reason string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.reasons {
+		if r == reason {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBatcherFullFlushCoalesces makes coalescing deterministic: with a
+// very long window and maxBatch = N, the batch can only flush when the
+// N-th concurrent submitter arrives — one full batch, and every caller
+// gets exactly the sequential answer.
+func TestBatcherFullFlushCoalesces(t *testing.T) {
+	ix := testIndex(t, 20)
+	const n = 10
+	var fl flushLog
+	b := NewBatcher(ix, time.Hour, n, 0, fl.record)
+	defer b.Close()
+
+	r := rand.New(rand.NewSource(3))
+	qs := make([]pnn.Point, n)
+	for i := range qs {
+		qs[i] = pnn.Pt(r.Float64()*50, r.Float64()*50)
+	}
+	results := make([]pnn.OpResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), pnn.Request{Q: qs[i], Op: pnn.OpProbabilities})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if got := fl.count("full"); got != 1 {
+		t.Fatalf("full flushes = %d, want exactly 1 (sizes %v)", got, fl.sizes)
+	}
+	for i := range qs {
+		want, err := ix.Probabilities(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].Probabilities, want) {
+			t.Errorf("query %d: coalesced answer differs from sequential", i)
+		}
+	}
+}
+
+// TestBatcherWindowExpiry checks that a partial batch flushes on its
+// own once the window elapses, with no further submissions needed.
+func TestBatcherWindowExpiry(t *testing.T) {
+	ix := testIndex(t, 10)
+	var fl flushLog
+	b := NewBatcher(ix, 5*time.Millisecond, 1000, 0, fl.record)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), pnn.Request{Q: pnn.Pt(float64(i), 1), Op: pnn.OpNonzero})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			} else if res.Err != nil {
+				t.Errorf("submit %d: %v", i, res.Err)
+			}
+		}(i)
+	}
+	wg.Wait() // returning at all proves the window flush fired
+	if fl.count("window") == 0 {
+		t.Fatalf("no window flush recorded (reasons %v)", fl.reasons)
+	}
+}
+
+// TestBatcherMaxBatchSplits pushes many concurrent submitters through a
+// small maxBatch and checks every request is answered correctly and no
+// batch exceeds the cap.
+func TestBatcherMaxBatchSplits(t *testing.T) {
+	ix := testIndex(t, 20)
+	const n, maxBatch = 60, 8
+	var fl flushLog
+	b := NewBatcher(ix, time.Millisecond, maxBatch, 0, fl.record)
+	defer b.Close()
+
+	r := rand.New(rand.NewSource(9))
+	qs := make([]pnn.Point, n)
+	for i := range qs {
+		qs[i] = pnn.Pt(r.Float64()*50, r.Float64()*50)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), pnn.Request{Q: qs[i], Op: pnn.OpNonzero})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			want, _ := ix.Nonzero(qs[i])
+			if !reflect.DeepEqual(res.Nonzero, want) {
+				t.Errorf("query %d: wrong answer", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	total := 0
+	for _, s := range fl.sizes {
+		total += s
+		if s > maxBatch {
+			t.Errorf("batch of size %d exceeds max %d", s, maxBatch)
+		}
+	}
+	if total != n {
+		t.Errorf("flushed %d requests in total, want %d", total, n)
+	}
+}
+
+// TestBatcherCloseMidFlight closes the batcher while requests are
+// pending in the window: they must be answered (not dropped), and
+// later submissions must fail with ErrBatcherClosed.
+func TestBatcherCloseMidFlight(t *testing.T) {
+	ix := testIndex(t, 10)
+	var fl flushLog
+	b := NewBatcher(ix, time.Hour, 1000, 0, fl.record)
+
+	const n = 5
+	var answered atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), pnn.Request{Q: pnn.Pt(float64(i), 2), Op: pnn.OpNonzero})
+			if err == nil && res.Err == nil {
+				answered.Add(1)
+			} else if err != nil && !errors.Is(err, ErrBatcherClosed) {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Wait until all n requests are queued in the window, then close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		queued := len(b.pending)
+		b.mu.Unlock()
+		if queued == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests queued", queued, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Close()
+	wg.Wait()
+	if got := answered.Load(); got != n {
+		t.Errorf("answered %d of %d pending requests at close", got, n)
+	}
+	if fl.count("close") != 1 {
+		t.Errorf("close flushes = %d, want 1", fl.count("close"))
+	}
+	if _, err := b.Submit(context.Background(), pnn.Request{Q: pnn.Pt(0, 0), Op: pnn.OpNonzero}); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("submit after close: want ErrBatcherClosed, got %v", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherConcurrentSubmitAndClose hammers Submit from many
+// goroutines while Close races them; every Submit must either be
+// answered correctly or fail with ErrBatcherClosed.
+func TestBatcherConcurrentSubmitAndClose(t *testing.T) {
+	ix := testIndex(t, 15)
+	b := NewBatcher(ix, 200*time.Microsecond, 7, 0, nil)
+	const n = 80
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := pnn.Pt(float64(i%10)*5, float64(i%7)*5)
+			res, err := b.Submit(context.Background(), pnn.Request{Q: q, Op: pnn.OpNonzero})
+			if err != nil {
+				if !errors.Is(err, ErrBatcherClosed) {
+					t.Errorf("submit %d: %v", i, err)
+				}
+				return
+			}
+			want, _ := ix.Nonzero(q)
+			if !reflect.DeepEqual(res.Nonzero, want) {
+				t.Errorf("query %d: wrong answer under submit/close race", i)
+			}
+		}(i)
+	}
+	time.Sleep(time.Millisecond)
+	b.Close()
+	wg.Wait()
+}
+
+// TestBatcherSubmitCancelled checks both a pre-cancelled context and
+// one cancelled while waiting inside the window.
+func TestBatcherSubmitCancelled(t *testing.T) {
+	ix := testIndex(t, 10)
+	b := NewBatcher(ix, time.Hour, 1000, 0, nil)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, pnn.Request{Q: pnn.Pt(0, 0), Op: pnn.OpNonzero}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: want context.Canceled, got %v", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	if _, err := b.Submit(ctx2, pnn.Request{Q: pnn.Pt(0, 0), Op: pnn.OpNonzero}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-window cancel: want DeadlineExceeded, got %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being MRU")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing after insert")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A1"))
+	c.Put("a", []byte("A2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("A2")) {
+		t.Errorf("get a = %q, want A2", v)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d, want 0", c.Len())
+	}
+}
+
+// TestResultCacheConcurrent exercises the cache under the race
+// detector.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Errorf("empty cached value for %s", key)
+				}
+				c.Put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics holds the server's counters, rendered at /metrics in the
+// Prometheus text exposition format (stdlib only — no client library).
+type Metrics struct {
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	batches        atomic.Uint64
+	batchedReqs    atomic.Uint64
+	indexBuilds    atomic.Uint64
+	errorsTotal    atomic.Uint64
+	mu             sync.Mutex
+	requestsByPath map[string]uint64
+	flushesByWhy   map[string]uint64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requestsByPath: make(map[string]uint64),
+		flushesByWhy:   make(map[string]uint64),
+	}
+}
+
+func (m *Metrics) request(endpoint string) {
+	m.mu.Lock()
+	m.requestsByPath[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) flush(size int, reason string) {
+	m.batches.Add(1)
+	m.batchedReqs.Add(uint64(size))
+	m.mu.Lock()
+	m.flushesByWhy[reason]++
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the counters, for tests and
+// introspection.
+type Snapshot struct {
+	CacheHits, CacheMisses uint64
+	Batches, BatchedReqs   uint64
+	IndexBuilds, Errors    uint64
+	Requests               map[string]uint64
+	Flushes                map[string]uint64
+}
+
+// Snapshot copies every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Batches:     m.batches.Load(),
+		BatchedReqs: m.batchedReqs.Load(),
+		IndexBuilds: m.indexBuilds.Load(),
+		Errors:      m.errorsTotal.Load(),
+		Requests:    make(map[string]uint64),
+		Flushes:     make(map[string]uint64),
+	}
+	m.mu.Lock()
+	for k, v := range m.requestsByPath {
+		s.Requests[k] = v
+	}
+	for k, v := range m.flushesByWhy {
+		s.Flushes[k] = v
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// render writes the counters in deterministic order.
+func (m *Metrics) render(datasets int) string {
+	s := m.Snapshot()
+	var b strings.Builder
+	b.WriteString("# TYPE pnn_datasets gauge\n")
+	fmt.Fprintf(&b, "pnn_datasets %d\n", datasets)
+	b.WriteString("# TYPE pnn_requests_total counter\n")
+	for _, ep := range sortedKeys(s.Requests) {
+		fmt.Fprintf(&b, "pnn_requests_total{endpoint=%q} %d\n", ep, s.Requests[ep])
+	}
+	b.WriteString("# TYPE pnn_errors_total counter\n")
+	fmt.Fprintf(&b, "pnn_errors_total %d\n", s.Errors)
+	b.WriteString("# TYPE pnn_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "pnn_cache_hits_total %d\n", s.CacheHits)
+	b.WriteString("# TYPE pnn_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "pnn_cache_misses_total %d\n", s.CacheMisses)
+	b.WriteString("# TYPE pnn_batches_total counter\n")
+	fmt.Fprintf(&b, "pnn_batches_total %d\n", s.Batches)
+	b.WriteString("# TYPE pnn_batched_requests_total counter\n")
+	fmt.Fprintf(&b, "pnn_batched_requests_total %d\n", s.BatchedReqs)
+	b.WriteString("# TYPE pnn_batch_flushes_total counter\n")
+	for _, why := range sortedKeys(s.Flushes) {
+		fmt.Fprintf(&b, "pnn_batch_flushes_total{reason=%q} %d\n", why, s.Flushes[why])
+	}
+	b.WriteString("# TYPE pnn_index_builds_total counter\n")
+	fmt.Fprintf(&b, "pnn_index_builds_total %d\n", s.IndexBuilds)
+	return b.String()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

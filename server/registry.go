@@ -1,0 +1,219 @@
+// Package server implements pnnserve: an HTTP/JSON query server hosting
+// a registry of named uncertain-point datasets behind the pnn.Index
+// facade. Each (dataset, backend, quantifier) engine is built lazily on
+// first use and kept for the life of the server; a coalescing batcher
+// merges concurrent single-query requests into one QueryBatchOps call;
+// and an LRU cache replays encoded responses for repeated hot queries.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pnn"
+)
+
+// IndexKey identifies one engine configuration of a dataset: the NN≠0
+// backend plus the quantifier and its parameters. Two requests with the
+// same key share one lazily built pnn.Index and one batcher.
+type IndexKey struct {
+	// Backend is "index", "direct", or "diagram".
+	Backend string
+	// Method is "exact", "spiral", "mc", or "mcbudget".
+	Method string
+	// Eps and Delta parameterize spiral and Monte Carlo quantifiers.
+	Eps, Delta float64
+	// Rounds is the explicit budget for "mcbudget".
+	Rounds int
+	// Seed seeds randomized quantifiers.
+	Seed int64
+}
+
+// String renders the key canonically (it is part of cache keys).
+func (k IndexKey) String() string {
+	return fmt.Sprintf("%s/%s/eps=%g/delta=%g/rounds=%d/seed=%d",
+		k.Backend, k.Method, k.Eps, k.Delta, k.Rounds, k.Seed)
+}
+
+// Options translates the key into pnn.New options.
+func (k IndexKey) Options() ([]pnn.Option, error) {
+	opts := []pnn.Option{pnn.WithSeed(k.Seed)}
+	switch k.Backend {
+	case "", "index":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendIndex))
+	case "direct":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendDirect))
+	case "diagram":
+		opts = append(opts, pnn.WithNonzeroBackend(pnn.BackendDiagram))
+	default:
+		return nil, fmt.Errorf("unknown backend %q", k.Backend)
+	}
+	switch k.Method {
+	case "", "exact":
+		// Exact is the construction default; passing it explicitly would
+		// wrongly reject L∞ squares, which answer NN≠0 but admit no
+		// quantifier (and reject any explicitly requested one).
+	case "spiral":
+		opts = append(opts, pnn.WithQuantifier(pnn.SpiralSearch(k.Eps)))
+	case "mc":
+		opts = append(opts, pnn.WithQuantifier(pnn.MonteCarlo(k.Eps, k.Delta)))
+	case "mcbudget":
+		opts = append(opts, pnn.WithQuantifier(pnn.MonteCarloBudget(k.Rounds)))
+	default:
+		return nil, fmt.Errorf("unknown method %q", k.Method)
+	}
+	return opts, nil
+}
+
+// Dataset is one named uncertain-point set plus its lazily built
+// engines, one per IndexKey.
+type Dataset struct {
+	Name string
+	Kind string
+	Set  pnn.UncertainSet
+
+	mu      sync.Mutex
+	entries map[IndexKey]*indexEntry
+}
+
+// indexEntry builds one (index, batcher) pair exactly once; concurrent
+// first users block on the build and share the result.
+type indexEntry struct {
+	once    sync.Once
+	idx     *pnn.Index
+	err     error
+	batcher *Batcher
+}
+
+// Indexes returns the number of engines built (or building) so far.
+func (d *Dataset) Indexes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// ErrTooManyEngines rejects a request that would build yet another
+// engine configuration once the per-dataset cap is reached. Engine
+// keys include client-controlled parameters (seed, eps, …), so without
+// a cap a query loop over fresh seeds would grow server memory without
+// bound.
+var ErrTooManyEngines = errors.New("server: too many engine configurations for dataset")
+
+// entry returns the dataset's engine for key, creating the slot on
+// first use (up to maxEngines slots; maxEngines ≤ 0 means unlimited).
+// build is invoked at most once per key, outside the dataset lock
+// (index construction can be slow); a panic inside build is captured
+// into the entry's error rather than poisoning the slot.
+func (d *Dataset) entry(key IndexKey, maxEngines int, build func(*indexEntry)) (*indexEntry, error) {
+	d.mu.Lock()
+	e, ok := d.entries[key]
+	if !ok {
+		if maxEngines > 0 && len(d.entries) >= maxEngines {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w (cap %d)", ErrTooManyEngines, maxEngines)
+		}
+		e = &indexEntry{}
+		d.entries[key] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.idx, e.batcher = nil, nil
+				e.err = fmt.Errorf("server: building %s engine: panic: %v", key, r)
+			}
+		}()
+		build(e)
+	})
+	if e.err != nil {
+		// A failed build must not occupy a cap slot forever (cheap
+		// failing configurations could otherwise lock the dataset out
+		// of valid new engines). Concurrent waiters of this entry still
+		// see the error; the next request gets a fresh slot.
+		d.mu.Lock()
+		if d.entries[key] == e {
+			delete(d.entries, key)
+		}
+		d.mu.Unlock()
+	}
+	return e, nil
+}
+
+// closeBatchers gracefully closes every built batcher, flushing pending
+// requests.
+func (d *Dataset) closeBatchers() {
+	d.mu.Lock()
+	entries := make([]*indexEntry, 0, len(d.entries))
+	for _, e := range d.entries {
+		entries = append(entries, e)
+	}
+	d.mu.Unlock()
+	for _, e := range entries {
+		if e.batcher != nil {
+			e.batcher.Close()
+		}
+	}
+}
+
+// Registry is the server's set of named datasets. It is populated
+// before serving and read-only afterwards, so lookups need no lock.
+type Registry struct {
+	datasets map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*Dataset)}
+}
+
+// Add registers a dataset under name. It rejects duplicate names and
+// infers Kind from the set's concrete type.
+func (r *Registry) Add(name string, set pnn.UncertainSet) error {
+	if name == "" {
+		return fmt.Errorf("empty dataset name")
+	}
+	if set == nil || set.Len() == 0 {
+		return fmt.Errorf("dataset %q is empty", name)
+	}
+	if _, dup := r.datasets[name]; dup {
+		return fmt.Errorf("duplicate dataset %q", name)
+	}
+	r.datasets[name] = &Dataset{
+		Name:    name,
+		Kind:    kindOf(set),
+		Set:     set,
+		entries: make(map[IndexKey]*indexEntry),
+	}
+	return nil
+}
+
+// Get returns the named dataset, or nil.
+func (r *Registry) Get(name string) *Dataset { return r.datasets[name] }
+
+// Len returns the number of datasets.
+func (r *Registry) Len() int { return len(r.datasets) }
+
+// Names returns the dataset names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.datasets))
+	for name := range r.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func kindOf(set pnn.UncertainSet) string {
+	switch set.(type) {
+	case *pnn.ContinuousSet:
+		return "disks"
+	case *pnn.DiscreteSet:
+		return "discrete"
+	case *pnn.SquareSet:
+		return "squares"
+	default:
+		return "unknown"
+	}
+}

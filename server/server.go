@@ -1,0 +1,452 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pnn"
+	"pnn/api"
+)
+
+// Config tunes the serving behavior. The zero value is usable:
+// DefaultConfig documents the defaults applied to zero fields.
+type Config struct {
+	// CacheSize is the LRU result-cache capacity in entries; < 0
+	// disables caching, 0 means the default (4096).
+	CacheSize int
+	// BatchWindow is how long the coalescing batcher holds the first
+	// request of a batch before flushing; < 0 disables coalescing
+	// (every request flushes immediately), 0 means the default (2ms).
+	BatchWindow time.Duration
+	// BatchMaxSize flushes a batch early once it holds this many
+	// requests; 0 means the default (64).
+	BatchMaxSize int
+	// BatchWorkers is the worker count of each QueryBatchOps call;
+	// 0 means GOMAXPROCS.
+	BatchWorkers int
+	// RequestTimeout bounds each request end to end (queueing in the
+	// batcher included); 0 means the default (30s), < 0 disables.
+	RequestTimeout time.Duration
+	// MaxEnginesPerDataset caps how many distinct (backend, quantifier)
+	// engines one dataset may accumulate — engine keys include
+	// client-chosen parameters, so the cap bounds memory against a
+	// query loop over fresh seeds. Requests beyond the cap fail with
+	// 429; 0 means the default (32), < 0 removes the cap.
+	MaxEnginesPerDataset int
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{
+		CacheSize:            4096,
+		BatchWindow:          2 * time.Millisecond,
+		BatchMaxSize:         64,
+		RequestTimeout:       30 * time.Second,
+		MaxEnginesPerDataset: 32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	switch {
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	case c.CacheSize == 0:
+		c.CacheSize = d.CacheSize
+	}
+	switch {
+	case c.BatchWindow < 0:
+		c.BatchWindow = 0
+	case c.BatchWindow == 0:
+		c.BatchWindow = d.BatchWindow
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = d.BatchMaxSize
+	}
+	switch {
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = d.RequestTimeout
+	}
+	switch {
+	case c.MaxEnginesPerDataset < 0:
+		c.MaxEnginesPerDataset = 0
+	case c.MaxEnginesPerDataset == 0:
+		c.MaxEnginesPerDataset = d.MaxEnginesPerDataset
+	}
+	return c
+}
+
+// Server answers the pnn query surface over HTTP/JSON for every dataset
+// in its registry. Construct with New, mount Handler, and Close on
+// shutdown to flush in-flight batches.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New builds a server over reg. The registry must be fully populated:
+// it is treated as read-only from here on.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/nonzero", s.handleQuery(pnn.OpNonzero))
+	mux.HandleFunc("/v1/probabilities", s.handleQuery(pnn.OpProbabilities))
+	mux.HandleFunc("/v1/topk", s.handleQuery(pnn.OpTopK))
+	mux.HandleFunc("/v1/threshold", s.handleQuery(pnn.OpThreshold))
+	mux.HandleFunc("/v1/expectednn", s.handleQuery(pnn.OpExpectedNN))
+	s.handler = http.Handler(mux)
+	if cfg.RequestTimeout > 0 {
+		// TimeoutHandler also puts the deadline on the request context,
+		// so a request stuck queueing in the batcher is abandoned too.
+		s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
+	}
+	return s
+}
+
+// Handler returns the root handler (health, metrics, and /v1 API).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the counters (for tests and embedding servers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close gracefully closes every batcher: pending coalesced requests
+// are answered, then further queries fail. Call after the HTTP
+// listener has stopped accepting.
+func (s *Server) Close() {
+	for _, name := range s.reg.Names() {
+		s.reg.Get(name).closeBatchers()
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.Health{Status: "ok", Datasets: s.reg.Len()}, "")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.render(s.reg.Len()))
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("datasets")
+	infos := make([]api.DatasetInfo, 0, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		d := s.reg.Get(name)
+		infos = append(infos, api.DatasetInfo{
+			Name: d.Name, Kind: d.Kind, N: d.Set.Len(), Indexes: d.Indexes(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, infos, "")
+}
+
+// handleQuery serves one facade method: parse → cache probe → lazy
+// index build → coalescing batcher → encode, cache, reply.
+func (s *Server) handleQuery(op pnn.Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.request(op.String())
+		p, err := parseParams(r, op)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ds := s.reg.Get(p.dataset)
+		if ds == nil {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", p.dataset))
+			return
+		}
+		cacheKey := p.cacheKey(op)
+		if body, ok := s.cache.Get(cacheKey); ok {
+			s.metrics.cacheHits.Add(1)
+			s.writeRaw(w, body, "hit")
+			return
+		}
+		s.metrics.cacheMisses.Add(1)
+		entry, err := ds.entry(p.key, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
+			opts, optErr := p.key.Options()
+			if optErr != nil {
+				e.err = optErr
+				return
+			}
+			s.metrics.indexBuilds.Add(1)
+			e.idx, e.err = pnn.New(ds.Set, opts...)
+			if e.err == nil {
+				e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
+					s.cfg.BatchWorkers, s.metrics.flush)
+			}
+		})
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrTooManyEngines) {
+				status = http.StatusTooManyRequests
+			}
+			s.writeError(w, status, err)
+			return
+		}
+		if entry.err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(entry.err, pnn.ErrUnsupported) {
+				status = http.StatusBadRequest
+			}
+			s.writeError(w, status, entry.err)
+			return
+		}
+		res, err := entry.batcher.Submit(r.Context(), p.request(op))
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				// The client went away mid-request; 499 (nginx's "client
+				// closed request") keeps these out of server-timeout
+				// dashboards. Nobody reads the response body.
+				status = 499
+			}
+			s.writeError(w, status, err)
+			return
+		}
+		if res.Err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(res.Err, pnn.ErrUnsupported) {
+				status = http.StatusBadRequest
+			}
+			s.writeError(w, status, res.Err)
+			return
+		}
+		body, err := json.Marshal(p.response(op, ds, entry.idx, res))
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		body = append(body, '\n')
+		s.cache.Put(cacheKey, body)
+		s.writeRaw(w, body, "miss")
+	}
+}
+
+// params is one parsed query request.
+type params struct {
+	dataset string
+	x, y    float64
+	key     IndexKey
+	k       int
+	tau     float64
+}
+
+func parseParams(r *http.Request, op pnn.Op) (params, error) {
+	q := r.URL.Query()
+	var p params
+	p.dataset = q.Get("dataset")
+	if p.dataset == "" {
+		return p, fmt.Errorf("missing required parameter dataset")
+	}
+	var err error
+	if p.x, err = floatParam(q.Get("x"), "x", true, 0); err != nil {
+		return p, err
+	}
+	if p.y, err = floatParam(q.Get("y"), "y", true, 0); err != nil {
+		return p, err
+	}
+	p.key.Backend = q.Get("backend")
+	switch p.key.Backend {
+	case "":
+		p.key.Backend = "index"
+	case "index", "direct", "diagram":
+	default:
+		return p, fmt.Errorf("parameter backend: unknown value %q", p.key.Backend)
+	}
+	p.key.Method = q.Get("method")
+	switch p.key.Method {
+	case "":
+		p.key.Method = "exact"
+	case "exact", "spiral", "mc", "mcbudget":
+	default:
+		return p, fmt.Errorf("parameter method: unknown value %q", p.key.Method)
+	}
+	if p.key.Eps, err = floatParam(q.Get("eps"), "eps", false, 0.05); err != nil {
+		return p, err
+	}
+	if p.key.Delta, err = floatParam(q.Get("delta"), "delta", false, 0.05); err != nil {
+		return p, err
+	}
+	if p.key.Rounds, err = intParam(q.Get("rounds"), "rounds", 1000); err != nil {
+		return p, err
+	}
+	seed, err := intParam(q.Get("seed"), "seed", 1)
+	if err != nil {
+		return p, err
+	}
+	p.key.Seed = int64(seed)
+	// Quantifier parameters only shape the engine when the method uses
+	// them; normalize the rest away so equivalent requests share one
+	// index and one cache line — and range-check the ones that are
+	// used, so a crafted query cannot panic an engine build (eps = 0
+	// would ask Monte Carlo for infinitely many rounds).
+	switch p.key.Method {
+	case "exact":
+		p.key.Eps, p.key.Delta, p.key.Rounds, p.key.Seed = 0, 0, 0, 1
+	case "spiral":
+		p.key.Delta, p.key.Rounds = 0, 0
+		if p.key.Eps <= 0 || p.key.Eps >= 1 {
+			return p, fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
+		}
+	case "mc":
+		p.key.Rounds = 0
+		if p.key.Eps <= 0 || p.key.Eps >= 1 {
+			return p, fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
+		}
+		if p.key.Delta <= 0 || p.key.Delta >= 1 {
+			return p, fmt.Errorf("parameter delta must be in (0, 1), got %g", p.key.Delta)
+		}
+	case "mcbudget":
+		p.key.Eps, p.key.Delta = 0, 0
+		if p.key.Rounds < 1 || p.key.Rounds > 1_000_000 {
+			return p, fmt.Errorf("parameter rounds must be in [1, 1e6], got %d", p.key.Rounds)
+		}
+	}
+	switch op {
+	case pnn.OpTopK:
+		if p.k, err = intParam(q.Get("k"), "k", 3); err != nil {
+			return p, err
+		}
+		if p.k <= 0 {
+			return p, fmt.Errorf("parameter k must be positive, got %d", p.k)
+		}
+	case pnn.OpThreshold:
+		if p.tau, err = floatParam(q.Get("tau"), "tau", true, 0); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+func floatParam(s, name string, required bool, def float64) (float64, error) {
+	if s == "" {
+		if required {
+			return 0, fmt.Errorf("missing required parameter %s", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %s: invalid number %q", name, s)
+	}
+	return v, nil
+}
+
+func intParam(s, name string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: invalid integer %q", name, s)
+	}
+	return v, nil
+}
+
+// cacheKey identifies the request exactly: dataset, engine, method, and
+// the query point down to the float bit pattern.
+func (p params) cacheKey(op pnn.Op) string {
+	return fmt.Sprintf("%s|%s|%s|k=%d|tau=%x|%x,%x",
+		op, p.dataset, p.key, p.k, math.Float64bits(p.tau),
+		math.Float64bits(p.x), math.Float64bits(p.y))
+}
+
+func (p params) request(op pnn.Op) pnn.Request {
+	return pnn.Request{Q: pnn.Pt(p.x, p.y), Op: op, K: p.k, Tau: p.tau}
+}
+
+// response shapes one OpResult into its wire type. Nil slices become
+// empty ones so the JSON is stable ( [] rather than null ).
+func (p params) response(op pnn.Op, ds *Dataset, idx *pnn.Index, res pnn.OpResult) any {
+	qp := api.Point{X: p.x, Y: p.y}
+	switch op {
+	case pnn.OpNonzero:
+		return api.Nonzero{Dataset: ds.Name, Query: qp, N: ds.Set.Len(),
+			Indices: emptyIfNilInts(res.Nonzero)}
+	case pnn.OpProbabilities:
+		return api.Probabilities{Dataset: ds.Name, Query: qp, Eps: idx.Eps(),
+			Probabilities: emptyIfNilFloats(res.Probabilities)}
+	case pnn.OpTopK:
+		out := make([]api.IndexProb, len(res.Ranked))
+		for i, ip := range res.Ranked {
+			out[i] = api.IndexProb{Index: ip.Index, P: ip.Prob}
+		}
+		return api.TopK{Dataset: ds.Name, Query: qp, K: p.k, Results: out}
+	case pnn.OpThreshold:
+		return api.Threshold{Dataset: ds.Name, Query: qp, Tau: p.tau,
+			Certain:  emptyIfNilInts(res.Threshold.Certain),
+			Possible: emptyIfNilInts(res.Threshold.Possible)}
+	case pnn.OpExpectedNN:
+		return api.ExpectedNN{Dataset: ds.Name, Query: qp,
+			Index: res.ExpectedIndex, Distance: res.ExpectedDist}
+	default:
+		return nil
+	}
+}
+
+func emptyIfNilInts(s []int) []int {
+	if s == nil {
+		return []int{}
+	}
+	return s
+}
+
+func emptyIfNilFloats(s []float64) []float64 {
+	if s == nil {
+		return []float64{}
+	}
+	return s
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set(api.CacheHeader, cacheStatus)
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus string) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set(api.CacheHeader, cacheStatus)
+	}
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.errorsTotal.Add(1)
+	body, _ := json.Marshal(api.Error{Error: err.Error()})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
