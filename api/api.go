@@ -1,11 +1,10 @@
-// Package api defines the JSON wire types of the pnnserve HTTP API,
-// shared by the server (pnn/server) and the Go client (pnn/client).
-//
-// Responses are encoded with encoding/json, which is deterministic for
-// these struct types: the same answer always serializes to the same
-// bytes, so the server's result cache can store and replay encoded
-// responses verbatim.
 package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
 
 // Point is a query location.
 type Point struct {
@@ -19,10 +18,44 @@ type IndexProb struct {
 	P     float64 `json:"p"`
 }
 
-// Error is the body of every non-2xx response.
+// Error is the body of every non-2xx response, and the per-item error
+// of a batch result. Code is a stable machine-readable identifier
+// (see the Code* constants); Error is the human-readable message.
+// Servers predating error codes leave Code empty — treat that as
+// CodeInternal.
 type Error struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// Stable error codes carried in Error.Code. HTTP statuses tell the
+// transport story (404, 429, 503, …); codes tell the semantic one, and
+// survive proxying through the shard router unchanged.
+const (
+	// CodeBadRequest marks malformed or out-of-range request parameters.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownDataset marks a dataset name no backend hosts. Always
+	// paired with HTTP 404.
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeUnsupported marks a query the dataset kind cannot answer
+	// (for example quantification over L∞ squares).
+	CodeUnsupported = "unsupported"
+	// CodeTooManyEngines marks a request rejected by the per-dataset
+	// engine-configuration cap. Paired with HTTP 429.
+	CodeTooManyEngines = "too_many_engines"
+	// CodeTimeout marks a request that exceeded its server-side deadline.
+	CodeTimeout = "timeout"
+	// CodeCanceled marks a request abandoned by the client mid-flight.
+	CodeCanceled = "canceled"
+	// CodeNoBackend is a router error: every replica that could own the
+	// dataset is marked down. Paired with HTTP 503.
+	CodeNoBackend = "no_backend"
+	// CodeBackendError is a router error: the owning replica (and the
+	// failover replica) failed to answer. Paired with HTTP 502.
+	CodeBackendError = "backend_error"
+	// CodeInternal marks any other server-side failure.
+	CodeInternal = "internal"
+)
 
 // Nonzero is the response of GET /v1/nonzero: NN≠0(q), the indices with
 // a nonzero probability of being the nearest neighbor, in increasing
@@ -91,8 +124,134 @@ type Health struct {
 	Datasets int    `json:"datasets"`
 }
 
+// RouterHealth is the response of GET /healthz on a pnnrouter: "ok"
+// when every backend is up, "degraded" when only some are, and "down"
+// (with HTTP 503) when none are.
+type RouterHealth struct {
+	Status        string `json:"status"`
+	BackendsUp    int    `json:"backends_up"`
+	BackendsTotal int    `json:"backends_total"`
+}
+
 // CacheHeader is the response header reporting whether the result was
 // served from the result cache ("hit") or computed ("miss"). It is a
 // header rather than a body field so cached bodies stay byte-identical
 // to freshly computed ones.
 const CacheHeader = "X-Pnn-Cache"
+
+// BackendHeader is the response header set by pnnrouter naming the
+// backend that answered a proxied request — observability only, never
+// part of the cached body.
+const BackendHeader = "X-Pnn-Backend"
+
+// BatchPath is the heterogeneous-batch endpoint, served by both
+// pnnserve and pnnrouter (which scatter-gathers it across backends).
+const BatchPath = "/v1/batch"
+
+// MaxBatchItems caps the items of one POST /v1/batch request, enforced
+// identically by server and router (the router only ever splits
+// batches, so a batch it accepts is never rejected downstream).
+const MaxBatchItems = 4096
+
+// MaxBatchBytes caps the request body of POST /v1/batch, enforced
+// identically by server and router.
+const MaxBatchBytes = 16 << 20
+
+// Ops lists the wire names of the single-query operations, in the
+// order they appear in this file. Server and router both derive their
+// endpoint sets from it, so a new op added here is served and routed
+// without further wiring.
+var Ops = []string{"nonzero", "probabilities", "topk", "threshold", "expectednn"}
+
+// QueryPath returns the single-query endpoint path of an op wire name
+// (e.g. "nonzero" → "/v1/nonzero").
+func QueryPath(op string) string { return "/v1/" + op }
+
+// BatchItem is one query of a heterogeneous batch: a dataset, an
+// operation, the query point, the operation's parameters, and the
+// engine selection. The zero values of Backend and Method mean the
+// server defaults ("index", "exact"), exactly as for the single-query
+// endpoints.
+type BatchItem struct {
+	// Dataset names the target dataset. Items of one batch may name
+	// different datasets; the router splits such batches by owning
+	// backend.
+	Dataset string `json:"dataset"`
+	// Op is the operation: "nonzero", "probabilities", "topk",
+	// "threshold", or "expectednn".
+	Op string `json:"op"`
+	// X and Y are the query point.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// K is the result count for "topk".
+	K int `json:"k,omitempty"`
+	// Tau is the probability threshold for "threshold".
+	Tau float64 `json:"tau,omitempty"`
+	// Backend selects the NN≠0 structure: "index", "direct", "diagram".
+	Backend string `json:"backend,omitempty"`
+	// Method selects the quantifier: "exact", "spiral", "mc", "mcbudget".
+	Method string `json:"method,omitempty"`
+	// Eps and Delta parameterize "spiral" and "mc".
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Rounds is the explicit budget for "mcbudget".
+	Rounds int `json:"rounds,omitempty"`
+	// Seed seeds randomized quantifiers.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchResult is the answer to one BatchItem. Exactly one of Error and
+// Body is set. Body holds the single-endpoint response object matching
+// the item's Op (api.Nonzero for "nonzero", api.TopK for "topk", …)
+// verbatim, so a batch item's bytes are identical to the corresponding
+// single-query response body and decode with the same types.
+type BatchResult struct {
+	// Error is the per-item failure; one failing item never poisons its
+	// batchmates.
+	Error *Error `json:"error,omitempty"`
+	// Body is the encoded response object on success.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Decode unmarshals the result body into out (a pointer to the api
+// response type matching the item's Op). It fails if the item errored.
+func (r BatchResult) Decode(out any) error {
+	if r.Error != nil {
+		return fmt.Errorf("batch item failed: %s: %s", r.Error.Code, r.Error.Error)
+	}
+	return json.Unmarshal(r.Body, out)
+}
+
+// BatchResponse is the body of a successful POST /v1/batch: one result
+// per request item, in request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// DecodeBatchRequest decodes and validates the body of one POST
+// BatchPath request, enforcing the method, MaxBatchBytes, and
+// MaxBatchItems identically on every tier — server and router share
+// this one intake, so a batch accepted by the router is never rejected
+// by the backend it lands on. On failure it returns the HTTP status
+// the caller must answer with (405 — the Allow header is already set
+// on w — or 400), always paired with CodeBadRequest.
+func DecodeBatchRequest(w http.ResponseWriter, r *http.Request) (BatchRequest, int, error) {
+	var breq BatchRequest
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return breq, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", BatchPath)
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
+	if err := dec.Decode(&breq); err != nil {
+		return breq, http.StatusBadRequest, fmt.Errorf("decoding batch request: %w", err)
+	}
+	if len(breq.Items) > MaxBatchItems {
+		return breq, http.StatusBadRequest, fmt.Errorf("batch of %d items exceeds the cap of %d", len(breq.Items), MaxBatchItems)
+	}
+	return breq, 0, nil
+}

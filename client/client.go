@@ -1,18 +1,17 @@
-// Package client is the Go client of the pnnserve HTTP API (see
-// pnn/server). It mirrors the pnn.Index query surface — Nonzero,
-// Probabilities, TopK, Threshold, ExpectedNN — against a named dataset
-// hosted by a remote server, using only the standard library.
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"pnn/api"
 )
@@ -57,20 +56,36 @@ func (p *Params) apply(v url.Values) {
 	}
 }
 
-// APIError is a non-2xx server reply.
+// APIError is a non-2xx server reply. Code is the stable api error
+// code (see the api.Code* constants); empty when talking to servers
+// predating error codes.
 type APIError struct {
+	// StatusCode is the HTTP status of the reply.
 	StatusCode int
-	Message    string
+	// Code is the machine-readable api error code, if any.
+	Code string
+	// Message is the human-readable error message.
+	Message string
 }
 
+// Error renders the status, code, and message.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("pnnserve: %d (%s): %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("pnnserve: %d: %s", e.StatusCode, e.Message)
 }
 
-// Client talks to one pnnserve instance.
+// Client talks to one pnnserve or pnnrouter instance — or, when built
+// with NewMulti, to a list of equivalent instances with client-side
+// failover. All methods are safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	bases []string
+	// preferred is the index into bases of the endpoint that answered
+	// last; failover rotates it so every request first tries the most
+	// recently healthy endpoint.
+	preferred atomic.Int64
+	http      *http.Client
 }
 
 // Option configures a Client.
@@ -85,11 +100,43 @@ func WithHTTPClient(h *http.Client) Option {
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	c := &Client{bases: []string{strings.TrimRight(baseURL, "/")}, http: http.DefaultClient}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// NewMulti builds a client over several equivalent endpoints (for
+// example two pnnrouter instances fronting the same fleet). Each
+// request is sent to the preferred endpoint first; if it is
+// unreachable or answers 5xx, the remaining endpoints are tried in
+// rotation and the one that answers becomes preferred. Non-5xx API
+// errors (404 unknown dataset, 400 bad request, …) never fail over —
+// every equivalent endpoint would answer the same.
+func NewMulti(baseURLs []string, opts ...Option) (*Client, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("client: no endpoints")
+	}
+	c := &Client{http: http.DefaultClient}
+	for _, u := range baseURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("client: empty endpoint URL")
+		}
+		c.bases = append(c.bases, u)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Endpoints returns the configured base URLs.
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.bases))
+	copy(out, c.bases)
+	return out
 }
 
 // Health checks /healthz.
@@ -168,14 +215,76 @@ func queryValues(dataset string, x, y float64, p *Params) url.Values {
 	return v
 }
 
+// Batch answers a heterogeneous batch — items may span datasets,
+// operations, and engine configurations — in one POST /v1/batch round
+// trip. Results come back in item order; per-item failures are
+// reported in BatchResult.Error without failing the call (decode
+// successful items with BatchResult.Decode). Against a pnnrouter the
+// batch is scatter-gathered across the owning backends transparently.
+func (c *Client) Batch(ctx context.Context, items []api.BatchItem) ([]api.BatchResult, error) {
+	body, err := json.Marshal(api.BatchRequest{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	var out api.BatchResponse
+	if err := c.do(ctx, http.MethodPost, api.BatchPath, nil, body, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(items) {
+		return nil, fmt.Errorf("pnnserve: batch returned %d results for %d items", len(out.Results), len(items))
+	}
+	return out.Results, nil
+}
+
 func (c *Client) get(ctx context.Context, path string, v url.Values, out any) error {
-	u := c.base + path
+	return c.do(ctx, http.MethodGet, path, v, nil, out)
+}
+
+// do performs one request with endpoint failover: starting from the
+// preferred endpoint, each endpoint is tried in rotation until one
+// answers with a non-5xx status. The answering endpoint becomes
+// preferred. 2xx bodies decode into out; other statuses become
+// *APIError.
+func (c *Client) do(ctx context.Context, method, path string, v url.Values, reqBody []byte, out any) error {
+	start := int(c.preferred.Load()) % len(c.bases)
+	var lastErr error
+	for i := 0; i < len(c.bases); i++ {
+		ep := (start + i) % len(c.bases)
+		err := c.doOne(ctx, c.bases[ep], method, path, v, reqBody, out)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode < http.StatusInternalServerError {
+			// The endpoint is healthy; the request itself failed. Every
+			// equivalent endpoint would answer the same, so don't retry.
+			c.preferred.Store(int64(ep))
+			return err
+		}
+		if err == nil {
+			c.preferred.Store(int64(ep))
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Values, reqBody []byte, out any) error {
+	u := base + path
 	if len(v) > 0 {
 		u += "?" + v.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	var rdr io.Reader
+	if reqBody != nil {
+		rdr = bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rdr)
 	if err != nil {
 		return err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -189,7 +298,7 @@ func (c *Client) get(ctx context.Context, path string, v url.Values, out any) er
 	if resp.StatusCode != http.StatusOK {
 		var apiErr api.Error
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+			return &APIError{StatusCode: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
 		}
 		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
 	}

@@ -9,11 +9,18 @@ import (
 	"testing"
 
 	"pnn"
+	"pnn/api"
 	"pnn/internal/datafile"
 	"pnn/server"
 )
 
 func testServer(t *testing.T) (*Client, pnn.UncertainSet) {
+	t.Helper()
+	c, set, _ := testServerURL(t)
+	return c, set
+}
+
+func testServerURL(t *testing.T) (*Client, pnn.UncertainSet, string) {
 	t.Helper()
 	gp := datafile.DefaultGenParams()
 	gp.N, gp.K, gp.Seed = 15, 3, 4
@@ -33,7 +40,7 @@ func testServer(t *testing.T) (*Client, pnn.UncertainSet) {
 	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
-	return New(hs.URL, WithHTTPClient(hs.Client())), set
+	return New(hs.URL, WithHTTPClient(hs.Client())), set, hs.URL
 }
 
 // TestClientMatchesIndex round-trips every client method and compares
@@ -134,9 +141,100 @@ func TestClientErrors(t *testing.T) {
 	if apiErr.StatusCode != 404 || apiErr.Message == "" {
 		t.Errorf("apiErr = %+v", apiErr)
 	}
+	if apiErr.Code != api.CodeUnknownDataset {
+		t.Errorf("apiErr.Code = %q, want %q", apiErr.Code, api.CodeUnknownDataset)
+	}
 
 	if _, err := c.TopK(context.Background(), "fleet", 1, 2, -1, nil); err == nil {
 		t.Error("negative k: want an error")
+	}
+}
+
+// TestClientBatch round-trips a heterogeneous batch and compares the
+// decoded items against the single-query methods.
+func TestClientBatch(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	const x, y = 12.5, 7.25
+
+	results, err := c.Batch(ctx, []api.BatchItem{
+		{Dataset: "fleet", Op: "nonzero", X: x, Y: y},
+		{Dataset: "fleet", Op: "topk", X: x, Y: y, K: 3},
+		{Dataset: "nope", Op: "nonzero", X: x, Y: y},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+
+	var nz api.Nonzero
+	if err := results[0].Decode(&nz); err != nil {
+		t.Fatal(err)
+	}
+	wantNZ, err := c.Nonzero(ctx, "fleet", x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nz, *wantNZ) {
+		t.Errorf("batch nonzero = %+v, want %+v", nz, *wantNZ)
+	}
+
+	var tk api.TopK
+	if err := results[1].Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	wantTK, err := c.TopK(ctx, "fleet", x, y, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tk, *wantTK) {
+		t.Errorf("batch topk = %+v, want %+v", tk, *wantTK)
+	}
+
+	if results[2].Error == nil || results[2].Error.Code != api.CodeUnknownDataset {
+		t.Errorf("item 2 error = %+v, want code %q", results[2].Error, api.CodeUnknownDataset)
+	}
+	var scratch api.Nonzero
+	if err := results[2].Decode(&scratch); err == nil {
+		t.Error("Decode of an errored item: want an error")
+	}
+}
+
+// TestClientMultiFailover: a NewMulti client skips a dead endpoint,
+// sticks with the healthy one, and never fails over on 4xx API errors.
+func TestClientMultiFailover(t *testing.T) {
+	_, _, liveURL := testServerURL(t)
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	c, err := NewMulti([]string{deadURL, liveURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Nonzero(ctx, "fleet", 1, 2, nil); err != nil {
+		t.Fatalf("multi client with one dead endpoint: %v", err)
+	}
+	// The live endpoint is now preferred: the next request must not
+	// touch the dead one (it would fail the request if tried alone and
+	// add latency otherwise); observe via preferred index.
+	if got := int(c.preferred.Load()); c.bases[got] != liveURL {
+		t.Errorf("preferred endpoint = %q, want %q", c.bases[got], liveURL)
+	}
+	// A 404 is an API answer, not an endpoint failure: it must come
+	// back as *APIError rather than triggering rotation onto the dead
+	// endpoint's transport error.
+	_, err = c.Nonzero(ctx, "missing", 1, 2, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("want 404 *APIError, got %v", err)
+	}
+
+	if _, err := NewMulti(nil); err == nil {
+		t.Error("NewMulti(nil): want an error")
 	}
 }
 

@@ -1,0 +1,20 @@
+// Package client is the Go client of the pnn serving stack (see
+// pnn/server and pnn/server/shard). It mirrors the pnn.Index query
+// surface — Nonzero, Probabilities, TopK, Threshold, ExpectedNN — plus
+// heterogeneous batches, against named datasets hosted by a remote
+// pnnserve or behind a pnnrouter, using only the standard library.
+//
+// The wire types live in pnn/api, whose doc comment states the
+// stability guarantees: clients built against this package keep
+// working across server releases, because response fields are only
+// ever added (with omitempty), never renamed or removed.
+//
+// A Client built with New talks to one endpoint; NewMulti spreads the
+// same surface over several equivalent endpoints (for example two
+// pnnrouter instances) with client-side failover: an endpoint that is
+// unreachable or answers 5xx is retried on the next one, and the first
+// healthy endpoint is remembered and preferred until it fails again.
+// The router performs its own replica failover server-side, so a
+// single-endpoint client pointed at one router already survives
+// backend failures; NewMulti additionally survives router failures.
+package client

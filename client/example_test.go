@@ -1,0 +1,85 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"pnn"
+	"pnn/api"
+	"pnn/client"
+	"pnn/server"
+)
+
+// exampleServer hosts a tiny deterministic dataset in process so the
+// examples run (and are verified) by go test; against a real
+// deployment, replace hs.URL with the pnnserve or pnnrouter address.
+func exampleServer() (*httptest.Server, func()) {
+	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
+		{Locations: []pnn.Point{pnn.Pt(0, 0), pnn.Pt(8, 0)}},
+		{Locations: []pnn.Point{pnn.Pt(10, 0)}},
+		{Locations: []pnn.Point{pnn.Pt(0, 10), pnn.Pt(10, 10)}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add("fleet", set); err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	return hs, func() { hs.Close(); srv.Close() }
+}
+
+// ExampleClient_TopK queries the k most probable nearest neighbors of
+// a point against a named dataset.
+func ExampleClient_TopK() {
+	hs, stop := exampleServer()
+	defer stop()
+
+	c := client.New(hs.URL) // e.g. client.New("http://localhost:8080")
+	res, err := c.TopK(context.Background(), "fleet", 1, 1, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Results {
+		fmt.Printf("point %d: p=%.2f\n", r.Index, r.P)
+	}
+	// Output:
+	// point 0: p=1.00
+}
+
+// ExampleClient_Batch answers a heterogeneous batch — items may mix
+// datasets, operations, and engine parameters — in one round trip.
+// Through a pnnrouter the same call is scatter-gathered across the
+// owning backends transparently.
+func ExampleClient_Batch() {
+	hs, stop := exampleServer()
+	defer stop()
+
+	c := client.New(hs.URL)
+	results, err := c.Batch(context.Background(), []api.BatchItem{
+		{Dataset: "fleet", Op: "nonzero", X: 6, Y: 1},
+		{Dataset: "fleet", Op: "expectednn", X: 9, Y: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var nz api.Nonzero
+	if err := results[0].Decode(&nz); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nonzero:", nz.Indices)
+
+	var enn api.ExpectedNN
+	if err := results[1].Decode(&enn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected NN: point %d at distance %.2f\n", enn.Index, enn.Distance)
+	// Output:
+	// nonzero: [0 1]
+	// expected NN: point 1 at distance 1.41
+}

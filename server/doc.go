@@ -1,0 +1,37 @@
+// Package server implements pnnserve: an HTTP/JSON query server hosting
+// a registry of named uncertain-point datasets behind the pnn.Index
+// facade.
+//
+// # Architecture
+//
+// A request flows through four stages:
+//
+//	parse → result cache → lazy engine registry → coalescing batcher
+//
+// Each (dataset, backend, quantifier) engine is built lazily on first
+// use and kept for the life of the server. A coalescing Batcher merges
+// concurrent single-query requests against one engine into a single
+// pnn.Index.QueryBatchOps call, and an LRU cache replays encoded
+// responses for repeated hot queries. Because responses are cached and
+// replayed as encoded bytes, a cached answer is byte-identical to a
+// freshly computed one (see pnn/api for the wire-format guarantees).
+//
+// # Endpoints
+//
+//	GET  /healthz           liveness and dataset count
+//	GET  /metrics           Prometheus text-format counters
+//	GET  /v1/datasets       hosted datasets
+//	GET  /v1/nonzero        NN≠0(q)
+//	GET  /v1/probabilities  quantification vector π(q)
+//	GET  /v1/topk           k most probable nearest neighbors
+//	GET  /v1/threshold      τ-threshold classification
+//	GET  /v1/expectednn     expected-distance nearest neighbor
+//	POST /v1/batch          heterogeneous batch of the five query ops
+//
+// Error responses carry an api.Error body with a stable Code; unknown
+// dataset names are uniformly 404/api.CodeUnknownDataset on every
+// path, single-query and batch alike.
+//
+// The sub-package pnn/server/shard layers a stateless scatter-gather
+// routing tier over multiple replicated instances of this server.
+package server

@@ -46,11 +46,19 @@ func (m *Metrics) flush(size int, reason string) {
 // Snapshot is a point-in-time copy of the counters, for tests and
 // introspection.
 type Snapshot struct {
+	// CacheHits and CacheMisses count result-cache probes.
 	CacheHits, CacheMisses uint64
-	Batches, BatchedReqs   uint64
-	IndexBuilds, Errors    uint64
-	Requests               map[string]uint64
-	Flushes                map[string]uint64
+	// Batches counts flushed coalesced batches; BatchedReqs the
+	// requests they carried.
+	Batches, BatchedReqs uint64
+	// IndexBuilds counts lazily built engines; Errors the non-2xx
+	// responses.
+	IndexBuilds, Errors uint64
+	// Requests counts requests per endpoint name.
+	Requests map[string]uint64
+	// Flushes counts batch flushes per reason ("full", "window",
+	// "immediate", "close").
+	Flushes map[string]uint64
 }
 
 // Snapshot copies every counter.

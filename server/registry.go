@@ -1,9 +1,3 @@
-// Package server implements pnnserve: an HTTP/JSON query server hosting
-// a registry of named uncertain-point datasets behind the pnn.Index
-// facade. Each (dataset, backend, quantifier) engine is built lazily on
-// first use and kept for the life of the server; a coalescing batcher
-// merges concurrent single-query requests into one QueryBatchOps call;
-// and an LRU cache replays encoded responses for repeated hot queries.
 package server
 
 import (
@@ -70,9 +64,12 @@ func (k IndexKey) Options() ([]pnn.Option, error) {
 // Dataset is one named uncertain-point set plus its lazily built
 // engines, one per IndexKey.
 type Dataset struct {
+	// Name is the registry key clients address the dataset by.
 	Name string
+	// Kind is "disks", "discrete", or "squares".
 	Kind string
-	Set  pnn.UncertainSet
+	// Set is the underlying uncertain-point set (read-only once served).
+	Set pnn.UncertainSet
 
 	mu      sync.Mutex
 	entries map[IndexKey]*indexEntry

@@ -109,16 +109,31 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
-	mux.HandleFunc("/v1/nonzero", s.handleQuery(pnn.OpNonzero))
-	mux.HandleFunc("/v1/probabilities", s.handleQuery(pnn.OpProbabilities))
-	mux.HandleFunc("/v1/topk", s.handleQuery(pnn.OpTopK))
-	mux.HandleFunc("/v1/threshold", s.handleQuery(pnn.OpThreshold))
-	mux.HandleFunc("/v1/expectednn", s.handleQuery(pnn.OpExpectedNN))
+	for _, name := range api.Ops {
+		op, err := opFromString(name)
+		if err != nil {
+			panic("server: api.Ops out of sync with opFromString: " + name)
+		}
+		mux.HandleFunc(api.QueryPath(name), s.handleQuery(op))
+	}
+	mux.HandleFunc(api.BatchPath, s.handleBatch)
 	s.handler = http.Handler(mux)
 	if cfg.RequestTimeout > 0 {
 		// TimeoutHandler also puts the deadline on the request context,
 		// so a request stuck queueing in the batcher is abandoned too.
-		s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
+		// /v1/batch is exempt: its timeout budget is per item under an
+		// aggregate cap (see handleBatch/answerItem), so one slow item
+		// fails alone with CodeTimeout while its batchmates still
+		// answer, instead of the whole batch collapsing into
+		// TimeoutHandler's plaintext 503.
+		timed := http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
+		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == api.BatchPath {
+				mux.ServeHTTP(w, r)
+				return
+			}
+			timed.ServeHTTP(w, r)
+		})
 	}
 	return s
 }
@@ -149,6 +164,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("datasets")
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		s.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+			fmt.Errorf("%s requires GET", r.URL.Path))
+		return
+	}
 	infos := make([]api.DatasetInfo, 0, s.reg.Len())
 	for _, name := range s.reg.Names() {
 		d := s.reg.Get(name)
@@ -159,89 +180,107 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, infos, "")
 }
 
-// handleQuery serves one facade method: parse → cache probe → lazy
-// index build → coalescing batcher → encode, cache, reply.
+// handleQuery serves one facade method: parse, then the shared answer
+// core (cache probe → lazy index build → coalescing batcher → encode).
 func (s *Server) handleQuery(op pnn.Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.request(op.String())
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			s.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+				fmt.Errorf("%s requires GET", r.URL.Path))
+			return
+		}
 		p, err := parseParams(r, op)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 			return
 		}
-		ds := s.reg.Get(p.dataset)
-		if ds == nil {
-			s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", p.dataset))
+		body, cacheStatus, qerr := s.answer(r.Context(), op, p)
+		if qerr != nil {
+			s.writeError(w, qerr.status, qerr.code, qerr.err)
 			return
 		}
-		cacheKey := p.cacheKey(op)
-		if body, ok := s.cache.Get(cacheKey); ok {
-			s.metrics.cacheHits.Add(1)
-			s.writeRaw(w, body, "hit")
-			return
-		}
-		s.metrics.cacheMisses.Add(1)
-		entry, err := ds.entry(p.key, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
-			opts, optErr := p.key.Options()
-			if optErr != nil {
-				e.err = optErr
-				return
-			}
-			s.metrics.indexBuilds.Add(1)
-			e.idx, e.err = pnn.New(ds.Set, opts...)
-			if e.err == nil {
-				e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
-					s.cfg.BatchWorkers, s.metrics.flush)
-			}
-		})
-		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, ErrTooManyEngines) {
-				status = http.StatusTooManyRequests
-			}
-			s.writeError(w, status, err)
-			return
-		}
-		if entry.err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(entry.err, pnn.ErrUnsupported) {
-				status = http.StatusBadRequest
-			}
-			s.writeError(w, status, entry.err)
-			return
-		}
-		res, err := entry.batcher.Submit(r.Context(), p.request(op))
-		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, context.DeadlineExceeded):
-				status = http.StatusGatewayTimeout
-			case errors.Is(err, context.Canceled):
-				// The client went away mid-request; 499 (nginx's "client
-				// closed request") keeps these out of server-timeout
-				// dashboards. Nobody reads the response body.
-				status = 499
-			}
-			s.writeError(w, status, err)
-			return
-		}
-		if res.Err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(res.Err, pnn.ErrUnsupported) {
-				status = http.StatusBadRequest
-			}
-			s.writeError(w, status, res.Err)
-			return
-		}
-		body, err := json.Marshal(p.response(op, ds, entry.idx, res))
-		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		body = append(body, '\n')
-		s.cache.Put(cacheKey, body)
-		s.writeRaw(w, body, "miss")
+		s.writeRaw(w, body, cacheStatus)
 	}
+}
+
+// queryError is a request failure with its transport mapping: the HTTP
+// status for single-query responses and the stable api code both paths
+// report.
+type queryError struct {
+	status int
+	code   string
+	err    error
+}
+
+// answer resolves one validated query end to end: result-cache probe,
+// lazy engine build, coalescing batcher, encode, cache fill. It is the
+// shared core of the single-query handlers and the /v1/batch items, so
+// both return byte-identical bodies and identical error codes. The
+// returned body has no trailing newline (writeRaw appends one).
+func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, cacheStatus string, qerr *queryError) {
+	ds := s.reg.Get(p.dataset)
+	if ds == nil {
+		return nil, "", &queryError{http.StatusNotFound, api.CodeUnknownDataset,
+			fmt.Errorf("unknown dataset %q", p.dataset)}
+	}
+	cacheKey := p.cacheKey(op)
+	if body, ok := s.cache.Get(cacheKey); ok {
+		s.metrics.cacheHits.Add(1)
+		return body, "hit", nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	entry, err := ds.entry(p.key, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
+		opts, optErr := p.key.Options()
+		if optErr != nil {
+			e.err = optErr
+			return
+		}
+		s.metrics.indexBuilds.Add(1)
+		e.idx, e.err = pnn.New(ds.Set, opts...)
+		if e.err == nil {
+			e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
+				s.cfg.BatchWorkers, s.metrics.flush)
+		}
+	})
+	if err != nil {
+		if errors.Is(err, ErrTooManyEngines) {
+			return nil, "", &queryError{http.StatusTooManyRequests, api.CodeTooManyEngines, err}
+		}
+		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+	}
+	if entry.err != nil {
+		if errors.Is(entry.err, pnn.ErrUnsupported) {
+			return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, entry.err}
+		}
+		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, entry.err}
+	}
+	res, err := entry.batcher.Submit(ctx, p.request(op))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, "", &queryError{http.StatusGatewayTimeout, api.CodeTimeout, err}
+		case errors.Is(err, context.Canceled):
+			// The client went away mid-request; 499 (nginx's "client
+			// closed request") keeps these out of server-timeout
+			// dashboards. Nobody reads the response body.
+			return nil, "", &queryError{499, api.CodeCanceled, err}
+		}
+		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+	}
+	if res.Err != nil {
+		if errors.Is(res.Err, pnn.ErrUnsupported) {
+			return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, res.Err}
+		}
+		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
+	}
+	body, err = json.Marshal(p.response(op, ds, entry.idx, res))
+	if err != nil {
+		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+	}
+	s.cache.Put(cacheKey, body)
+	return body, "miss", nil
 }
 
 // params is one parsed query request.
@@ -268,21 +307,7 @@ func parseParams(r *http.Request, op pnn.Op) (params, error) {
 		return p, err
 	}
 	p.key.Backend = q.Get("backend")
-	switch p.key.Backend {
-	case "":
-		p.key.Backend = "index"
-	case "index", "direct", "diagram":
-	default:
-		return p, fmt.Errorf("parameter backend: unknown value %q", p.key.Backend)
-	}
 	p.key.Method = q.Get("method")
-	switch p.key.Method {
-	case "":
-		p.key.Method = "exact"
-	case "exact", "spiral", "mc", "mcbudget":
-	default:
-		return p, fmt.Errorf("parameter method: unknown value %q", p.key.Method)
-	}
 	if p.key.Eps, err = floatParam(q.Get("eps"), "eps", false, 0.05); err != nil {
 		return p, err
 	}
@@ -297,6 +322,40 @@ func parseParams(r *http.Request, op pnn.Op) (params, error) {
 		return p, err
 	}
 	p.key.Seed = int64(seed)
+	switch op {
+	case pnn.OpTopK:
+		if p.k, err = intParam(q.Get("k"), "k", 3); err != nil {
+			return p, err
+		}
+	case pnn.OpThreshold:
+		if p.tau, err = floatParam(q.Get("tau"), "tau", true, 0); err != nil {
+			return p, err
+		}
+	}
+	if err := p.normalize(op); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// normalize validates and canonicalizes a filled params — the shared
+// tail of single-query parsing and batch-item parsing, so both paths
+// accept the same inputs, share engines, and share cache lines.
+func (p *params) normalize(op pnn.Op) error {
+	switch p.key.Backend {
+	case "":
+		p.key.Backend = "index"
+	case "index", "direct", "diagram":
+	default:
+		return fmt.Errorf("parameter backend: unknown value %q", p.key.Backend)
+	}
+	switch p.key.Method {
+	case "":
+		p.key.Method = "exact"
+	case "exact", "spiral", "mc", "mcbudget":
+	default:
+		return fmt.Errorf("parameter method: unknown value %q", p.key.Method)
+	}
 	// Quantifier parameters only shape the engine when the method uses
 	// them; normalize the rest away so equivalent requests share one
 	// index and one cache line — and range-check the ones that are
@@ -308,36 +367,40 @@ func parseParams(r *http.Request, op pnn.Op) (params, error) {
 	case "spiral":
 		p.key.Delta, p.key.Rounds = 0, 0
 		if p.key.Eps <= 0 || p.key.Eps >= 1 {
-			return p, fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
+			return fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
 		}
 	case "mc":
 		p.key.Rounds = 0
 		if p.key.Eps <= 0 || p.key.Eps >= 1 {
-			return p, fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
+			return fmt.Errorf("parameter eps must be in (0, 1), got %g", p.key.Eps)
 		}
 		if p.key.Delta <= 0 || p.key.Delta >= 1 {
-			return p, fmt.Errorf("parameter delta must be in (0, 1), got %g", p.key.Delta)
+			return fmt.Errorf("parameter delta must be in (0, 1), got %g", p.key.Delta)
 		}
 	case "mcbudget":
 		p.key.Eps, p.key.Delta = 0, 0
 		if p.key.Rounds < 1 || p.key.Rounds > 1_000_000 {
-			return p, fmt.Errorf("parameter rounds must be in [1, 1e6], got %d", p.key.Rounds)
+			return fmt.Errorf("parameter rounds must be in [1, 1e6], got %d", p.key.Rounds)
 		}
 	}
+	// k and tau only exist for their op; zero them otherwise so a stray
+	// field on a batch item cannot fragment the result cache (cacheKey
+	// includes both for every op).
 	switch op {
 	case pnn.OpTopK:
-		if p.k, err = intParam(q.Get("k"), "k", 3); err != nil {
-			return p, err
-		}
+		p.tau = 0
 		if p.k <= 0 {
-			return p, fmt.Errorf("parameter k must be positive, got %d", p.k)
+			return fmt.Errorf("parameter k must be positive, got %d", p.k)
 		}
 	case pnn.OpThreshold:
-		if p.tau, err = floatParam(q.Get("tau"), "tau", true, 0); err != nil {
-			return p, err
+		p.k = 0
+		if math.IsNaN(p.tau) || math.IsInf(p.tau, 0) {
+			return fmt.Errorf("parameter tau: invalid number %g", p.tau)
 		}
+	default:
+		p.k, p.tau = 0, 0
 	}
-	return p, nil
+	return nil
 }
 
 func floatParam(s, name string, required bool, def float64) (float64, error) {
@@ -420,6 +483,8 @@ func emptyIfNilFloats(s []float64) []float64 {
 	return s
 }
 
+// writeRaw writes a pre-encoded response body (newline appended here,
+// so cached, fresh, and batch-embedded bodies share one encoding).
 func (s *Server) writeRaw(w http.ResponseWriter, body []byte, cacheStatus string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cacheStatus != "" {
@@ -427,12 +492,13 @@ func (s *Server) writeRaw(w http.ResponseWriter, body []byte, cacheStatus string
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+	w.Write([]byte{'\n'})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus string) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -443,9 +509,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus
 	w.Write(append(body, '\n'))
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
 	s.metrics.errorsTotal.Add(1)
-	body, _ := json.Marshal(api.Error{Error: err.Error()})
+	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// backend is one replicated pnnserve instance: its canonical base URL,
+// its health mark, and its request counters. All fields are safe for
+// concurrent use; up is flipped by both the probe loop and the request
+// path (mark-down on transport error).
+type backend struct {
+	base string
+	up   atomic.Bool
+	// probeFails counts consecutive failed probes; the probe loop only
+	// marks a backend down at probeFailThreshold, so one slow or
+	// dropped probe (a loaded host, a GC pause) cannot spuriously
+	// remove a healthy replica from rotation.
+	probeFails atomic.Int32
+
+	requests     atomic.Uint64
+	errors       atomic.Uint64
+	latencyTotal atomic.Uint64 // microseconds
+	latencyCount atomic.Uint64
+}
+
+// probeFailThreshold is how many consecutive probe failures mark a
+// backend down. Transport errors on the request path still mark down
+// immediately — a refused connection is hard evidence, a single slow
+// probe is not.
+const probeFailThreshold = 2
+
+func (b *backend) observeLatency(d time.Duration) {
+	b.latencyTotal.Add(uint64(d.Microseconds()))
+	b.latencyCount.Add(1)
+}
+
+// markDown flips a backend to down, counting the transition.
+func (rt *Router) markDown(b *backend) {
+	if b.up.CompareAndSwap(true, false) {
+		rt.metrics.markDowns.Add(1)
+	}
+}
+
+// markUp flips a backend to up, counting the transition.
+func (rt *Router) markUp(b *backend) {
+	if b.up.CompareAndSwap(false, true) {
+		rt.metrics.markUps.Add(1)
+	}
+}
+
+// probeLoop probes every backend's /healthz each ProbeInterval,
+// marking backends down on probe failure and back up on recovery. One
+// round probes all backends concurrently, so a hung backend cannot
+// delay the health view of the others beyond ProbeTimeout.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	rt.probeAll() // immediate first round: don't serve blind for an interval
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopc:
+			return
+		case <-ticker.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.metrics.probes.Add(1)
+			if rt.probe(b) {
+				b.probeFails.Store(0)
+				rt.markUp(b)
+			} else if b.probeFails.Add(1) >= probeFailThreshold {
+				rt.markDown(b)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe reports whether one backend currently answers /healthz with a
+// 2xx.
+func (rt *Router) probe(b *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

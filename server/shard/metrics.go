@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics holds the router's counters, rendered at /metrics in the
+// Prometheus text exposition format (stdlib only). Per-backend request,
+// error, and latency counters live on the backends themselves; Metrics
+// aggregates them at render time.
+type Metrics struct {
+	backends []*backend
+
+	requests   atomic.Uint64
+	errors     atomic.Uint64
+	batches    atomic.Uint64
+	batchItems atomic.Uint64
+	subBatches atomic.Uint64
+	failovers  atomic.Uint64
+	probes     atomic.Uint64
+	markDowns  atomic.Uint64
+	markUps    atomic.Uint64
+}
+
+func newMetrics(backends []*backend) *Metrics {
+	return &Metrics{backends: backends}
+}
+
+// Snapshot is a point-in-time copy of the router counters, for tests
+// and introspection.
+type Snapshot struct {
+	// Requests and Errors are router-level: one per routed request.
+	Requests, Errors uint64
+	// Batches and BatchItems count /v1/batch envelopes and their items;
+	// SubBatches counts the scatter-gathered per-backend posts.
+	Batches, BatchItems, SubBatches uint64
+	// Failovers counts retries on a next-in-hash-order replica.
+	Failovers uint64
+	// Probes, MarkDowns, and MarkUps count health-check activity.
+	Probes, MarkDowns, MarkUps uint64
+	// Backends maps each backend base URL to its per-backend counters.
+	Backends map[string]BackendSnapshot
+}
+
+// BackendSnapshot is one backend's view in a Snapshot.
+type BackendSnapshot struct {
+	Up              bool
+	Requests        uint64
+	Errors          uint64
+	LatencyMicros   uint64
+	LatencyRequests uint64
+}
+
+// Snapshot copies every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:   m.requests.Load(),
+		Errors:     m.errors.Load(),
+		Batches:    m.batches.Load(),
+		BatchItems: m.batchItems.Load(),
+		SubBatches: m.subBatches.Load(),
+		Failovers:  m.failovers.Load(),
+		Probes:     m.probes.Load(),
+		MarkDowns:  m.markDowns.Load(),
+		MarkUps:    m.markUps.Load(),
+		Backends:   make(map[string]BackendSnapshot, len(m.backends)),
+	}
+	for _, b := range m.backends {
+		s.Backends[b.base] = BackendSnapshot{
+			Up:              b.up.Load(),
+			Requests:        b.requests.Load(),
+			Errors:          b.errors.Load(),
+			LatencyMicros:   b.latencyTotal.Load(),
+			LatencyRequests: b.latencyCount.Load(),
+		}
+	}
+	return s
+}
+
+// render writes the counters in deterministic order (backends are
+// sorted at construction).
+func (m *Metrics) render() string {
+	s := m.Snapshot()
+	var b strings.Builder
+	b.WriteString("# TYPE pnn_router_backends gauge\n")
+	fmt.Fprintf(&b, "pnn_router_backends %d\n", len(m.backends))
+	b.WriteString("# TYPE pnn_router_backend_up gauge\n")
+	for _, bk := range m.backends {
+		up := 0
+		if s.Backends[bk.base].Up {
+			up = 1
+		}
+		fmt.Fprintf(&b, "pnn_router_backend_up{backend=%q} %d\n", bk.base, up)
+	}
+	b.WriteString("# TYPE pnn_router_requests_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_requests_total %d\n", s.Requests)
+	b.WriteString("# TYPE pnn_router_errors_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_errors_total %d\n", s.Errors)
+	b.WriteString("# TYPE pnn_router_backend_requests_total counter\n")
+	for _, bk := range m.backends {
+		fmt.Fprintf(&b, "pnn_router_backend_requests_total{backend=%q} %d\n", bk.base, s.Backends[bk.base].Requests)
+	}
+	b.WriteString("# TYPE pnn_router_backend_errors_total counter\n")
+	for _, bk := range m.backends {
+		fmt.Fprintf(&b, "pnn_router_backend_errors_total{backend=%q} %d\n", bk.base, s.Backends[bk.base].Errors)
+	}
+	b.WriteString("# TYPE pnn_router_backend_latency_seconds_sum counter\n")
+	for _, bk := range m.backends {
+		fmt.Fprintf(&b, "pnn_router_backend_latency_seconds_sum{backend=%q} %g\n",
+			bk.base, float64(s.Backends[bk.base].LatencyMicros)/1e6)
+	}
+	b.WriteString("# TYPE pnn_router_backend_latency_seconds_count counter\n")
+	for _, bk := range m.backends {
+		fmt.Fprintf(&b, "pnn_router_backend_latency_seconds_count{backend=%q} %d\n",
+			bk.base, s.Backends[bk.base].LatencyRequests)
+	}
+	b.WriteString("# TYPE pnn_router_batches_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_batches_total %d\n", s.Batches)
+	b.WriteString("# TYPE pnn_router_batch_items_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_batch_items_total %d\n", s.BatchItems)
+	b.WriteString("# TYPE pnn_router_sub_batches_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_sub_batches_total %d\n", s.SubBatches)
+	b.WriteString("# TYPE pnn_router_failovers_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_failovers_total %d\n", s.Failovers)
+	b.WriteString("# TYPE pnn_router_probes_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_probes_total %d\n", s.Probes)
+	b.WriteString("# TYPE pnn_router_mark_downs_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_mark_downs_total %d\n", s.MarkDowns)
+	b.WriteString("# TYPE pnn_router_mark_ups_total counter\n")
+	fmt.Fprintf(&b, "pnn_router_mark_ups_total %d\n", s.MarkUps)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pnn/api"
+)
+
+// handleBatch scatter-gathers POST /v1/batch: the mixed-dataset batch
+// is split by owning backend, sub-batches fan out concurrently (each
+// under the per-backend timeout), and per-item results are reassembled
+// in request order. A failed sub-batch is re-scattered exactly once
+// over each dataset's next healthy replica in hash order; items that
+// still cannot be answered come back as per-item api errors, never as
+// a whole-batch failure.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	breq, status, err := api.DecodeBatchRequest(w, r)
+	if err != nil {
+		rt.writeError(w, status, api.CodeBadRequest, err)
+		return
+	}
+	rt.metrics.batches.Add(1)
+	rt.metrics.batchItems.Add(uint64(len(breq.Items)))
+	results := make([]api.BatchResult, len(breq.Items))
+	idxs := make([]int, len(breq.Items))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rt.scatter(r.Context(), breq.Items, idxs, nil, 1, results)
+	rt.writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
+}
+
+// scatter answers items[i] for every i in idxs, writing into
+// results[i]. Items are grouped by owning backend — the first healthy,
+// non-excluded backend in each dataset's rendezvous order — and each
+// group is posted as one sub-batch, concurrently. When a sub-batch
+// fails retryably on attempt 1, its items are re-scattered with the
+// failed backend excluded, which lands every dataset on its next
+// replica in hash order (the single-retry failover). results is only
+// ever written at disjoint positions, so concurrent goroutines need no
+// lock.
+func (rt *Router) scatter(ctx context.Context, items []api.BatchItem, idxs []int, exclude map[*backend]bool, attempt int, results []api.BatchResult) {
+	groups := make(map[*backend][]int)
+	owners := make(map[string]*backend) // dataset → owner, memoized per call
+	for _, i := range idxs {
+		ds := items[i].Dataset
+		owner, memoized := owners[ds]
+		if !memoized {
+			order := rt.order(ds)
+			for _, b := range order {
+				if b.up.Load() && !exclude[b] {
+					owner = b
+					break
+				}
+			}
+			if owner == nil && !rt.probing {
+				// Fail open, exactly as prefsFor does for single
+				// queries: without probes a fully marked-down order
+				// must still be tried so it can recover.
+				for _, b := range order {
+					if !exclude[b] {
+						owner = b
+						break
+					}
+				}
+			}
+			owners[ds] = owner
+		}
+		if owner == nil {
+			results[i] = api.BatchResult{Error: &api.Error{
+				Error: fmt.Sprintf("no healthy backend for dataset %q", ds),
+				Code:  api.CodeNoBackend,
+			}}
+			continue
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	var wg sync.WaitGroup
+	for owner, group := range groups {
+		wg.Add(1)
+		go func(owner *backend, group []int) {
+			defer wg.Done()
+			rt.sendSubBatch(ctx, owner, items, group, exclude, attempt, results)
+		}(owner, group)
+	}
+	wg.Wait()
+}
+
+// sendSubBatch posts one owner's items as a sub-batch and places the
+// per-item results; on retryable failure it either re-scatters (first
+// attempt) or records per-item errors (second).
+func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.BatchItem, group []int, exclude map[*backend]bool, attempt int, results []api.BatchResult) {
+	sub := api.BatchRequest{Items: make([]api.BatchItem, len(group))}
+	for j, i := range group {
+		sub.Items[j] = items[i]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil { // unreachable for these types; defensive
+		fillError(results, group, api.CodeInternal, err.Error())
+		return
+	}
+	rt.metrics.subBatches.Add(1)
+	res, retryable, err := rt.attempt(ctx, owner, http.MethodPost, api.BatchPath, body)
+	if err != nil {
+		if retryable && attempt < 2 && ctx.Err() == nil {
+			rt.metrics.failovers.Add(1)
+			next := make(map[*backend]bool, len(exclude)+1)
+			for b := range exclude {
+				next[b] = true
+			}
+			next[owner] = true
+			rt.scatter(ctx, items, group, next, attempt+1, results)
+			return
+		}
+		fillError(results, group, api.CodeBackendError, err.Error())
+		return
+	}
+	if res.status != http.StatusOK {
+		// The backend rejected the whole sub-batch (malformed envelope
+		// cannot happen for a router-built one, so this is unexpected);
+		// surface its error body per item rather than retrying.
+		var apiErr api.Error
+		msg := fmt.Sprintf("backend %s: status %d", owner.base, res.status)
+		if json.Unmarshal(res.body, &apiErr) == nil && apiErr.Error != "" {
+			msg = fmt.Sprintf("backend %s: %s", owner.base, apiErr.Error)
+		}
+		fillError(results, group, api.CodeBackendError, msg)
+		return
+	}
+	var bresp api.BatchResponse
+	if err := json.Unmarshal(res.body, &bresp); err != nil || len(bresp.Results) != len(group) {
+		if err == nil {
+			err = fmt.Errorf("got %d results for %d items", len(bresp.Results), len(group))
+		}
+		fillError(results, group, api.CodeBackendError,
+			fmt.Sprintf("backend %s: invalid batch response: %v", owner.base, err))
+		return
+	}
+	for j, i := range group {
+		results[i] = bresp.Results[j]
+	}
+}
+
+// fillError records one error on every item of a group.
+func fillError(results []api.BatchResult, group []int, code, msg string) {
+	for _, i := range group {
+		results[i] = api.BatchResult{Error: &api.Error{Error: msg, Code: code}}
+	}
+}

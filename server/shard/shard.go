@@ -1,0 +1,448 @@
+// Package shard implements pnnrouter: a stateless shard-aware routing
+// tier in front of N replicated pnnserve backends.
+//
+// Datasets are assigned to backends with rendezvous (highest-random-
+// weight) hashing over a static backend list: every router instance
+// computes the same per-dataset preference order with no coordination,
+// and removing one backend only moves the datasets that backend owned.
+// Because backends are replicas (each hosts every dataset), the hash
+// order doubles as the failover order — a request that fails on the
+// owning backend is retried exactly once on the next replica.
+//
+// The router proxies the pnn/api wire types unchanged, so pnn/client
+// works against a router exactly as against a single pnnserve. Single
+// queries are forwarded verbatim; POST /v1/batch bodies are
+// scatter-gathered — split by owning backend, fanned out concurrently
+// with per-backend timeouts, and reassembled in request order.
+//
+// Replica health is tracked by periodic /healthz probes (mark-down
+// after consecutive probe failures, mark-up on the first recovery);
+// the request path additionally marks a backend down on transport
+// errors so failover does not wait for the next probe. /metrics aggregates per-backend request, error, and
+// latency counters.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pnn/api"
+)
+
+// Config tunes the router. Backends is required; every other field has
+// a usable zero value (see the field docs for defaults).
+type Config struct {
+	// Backends are the base URLs of the replicated pnnserve instances,
+	// e.g. {"http://10.0.0.1:8080", "http://10.0.0.2:8080"}. The list
+	// is static for the life of the router; all routers fronting the
+	// same fleet must be given the same list (order does not matter —
+	// rendezvous hashing is order-independent).
+	Backends []string
+	// ProbeInterval is the /healthz probe period; 0 means the default
+	// (2s), < 0 disables probing. Without probes the request path still
+	// marks backends down (steering), but a fully marked-down
+	// candidate set fails open — the full hash order is tried anyway,
+	// and a successful answer marks its backend back up — so a
+	// transient outage can never remove every replica permanently.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; 0 means the default (1s).
+	ProbeTimeout time.Duration
+	// RequestTimeout bounds each per-backend attempt (so a request that
+	// fails over spends at most twice this); 0 means the default (15s),
+	// < 0 disables.
+	RequestTimeout time.Duration
+	// Client is the HTTP client used for proxying and probing; nil
+	// means http.DefaultClient.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	switch {
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Router routes requests across the backend fleet. Construct with New,
+// mount Handler, and Close to stop health probing.
+type Router struct {
+	cfg      Config
+	probing  bool // whether the probe loop runs (it alone can mark up absent traffic)
+	backends []*backend
+	metrics  *Metrics
+	handler  http.Handler
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a router over cfg.Backends and starts health probing.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends configured")
+	}
+	rt := &Router{cfg: cfg, stopc: make(chan struct{})}
+	seen := make(map[string]bool)
+	for _, raw := range cfg.Backends {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			return nil, fmt.Errorf("shard: empty backend URL")
+		}
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			base = "http://" + base
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("shard: duplicate backend %s", base)
+		}
+		seen[base] = true
+		b := &backend{base: base}
+		b.up.Store(true) // optimistic until the first probe says otherwise
+		rt.backends = append(rt.backends, b)
+	}
+	sort.Slice(rt.backends, func(i, j int) bool { return rt.backends[i].base < rt.backends[j].base })
+	rt.metrics = newMetrics(rt.backends)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/v1/datasets", rt.handleDatasets)
+	for _, op := range api.Ops {
+		mux.HandleFunc(api.QueryPath(op), rt.handleQuery)
+	}
+	mux.HandleFunc(api.BatchPath, rt.handleBatch)
+	rt.handler = mux
+
+	if cfg.ProbeInterval > 0 {
+		rt.probing = true
+		rt.wg.Add(1)
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// Handler returns the root handler (health, metrics, and /v1 API).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Metrics exposes the router's counters (for tests and embedding).
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// Close stops health probing. In-flight proxied requests are not
+// interrupted.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stopc) })
+	rt.wg.Wait()
+}
+
+// Backends returns the canonical backend base URLs in sorted order.
+func (rt *Router) Backends() []string {
+	out := make([]string, len(rt.backends))
+	for i, b := range rt.backends {
+		out[i] = b.base
+	}
+	return out
+}
+
+// order returns the backends in rendezvous preference order for a
+// dataset: each backend is scored by a hash of (backend, dataset) and
+// ranked by descending score. The highest-scoring backend owns the
+// dataset; the rest are its failover order. Every router computes the
+// same order with no shared state, and removing a backend leaves the
+// relative order of the others unchanged — only the removed backend's
+// datasets move.
+func (rt *Router) order(dataset string) []*backend {
+	type scored struct {
+		b     *backend
+		score uint64
+	}
+	ranked := make([]scored, len(rt.backends))
+	for i, b := range rt.backends {
+		h := fnv.New64a()
+		io.WriteString(h, b.base)
+		h.Write([]byte{0})
+		io.WriteString(h, dataset)
+		ranked[i] = scored{b, mix64(h.Sum64())}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].b.base < ranked[j].b.base
+	})
+	out := make([]*backend, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.b
+	}
+	return out
+}
+
+// mix64 is the murmur3 fmix64 finalizer. FNV-1a alone is unusable for
+// rendezvous scores: bytes near the end of the input (the dataset
+// name) only perturb the low-order bits of the sum, so comparing raw
+// sums is decided by the backend prefix and one backend wins every
+// dataset. The finalizer avalanches every input bit across the word,
+// making the per-dataset winner effectively uniform.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// upInOrder filters an order to the backends currently marked up.
+func upInOrder(order []*backend) []*backend {
+	out := make([]*backend, 0, len(order))
+	for _, b := range order {
+		if b.up.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// prefsFor narrows an order to the healthy backends — failing open to
+// the full order when every candidate is marked down and no probe loop
+// runs. Without probes a mark-down is otherwise permanent (markUp is
+// only reached by traffic), so a transient blip on every replica would
+// 503 the router forever; trying the full order lets a successful
+// answer mark its backend back up.
+func (rt *Router) prefsFor(order []*backend) []*backend {
+	prefs := upInOrder(order)
+	if len(prefs) == 0 && !rt.probing {
+		return order
+	}
+	return prefs
+}
+
+// attemptResult is one proxied backend response: the verbatim status,
+// body, and the headers worth forwarding.
+type attemptResult struct {
+	status      int
+	body        []byte
+	contentType string
+	cacheStatus string
+}
+
+// attempt proxies one request to one backend, recording metrics and
+// marking the backend down on transport errors. retryable reports
+// whether a failure may be retried on the next replica: transport
+// errors and 5xx statuses are retryable (the replica is unhealthy),
+// 4xx are not (the request itself is at fault and every replica would
+// answer the same).
+func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery string, body []byte) (res attemptResult, retryable bool, err error) {
+	caller := ctx // distinguishes a client abandoning us from a backend timing out
+	if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+pathAndQuery, rdr)
+	if err != nil {
+		return res, false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	b.requests.Add(1)
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		b.errors.Add(1)
+		// Don't wait for the next probe: the replica is unreachable
+		// right now, so steer subsequent requests away immediately.
+		// Unless the failure is the caller's own cancellation — a
+		// client that hung up is not evidence against the backend.
+		if caller.Err() == nil {
+			rt.markDown(b)
+		}
+		return res, true, fmt.Errorf("backend %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	b.observeLatency(time.Since(start))
+	if err != nil {
+		b.errors.Add(1)
+		if caller.Err() == nil {
+			rt.markDown(b)
+		}
+		return res, true, fmt.Errorf("backend %s: reading response: %w", b.base, err)
+	}
+	if resp.StatusCode >= 500 {
+		b.errors.Add(1)
+		return res, true, fmt.Errorf("backend %s: status %d", b.base, resp.StatusCode)
+	}
+	// A definitive answer proves the backend is reachable; mark it back
+	// up (a no-op when already up). This is the recovery path when
+	// probing is disabled — see prefsFor.
+	rt.markUp(b)
+	return attemptResult{
+		status:      resp.StatusCode,
+		body:        buf,
+		contentType: resp.Header.Get("Content-Type"),
+		cacheStatus: resp.Header.Get(api.CacheHeader),
+	}, false, nil
+}
+
+// proxyOrdered tries the request on each backend of prefs in turn —
+// at most two attempts (owner plus one failover) — and returns the
+// first verbatim answer.
+func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pathAndQuery string, body []byte) (attemptResult, *backend, error) {
+	const maxAttempts = 2
+	var lastErr error
+	for i, b := range prefs {
+		if i >= maxAttempts {
+			break
+		}
+		if i > 0 {
+			rt.metrics.failovers.Add(1)
+		}
+		res, retryable, err := rt.attempt(ctx, b, method, pathAndQuery, body)
+		if err == nil {
+			return res, b, nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy backend")
+	}
+	return attemptResult{}, nil, lastErr
+}
+
+// handleQuery routes one single-query endpoint: rendezvous-order the
+// replicas by the dataset parameter, forward verbatim, fail over once.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		rt.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+			fmt.Errorf("%s requires GET", r.URL.Path))
+		return
+	}
+	dataset := r.URL.Query().Get("dataset")
+	prefs := rt.prefsFor(rt.order(dataset))
+	if len(prefs) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+			fmt.Errorf("no healthy backend for dataset %q", dataset))
+		return
+	}
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	res, b, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		return
+	}
+	rt.writeProxied(w, res, b)
+}
+
+// handleDatasets forwards the dataset listing to the first healthy
+// backend (all replicas host the same datasets).
+func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		rt.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+			fmt.Errorf("%s requires GET", r.URL.Path))
+		return
+	}
+	prefs := rt.prefsFor(rt.backends)
+	if len(prefs) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+			fmt.Errorf("no healthy backend"))
+		return
+	}
+	res, b, err := rt.proxyOrdered(r.Context(), prefs, r.Method, "/v1/datasets", nil)
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		return
+	}
+	rt.writeProxied(w, res, b)
+}
+
+// handleHealth reports the router's own health: "ok" when every
+// backend is up, "degraded" when some are, 503 "down" when none are.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	up := len(upInOrder(rt.backends))
+	h := api.RouterHealth{
+		Status:        "ok",
+		BackendsUp:    up,
+		BackendsTotal: len(rt.backends),
+	}
+	status := http.StatusOK
+	switch {
+	case up == 0:
+		h.Status = "down"
+		status = http.StatusServiceUnavailable
+	case up < len(rt.backends):
+		h.Status = "degraded"
+	}
+	rt.writeJSON(w, status, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, rt.metrics.render())
+}
+
+func (rt *Router) writeProxied(w http.ResponseWriter, res attemptResult, b *backend) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	if res.cacheStatus != "" {
+		w.Header().Set(api.CacheHeader, res.cacheStatus)
+	}
+	w.Header().Set(api.BackendHeader, b.base)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code string, err error) {
+	rt.metrics.errors.Add(1)
+	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
