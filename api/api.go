@@ -32,8 +32,17 @@ type Error struct {
 // transport story (404, 429, 503, …); codes tell the semantic one, and
 // survive proxying through the shard router unchanged.
 const (
-	// CodeBadRequest marks malformed or out-of-range request parameters.
+	// CodeBadRequest marks a structurally malformed request: wrong HTTP
+	// method, an undecodable batch envelope, or a batch beyond the item
+	// or byte caps.
 	CodeBadRequest = "bad_request"
+	// CodeBadParam marks a request whose parameters fail validation —
+	// a non-finite tau, a negative k, an unknown backend or method, an
+	// out-of-range eps/delta/rounds, or a missing required field. Always
+	// paired with HTTP 400, on single queries and batch items alike, and
+	// it survives proxying through pnnrouter unchanged (the router never
+	// retries a 4xx, so every replica reports it identically).
+	CodeBadParam = "bad_param"
 	// CodeUnknownDataset marks a dataset name no backend hosts. Always
 	// paired with HTTP 404.
 	CodeUnknownDataset = "unknown_dataset"
@@ -183,7 +192,10 @@ type BatchItem struct {
 	// X and Y are the query point.
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
-	// K is the result count for "topk".
+	// K is the result count for "topk". Omitted (or zero — the wire
+	// cannot tell them apart) means the server default of 3; a negative
+	// value is rejected with bad_param. An explicit k = 0, which answers
+	// an empty ranking, is only expressible on the single-query endpoint.
 	K int `json:"k,omitempty"`
 	// Tau is the probability threshold for "threshold".
 	Tau float64 `json:"tau,omitempty"`

@@ -301,3 +301,109 @@ func mustDiscreteSet(b *testing.B, r *rand.Rand, n, k int) *DiscreteSet {
 	}
 	return set
 }
+
+// --- Sparse quantification hot path (PR 4) ---------------------------------
+//
+// The acceptance benchmarks of the sparse path: TopK/Threshold/
+// PositiveProbabilities on a 100k-point discrete set through an
+// approximate quantifier, sparse (the facade's path) vs dense (ranking
+// the full π vector). The sparse side must show at least 5× fewer
+// allocs/op — it never materializes the N-length vector.
+
+func sparseBenchIndex(b *testing.B, n int, opts ...Option) *Index {
+	b.Helper()
+	r := rand.New(rand.NewSource(21))
+	set := mustDiscreteSet(b, r, n, 2)
+	idx, err := New(set, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+func benchQueries(n int) []Point {
+	r := rand.New(rand.NewSource(99))
+	qs := make([]Point, 256)
+	for i := range qs {
+		qs[i] = Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	return qs
+}
+
+func BenchmarkSparseTopK100k(b *testing.B) {
+	idx := sparseBenchIndex(b, 100_000, WithQuantifier(SpiralSearch(0.05)))
+	qs := benchQueries(100_000)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.TopK(qs[i%len(qs)], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			denseTopK(idx, qs[i%len(qs)], 5)
+		}
+	})
+}
+
+func BenchmarkSparseThreshold100k(b *testing.B) {
+	idx := sparseBenchIndex(b, 100_000, WithQuantifier(SpiralSearch(0.05)))
+	qs := benchQueries(100_000)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.Threshold(qs[i%len(qs)], 0.2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			denseThreshold(idx, qs[i%len(qs)], 0.2)
+		}
+	})
+}
+
+func BenchmarkSparsePositive100k(b *testing.B) {
+	idx := sparseBenchIndex(b, 100_000, WithQuantifier(SpiralSearch(0.05)))
+	qs := benchQueries(100_000)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.PositiveProbabilities(qs[i%len(qs)], 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			densePositive(idx, qs[i%len(qs)], 0)
+		}
+	})
+}
+
+// Monte Carlo at a smaller N (the 100k preprocessing stores s kd-trees):
+// the sparse report touches at most s owners per query.
+func BenchmarkSparseTopKMonteCarlo(b *testing.B) {
+	idx := sparseBenchIndex(b, 20_000, WithQuantifier(MonteCarloBudget(64)), WithSeed(2))
+	qs := benchQueries(20_000)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.TopK(qs[i%len(qs)], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			denseTopK(idx, qs[i%len(qs)], 5)
+		}
+	})
+}

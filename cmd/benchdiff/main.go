@@ -1,0 +1,139 @@
+// Command benchdiff compares two directories of BENCH_<name>.json
+// records (as written by pnnbench -json) and fails when the new run has
+// regressed against the baseline: it exits non-zero if any record's
+// ns_op or allocs/op grew by more than the tolerance (default 30%).
+//
+// It is the CI bench gate:
+//
+//	go run ./cmd/pnnbench -experiment microbench -quick -json /tmp/bench
+//	go run ./cmd/benchdiff -base bench -new /tmp/bench
+//
+// Records are matched by name; names present on only one side are
+// reported but never fail the gate (so adding a benchmark does not
+// require regenerating history in the same commit). Alloc comparisons
+// get one count of absolute slack so a 0 → 1 inliner wobble cannot fail
+// a run on its own.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type record struct {
+	Name   string `json:"name"`
+	NsOp   int64  `json:"ns_op"`
+	Allocs int64  `json:"allocs"`
+}
+
+var (
+	baseDir = flag.String("base", "bench", "baseline directory of BENCH_*.json records")
+	newDir  = flag.String("new", "", "directory of freshly generated BENCH_*.json records")
+	tol     = flag.Float64("tolerance", 0.30, "allowed fractional growth of ns_op and allocs before failing")
+	nsTol   = flag.Float64("ns-tolerance", -1, "separate tolerance for ns_op (wall clock varies across machines; allocs do not); -1 means use -tolerance")
+	verbose = flag.Bool("v", false, "print every comparison, not just regressions")
+)
+
+func load(dir string) (map[string]record, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]record, len(paths))
+	for _, p := range paths {
+		body, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r record
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if r.Name == "" {
+			r.Name = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		}
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// grew reports whether next regressed against base beyond the given
+// tolerance, with slack counts of absolute headroom (for integer
+// metrics whose baseline can be 0).
+func grew(base, next int64, tolerance float64, slack int64) bool {
+	return float64(next) > float64(base)*(1+tolerance)+float64(slack)
+}
+
+func main() {
+	flag.Parse()
+	if *newDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: loading baseline: %v\n", err)
+		os.Exit(2)
+	}
+	next, err := load(*newDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: loading new run: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json records in baseline %s\n", *baseDir)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	matched, regressions := 0, 0
+	for _, name := range names {
+		b := base[name]
+		n, ok := next[name]
+		if !ok {
+			fmt.Printf("skip   %-24s (not in new run)\n", name)
+			continue
+		}
+		matched++
+		nsTolerance := *tol
+		if *nsTol >= 0 {
+			nsTolerance = *nsTol
+		}
+		nsBad := grew(b.NsOp, n.NsOp, nsTolerance, 0)
+		allocBad := grew(b.Allocs, n.Allocs, *tol, 1)
+		switch {
+		case nsBad || allocBad:
+			regressions++
+			fmt.Printf("FAIL   %-24s ns/op %d -> %d (%+.0f%%), allocs %d -> %d\n",
+				name, b.NsOp, n.NsOp, 100*(float64(n.NsOp)/float64(b.NsOp)-1), b.Allocs, n.Allocs)
+		case *verbose:
+			fmt.Printf("ok     %-24s ns/op %d -> %d (%+.0f%%), allocs %d -> %d\n",
+				name, b.NsOp, n.NsOp, 100*(float64(n.NsOp)/float64(b.NsOp)-1), b.Allocs, n.Allocs)
+		}
+	}
+	for name := range next {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("new    %-24s (no baseline; commit its BENCH_ record to start tracking)\n", name)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no records in common — wrong directories?")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed beyond %.0f%%\n",
+			regressions, matched, 100**tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", matched, 100**tol)
+}

@@ -882,11 +882,87 @@ func expMicrobench() {
 		batch[i] = pnn.Request{Q: pnn.Pt(q.X, q.Y), Op: ops[i%len(ops)], K: 3, Tau: 0.2}
 	}
 
+	// The sparse ranked-query surface (PR 4): facade TopK/Threshold/
+	// PositiveProbabilities answer through the engines' sparse reports;
+	// the dense rows rank the full π vector the pre-sparse path built.
+	// These are the rows the CI bench gate watches for alloc regressions.
+	ns := 5000
+	if *quick {
+		ns = 1000
+	}
+	spts := make([]pnn.DiscretePoint, ns)
+	{
+		cluster := math.Sqrt(float64(ns)) * 10
+		for i := range spts {
+			cx, cy := r.Float64()*cluster, r.Float64()*cluster
+			locs := []pnn.Point{
+				pnn.Pt(cx+r.Float64()*4-2, cy+r.Float64()*4-2),
+				pnn.Pt(cx+r.Float64()*4-2, cy+r.Float64()*4-2),
+			}
+			spts[i] = pnn.DiscretePoint{Locations: locs}
+		}
+	}
+	sset, err := pnn.NewDiscreteSet(spts)
+	if err != nil {
+		panic(err)
+	}
+	sidx, err := pnn.New(sset, pnn.WithQuantifier(pnn.SpiralSearch(0.05)))
+	if err != nil {
+		panic(err)
+	}
+	sqs := make([]pnn.Point, 256)
+	{
+		cluster := math.Sqrt(float64(ns)) * 10
+		for i := range sqs {
+			sqs[i] = pnn.Pt(r.Float64()*cluster, r.Float64()*cluster)
+		}
+	}
+	sq := func(i int) pnn.Point { return sqs[i%len(sqs)] }
+
 	benches := []struct {
 		name   string
 		params map[string]any
 		fn     func(b *testing.B)
 	}{
+		{"topk-sparse", map[string]any{"n": ns, "k": 5, "quant": "spiral(0.05)"}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sidx.TopK(sq(i), 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"topk-dense", map[string]any{"n": ns, "k": 5, "quant": "spiral(0.05)"}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pi, err := sidx.Probabilities(sq(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				quantify.TopK(pi, 5)
+			}
+		}},
+		{"threshold-sparse", map[string]any{"n": ns, "tau": 0.2, "quant": "spiral(0.05)"}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sidx.Threshold(sq(i), 0.2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"positive-sparse", map[string]any{"n": ns, "quant": "spiral(0.05)"}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sidx.PositiveProbabilities(sq(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"nonzero-into", map[string]any{"n": ns}, func(b *testing.B) {
+			var buf []int
+			for i := 0; i < b.N; i++ {
+				var err error
+				if buf, err = sidx.NonzeroInto(sq(i), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"nonzero-index", map[string]any{"n": nd}, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				dix.Query(dqs[i%len(dqs)])

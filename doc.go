@@ -43,6 +43,41 @@
 //	WithIntegrationPanels / WithSpiralSamples   accuracy knobs for
 //	                    continuous inputs
 //
+// # The sparse hot path
+//
+// TopK, Threshold, and PositiveProbabilities never materialize the
+// N-length probability vector when the engine has a sparse answer: a
+// Monte Carlo estimator reports at most s positive estimates (Theorem
+// 4.3) and spiral search inspects only the m(ρ,ε) nearest locations
+// (Theorem 4.7), so those engines answer ranked and filtered queries in
+// output-sized allocations — typically one allocation per call, for the
+// caller-owned result. Exact engines compute the dense vector into
+// pooled scratch and filter it. The sparse and dense paths are
+// equivalence-tested to be identical, bitwise, across engines and set
+// kinds. The one dense fallback is Threshold with tau ≤ Eps() on an
+// approximate engine, where zero-estimate points are genuinely Possible
+// and the full vector is required (it comes from the same pooled
+// scratch).
+//
+// # Caller-buffer variants and ownership
+//
+// Every query result is caller-owned: mutating a returned slice never
+// affects later queries. For allocation-flat loops the *Into variants —
+// ProbabilitiesInto and NonzeroInto — reuse a caller buffer instead:
+// the buffer is consumed from its start (not appended after existing
+// elements), grown only when too small, and the returned slice aliases
+// it, so it is valid only until the next *Into call with that buffer.
+// Passing nil is allowed and behaves like the allocating form.
+//
+// # Query-parameter domains
+//
+// TopK(q, k) defines its edges identically through the facade,
+// QueryBatchOps, and the HTTP serving surface: k < 0 fails with
+// ErrInvalidParam, k == 0 answers an empty ranking, k > Len() clamps.
+// Threshold rejects NaN and ±Inf taus with ErrInvalidParam, and never
+// certifies a zero-probability point — Threshold(q, 0) reports exactly
+// the positive-probability points as Certain under an exact engine.
+//
 // # Determinism
 //
 // All randomness is drawn during New (Monte Carlo instantiations,

@@ -112,6 +112,11 @@ func (s *SquareSet) NonzeroAt(q Point) []int {
 	return linf.NonzeroSet(s.squares, toGeom(q))
 }
 
+// nonzeroAtInto is NonzeroAt appending into dst (reused from its start).
+func (s *SquareSet) nonzeroAtInto(q Point, dst []int) []int {
+	return linf.NonzeroSetInto(s.squares, toGeom(q), dst)
+}
+
 // SquareIndex answers L∞ NN≠0 queries in logarithmic expected time.
 type SquareIndex struct {
 	ix *linf.Index
@@ -127,4 +132,9 @@ func (s *SquareSet) NewNonzeroIndex() *SquareIndex {
 // Query returns NN≠0(q) in increasing index order.
 func (ix *SquareIndex) Query(q Point) []int {
 	return ix.ix.Query(toGeom(q))
+}
+
+// queryInto is Query appending into dst (reused from its start).
+func (ix *SquareIndex) queryInto(q Point, dst []int) []int {
+	return ix.ix.QueryInto(toGeom(q), dst)
 }

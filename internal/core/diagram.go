@@ -222,6 +222,14 @@ func (d *Diagram) Query(q geom.Point) []int {
 	return d.Sub.Query(q)
 }
 
+// QueryInto is Query appending into dst (reused from its start).
+func (d *Diagram) QueryInto(q geom.Point, dst []int) []int {
+	if d.Sub == nil {
+		return NonzeroSetInto(d.Disks, q, dst)
+	}
+	return d.Sub.QueryInto(q, dst)
+}
+
 // CheckVertex verifies the defining tangency conditions of an arrangement
 // vertex within tolerance tol: the witness disk of radius Δ(v) centered at
 // v touches the required uncertainty regions. Used by tests.

@@ -209,18 +209,24 @@ func Delta(disks []geom.Disk, q geom.Point) float64 {
 // Note the exclusion of j = i: it only matters for degenerate
 // (zero-radius) regions, where δ_i = Δ_i.
 func NonzeroSet(disks []geom.Disk, q geom.Point) []int {
+	return NonzeroSetInto(disks, q, nil)
+}
+
+// NonzeroSetInto is NonzeroSet appending into dst (reused from its
+// start) — the caller-buffer variant for allocation-flat query loops.
+func NonzeroSetInto(disks []geom.Disk, q geom.Point, dst []int) []int {
 	min1, min2, argmin := twoSmallest(len(disks), func(j int) float64 { return disks[j].MaxDist(q) })
-	var out []int
+	dst = dst[:0]
 	for i, d := range disks {
 		bound := min1
 		if i == argmin {
 			bound = min2
 		}
 		if d.MinDist(q) < bound {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // twoSmallest returns the smallest and second-smallest of f(0..n-1) and the

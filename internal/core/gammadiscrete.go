@@ -41,18 +41,24 @@ func DeltaDiscrete(pts []DiscretePoint, q geom.Point) float64 {
 // comparison excludes j = i so single-location (certain) points behave
 // like a standard Voronoi diagram.
 func NonzeroSetDiscrete(pts []DiscretePoint, q geom.Point) []int {
+	return NonzeroSetDiscreteInto(pts, q, nil)
+}
+
+// NonzeroSetDiscreteInto is NonzeroSetDiscrete appending into dst
+// (reused from its start).
+func NonzeroSetDiscreteInto(pts []DiscretePoint, q geom.Point, dst []int) []int {
 	min1, min2, argmin := twoSmallest(len(pts), func(j int) float64 { return pts[j].MaxDist(q) })
-	var out []int
+	dst = dst[:0]
 	for i, p := range pts {
 		bound := min1
 		if i == argmin {
 			bound = min2
 		}
 		if p.MinDist(q) < bound {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // DiscreteDiagram is V≠0(P) for discrete uncertain points (Section 2.2).
@@ -269,6 +275,14 @@ func (d *DiscreteDiagram) Query(q geom.Point) []int {
 		return NonzeroSetDiscrete(d.Points, q)
 	}
 	return d.Sub.Query(q)
+}
+
+// QueryInto is Query appending into dst (reused from its start).
+func (d *DiscreteDiagram) QueryInto(q geom.Point, dst []int) []int {
+	if d.Sub == nil {
+		return NonzeroSetDiscreteInto(d.Points, q, dst)
+	}
+	return d.Sub.QueryInto(q, dst)
 }
 
 // CheckVertex verifies that an arrangement vertex satisfies its defining

@@ -178,6 +178,17 @@ func (s *Subdivision) Query(q geom.Point) []int {
 	return set.Elements(nil)
 }
 
+// QueryInto is Query appending into dst (reused from its start). The
+// result never aliases the persistent face sets.
+func (s *Subdivision) QueryInto(q geom.Point, dst []int) []int {
+	dst = dst[:0]
+	set, ok := s.querySet(q)
+	if !ok {
+		return append(dst, s.eval(q)...)
+	}
+	return set.Elements(dst)
+}
+
 // QueryContains reports whether index i belongs to NN≠0(q), without
 // materializing the set.
 func (s *Subdivision) QueryContains(q geom.Point, i int) bool {

@@ -7,9 +7,9 @@
 package kdtree
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+	"sync"
 
 	"pnn/internal/geom"
 )
@@ -138,19 +138,41 @@ func (t *Tree) nearest(ni int, q geom.Point, best *Item, bestD2 *float64) {
 // KNearest returns the k items nearest to q in increasing distance order.
 // Fewer than k are returned when the tree is smaller.
 func (t *Tree) KNearest(q geom.Point, k int) []Item {
+	return t.KNearestInto(q, k, nil)
+}
+
+// KNearestInto is KNearest writing into dst (reused from its start,
+// grown as needed): the caller-buffer variant for allocation-flat query
+// loops. The bounded max-heap behind the search comes from an internal
+// pool, so a warm query performs no heap allocation beyond growing dst
+// once.
+func (t *Tree) KNearestInto(q geom.Point, k int, dst []Item) []Item {
+	dst = dst[:0]
 	if t.root < 0 || k <= 0 {
-		return nil
+		return dst
 	}
 	if k > len(t.items) {
 		k = len(t.items)
 	}
-	h := &maxHeap{}
-	t.knearest(t.root, q, k, h)
-	out := make([]Item, len(*h))
-	for i := len(*h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(heapItem).it
+	hp := heapPool.Get().(*[]heapItem)
+	h := (*hp)[:0]
+	t.knearest(t.root, q, k, &h)
+	if cap(dst) < len(h) {
+		dst = make([]Item, len(h))
+	} else {
+		dst = dst[:len(h)]
 	}
-	return out
+	// Pop the max repeatedly, filling dst back to front, so dst ends in
+	// increasing distance order.
+	for i := len(h) - 1; i >= 0; i-- {
+		dst[i] = h[0].it
+		h[0] = h[i]
+		h = h[:i]
+		siftDown(h, 0)
+	}
+	*hp = h[:0]
+	heapPool.Put(hp)
+	return dst
 }
 
 type heapItem struct {
@@ -158,21 +180,46 @@ type heapItem struct {
 	d2 float64
 }
 
-type maxHeap []heapItem
+var heapPool = sync.Pool{New: func() any {
+	s := make([]heapItem, 0, 64)
+	return &s
+}}
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// heapPush appends it and restores the max-heap order on d2. Manual sift
+// instead of container/heap: the interface{} boxing there allocates on
+// every push/pop, which dominated the k-NN hot path.
+func heapPush(h *[]heapItem, it heapItem) {
+	*h = append(*h, it)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hh[parent].d2 >= hh[i].d2 {
+			break
+		}
+		hh[parent], hh[i] = hh[i], hh[parent]
+		i = parent
+	}
 }
 
-func (t *Tree) knearest(ni int, q geom.Point, k int, h *maxHeap) {
+func siftDown(h []heapItem, i int) {
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && h[l].d2 > h[big].d2 {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].d2 > h[big].d2 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+func (t *Tree) knearest(ni int, q geom.Point, k int, h *[]heapItem) {
 	n := &t.nodes[ni]
 	d := n.bbox.DistToPoint(q)
 	if len(*h) == k && d*d > (*h)[0].d2 {
@@ -182,10 +229,10 @@ func (t *Tree) knearest(ni int, q geom.Point, k int, h *maxHeap) {
 		for i := n.lo; i < n.hi; i++ {
 			d2 := t.items[i].P.Dist2(q)
 			if len(*h) < k {
-				heap.Push(h, heapItem{t.items[i], d2})
+				heapPush(h, heapItem{t.items[i], d2})
 			} else if d2 < (*h)[0].d2 {
 				(*h)[0] = heapItem{t.items[i], d2}
-				heap.Fix(h, 0)
+				siftDown(*h, 0)
 			}
 		}
 		return

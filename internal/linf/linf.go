@@ -39,6 +39,12 @@ func (s Square) MaxDist(q geom.Point) float64 {
 // Lemma 2.1 (which is metric-agnostic) in O(n), excluding j = i as in the
 // L₂ oracle.
 func NonzeroSet(squares []Square, q geom.Point) []int {
+	return NonzeroSetInto(squares, q, nil)
+}
+
+// NonzeroSetInto is NonzeroSet appending into dst (reused from its
+// start).
+func NonzeroSetInto(squares []Square, q geom.Point, dst []int) []int {
 	min1, min2 := math.Inf(1), math.Inf(1)
 	argmin := -1
 	for j, s := range squares {
@@ -52,7 +58,7 @@ func NonzeroSet(squares []Square, q geom.Point) []int {
 			min2 = v
 		}
 	}
-	var out []int
+	out := dst[:0]
 	for i, s := range squares {
 		bound := min1
 		if i == argmin {
@@ -175,14 +181,21 @@ func (ix *Index) delta(ni int, q geom.Point, arg *int, best *float64) {
 
 // Query returns NN≠0(q) under L∞ in increasing index order.
 func (ix *Index) Query(q geom.Point) []int {
+	return ix.QueryInto(q, nil)
+}
+
+// QueryInto is Query appending into dst (reused from its start) — the
+// caller-buffer variant for allocation-flat query loops.
+func (ix *Index) QueryInto(q geom.Point, dst []int) []int {
+	dst = dst[:0]
 	if len(ix.squares) == 0 {
-		return nil
+		return dst
 	}
 	if len(ix.squares) == 1 {
-		return []int{0}
+		return append(dst, 0)
 	}
 	arg, delta := ix.nearest(q)
-	var out []int
+	out := dst
 	ix.report(ix.root, q, delta, &out)
 	// Degenerate zero-size regions: the arg-min square reports itself
 	// whenever its radius is positive; only when it failed (δ = Δ) does

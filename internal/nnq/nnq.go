@@ -16,6 +16,7 @@ package nnq
 
 import (
 	"sort"
+	"sync"
 
 	"pnn/internal/awvd"
 	"pnn/internal/core"
@@ -43,14 +44,21 @@ func NewContinuous(disks []geom.Disk) *ContinuousIndex {
 
 // Query returns NN≠0(q) in increasing index order.
 func (ix *ContinuousIndex) Query(q geom.Point) []int {
+	return ix.QueryInto(q, nil)
+}
+
+// QueryInto is Query appending into dst (reused from its start) — the
+// caller-buffer variant for allocation-flat query loops.
+func (ix *ContinuousIndex) QueryInto(q geom.Point, dst []int) []int {
+	dst = dst[:0]
 	if len(ix.disks) == 0 {
-		return nil
+		return dst
 	}
 	if len(ix.disks) == 1 {
-		return []int{0}
+		return append(dst, 0)
 	}
 	arg, delta, _ := ix.stage1.Nearest(q)
-	out := ix.stage2.ReportMinDistLess(q, delta, nil)
+	out := ix.stage2.ReportMinDistLess(q, delta, dst)
 	// The argmin disk always reports itself when its radius is positive
 	// (δ < Δ on the same disk). Only for a degenerate zero-radius region
 	// can δ_arg = Δ; then Lemma 2.1's j ≠ i exclusion requires comparing
@@ -128,12 +136,18 @@ func (ix *DiscreteIndex) Delta(q geom.Point) float64 {
 
 // Query returns NN≠0(q) in increasing index order.
 func (ix *DiscreteIndex) Query(q geom.Point) []int {
+	return ix.QueryInto(q, nil)
+}
+
+// QueryInto is Query appending into dst (reused from its start).
+func (ix *DiscreteIndex) QueryInto(q geom.Point, dst []int) []int {
+	dst = dst[:0]
 	n := len(ix.points)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	if n == 1 {
-		return []int{0}
+		return append(dst, 0)
 	}
 	// Two smallest Δ values, for the degenerate-safe bound.
 	min1, min2 := -1.0, -1.0
@@ -153,24 +167,34 @@ func (ix *DiscreteIndex) Query(q geom.Point) []int {
 	// owner whose nearest location sits exactly at distance min1 (always
 	// true for k = 1) could be lost to roundoff. The exact per-owner test
 	// below filters any extra candidates.
-	hits := ix.tree.InDisk(q, min1+1e-9*(1+min1), nil)
-	seen := make(map[int]struct{}, len(hits))
-	var out []int
-	for _, h := range hits {
-		if _, dup := seen[h.ID]; dup {
+	sc := discPool.Get().(*discScratch)
+	sc.hits = ix.tree.InDisk(q, min1+1e-9*(1+min1), sc.hits[:0])
+	clear(sc.seen)
+	for _, h := range sc.hits {
+		if _, dup := sc.seen[h.ID]; dup {
 			continue
 		}
+		sc.seen[h.ID] = struct{}{} // owner checked once; δ_i is global per owner
 		bound := min1
 		if h.ID == arg {
 			bound = min2
 		}
 		if ix.points[h.ID].MinDist(q) < bound {
-			seen[h.ID] = struct{}{}
-			out = append(out, h.ID)
-		} else {
-			seen[h.ID] = struct{}{} // owner checked once; δ_i is global per owner
+			dst = append(dst, h.ID)
 		}
 	}
-	sort.Ints(out)
-	return out
+	discPool.Put(sc)
+	sort.Ints(dst)
+	return dst
 }
+
+// discScratch pools the candidate buffers of DiscreteIndex queries so a
+// warm query allocates nothing beyond growing the caller's dst once.
+type discScratch struct {
+	hits []kdtree.Item
+	seen map[int]struct{}
+}
+
+var discPool = sync.Pool{New: func() any {
+	return &discScratch{seen: make(map[int]struct{})}
+}}

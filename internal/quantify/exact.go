@@ -11,7 +11,9 @@
 package quantify
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"sync"
 
 	"pnn/internal/dist"
 	"pnn/internal/geom"
@@ -48,26 +50,46 @@ func ExactAll(pts []*dist.Discrete, q geom.Point) []float64 {
 	return ExactSubset(locs, len(pts), q)
 }
 
+// ExactAllInto is ExactAll writing the probability vector into pi, which
+// must have length len(pts). Internal sweep scratch is still allocated;
+// the point of the variant is that the result reuses caller memory.
+func ExactAllInto(pts []*dist.Discrete, q geom.Point, pi []float64) []float64 {
+	locs := Flatten(pts)
+	return ExactSubsetInto(locs, len(pts), q, pi)
+}
+
 // ExactSubset evaluates Eq. (2) restricted to the given locations (which
 // need not cover full probability mass — the spiral-search estimator of
 // Section 4.3 calls it with the m nearest locations only). n is the number
 // of owners.
 func ExactSubset(locs []Location, n int, q geom.Point) []float64 {
-	type rec struct {
-		d2 float64
-		Location
-	}
-	recs := make([]rec, len(locs))
-	for i, l := range locs {
-		recs[i] = rec{d2: l.P.Dist2(q), Location: l}
-	}
-	sort.Slice(recs, func(a, b int) bool { return recs[a].d2 < recs[b].d2 })
+	return ExactSubsetInto(locs, n, q, make([]float64, n))
+}
 
-	pi := make([]float64, n)
-	factor := make([]float64, n) // 1 − G_{q,j}(current distance)
-	for j := range factor {
-		factor[j] = 1
-	}
+// subsetRec is one location tagged with its squared query distance.
+type subsetRec struct {
+	d2 float64
+	Location
+}
+
+// sortRecs orders recs by distance, allocation-free. Both the dense and
+// the sparse sweep sort through this one function, so the two paths
+// apply the identical permutation to tied distances and their
+// floating-point results stay bitwise equal.
+func sortRecs(recs []subsetRec) {
+	slices.SortFunc(recs, func(a, b subsetRec) int { return cmp.Compare(a.d2, b.d2) })
+}
+
+// sortByOwner orders sparse report entries in increasing owner order.
+func sortByOwner(entries []IndexProb) {
+	slices.SortFunc(entries, func(a, b IndexProb) int { return cmp.Compare(a.I, b.I) })
+}
+
+// sweepRecs runs the Eq. (2) sweep over distance-sorted recs. pi
+// accumulates per-owner probabilities (must be zeroed) and factor holds
+// 1 − G_{q,j} per owner (must be all ones); both are indexed by
+// rec.Owner.
+func sweepRecs(recs []subsetRec, pi, factor []float64) {
 	nzProd := 1.0 // product of nonzero factors
 	zeros := 0
 
@@ -113,7 +135,87 @@ func ExactSubset(locs []Location, n int, q geom.Point) []float64 {
 		}
 		lo = hi
 	}
+}
+
+// ExactSubsetInto is ExactSubset writing into pi (length n).
+func ExactSubsetInto(locs []Location, n int, q geom.Point, pi []float64) []float64 {
+	pi = pi[:n]
+	for i := range pi {
+		pi[i] = 0
+	}
+	recs := make([]subsetRec, len(locs))
+	for i, l := range locs {
+		recs[i] = subsetRec{d2: l.P.Dist2(q), Location: l}
+	}
+	sortRecs(recs)
+	factor := make([]float64, n) // 1 − G_{q,j}(current distance)
+	for j := range factor {
+		factor[j] = 1
+	}
+	sweepRecs(recs, pi, factor)
 	return pi
+}
+
+// sparseScratch is the pooled working set of ExactSubsetPositiveInto:
+// everything the compact sweep needs, sized by the subset (m locations,
+// at most m distinct owners), never by the full point count.
+type sparseScratch struct {
+	recs   []subsetRec
+	ids    map[int]int // owner → compact id
+	owners []int       // compact id → owner
+	pi     []float64   // per compact owner
+	factor []float64
+}
+
+var sparsePool = sync.Pool{New: func() any {
+	return &sparseScratch{ids: make(map[int]int)}
+}}
+
+// ExactSubsetPositiveInto evaluates Eq. (2) restricted to locs and
+// appends the owners with positive probability to dst (reused from its
+// start) in increasing owner order. It is the sparse form of
+// ExactSubsetInto: owners are remapped to a compact range first, so the
+// sweep allocates O(m) scratch (pooled) instead of O(n), and the
+// reported values are bitwise identical to the dense sweep's.
+func ExactSubsetPositiveInto(locs []Location, q geom.Point, dst []IndexProb) []IndexProb {
+	dst = dst[:0]
+	sc := sparsePool.Get().(*sparseScratch)
+	clear(sc.ids)
+	sc.owners = sc.owners[:0]
+	recs := sc.recs[:0]
+	for _, l := range locs {
+		id, ok := sc.ids[l.Owner]
+		if !ok {
+			id = len(sc.owners)
+			sc.ids[l.Owner] = id
+			sc.owners = append(sc.owners, l.Owner)
+		}
+		recs = append(recs, subsetRec{d2: l.P.Dist2(q), Location: Location{Owner: id, P: l.P, W: l.W}})
+	}
+	sc.recs = recs
+	sortRecs(recs)
+	m := len(sc.owners)
+	if cap(sc.pi) < m {
+		sc.pi = make([]float64, m)
+		sc.factor = make([]float64, m)
+	}
+	sc.pi = sc.pi[:m]
+	sc.factor = sc.factor[:m]
+	for i := 0; i < m; i++ {
+		sc.pi[i] = 0
+		sc.factor[i] = 1
+	}
+	sweepRecs(recs, sc.pi, sc.factor)
+	for id, p := range sc.pi {
+		if p > 0 {
+			dst = append(dst, IndexProb{I: sc.owners[id], P: p})
+		}
+	}
+	// Owners were numbered in first-appearance order; restore increasing
+	// owner order.
+	sortByOwner(dst)
+	sparsePool.Put(sc)
+	return dst
 }
 
 // exactNaive recomputes Eq. (2) directly in O(N²); it is the oracle the
@@ -143,13 +245,18 @@ func exactNaive(locs []Location, n int, q geom.Point) []float64 {
 // Positive filters a probability vector into (index, value) pairs with
 // value > eps, the report format of the PNN problem.
 func Positive(pi []float64, eps float64) []IndexProb {
-	var out []IndexProb
+	return PositiveInto(pi, eps, nil)
+}
+
+// PositiveInto is Positive appending into dst (reused from its start).
+func PositiveInto(pi []float64, eps float64, dst []IndexProb) []IndexProb {
+	dst = dst[:0]
 	for i, p := range pi {
 		if p > eps {
-			out = append(out, IndexProb{I: i, P: p})
+			dst = append(dst, IndexProb{I: i, P: p})
 		}
 	}
-	return out
+	return dst
 }
 
 // IndexProb pairs an uncertain-point index with its probability.

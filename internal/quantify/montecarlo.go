@@ -3,6 +3,7 @@ package quantify
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"pnn/internal/dist"
 	"pnn/internal/geom"
@@ -109,24 +110,78 @@ func (mc *MonteCarlo) Rounds() int { return len(mc.rounds) }
 // are nonzero.
 func (mc *MonteCarlo) Estimate(q geom.Point) []float64 {
 	pi := make([]float64, mc.n)
+	return mc.EstimateInto(q, pi)
+}
+
+// EstimateInto is Estimate writing into pi (length n). Counting goes
+// through the pooled sparse tally, so beyond pi itself a warm call
+// allocates nothing.
+func (mc *MonteCarlo) EstimateInto(q geom.Point, pi []float64) []float64 {
+	pi = pi[:mc.n]
+	for i := range pi {
+		pi[i] = 0
+	}
 	if len(mc.rounds) == 0 {
 		return pi
 	}
-	counts := make([]int32, mc.n)
+	sc := mcPool.Get().(*mcScratch)
+	mc.tally(q, sc)
+	inv := 1 / float64(len(mc.rounds))
+	for _, i := range sc.hit {
+		pi[i] = float64(sc.counts[i]) * inv
+	}
+	mcPool.Put(sc)
+	return pi
+}
+
+// mcScratch is the pooled per-query tally: at most s owners are hit per
+// query, so tracking the hit set keeps work and clearing O(s), not O(n).
+type mcScratch struct {
+	counts map[int]int32
+	hit    []int // owners with counts > 0, in first-hit order
+}
+
+var mcPool = sync.Pool{New: func() any {
+	return &mcScratch{counts: make(map[int]int32)}
+}}
+
+// tally counts, per owner, the rounds whose nearest instantiation to q
+// belongs to that owner.
+func (mc *MonteCarlo) tally(q geom.Point, sc *mcScratch) {
+	clear(sc.counts)
+	sc.hit = sc.hit[:0]
 	for _, t := range mc.rounds {
 		if it, _, ok := t.Nearest(q); ok {
-			counts[it.ID]++
+			if sc.counts[it.ID] == 0 {
+				sc.hit = append(sc.hit, it.ID)
+			}
+			sc.counts[it.ID]++
 		}
 	}
-	inv := 1 / float64(len(mc.rounds))
-	for i, c := range counts {
-		pi[i] = float64(c) * inv
-	}
-	return pi
 }
 
 // EstimatePositive returns only the indices with π̂_i(q) > 0 — at most s of
 // them, the output-size bound the paper notes.
 func (mc *MonteCarlo) EstimatePositive(q geom.Point) []IndexProb {
-	return Positive(mc.Estimate(q), 0)
+	return mc.EstimatePositiveInto(q, nil)
+}
+
+// EstimatePositiveInto is EstimatePositive appending into dst (reused
+// from its start) in increasing index order. The sparse hot path of the
+// estimator: no N-length vector is materialized, and the reported
+// probabilities are bitwise identical to Estimate's nonzero entries.
+func (mc *MonteCarlo) EstimatePositiveInto(q geom.Point, dst []IndexProb) []IndexProb {
+	dst = dst[:0]
+	if len(mc.rounds) == 0 {
+		return dst
+	}
+	sc := mcPool.Get().(*mcScratch)
+	mc.tally(q, sc)
+	inv := 1 / float64(len(mc.rounds))
+	for _, i := range sc.hit {
+		dst = append(dst, IndexProb{I: i, P: float64(sc.counts[i]) * inv})
+	}
+	sortByOwner(dst)
+	mcPool.Put(sc)
+	return dst
 }

@@ -1,0 +1,166 @@
+package quantify
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnn/internal/geom"
+	"pnn/internal/workload"
+)
+
+// requireSparseMatchesDense asserts that a sparse (index, prob) report
+// equals the dense vector's positive entries exactly — same indices, same
+// order, bitwise-equal probabilities.
+func requireSparseMatchesDense(t *testing.T, sparse []IndexProb, dense []float64) {
+	t.Helper()
+	want := Positive(dense, 0)
+	if len(sparse) != len(want) {
+		t.Fatalf("sparse has %d entries, dense has %d positive", len(sparse), len(want))
+	}
+	for i := range want {
+		if sparse[i] != want[i] {
+			t.Fatalf("entry %d: sparse %v, dense %v", i, sparse[i], want[i])
+		}
+	}
+}
+
+func TestExactSubsetPositiveMatchesDense(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		pts := workload.RandomDiscrete(r, 30, 4, 60, 5, 3)
+		locs := Flatten(pts)
+		for _, q := range workload.QueryPoints(r, 40, workload.DiscreteBBox(pts)) {
+			dense := ExactSubset(locs, len(pts), q)
+			sparse := ExactSubsetPositiveInto(locs, q, nil)
+			requireSparseMatchesDense(t, sparse, dense)
+		}
+	}
+}
+
+// The sparse sweep must stay exact on subsets too (the spiral calls it
+// with the m nearest locations only), including under coincident
+// locations, which exercise the tie-group and zero-factor branches.
+func TestExactSubsetPositiveTies(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := workload.RandomDiscrete(r, 12, 3, 10, 2, 2)
+	locs := Flatten(pts)
+	// Duplicate a few locations across owners to force exact distance ties.
+	locs = append(locs, Location{Owner: 0, P: locs[5].P, W: 0.25},
+		Location{Owner: 3, P: locs[5].P, W: 0.25})
+	for _, q := range workload.QueryPoints(r, 30, workload.DiscreteBBox(pts)) {
+		dense := ExactSubset(locs, len(pts), q)
+		sparse := ExactSubsetPositiveInto(locs, q, nil)
+		requireSparseMatchesDense(t, sparse, dense)
+	}
+	// A query exactly on a shared location.
+	q := locs[5].P
+	requireSparseMatchesDense(t, ExactSubsetPositiveInto(locs, q, nil), ExactSubset(locs, len(pts), q))
+}
+
+func TestMonteCarloSparseMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := workload.RandomDiscrete(r, 25, 4, 60, 5, 2)
+	mc := NewMonteCarloDiscrete(pts, 150, r)
+	var buf []IndexProb
+	pi := make([]float64, len(pts))
+	for _, q := range workload.QueryPoints(r, 40, workload.DiscreteBBox(pts)) {
+		dense := mc.Estimate(q)
+		buf = mc.EstimatePositiveInto(q, buf)
+		requireSparseMatchesDense(t, buf, dense)
+		pi = mc.EstimateInto(q, pi)
+		for i := range dense {
+			if pi[i] != dense[i] {
+				t.Fatalf("EstimateInto[%d] = %v, Estimate = %v", i, pi[i], dense[i])
+			}
+		}
+	}
+}
+
+func TestSpiralSparseMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := workload.RandomDiscrete(r, 40, 4, 80, 4, 4)
+	sp := NewSpiral(pts)
+	var buf []IndexProb
+	pi := make([]float64, len(pts))
+	for _, eps := range []float64{0.2, 0.05, 0.01} {
+		for _, q := range workload.QueryPoints(r, 30, workload.DiscreteBBox(pts)) {
+			dense := sp.Estimate(q, eps)
+			buf = sp.EstimatePositiveInto(q, eps, buf)
+			requireSparseMatchesDense(t, buf, dense)
+			pi = sp.EstimateInto(q, eps, pi)
+			for i := range dense {
+				if pi[i] != dense[i] {
+					t.Fatalf("EstimateInto[%d] = %v, Estimate = %v", i, pi[i], dense[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPositiveInto(t *testing.T) {
+	pi := []float64{0, 0.5, 0, 0.25, 0.25}
+	buf := make([]IndexProb, 0, 8)
+	got := PositiveInto(pi, 0, buf)
+	want := []IndexProb{{I: 1, P: 0.5}, {I: 3, P: 0.25}, {I: 4, P: 0.25}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("PositiveInto did not reuse the caller buffer")
+	}
+}
+
+// The kd-tree k-NN must answer identically through the pooled
+// no-allocation path and report in increasing distance order.
+func TestSpiralBackendsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts := workload.RandomDiscrete(r, 30, 3, 50, 3, 2)
+	kd := NewSpiral(pts)
+	qt := NewSpiralQuadtree(pts)
+	for _, q := range workload.QueryPoints(r, 25, workload.DiscreteBBox(pts)) {
+		a := kd.Estimate(q, 0.05)
+		b := qt.Estimate(q, 0.05)
+		for i := range a {
+			if diff := a[i] - b[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("kd and quadtree spiral disagree at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSparseVsDense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := workload.RandomDiscrete(r, 2000, 3, 500, 4, 2)
+	sp := NewSpiral(pts)
+	mc := NewMonteCarloDiscrete(pts, 100, r)
+	qs := workload.QueryPoints(r, 128, workload.DiscreteBBox(pts))
+	q := func(i int) geom.Point { return qs[i%len(qs)] }
+
+	b.Run("spiral-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp.Estimate(q(i), 0.05)
+		}
+	})
+	b.Run("spiral-sparse", func(b *testing.B) {
+		var buf []IndexProb
+		for i := 0; i < b.N; i++ {
+			buf = sp.EstimatePositiveInto(q(i), 0.05, buf)
+		}
+	})
+	b.Run("mc-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc.Estimate(q(i))
+		}
+	})
+	b.Run("mc-sparse", func(b *testing.B) {
+		var buf []IndexProb
+		for i := 0; i < b.N; i++ {
+			buf = mc.EstimatePositiveInto(q(i), buf)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package quantify
 
 import (
 	"math"
+	"sync"
 
 	"pnn/internal/dist"
 	"pnn/internal/geom"
@@ -27,20 +28,30 @@ type Spiral struct {
 // knnBackend retrieves the indices (into locs) of the k locations nearest
 // to q. Remark (ii) after Theorem 4.7 discusses backend choices; both the
 // kd-tree default and the [Har11]-style quadtree are provided and
-// benchmarked against each other.
+// benchmarked against each other. kNearestInto appends into dst (reused
+// from its start) using items as item scratch; the kd-tree backend runs
+// it allocation-free over pooled buffers, while the experiments-only
+// quadtree backend still allocates inside its best-first KNearest (its
+// container/heap search has not been given the pooled treatment).
 type knnBackend interface {
 	kNearest(q geom.Point, k int) []int
+	kNearestInto(q geom.Point, k int, dst []int, items []kdtree.Item) ([]int, []kdtree.Item)
 }
 
 type kdBackend struct{ t *kdtree.Tree }
 
 func (b kdBackend) kNearest(q geom.Point, k int) []int {
-	near := b.t.KNearest(q, k)
-	out := make([]int, len(near))
-	for i, it := range near {
-		out[i] = it.ID
-	}
+	out, _ := b.kNearestInto(q, k, nil, nil)
 	return out
+}
+
+func (b kdBackend) kNearestInto(q geom.Point, k int, dst []int, items []kdtree.Item) ([]int, []kdtree.Item) {
+	items = b.t.KNearestInto(q, k, items)
+	dst = dst[:0]
+	for _, it := range items {
+		dst = append(dst, it.ID)
+	}
+	return dst, items
 }
 
 type quadBackend struct{ t *quadtree.Tree }
@@ -52,6 +63,14 @@ func (b quadBackend) kNearest(q geom.Point, k int) []int {
 		out[i] = it.ID
 	}
 	return out
+}
+
+func (b quadBackend) kNearestInto(q geom.Point, k int, dst []int, items []kdtree.Item) ([]int, []kdtree.Item) {
+	dst = dst[:0]
+	for _, it := range b.t.KNearest(q, k) {
+		dst = append(dst, it.ID)
+	}
+	return dst, items
 }
 
 // NewSpiral preprocesses the uncertain points with the kd-tree backend.
@@ -115,20 +134,56 @@ func (s *Spiral) M(eps float64) int {
 	return m
 }
 
+// spiralScratch holds the pooled retrieval buffers of the sparse spiral
+// query path: m location indices and the m-length location subset.
+type spiralScratch struct {
+	near  []int
+	items []kdtree.Item
+	sub   []Location
+}
+
+var spiralPool = sync.Pool{New: func() any { return new(spiralScratch) }}
+
+// retrieve fills sc with the m(ρ,ε) locations nearest to q.
+func (s *Spiral) retrieve(q geom.Point, eps float64, sc *spiralScratch) {
+	m := s.M(eps)
+	sc.near, sc.items = s.backend.kNearestInto(q, m, sc.near, sc.items)
+	sc.sub = sc.sub[:0]
+	for _, li := range sc.near {
+		sc.sub = append(sc.sub, s.locs[li])
+	}
+}
+
 // Estimate returns π̂_i(q) for all i with additive error at most ε:
 // π̂_i ≤ π_i ≤ π̂_i + ε.
 func (s *Spiral) Estimate(q geom.Point, eps float64) []float64 {
-	m := s.M(eps)
-	near := s.backend.kNearest(q, m)
-	sub := make([]Location, len(near))
-	for i, li := range near {
-		sub[i] = s.locs[li]
-	}
-	return ExactSubset(sub, s.n, q)
+	return s.EstimateInto(q, eps, make([]float64, s.n))
+}
+
+// EstimateInto is Estimate writing into pi (length n).
+func (s *Spiral) EstimateInto(q geom.Point, eps float64, pi []float64) []float64 {
+	sc := spiralPool.Get().(*spiralScratch)
+	s.retrieve(q, eps, sc)
+	pi = ExactSubsetInto(sc.sub, s.n, q, pi)
+	spiralPool.Put(sc)
+	return pi
 }
 
 // EstimatePositive reports the at most m(ρ,ε) points with positive
 // estimates.
 func (s *Spiral) EstimatePositive(q geom.Point, eps float64) []IndexProb {
-	return Positive(s.Estimate(q, eps), 0)
+	return s.EstimatePositiveInto(q, eps, nil)
+}
+
+// EstimatePositiveInto is EstimatePositive appending into dst (reused
+// from its start) in increasing index order. The sparse hot path of
+// Theorem 4.7: only the m(ρ,ε) retrieved locations are touched, no
+// N-length vector exists anywhere, and the reported probabilities are
+// bitwise identical to Estimate's nonzero entries.
+func (s *Spiral) EstimatePositiveInto(q geom.Point, eps float64, dst []IndexProb) []IndexProb {
+	sc := spiralPool.Get().(*spiralScratch)
+	s.retrieve(q, eps, sc)
+	dst = ExactSubsetPositiveInto(sc.sub, q, dst)
+	spiralPool.Put(sc)
+	return dst
 }

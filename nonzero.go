@@ -107,6 +107,15 @@ func (d *Diagram) Query(q Point) []int {
 	return d.disc.Query(gq)
 }
 
+// queryInto is Query appending into dst (reused from its start).
+func (d *Diagram) queryInto(q Point, dst []int) []int {
+	gq := geom.Point{X: q.X, Y: q.Y}
+	if d.cont != nil {
+		return d.cont.QueryInto(gq, dst)
+	}
+	return d.disc.QueryInto(gq, dst)
+}
+
 // NonzeroIndex is the near-linear-size NN≠0 query structure of Section 3
 // (Theorem 3.1 for continuous inputs, Theorem 3.2 for discrete ones),
 // which avoids the cubic diagram entirely.
@@ -136,4 +145,13 @@ func (ix *NonzeroIndex) Query(q Point) []int {
 		return ix.cont.Query(gq)
 	}
 	return ix.disc.Query(gq)
+}
+
+// queryInto is Query appending into dst (reused from its start).
+func (ix *NonzeroIndex) queryInto(q Point, dst []int) []int {
+	gq := geom.Point{X: q.X, Y: q.Y}
+	if ix.cont != nil {
+		return ix.cont.QueryInto(gq, dst)
+	}
+	return ix.disc.QueryInto(gq, dst)
 }

@@ -120,6 +120,11 @@ func (s *ContinuousSet) NonzeroAt(q Point) []int {
 	return core.NonzeroSet(s.disks, toGeom(q))
 }
 
+// nonzeroAtInto is NonzeroAt appending into dst (reused from its start).
+func (s *ContinuousSet) nonzeroAtInto(q Point, dst []int) []int {
+	return core.NonzeroSetInto(s.disks, toGeom(q), dst)
+}
+
 // DiscreteSet is a collection of discrete uncertain points.
 type DiscreteSet struct {
 	points []DiscretePoint
@@ -180,4 +185,9 @@ func (s *DiscreteSet) Spread() float64 {
 // Deprecated: query through the Index facade: New(set, WithNonzeroBackend(BackendDirect)).
 func (s *DiscreteSet) NonzeroAt(q Point) []int {
 	return core.NonzeroSetDiscrete(s.sups, toGeom(q))
+}
+
+// nonzeroAtInto is NonzeroAt appending into dst (reused from its start).
+func (s *DiscreteSet) nonzeroAtInto(q Point, dst []int) []int {
+	return core.NonzeroSetDiscreteInto(s.sups, toGeom(q), dst)
 }

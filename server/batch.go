@@ -74,7 +74,7 @@ const batchBudgetFactor = 4
 func (s *Server) answerItem(ctx context.Context, it api.BatchItem) api.BatchResult {
 	op, p, err := paramsFromItem(it)
 	if err != nil {
-		return api.BatchResult{Error: &api.Error{Error: err.Error(), Code: api.CodeBadRequest}}
+		return api.BatchResult{Error: &api.Error{Error: err.Error(), Code: api.CodeBadParam}}
 	}
 	// Each item gets its own RequestTimeout budget (bounded by the
 	// aggregate batch deadline in ctx) — /v1/batch is exempt from the

@@ -113,9 +113,9 @@ func TestBatchPerItemErrors(t *testing.T) {
 	}
 	wantCodes := map[int]string{
 		1: api.CodeUnknownDataset,
-		2: api.CodeBadRequest,
-		3: api.CodeBadRequest,
-		4: api.CodeBadRequest,
+		2: api.CodeBadParam,
+		3: api.CodeBadParam,
+		4: api.CodeBadParam,
 	}
 	for i, code := range wantCodes {
 		res := bresp.Results[i]

@@ -136,16 +136,28 @@ func (b *Batcher) flushWindow() {
 	b.run(batch, "window")
 }
 
+// reqScratch pools the per-flush request slices: a steady stream of
+// flushes reuses the same backing arrays instead of allocating one per
+// batch. (The result slices stay per-flush — they are handed to waiting
+// callers and must outlive the flush.)
+var reqScratch = sync.Pool{New: func() any {
+	s := make([]pnn.Request, 0, 64)
+	return &s
+}}
+
 // run answers one batch and delivers per-request results. The batch
 // context is Background on purpose: a coalesced batch serves many
 // callers, so no single caller's cancellation may abort it.
 func (b *Batcher) run(batch []pendingReq, reason string) {
 	defer b.flights.Done()
-	reqs := make([]pnn.Request, len(batch))
-	for i, p := range batch {
-		reqs[i] = p.req
+	rp := reqScratch.Get().(*[]pnn.Request)
+	reqs := (*rp)[:0]
+	for _, p := range batch {
+		reqs = append(reqs, p.req)
 	}
 	res, err := b.idx.QueryBatchOps(context.Background(), reqs, b.workers)
+	*rp = reqs[:0]
+	reqScratch.Put(rp)
 	for i, p := range batch {
 		if err != nil {
 			p.ch <- pnn.OpResult{Err: err}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"pnn"
@@ -193,7 +195,7 @@ func (s *Server) handleQuery(op pnn.Op) http.HandlerFunc {
 		}
 		p, err := parseParams(r, op)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
 			return
 		}
 		body, cacheStatus, qerr := s.answer(r.Context(), op, p)
@@ -389,8 +391,12 @@ func (p *params) normalize(op pnn.Op) error {
 	switch op {
 	case pnn.OpTopK:
 		p.tau = 0
-		if p.k <= 0 {
-			return fmt.Errorf("parameter k must be positive, got %d", p.k)
+		// The facade's TopK edge semantics pass through unchanged:
+		// k == 0 answers an empty ranking, k > N clamps; only k < 0 is
+		// rejected here (mirroring pnn.ErrInvalidParam) so the error
+		// reaches the client as 400 bad_param instead of 500.
+		if p.k < 0 {
+			return fmt.Errorf("parameter k must be non-negative, got %d", p.k)
 		}
 	case pnn.OpThreshold:
 		p.k = 0
@@ -495,9 +501,27 @@ func (s *Server) writeRaw(w http.ResponseWriter, body []byte, cacheStatus string
 	w.Write([]byte{'\n'})
 }
 
+// jsonEnc is a pooled encode buffer: responses that are not stored in
+// the result cache (health, dataset listings, batch envelopes) encode
+// into reused memory instead of allocating a body per response.
+// Encoder.Encode appends the same trailing newline writeRaw adds, so
+// pooled and cached bodies stay byte-identical on the wire.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := new(jsonEnc)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus string) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	e := encPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
 		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
@@ -506,8 +530,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus
 		w.Header().Set(api.CacheHeader, cacheStatus)
 	}
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(e.buf.Bytes())
+	// Don't let one huge response (a multi-megabyte batch envelope, say)
+	// pin peak-sized buffers in the pool forever.
+	if e.buf.Cap() <= maxPooledEncBuf {
+		encPool.Put(e)
+	}
 }
+
+// maxPooledEncBuf caps the encode buffers kept in encPool.
+const maxPooledEncBuf = 1 << 16
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
 	s.metrics.errorsTotal.Add(1)

@@ -245,7 +245,8 @@ func TestEndpointsAndErrors(t *testing.T) {
 		"/v1/nonzero?dataset=fleet&y=1":               http.StatusBadRequest, // missing x
 		"/v1/nonzero?dataset=fleet&x=abc&y=1":         http.StatusBadRequest,
 		"/v1/nonzero?x=1&y=1":                         http.StatusBadRequest, // missing dataset
-		"/v1/topk?dataset=fleet&x=1&y=1&k=0":          http.StatusBadRequest,
+		"/v1/topk?dataset=fleet&x=1&y=1&k=0":          http.StatusOK,         // empty ranking
+		"/v1/topk?dataset=fleet&x=1&y=1&k=-1":         http.StatusBadRequest,
 		"/v1/threshold?dataset=fleet&x=1&y=1":         http.StatusBadRequest, // missing tau
 		"/v1/nonzero?dataset=fleet&x=1&y=1&backend=z": http.StatusBadRequest,
 		"/v1/nonzero?dataset=fleet&x=1&y=1&method=z":  http.StatusBadRequest,

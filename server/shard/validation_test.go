@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pnn/api"
+)
+
+// TestQuerySurfaceValidationBothTiers is the regression suite for
+// query-parameter validation: non-finite tau values (which survive
+// strconv.ParseFloat) and out-of-domain k must come back as 400 with the
+// stable bad_param code — identically from a pnnserve backend and
+// through a pnnrouter in front of it (the router never retries or
+// rewrites a 4xx) — while k=0 is a valid empty ranking on both tiers.
+func TestQuerySurfaceValidationBothTiers(t *testing.T) {
+	sets := testSets(t)
+	hs := httptest.NewServer(backendHandler(t, sets))
+	defer hs.Close()
+	rt := newRouter(t, Config{Backends: []string{hs.URL}, ProbeInterval: -1})
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	cases := []struct {
+		path       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"/v1/threshold?dataset=ds0&x=1&y=1&tau=NaN", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/threshold?dataset=ds0&x=1&y=1&tau=%2BInf", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/threshold?dataset=ds0&x=1&y=1&tau=-Infinity", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/threshold?dataset=ds0&x=1&y=1&tau=0.2", http.StatusOK, ""},
+		{"/v1/topk?dataset=ds0&x=1&y=1&k=-1", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/topk?dataset=ds0&x=1&y=1&k=0", http.StatusOK, ""},
+		{"/v1/topk?dataset=ds0&x=1&y=1&k=abc", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/nonzero?dataset=ds0&x=NaN&y=1", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/probabilities?dataset=ds0&x=1&y=1&method=mc&eps=2", http.StatusBadRequest, api.CodeBadParam},
+		{"/v1/nonzero?dataset=ds0&x=1&y=1&backend=bogus", http.StatusBadRequest, api.CodeBadParam},
+	}
+	tiers := []struct{ name, base string }{
+		{"backend", hs.URL},
+		{"router", router.URL},
+	}
+	for _, tier := range tiers {
+		for _, c := range cases {
+			resp, err := http.Get(tier.base + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Errorf("%s %s: status %d, want %d (%s)", tier.name, c.path, resp.StatusCode, c.wantStatus, body)
+				continue
+			}
+			if c.wantCode != "" {
+				var e api.Error
+				if err := json.Unmarshal(body, &e); err != nil || e.Code != c.wantCode {
+					t.Errorf("%s %s: error = %s, want code %q", tier.name, c.path, body, c.wantCode)
+				}
+			}
+		}
+
+		// k=0 is the defined empty ranking, not an error, on every tier.
+		resp, err := http.Get(tier.base + "/v1/topk?dataset=ds0&x=1&y=1&k=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var topk api.TopK
+		if err := json.NewDecoder(resp.Body).Decode(&topk); err != nil {
+			t.Fatalf("%s: decoding k=0 body: %v", tier.name, err)
+		}
+		resp.Body.Close()
+		if topk.K != 0 || len(topk.Results) != 0 {
+			t.Errorf("%s: k=0 answered %+v, want empty results", tier.name, topk)
+		}
+	}
+
+	// Batch items fail per item with the same stable code on both tiers.
+	breq, _ := json.Marshal(api.BatchRequest{Items: []api.BatchItem{
+		{Dataset: "ds0", Op: "nonzero", X: 1, Y: 1},
+		{Dataset: "ds0", Op: "topk", X: 1, Y: 1, K: -3},
+		{Dataset: "ds0", Op: "frobnicate", X: 1, Y: 1},
+		{Dataset: "ds0", Op: "probabilities", X: 1, Y: 1, Method: "spiral", Eps: 9},
+	}})
+	for _, tier := range tiers {
+		resp, err := http.Post(tier.base+api.BatchPath, "application/json", bytes.NewReader(breq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bresp api.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&bresp); err != nil {
+			t.Fatalf("%s: decoding batch: %v", tier.name, err)
+		}
+		resp.Body.Close()
+		if len(bresp.Results) != 4 {
+			t.Fatalf("%s: %d batch results", tier.name, len(bresp.Results))
+		}
+		if bresp.Results[0].Error != nil {
+			t.Errorf("%s: valid item failed: %+v", tier.name, bresp.Results[0].Error)
+		}
+		for i := 1; i < 4; i++ {
+			if bresp.Results[i].Error == nil || bresp.Results[i].Error.Code != api.CodeBadParam {
+				t.Errorf("%s: batch item %d = %+v, want code %q", tier.name, i, bresp.Results[i].Error, api.CodeBadParam)
+			}
+		}
+	}
+}
