@@ -56,6 +56,22 @@ const (
 	CodeTimeout = "timeout"
 	// CodeCanceled marks a request abandoned by the client mid-flight.
 	CodeCanceled = "canceled"
+	// CodeUnauthorized marks a mutation without a valid admin token.
+	// Paired with HTTP 401 (missing) or 403 (wrong).
+	CodeUnauthorized = "unauthorized"
+	// CodeReadOnly marks a mutation against a server running without a
+	// durable store (its datasets are fixed at startup). Paired with
+	// HTTP 409.
+	CodeReadOnly = "read_only"
+	// CodeExists marks a create of a dataset name already hosted, with
+	// a conflicting kind. Paired with HTTP 409.
+	CodeExists = "already_exists"
+	// CodeUnknownPoint marks a delete of a point id the dataset does
+	// not hold. Paired with HTTP 404.
+	CodeUnknownPoint = "unknown_point"
+	// CodeEmptyDataset marks a query against a dataset that exists but
+	// holds no points yet. Paired with HTTP 409.
+	CodeEmptyDataset = "empty_dataset"
 	// CodeNoBackend is a router error: every replica that could own the
 	// dataset is marked down. Paired with HTTP 503.
 	CodeNoBackend = "no_backend"
@@ -115,13 +131,20 @@ type ExpectedNN struct {
 	Distance float64 `json:"distance"`
 }
 
-// DatasetInfo describes one hosted dataset in GET /v1/datasets.
+// DatasetInfo describes one hosted dataset in GET /v1/datasets. The
+// listing is ordering-stable: entries are sorted by name, so clients
+// and routers can diff consecutive listings cheaply.
 type DatasetInfo struct {
 	Name string `json:"name"`
 	// Kind is "disks", "discrete", or "squares".
 	Kind string `json:"kind"`
 	// N is the number of uncertain points.
 	N int `json:"n"`
+	// Version is the dataset's monotone mutation version: it bumps on
+	// every write and keys the server's result cache, so two listings
+	// with equal versions are guaranteed to answer queries identically.
+	// Read-only datasets (loaded at startup) report version 1.
+	Version uint64 `json:"version"`
 	// Indexes is the number of distinct (backend, quantifier) engines
 	// built so far for this dataset.
 	Indexes int `json:"indexes"`
@@ -175,6 +198,83 @@ var Ops = []string{"nonzero", "probabilities", "topk", "threshold", "expectednn"
 // QueryPath returns the single-query endpoint path of an op wire name
 // (e.g. "nonzero" → "/v1/nonzero").
 func QueryPath(op string) string { return "/v1/" + op }
+
+// Mutation endpoints. Dataset names are path elements restricted to
+// [A-Za-z0-9._-]; ids are the stable point ids assigned at insert.
+//
+//	PUT    /v1/datasets/{name}             create (idempotent; body CreateDataset)
+//	DELETE /v1/datasets/{name}             drop
+//	POST   /v1/datasets/{name}/points      insert (body InsertPoints; answers Mutation with ids)
+//	DELETE /v1/datasets/{name}/points/{id} delete one point
+//	POST   /v1/datasets/{name}/snapshot    fold the WAL into a fresh snapshot
+//
+// All of them require the server's admin bearer token (Authorization:
+// Bearer <token>) and answer Mutation on success.
+
+// DatasetPath returns the per-dataset admin path.
+func DatasetPath(name string) string { return "/v1/datasets/" + name }
+
+// PointsPath returns the point-insertion path of a dataset.
+func PointsPath(name string) string { return "/v1/datasets/" + name + "/points" }
+
+// PointPath returns the single-point path of a dataset.
+func PointPath(name string, id uint64) string {
+	return fmt.Sprintf("/v1/datasets/%s/points/%d", name, id)
+}
+
+// SnapshotPath returns the snapshot-trigger path of a dataset.
+func SnapshotPath(name string) string { return "/v1/datasets/" + name + "/snapshot" }
+
+// MaxMutationBytes caps the request body of the mutation endpoints,
+// enforced identically by pnnserve and pnnrouter.
+const MaxMutationBytes = 16 << 20
+
+// CreateDataset is the body of PUT /v1/datasets/{name}.
+type CreateDataset struct {
+	// Kind is "disks" or "discrete" (durable datasets hold the two
+	// pnngen kinds).
+	Kind string `json:"kind"`
+}
+
+// DiskPointJSON is one continuous uncertain point on the wire.
+type DiskPointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+	// Density is "uniform" (default) or "gaussian".
+	Density string  `json:"density,omitempty"`
+	Sigma   float64 `json:"sigma,omitempty"`
+}
+
+// DiscretePointJSON is one discrete uncertain point on the wire.
+type DiscretePointJSON struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+	// W are the location probabilities; empty means uniform.
+	W []float64 `json:"w,omitempty"`
+}
+
+// InsertPoints is the body of POST /v1/datasets/{name}/points. Exactly
+// one of Disks and Discrete must be non-empty, matching the dataset's
+// kind; the insert is all-or-nothing.
+type InsertPoints struct {
+	Disks    []DiskPointJSON     `json:"disks,omitempty"`
+	Discrete []DiscretePointJSON `json:"discrete,omitempty"`
+}
+
+// Mutation is the acknowledgment of every mutation endpoint. By the
+// time a client reads it, the op is fsynced to the write-ahead log:
+// it survives any crash.
+type Mutation struct {
+	Dataset string `json:"dataset"`
+	// Version is the dataset's new monotone version (0 after a drop).
+	Version uint64 `json:"version"`
+	// N is the dataset's new point count.
+	N int `json:"n"`
+	// IDs are the stable ids assigned to inserted points, in input
+	// order; deletes address these ids.
+	IDs []uint64 `json:"ids,omitempty"`
+}
 
 // BatchItem is one query of a heterogeneous batch: a dataset, an
 // operation, the query point, the operation's parameters, and the

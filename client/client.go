@@ -86,6 +86,9 @@ type Client struct {
 	// recently healthy endpoint.
 	preferred atomic.Int64
 	http      *http.Client
+	// adminToken, when set, is sent as a bearer token on the mutation
+	// methods.
+	adminToken string
 }
 
 // Option configures a Client.
@@ -95,6 +98,13 @@ type Option func(*Client)
 // transports, test doubles).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithAdminToken sets the bearer token the mutation methods
+// (CreateDataset, DropDataset, InsertPoints, DeletePoint, Snapshot)
+// authenticate with. Query methods never send it.
+func WithAdminToken(token string) Option {
+	return func(c *Client) { c.adminToken = token }
 }
 
 // New builds a client for the server at baseURL (e.g.
@@ -236,6 +246,69 @@ func (c *Client) Batch(ctx context.Context, items []api.BatchItem) ([]api.BatchR
 	return out.Results, nil
 }
 
+// CreateDataset creates (idempotently) an empty durable dataset of the
+// given kind ("disks" or "discrete") on the server's store. Requires
+// WithAdminToken.
+func (c *Client) CreateDataset(ctx context.Context, name, kind string) (*api.Mutation, error) {
+	body, err := json.Marshal(api.CreateDataset{Kind: kind})
+	if err != nil {
+		return nil, err
+	}
+	var out api.Mutation
+	if err := c.doAdmin(ctx, http.MethodPut, api.DatasetPath(name), body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropDataset removes a durable dataset and all its points.
+func (c *Client) DropDataset(ctx context.Context, name string) error {
+	var out api.Mutation
+	return c.doAdmin(ctx, http.MethodDelete, api.DatasetPath(name), nil, &out)
+}
+
+// InsertPoints appends points to a durable dataset; the returned
+// Mutation carries the stable ids assigned, in input order. By the
+// time it returns, the write is fsynced server-side.
+func (c *Client) InsertPoints(ctx context.Context, name string, pts api.InsertPoints) (*api.Mutation, error) {
+	body, err := json.Marshal(pts)
+	if err != nil {
+		return nil, err
+	}
+	var out api.Mutation
+	if err := c.doAdmin(ctx, http.MethodPost, api.PointsPath(name), body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeletePoint removes one point by its stable id.
+func (c *Client) DeletePoint(ctx context.Context, name string, id uint64) (*api.Mutation, error) {
+	var out api.Mutation
+	if err := c.doAdmin(ctx, http.MethodDelete, api.PointPath(name, id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot folds the server store's write-ahead log into a fresh
+// snapshot (compaction).
+func (c *Client) Snapshot(ctx context.Context, name string) (*api.Mutation, error) {
+	var out api.Mutation
+	if err := c.doAdmin(ctx, http.MethodPost, api.SnapshotPath(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// doAdmin performs one mutation against the preferred endpoint only —
+// mutations never fail over: retrying a non-idempotent write on
+// another replica could apply it twice (or to a diverged store).
+func (c *Client) doAdmin(ctx context.Context, method, path string, body []byte, out any) error {
+	ep := int(c.preferred.Load()) % len(c.bases)
+	return c.doOne(ctx, c.bases[ep], method, path, nil, body, out, true)
+}
+
 func (c *Client) get(ctx context.Context, path string, v url.Values, out any) error {
 	return c.do(ctx, http.MethodGet, path, v, nil, out)
 }
@@ -250,7 +323,7 @@ func (c *Client) do(ctx context.Context, method, path string, v url.Values, reqB
 	var lastErr error
 	for i := 0; i < len(c.bases); i++ {
 		ep := (start + i) % len(c.bases)
-		err := c.doOne(ctx, c.bases[ep], method, path, v, reqBody, out)
+		err := c.doOne(ctx, c.bases[ep], method, path, v, reqBody, out, false)
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.StatusCode < http.StatusInternalServerError {
 			// The endpoint is healthy; the request itself failed. Every
@@ -270,7 +343,10 @@ func (c *Client) do(ctx context.Context, method, path string, v url.Values, reqB
 	return lastErr
 }
 
-func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Values, reqBody []byte, out any) error {
+// doOne performs one request against one endpoint. admin marks the
+// mutation paths: only they carry the admin bearer token — query
+// methods (Batch included) never ship the credential.
+func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Values, reqBody []byte, out any, admin bool) error {
 	u := base + path
 	if len(v) > 0 {
 		u += "?" + v.Encode()
@@ -285,6 +361,9 @@ func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Val
 	}
 	if reqBody != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if admin && c.adminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.adminToken)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

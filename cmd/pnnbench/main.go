@@ -919,6 +919,11 @@ func expMicrobench() {
 	}
 	sq := func(i int) pnn.Point { return sqs[i%len(sqs)] }
 
+	dynN := 2000
+	if *quick {
+		dynN = 500
+	}
+
 	benches := []struct {
 		name   string
 		params map[string]any
@@ -995,6 +1000,36 @@ func expMicrobench() {
 				}
 			}
 		}},
+		// The dynamization write path (pnn.DynamicIndex): insert-heavy,
+		// delete-heavy churn, and a 90/10 read-write mix. These are the
+		// rows the CI bench gate watches for write-path regressions.
+		{"dyn-insert", map[string]any{"start": dynN}, func(b *testing.B) {
+			dyn := newDynBench(b, dynN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dyn.insert()
+			}
+		}},
+		{"dyn-churn", map[string]any{"n": dynN}, func(b *testing.B) {
+			dyn := newDynBench(b, dynN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dyn.deleteOldest()
+				dyn.insert()
+			}
+		}},
+		{"dyn-mixed-90-10", map[string]any{"n": dynN, "reads": 9}, func(b *testing.B) {
+			dyn := newDynBench(b, dynN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%10 == 9 {
+					dyn.deleteOldest()
+					dyn.insert()
+				} else if _, err := dyn.d.Nonzero(dyn.q(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 	fmt.Println("name                    ns/op        allocs/op  B/op")
 	for _, bm := range benches {
@@ -1036,4 +1071,51 @@ func expAblationFlatten() {
 		fmt.Printf("%-7d %-9d %.2f%%\n", perArc, d.Sub.Faces(),
 			100*float64(agree)/float64(len(qs)))
 	}
+}
+
+// dynBench drives one pnn.DynamicIndex for the write-path micro rows:
+// a population of two-location discrete points under insert, delete,
+// and mixed read-write churn.
+type dynBench struct {
+	d    *pnn.DynamicIndex
+	ids  []pnn.PointID
+	r    *rand.Rand
+	span float64
+}
+
+func newDynBench(b *testing.B, n int) *dynBench {
+	d, err := pnn.NewDynamic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := &dynBench{d: d, r: rand.New(rand.NewSource(42)), span: math.Sqrt(float64(n)) * 10}
+	for i := 0; i < n; i++ {
+		db.insert()
+	}
+	return db
+}
+
+func (db *dynBench) insert() {
+	cx, cy := db.r.Float64()*db.span, db.r.Float64()*db.span
+	id, err := db.d.InsertDiscrete(pnn.DiscretePoint{Locations: []pnn.Point{
+		pnn.Pt(cx, cy), pnn.Pt(cx+db.r.Float64()*2-1, cy+db.r.Float64()*2-1),
+	}})
+	if err != nil {
+		panic(err)
+	}
+	db.ids = append(db.ids, id)
+}
+
+func (db *dynBench) deleteOldest() {
+	if len(db.ids) == 0 {
+		return
+	}
+	if err := db.d.Delete(db.ids[0]); err != nil {
+		panic(err)
+	}
+	db.ids = db.ids[1:]
+}
+
+func (db *dynBench) q(i int) pnn.Point {
+	return pnn.Pt(db.r.Float64()*db.span, db.r.Float64()*db.span)
 }

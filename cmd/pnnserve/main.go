@@ -16,6 +16,20 @@
 // generates a workload in process (kinds as in pnngen; params n, k,
 // seed, extent, rmin, rmax, lambda, spread, radius). Both flags repeat.
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// -store DIR makes the datasets durable and mutable: the directory
+// holds a write-ahead log plus snapshots (see pnn/store), every
+// dataset in it is served on startup, and the mutation endpoints
+// (PUT/DELETE /v1/datasets/{name}, POST .../points,
+// DELETE .../points/{id}, POST .../snapshot) write through it.
+// Mutations require -admin-token (they are disabled when it is empty):
+//
+//	pnnserve -store /var/lib/pnn -admin-token $TOKEN
+//	curl -X PUT  -H "Authorization: Bearer $TOKEN" localhost:8080/v1/datasets/fleet -d '{"kind":"discrete"}'
+//	curl -X POST -H "Authorization: Bearer $TOKEN" localhost:8080/v1/datasets/fleet/points -d '{"discrete":[{"x":[1],"y":[2]}]}'
+//
+// With -store, -data/-gen datasets are imported into the store on
+// first start (skipped when a dataset of that name already exists).
 package main
 
 import (
@@ -34,6 +48,7 @@ import (
 
 	"pnn/internal/datafile"
 	"pnn/server"
+	"pnn/store"
 )
 
 var (
@@ -43,11 +58,19 @@ var (
 	batchMax    = flag.Int("batch-max", 64, "max coalesced batch size")
 	batchWork   = flag.Int("batch-workers", 0, "workers per batch (0 = GOMAXPROCS)")
 	timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
+	storeDir    = flag.String("store", "", "durable store directory (WAL + snapshots); empty = read-only datasets")
+	adminToken  = flag.String("admin-token", "", "bearer token for the mutation endpoints (empty disables them)")
 )
 
 func main() {
-	reg := server.NewRegistry()
-	loaded := 0
+	// -data/-gen specs are collected during flag parsing and resolved
+	// afterwards, once we know whether a store is configured (imports
+	// go through it so they become durable).
+	type spec struct {
+		name string
+		df   *datafile.File
+	}
+	var specs []spec
 	flag.Func("data", "dataset as name=path (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok {
@@ -62,34 +85,52 @@ func main() {
 		if err != nil {
 			return err
 		}
-		set, err := df.Set()
-		if err != nil {
-			return err
-		}
-		loaded++
-		return reg.Add(name, set)
+		specs = append(specs, spec{name, df})
+		return nil
 	})
 	flag.Func("gen", "generated dataset as name=kind:k1=v1,... (repeatable)", func(v string) error {
-		name, spec, ok := strings.Cut(v, "=")
+		name, sp, ok := strings.Cut(v, "=")
 		if !ok {
 			return fmt.Errorf("want name=kind:params, got %q", v)
 		}
-		df, err := generate(spec)
+		df, err := generate(sp)
 		if err != nil {
 			return err
 		}
-		set, err := df.Set()
-		if err != nil {
-			return err
-		}
-		loaded++
-		return reg.Add(name, set)
+		specs = append(specs, spec{name, df})
+		return nil
 	})
 	flag.Parse()
-	if loaded == 0 {
-		fmt.Fprintln(os.Stderr, "pnnserve: no datasets; pass at least one -data or -gen")
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatalf("pnnserve: opening store: %v", err)
+		}
+		defer st.Close()
+	}
+	if len(specs) == 0 && st == nil {
+		fmt.Fprintln(os.Stderr, "pnnserve: no datasets; pass at least one -data or -gen (or -store)")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	reg := server.NewRegistry()
+	for _, sp := range specs {
+		if st != nil {
+			if err := importDataset(st, sp.name, sp.df); err != nil {
+				log.Fatalf("pnnserve: importing %s into store: %v", sp.name, err)
+			}
+			continue // server.New loads every store dataset
+		}
+		set, err := sp.df.Set()
+		if err != nil {
+			log.Fatalf("pnnserve: dataset %s: %v", sp.name, err)
+		}
+		if err := reg.Add(sp.name, set); err != nil {
+			log.Fatalf("pnnserve: dataset %s: %v", sp.name, err)
+		}
 	}
 
 	srv := server.New(reg, server.Config{
@@ -98,6 +139,8 @@ func main() {
 		BatchMaxSize:   *batchMax,
 		BatchWorkers:   *batchWork,
 		RequestTimeout: orDisabledDur(*timeout),
+		Store:          st,
+		AdminToken:     *adminToken,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -120,6 +163,39 @@ func main() {
 		log.Printf("pnnserve: shutdown: %v", err)
 	}
 	srv.Close()
+}
+
+// importDataset creates a -data/-gen dataset inside the store on first
+// start; a dataset that already exists is left untouched (the store is
+// the source of truth once it holds the name).
+func importDataset(st *store.Store, name string, df *datafile.File) error {
+	if _, err := st.Dataset(name); err == nil {
+		return nil
+	}
+	var kind string
+	var pts []store.Point
+	switch df.Kind {
+	case datafile.KindDisks:
+		kind = store.KindDisks
+		for i := range df.Disks {
+			pts = append(pts, store.Point{Disk: &df.Disks[i]})
+		}
+	case datafile.KindDiscrete:
+		kind = store.KindDiscrete
+		for i := range df.Discrete {
+			pts = append(pts, store.Point{Discrete: &df.Discrete[i]})
+		}
+	default:
+		return fmt.Errorf("kind %q cannot be stored", df.Kind)
+	}
+	if _, err := st.CreateDataset(name, kind); err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	_, err := st.InsertPoints(name, pts)
+	return err
 }
 
 // orDisabled maps the flag convention "0 disables" onto the Config

@@ -86,6 +86,20 @@
 // identical results for every worker count. Two Indexes built from the
 // same data, options, and seed answer identically.
 //
+// # Dynamic indexes
+//
+// DynamicIndex carries the same query surface over a mutable point
+// set: NewDynamic, then InsertDisk/InsertDiscrete/InsertSquare and
+// Delete by the stable PointID each insert returns. The static
+// structures are dynamized with the Bentley–Saxe logarithmic method
+// (points live in O(log n) static buckets that merge on overflow;
+// deletes are tombstones with compaction once they reach the live
+// count), and every query — Nonzero through the merged per-bucket
+// structures, quantification through a lazily rebuilt live view — is
+// bitwise identical to a fresh static Index built from the surviving
+// points with the same options. Result indices refer to the survivors
+// in insertion order; IDs maps them back to PointIDs.
+//
 // # Legacy API
 //
 // The per-set query methods predating the facade — NonzeroAt,

@@ -1,0 +1,390 @@
+package pnn
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// dynHarness drives one DynamicIndex alongside a mirror of the live
+// points, so a fresh static Index can be built over the survivors at
+// any step.
+type dynHarness struct {
+	t    *testing.T
+	dyn  *DynamicIndex
+	opts []Option
+	kind string
+	// live mirrors the surviving points in insertion order.
+	liveDisks []DiskPoint
+	liveDiscs []DiscretePoint
+	liveSqs   []SquarePoint
+	ids       []PointID
+}
+
+func (h *dynHarness) insertRandom(r *rand.Rand) {
+	switch h.kind {
+	case "disks":
+		p := DiskPoint{Support: Disk{Center: Pt(r.Float64()*40, r.Float64()*40), R: r.Float64() * 3}}
+		if r.Intn(6) == 0 {
+			p.Support.R = 0 // exercise the degenerate δ = Δ path
+		}
+		id, err := h.dyn.InsertDisk(p)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		h.liveDisks = append(h.liveDisks, p)
+		h.ids = append(h.ids, id)
+	case "discrete":
+		k := 1 + r.Intn(3)
+		p := DiscretePoint{}
+		cx, cy := r.Float64()*40, r.Float64()*40
+		for t := 0; t < k; t++ {
+			p.Locations = append(p.Locations, Pt(cx+r.Float64()*4-2, cy+r.Float64()*4-2))
+		}
+		id, err := h.dyn.InsertDiscrete(p)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		h.liveDiscs = append(h.liveDiscs, p)
+		h.ids = append(h.ids, id)
+	case "squares":
+		p := SquarePoint{Center: Pt(r.Float64()*40, r.Float64()*40), R: r.Float64() * 3}
+		if r.Intn(6) == 0 {
+			p.R = 0
+		}
+		id, err := h.dyn.InsertSquare(p)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		h.liveSqs = append(h.liveSqs, p)
+		h.ids = append(h.ids, id)
+	}
+}
+
+func (h *dynHarness) deleteRandom(r *rand.Rand) {
+	if len(h.ids) == 0 {
+		return
+	}
+	i := r.Intn(len(h.ids))
+	if err := h.dyn.Delete(h.ids[i]); err != nil {
+		h.t.Fatal(err)
+	}
+	h.ids = slices.Delete(h.ids, i, i+1)
+	switch h.kind {
+	case "disks":
+		h.liveDisks = slices.Delete(h.liveDisks, i, i+1)
+	case "discrete":
+		h.liveDiscs = slices.Delete(h.liveDiscs, i, i+1)
+	case "squares":
+		h.liveSqs = slices.Delete(h.liveSqs, i, i+1)
+	}
+}
+
+func (h *dynHarness) liveLen() int { return len(h.ids) }
+
+// static builds a fresh static Index over the survivors with the same
+// options the DynamicIndex was configured with.
+func (h *dynHarness) static() *Index {
+	var set UncertainSet
+	var err error
+	switch h.kind {
+	case "disks":
+		set, err = NewContinuousSet(slices.Clone(h.liveDisks))
+	case "discrete":
+		set, err = NewDiscreteSet(slices.Clone(h.liveDiscs))
+	case "squares":
+		set, err = NewSquareSet(slices.Clone(h.liveSqs))
+	}
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	ix, err := New(set, h.opts...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return ix
+}
+
+// compareAll asserts every query of the dynamic engine bitwise-equal to
+// the fresh static engine at q. hasQuant gates the quantification
+// queries (squares have none, on either engine).
+func (h *dynHarness) compareAll(q Point, hasQuant bool) {
+	h.t.Helper()
+	st := h.static()
+
+	gotNZ, err := h.dyn.Nonzero(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantNZ, err := st.Nonzero(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !slices.Equal(gotNZ, wantNZ) {
+		h.t.Fatalf("Nonzero(%v) over %d pts: dynamic %v, static %v", q, h.liveLen(), gotNZ, wantNZ)
+	}
+
+	if !hasQuant {
+		if _, err := h.dyn.Probabilities(q); err == nil {
+			h.t.Fatalf("Probabilities succeeded on a quantifier-less kind")
+		}
+		return
+	}
+
+	gotPi, err := h.dyn.Probabilities(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantPi, err := st.Probabilities(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !slices.Equal(gotPi, wantPi) {
+		h.t.Fatalf("Probabilities(%v) over %d pts:\ndynamic %v\nstatic  %v", q, h.liveLen(), gotPi, wantPi)
+	}
+
+	gotTop, err := h.dyn.TopK(q, 3)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantTop, err := st.TopK(q, 3)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !slices.Equal(gotTop, wantTop) {
+		h.t.Fatalf("TopK(%v, 3): dynamic %v, static %v", q, gotTop, wantTop)
+	}
+
+	gotTh, err := h.dyn.Threshold(q, 0.2)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantTh, err := st.Threshold(q, 0.2)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !slices.Equal(gotTh.Certain, wantTh.Certain) || !slices.Equal(gotTh.Possible, wantTh.Possible) {
+		h.t.Fatalf("Threshold(%v, 0.2): dynamic %+v, static %+v", q, gotTh, wantTh)
+	}
+
+	gotPos, err := h.dyn.PositiveProbabilities(q, 0)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantPos, err := st.PositiveProbabilities(q, 0)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if !slices.Equal(gotPos, wantPos) {
+		h.t.Fatalf("PositiveProbabilities(%v, 0): dynamic %v, static %v", q, gotPos, wantPos)
+	}
+
+	gotEI, gotED, err := h.dyn.ExpectedNN(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	wantEI, wantED, err := st.ExpectedNN(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if gotEI != wantEI || gotED != wantED {
+		h.t.Fatalf("ExpectedNN(%v): dynamic (%d, %g), static (%d, %g)", q, gotEI, gotED, wantEI, wantED)
+	}
+}
+
+// TestDynamicEquivalence is the dynamization property test: after any
+// generated sequence of inserts and deletes, every DynamicIndex query
+// is bitwise identical to a fresh static Index built over the surviving
+// points — across set kinds, NN≠0 backends, and quantifiers.
+func TestDynamicEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		kind string
+		opts []Option
+	}{
+		{"disks/index/exact", "disks", []Option{WithIntegrationPanels(16)}},
+		{"disks/direct/exact", "disks", []Option{WithNonzeroBackend(BackendDirect), WithIntegrationPanels(16)}},
+		{"disks/index/mcbudget", "disks", []Option{WithQuantifier(MonteCarloBudget(40)), WithSeed(5)}},
+		{"disks/index/spiral", "disks", []Option{WithQuantifier(SpiralSearch(0.1)), WithSpiralSamples(60), WithSeed(3)}},
+		{"discrete/index/exact", "discrete", nil},
+		{"discrete/direct/exact", "discrete", []Option{WithNonzeroBackend(BackendDirect)}},
+		{"discrete/index/mc", "discrete", []Option{WithQuantifier(MonteCarlo(0.25, 0.25)), WithSeed(9)}},
+		{"discrete/index/spiral", "discrete", []Option{WithQuantifier(SpiralSearch(0.1))}},
+		{"squares/index", "squares", nil},
+		{"squares/direct", "squares", []Option{WithNonzeroBackend(BackendDirect)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			dyn, err := NewDynamic(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := &dynHarness{t: t, dyn: dyn, opts: tc.opts, kind: tc.kind}
+			hasQuant := tc.kind != "squares"
+			steps := 120
+			if testing.Short() {
+				steps = 40
+			}
+			for step := 0; step < steps; step++ {
+				if h.liveLen() == 0 || r.Intn(3) != 0 {
+					h.insertRandom(r)
+				} else {
+					h.deleteRandom(r)
+				}
+				if h.liveLen() == 0 {
+					continue
+				}
+				// Compare a couple of query points per step: one random,
+				// one at a live point's center (ties and degeneracies).
+				if step%4 == 0 {
+					q := Pt(r.Float64()*40, r.Float64()*40)
+					h.compareAll(q, hasQuant)
+					h.compareAll(h.someCenter(r), hasQuant)
+				}
+			}
+			if h.liveLen() != dyn.Len() {
+				t.Fatalf("Len() = %d, want %d", dyn.Len(), h.liveLen())
+			}
+		})
+	}
+}
+
+// someCenter returns the center/first location of a random live point —
+// query locations where δ, Δ ties are most likely.
+func (h *dynHarness) someCenter(r *rand.Rand) Point {
+	i := r.Intn(h.liveLen())
+	switch h.kind {
+	case "disks":
+		return h.liveDisks[i].Support.Center
+	case "discrete":
+		return h.liveDiscs[i].Locations[0]
+	default:
+		return h.liveSqs[i].Center
+	}
+}
+
+func TestDynamicDeleteChurn(t *testing.T) {
+	// Heavy insert/delete churn with interleaved queries: memory must
+	// stay bounded (compaction) and answers exact throughout.
+	r := rand.New(rand.NewSource(2))
+	dyn, err := NewDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &dynHarness{t: t, dyn: dyn, opts: nil, kind: "discrete"}
+	for i := 0; i < 20; i++ {
+		h.insertRandom(r)
+	}
+	for round := 0; round < 50; round++ {
+		h.deleteRandom(r)
+		h.insertRandom(r)
+		if round%10 == 0 {
+			h.compareAll(Pt(r.Float64()*40, r.Float64()*40), true)
+		}
+	}
+	// The arena must not grow unboundedly under churn: 20 live points
+	// and 50 insert/delete pairs must compact down well below the 70
+	// total insertions.
+	if n := len(dyn.items); n > 3*dyn.Len()+16 {
+		t.Fatalf("arena holds %d items for %d live points (compaction broken)", n, dyn.Len())
+	}
+}
+
+func TestDynamicEmptyAndErrors(t *testing.T) {
+	if _, err := NewDynamic(WithNonzeroBackend(BackendDiagram)); err == nil {
+		t.Fatal("BackendDiagram accepted")
+	}
+	if _, err := NewDynamic(WithRandSource(rand.NewSource(1))); err == nil {
+		t.Fatal("WithRandSource accepted")
+	}
+
+	d, err := NewDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz, err := d.Nonzero(Pt(0, 0)); err != nil || len(nz) != 0 {
+		t.Fatalf("empty Nonzero = %v, %v", nz, err)
+	}
+	if pi, err := d.Probabilities(Pt(0, 0)); err != nil || len(pi) != 0 {
+		t.Fatalf("empty Probabilities = %v, %v", pi, err)
+	}
+	if _, err := d.Threshold(Pt(0, 0), math.NaN()); err == nil {
+		t.Fatal("NaN tau accepted on empty index")
+	}
+	if i, dist, err := d.ExpectedNN(Pt(0, 0)); err != nil || i != -1 || dist != 0 {
+		t.Fatalf("empty ExpectedNN = (%d, %g, %v)", i, dist, err)
+	}
+	if err := d.Delete(7); err == nil {
+		t.Fatal("delete of unknown id accepted")
+	}
+
+	id, err := d.InsertDisk(DiskPoint{Support: Disk{Center: Pt(1, 2), R: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertDiscrete(DiscretePoint{Locations: []Point{Pt(0, 0)}}); err == nil {
+		t.Fatal("kind mix accepted")
+	}
+	if _, err := d.InsertDisk(DiskPoint{Support: Disk{Center: Pt(0, 0), R: -1}}); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	if err := d.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(id); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len() = %d", d.Len())
+	}
+
+	sq, err := NewDynamic(WithQuantifier(SpiralSearch(0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sq.InsertSquare(SquarePoint{Center: Pt(0, 0), R: 1}); err == nil {
+		t.Fatal("quantifier accepted for L∞ squares")
+	}
+}
+
+func TestDynamicIDsAndRanks(t *testing.T) {
+	d, err := NewDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PointID
+	for i := 0; i < 10; i++ {
+		id, err := d.InsertDiscrete(DiscretePoint{Locations: []Point{Pt(float64(i), 0)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.Delete(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	want := []PointID{ids[0], ids[1], ids[2], ids[4], ids[5], ids[6], ids[8], ids[9]}
+	if got := d.IDs(); !slices.Equal(got, want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	if r, ok := d.RankOf(ids[4]); !ok || r != 3 {
+		t.Fatalf("RankOf(ids[4]) = (%d, %v), want (3, true)", r, ok)
+	}
+	if _, ok := d.RankOf(ids[3]); ok {
+		t.Fatal("RankOf of a deleted id succeeded")
+	}
+	// The rank answering queries must agree: a query at ids[4]'s sole
+	// location must rank it first.
+	top, err := d.TopK(Pt(4, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Index != 3 {
+		t.Fatalf("TopK at deleted-shifted rank = %v, want index 3", top)
+	}
+}

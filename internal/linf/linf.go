@@ -232,3 +232,22 @@ func (ix *Index) report(ni int, q geom.Point, bound float64, out *[]int) {
 	ix.report(n.left, q, bound, out)
 	ix.report(n.right, q, bound, out)
 }
+
+// Nearest returns the arg-min square of Δ∞ and Δ∞(q) itself — the
+// stage-1 bound alone, for callers that merge bounds across several
+// structures (the logarithmic-method wrapper in pnn).
+func (ix *Index) Nearest(q geom.Point) (int, float64) {
+	return ix.nearest(q)
+}
+
+// ReportMinDistLess appends to dst every square with δ∞_i(q) < bound —
+// stage-2 reporting under a caller-supplied bound. The appended region
+// is in no particular order.
+func (ix *Index) ReportMinDistLess(q geom.Point, bound float64, dst []int) []int {
+	if ix.root < 0 {
+		return dst
+	}
+	out := dst
+	ix.report(ix.root, q, bound, &out)
+	return out
+}

@@ -1,0 +1,244 @@
+// Package logmethod implements the Bentley–Saxe logarithmic method: a
+// dynamization scheme turning any static, build-once search structure
+// into one that supports inserts with amortized O(log n) rebuild work
+// and deletes by tombstoning with a rebuild-at-threshold.
+//
+// Items live in O(log n) buckets; a bucket of level ℓ holds at most 2^ℓ
+// items and carries one caller-built static structure over its members.
+// An insert opens a level-0 singleton and cascades: while the new
+// bucket's level is occupied it merges with the occupant (dropping
+// tombstoned members) and settles at the smallest level that fits, so
+// every item is rebuilt O(log n) times over its lifetime. A delete
+// marks a tombstone in place; once tombstones reach the live count the
+// caller is told to RebuildAll, which compacts every survivor into one
+// fresh bucket — the structure never carries more dead weight than live
+// members, and query-time tombstone filtering stays O(answer).
+//
+// The tracker is agnostic of what the static structures are: members
+// are opaque integer slots of a caller-owned arena, and structures are
+// built by a callback and stored per bucket as Bucket.Data. Decomposable
+// queries (NN≠0 is one — see pnn.DynamicIndex) query each bucket's Data
+// and merge the per-bucket answers.
+package logmethod
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// Build constructs one static structure over the given member slots
+// (increasing order, live members only at build time) and returns it
+// for storage in Bucket.Data. Builds must not fail: callers validate
+// members before inserting them into the tracker.
+type Build func(slots []int) any
+
+// Bucket is one static structure's member set. Slots is every member
+// merged into the bucket, in increasing slot order; tombstoned members
+// stay in Slots until the next merge or RebuildAll (the built Data
+// still indexes them), and queries skip them via Tracker.Alive.
+type Bucket struct {
+	// Level bounds the bucket: len(Slots) ≤ 2^Level.
+	Level int
+	// Slots are the member arena slots in increasing order.
+	Slots []int
+	// Dead counts the tombstoned members of Slots.
+	Dead int
+	// Data is the caller-built static structure over Slots as of the
+	// last build (tombstones accrue afterwards).
+	Data any
+}
+
+// Live returns the number of live members of the bucket.
+func (b *Bucket) Live() int { return len(b.Slots) - b.Dead }
+
+// Tracker maintains the logarithmic-method decomposition. It is not
+// safe for concurrent use; callers synchronize.
+type Tracker struct {
+	buckets []*Bucket
+	// byLevel[ℓ] is the bucket at level ℓ, or nil — the method's
+	// invariant is at most one bucket per level.
+	byLevel []*Bucket
+	// home maps a live or tombstoned slot to its bucket.
+	home map[int]*Bucket
+	// alive marks live slots (false = tombstoned).
+	alive map[int]bool
+	dead  int
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{home: make(map[int]*Bucket), alive: make(map[int]bool)}
+}
+
+// Len returns the number of live members.
+func (t *Tracker) Len() int { return len(t.alive) - t.dead }
+
+// Dead returns the number of tombstoned members still held in buckets.
+func (t *Tracker) Dead() int { return t.dead }
+
+// Alive reports whether slot is a live member.
+func (t *Tracker) Alive(slot int) bool { return t.alive[slot] }
+
+// Buckets returns the current buckets (shared, read-only; valid until
+// the next mutation). Order is unspecified.
+func (t *Tracker) Buckets() []*Bucket { return t.buckets }
+
+// Insert adds slot as a new live member, cascading merges until the
+// one-bucket-per-level invariant is restored; build is called exactly
+// once, on the final merged member set. Inserting a slot the tracker
+// already holds is an error.
+func (t *Tracker) Insert(slot int, build Build) error {
+	if _, dup := t.alive[slot]; dup {
+		return fmt.Errorf("logmethod: slot %d already tracked", slot)
+	}
+	t.alive[slot] = true
+	cur := []int{slot}
+	for {
+		lvl := levelFor(len(cur))
+		if lvl >= len(t.byLevel) || t.byLevel[lvl] == nil {
+			t.attach(&Bucket{Level: lvl, Slots: cur, Data: build(cur)})
+			return nil
+		}
+		old := t.byLevel[lvl]
+		t.detach(old)
+		cur = t.mergeLive(cur, old)
+	}
+}
+
+// Bulk loads many live slots (strictly increasing, none tracked yet)
+// as a single bucket with one build — the bulk-load companion of
+// Insert, used after an external compaction renumbers the arena.
+func (t *Tracker) Bulk(slots []int, build Build) error {
+	if len(slots) == 0 {
+		return nil
+	}
+	for i, s := range slots {
+		if _, dup := t.alive[s]; dup {
+			return fmt.Errorf("logmethod: slot %d already tracked", s)
+		}
+		if i > 0 && slots[i-1] >= s {
+			return fmt.Errorf("logmethod: bulk slots not strictly increasing at %d", i)
+		}
+	}
+	lvl := levelFor(len(slots))
+	for lvl < len(t.byLevel) && t.byLevel[lvl] != nil {
+		lvl++
+	}
+	for _, s := range slots {
+		t.alive[s] = true
+	}
+	t.attach(&Bucket{Level: lvl, Slots: slices.Clone(slots), Data: build(slots)})
+	return nil
+}
+
+// Delete tombstones slot. It returns needRebuild = true once tombstones
+// have reached the live count — the caller should then RebuildAll
+// (queries remain correct either way; the threshold only bounds wasted
+// work). Deleting an unknown or already-tombstoned slot is an error.
+func (t *Tracker) Delete(slot int) (needRebuild bool, err error) {
+	live, ok := t.alive[slot]
+	if !ok {
+		return false, fmt.Errorf("logmethod: slot %d not tracked", slot)
+	}
+	if !live {
+		return false, fmt.Errorf("logmethod: slot %d already deleted", slot)
+	}
+	b := t.home[slot]
+	t.alive[slot] = false
+	b.Dead++
+	t.dead++
+	if b.Live() == 0 {
+		// A fully dead bucket answers nothing; drop it and forget its
+		// tombstones outright.
+		t.detach(b)
+		for _, s := range b.Slots {
+			delete(t.alive, s)
+			delete(t.home, s)
+		}
+		t.dead -= len(b.Slots)
+	}
+	return t.dead > 0 && t.dead >= t.Len(), nil
+}
+
+// RebuildAll compacts every live member into a single fresh bucket,
+// discarding all tombstones. It is the rebuild-at-threshold companion
+// of Delete but may be called at any time.
+func (t *Tracker) RebuildAll(build Build) {
+	liveSlots := make([]int, 0, t.Len())
+	for s, ok := range t.alive {
+		if ok {
+			liveSlots = append(liveSlots, s)
+		} else {
+			delete(t.alive, s)
+			delete(t.home, s)
+		}
+	}
+	slices.Sort(liveSlots)
+	t.buckets = t.buckets[:0]
+	t.byLevel = t.byLevel[:0]
+	t.dead = 0
+	if len(liveSlots) > 0 {
+		t.attach(&Bucket{Level: levelFor(len(liveSlots)), Slots: liveSlots, Data: build(liveSlots)})
+	}
+}
+
+// attach registers a bucket and homes its members.
+func (t *Tracker) attach(b *Bucket) {
+	t.buckets = append(t.buckets, b)
+	for len(t.byLevel) <= b.Level {
+		t.byLevel = append(t.byLevel, nil)
+	}
+	t.byLevel[b.Level] = b
+	for _, s := range b.Slots {
+		t.home[s] = b
+	}
+}
+
+// detach removes a bucket from the level table and bucket list (member
+// homes are rewritten by the subsequent attach or purge).
+func (t *Tracker) detach(b *Bucket) {
+	if b.Level < len(t.byLevel) && t.byLevel[b.Level] == b {
+		t.byLevel[b.Level] = nil
+	}
+	for i, x := range t.buckets {
+		if x == b {
+			t.buckets[i] = t.buckets[len(t.buckets)-1]
+			t.buckets = t.buckets[:len(t.buckets)-1]
+			break
+		}
+	}
+}
+
+// mergeLive merges old's live members into cur (both increasing),
+// purging old's tombstones from the tracker for good.
+func (t *Tracker) mergeLive(cur []int, old *Bucket) []int {
+	out := make([]int, 0, len(cur)+old.Live())
+	i, j := 0, 0
+	for i < len(cur) || j < len(old.Slots) {
+		if j >= len(old.Slots) || (i < len(cur) && cur[i] < old.Slots[j]) {
+			out = append(out, cur[i])
+			i++
+			continue
+		}
+		s := old.Slots[j]
+		j++
+		if t.alive[s] {
+			out = append(out, s)
+		} else {
+			delete(t.alive, s)
+			delete(t.home, s)
+			t.dead--
+		}
+	}
+	return out
+}
+
+// levelFor returns the smallest level whose capacity 2^level holds n
+// members.
+func levelFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

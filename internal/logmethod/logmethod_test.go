@@ -1,0 +1,214 @@
+package logmethod
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// sliceData is the trivial "static structure" used by the tests: a
+// copy of the member slots at build time.
+func buildSlice(slots []int) any {
+	return slices.Clone(slots)
+}
+
+// checkInvariants asserts the logarithmic-method invariants: at most
+// one bucket per level, bucket sizes within 2^level, every live slot
+// housed exactly once, dead counts consistent, and bucket count
+// logarithmic in the member count.
+func checkInvariants(t *testing.T, tr *Tracker, wantLive map[int]bool) {
+	t.Helper()
+	live := 0
+	for _, ok := range wantLive {
+		if ok {
+			live++
+		}
+	}
+	if got := tr.Len(); got != live {
+		t.Fatalf("Len() = %d, want %d", got, live)
+	}
+	seen := make(map[int]bool)
+	levels := make(map[int]bool)
+	dead := 0
+	for _, b := range tr.Buckets() {
+		if levels[b.Level] {
+			t.Fatalf("two buckets at level %d", b.Level)
+		}
+		levels[b.Level] = true
+		if len(b.Slots) > 1<<uint(b.Level) {
+			t.Fatalf("bucket at level %d holds %d > %d slots", b.Level, len(b.Slots), 1<<uint(b.Level))
+		}
+		if !slices.IsSorted(b.Slots) {
+			t.Fatalf("bucket slots not sorted: %v", b.Slots)
+		}
+		if b.Live() <= 0 {
+			t.Fatalf("fully dead bucket retained (level %d, %d slots)", b.Level, len(b.Slots))
+		}
+		gotDead := 0
+		for _, s := range b.Slots {
+			if seen[s] {
+				t.Fatalf("slot %d housed twice", s)
+			}
+			seen[s] = true
+			if !tr.Alive(s) {
+				gotDead++
+			}
+		}
+		if gotDead != b.Dead {
+			t.Fatalf("bucket dead count %d, counted %d", b.Dead, gotDead)
+		}
+		dead += gotDead
+		// Data reflects the member set as of the last build: every
+		// current slot must appear in it (build-time members that died
+		// later are allowed to linger).
+		data := b.Data.([]int)
+		for _, s := range b.Slots {
+			if !slices.Contains(data, s) {
+				t.Fatalf("slot %d missing from bucket data %v", s, data)
+			}
+		}
+	}
+	if dead != tr.Dead() {
+		t.Fatalf("Dead() = %d, counted %d", tr.Dead(), dead)
+	}
+	if tr.Dead() > tr.Len() {
+		t.Fatalf("tombstones %d exceed live count %d (rebuild threshold missed)", tr.Dead(), tr.Len())
+	}
+	for s, ok := range wantLive {
+		if ok && !seen[s] {
+			t.Fatalf("live slot %d not housed in any bucket", s)
+		}
+		if ok != tr.Alive(s) {
+			t.Fatalf("Alive(%d) = %v, want %v", s, tr.Alive(s), ok)
+		}
+	}
+	// O(log n) buckets: levels are distinct, so bucket count is bounded
+	// by the largest level + 1; sanity-check against a generous bound.
+	if n := tr.Len() + tr.Dead(); n > 0 && len(tr.Buckets()) > bitsLen(n)+2 {
+		t.Fatalf("%d buckets for %d members", len(tr.Buckets()), n)
+	}
+}
+
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func TestInsertCascade(t *testing.T) {
+	tr := New()
+	want := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(i, buildSlice); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = true
+		checkInvariants(t, tr, want)
+	}
+	if err := tr.Insert(50, buildSlice); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+}
+
+func TestDeleteAndRebuildThreshold(t *testing.T) {
+	tr := New()
+	want := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		if err := tr.Insert(i, buildSlice); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = true
+	}
+	for i := 0; i < 64; i++ {
+		need, err := tr.Delete(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = false
+		if need {
+			tr.RebuildAll(buildSlice)
+			for s, ok := range want {
+				if !ok {
+					delete(want, s)
+				} else if !tr.Alive(s) {
+					t.Fatalf("RebuildAll lost live slot %d", s)
+				}
+			}
+			if tr.Dead() != 0 {
+				t.Fatalf("Dead() = %d after RebuildAll", tr.Dead())
+			}
+		}
+		checkInvariants(t, tr, want)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d after deleting everything", tr.Len())
+	}
+	if _, err := tr.Delete(0); err == nil {
+		t.Fatal("delete of unknown slot accepted")
+	}
+}
+
+func TestRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	want := make(map[int]bool)
+	next := 0
+	liveSlots := func() []int {
+		var out []int
+		for s, ok := range want {
+			if ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	for step := 0; step < 2000; step++ {
+		ls := liveSlots()
+		if len(ls) == 0 || rng.Intn(3) != 0 {
+			if err := tr.Insert(next, buildSlice); err != nil {
+				t.Fatal(err)
+			}
+			want[next] = true
+			next++
+		} else {
+			s := ls[rng.Intn(len(ls))]
+			need, err := tr.Delete(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[s] = false
+			if need {
+				tr.RebuildAll(buildSlice)
+				for k, ok := range want {
+					if !ok {
+						delete(want, k)
+					}
+				}
+			}
+		}
+		if step%97 == 0 {
+			checkInvariants(t, tr, want)
+		}
+	}
+	checkInvariants(t, tr, want)
+}
+
+func TestRebuildAllEmpty(t *testing.T) {
+	tr := New()
+	tr.RebuildAll(buildSlice)
+	if tr.Len() != 0 || len(tr.Buckets()) != 0 {
+		t.Fatalf("empty RebuildAll produced %d members, %d buckets", tr.Len(), len(tr.Buckets()))
+	}
+	if err := tr.Insert(0, buildSlice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d", tr.Len())
+	}
+}

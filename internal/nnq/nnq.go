@@ -15,6 +15,7 @@
 package nnq
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -198,3 +199,46 @@ type discScratch struct {
 var discPool = sync.Pool{New: func() any {
 	return &discScratch{seen: make(map[int]struct{})}
 }}
+
+// Nearest returns the arg-min disk of Δ and Δ(q) itself — stage 1
+// alone, for callers that merge bounds across several structures (the
+// logarithmic-method wrapper in pnn).
+func (ix *ContinuousIndex) Nearest(q geom.Point) (int, float64) {
+	if len(ix.disks) == 0 {
+		return -1, math.Inf(1)
+	}
+	arg, delta, _ := ix.stage1.Nearest(q)
+	return arg, delta
+}
+
+// ReportMinDistLess appends to dst every disk with δ_i(q) < bound —
+// stage-2 reporting under a caller-supplied bound. The appended region
+// is in no particular order.
+func (ix *ContinuousIndex) ReportMinDistLess(q geom.Point, bound float64, dst []int) []int {
+	return ix.stage2.ReportMinDistLess(q, bound, dst)
+}
+
+// (DiscreteIndex needs no Nearest counterpart: its stage 1 is a linear
+// hull scan either way, so the dynamic layer scans its live members
+// directly — see discBucket.delta in the pnn package.)
+
+// ReportMinDistLess appends to dst every owner with δ_i(q) < bound,
+// via the location kd-tree under the same fuzzed candidate radius as
+// QueryInto, filtered by the exact per-owner test. The appended region
+// is in no particular order.
+func (ix *DiscreteIndex) ReportMinDistLess(q geom.Point, bound float64, dst []int) []int {
+	sc := discPool.Get().(*discScratch)
+	sc.hits = ix.tree.InDisk(q, bound+1e-9*(1+bound), sc.hits[:0])
+	clear(sc.seen)
+	for _, h := range sc.hits {
+		if _, dup := sc.seen[h.ID]; dup {
+			continue
+		}
+		sc.seen[h.ID] = struct{}{}
+		if ix.points[h.ID].MinDist(q) < bound {
+			dst = append(dst, h.ID)
+		}
+	}
+	discPool.Put(sc)
+	return dst
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pnn/api"
+	"pnn/internal/datafile"
+	"pnn/store"
+)
+
+// admin wraps a mutation handler with the write-path preconditions:
+// a durable store must be configured (else 409 read_only), the admin
+// token must be configured (else 403 — the surface is authenticated by
+// design, never open by omission), and the request must carry it as a
+// bearer token (else 401/403).
+func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.request("admin")
+		if s.cfg.Store == nil {
+			s.writeError(w, http.StatusConflict, api.CodeReadOnly,
+				errors.New("server runs without a durable store; datasets are read-only"))
+			return
+		}
+		if s.cfg.AdminToken == "" {
+			s.writeError(w, http.StatusForbidden, api.CodeUnauthorized,
+				errors.New("admin token not configured; mutations disabled"))
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok {
+			s.writeError(w, http.StatusUnauthorized, api.CodeUnauthorized,
+				errors.New("missing bearer token"))
+			return
+		}
+		if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
+			s.writeError(w, http.StatusForbidden, api.CodeUnauthorized,
+				errors.New("wrong admin token"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// refreshDataset re-reads a dataset from the store into the registry
+// after a mutation: the registry swap retires the old engine
+// generation and the version bump re-keys the result cache. Dropped
+// datasets are removed. Stale refreshes (a newer mutation already
+// landed) are ignored by the registry, so concurrent mutations can
+// refresh in any order.
+func (s *Server) refreshDataset(name string) error {
+	info, err := s.cfg.Store.Dataset(name)
+	if errors.Is(err, store.ErrUnknownDataset) {
+		s.reg.Remove(name)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	set, version, err := s.cfg.Store.Set(name)
+	if err != nil {
+		return err
+	}
+	s.reg.Upsert(name, info.Kind, set, version)
+	return nil
+}
+
+// writeMutation acknowledges one applied (and fsynced) mutation.
+func (s *Server) writeMutation(w http.ResponseWriter, m store.Mutation) {
+	s.writeJSON(w, http.StatusOK, api.Mutation{
+		Dataset: m.Dataset, Version: m.Version, N: m.N, IDs: m.IDs,
+	}, "")
+}
+
+// mutationError maps store failures onto transport statuses and stable
+// api codes.
+func (s *Server) mutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrUnknownDataset):
+		s.writeError(w, http.StatusNotFound, api.CodeUnknownDataset, err)
+	case errors.Is(err, store.ErrUnknownPoint):
+		s.writeError(w, http.StatusNotFound, api.CodeUnknownPoint, err)
+	case errors.Is(err, store.ErrExists):
+		s.writeError(w, http.StatusConflict, api.CodeExists, err)
+	case errors.Is(err, store.ErrKindMismatch):
+		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+	case errors.Is(err, store.ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, api.CodeInternal, err)
+	default:
+		// Everything else the store rejects before logging is input
+		// validation (bad names, bad kinds, malformed points).
+		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+	}
+}
+
+// handleCreateDataset serves PUT /v1/datasets/{name}. The PUT is
+// idempotent: re-creating an existing dataset with the same kind
+// answers its current state, a conflicting kind answers 409.
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.CreateDataset
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("decoding create request: %w", err))
+		return
+	}
+	m, err := s.cfg.Store.CreateDataset(name, req.Kind)
+	if errors.Is(err, store.ErrExists) {
+		info, ierr := s.cfg.Store.Dataset(name)
+		if ierr != nil {
+			// Dropped concurrently between the create and this lookup;
+			// a retry would succeed, so report the lookup outcome
+			// rather than a phantom conflict.
+			s.mutationError(w, ierr)
+			return
+		}
+		if info.Kind == req.Kind {
+			s.writeMutation(w, store.Mutation{Dataset: name, Version: info.Version, N: info.N})
+			return
+		}
+		s.writeError(w, http.StatusConflict, api.CodeExists,
+			fmt.Errorf("dataset %q already exists with kind %q", name, info.Kind))
+		return
+	}
+	if err != nil {
+		s.mutationError(w, err)
+		return
+	}
+	if err := s.refreshDataset(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	s.writeMutation(w, m)
+}
+
+// handleDropDataset serves DELETE /v1/datasets/{name}. The ack
+// reports version 0: the dataset no longer has one (a re-created
+// namesake resumes at a higher version, never a repeated one).
+func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.cfg.Store.DropDataset(name); err != nil {
+		s.mutationError(w, err)
+		return
+	}
+	if err := s.refreshDataset(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	s.writeMutation(w, store.Mutation{Dataset: name})
+}
+
+// handleInsertPoints serves POST /v1/datasets/{name}/points.
+func (s *Server) handleInsertPoints(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.InsertPoints
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("decoding insert request: %w", err))
+		return
+	}
+	pts, err := storePoints(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+		return
+	}
+	m, err := s.cfg.Store.InsertPoints(name, pts)
+	if err != nil {
+		s.mutationError(w, err)
+		return
+	}
+	if err := s.refreshDataset(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	s.writeMutation(w, m)
+}
+
+// handleDeletePoint serves DELETE /v1/datasets/{name}/points/{id}.
+func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadParam,
+			fmt.Errorf("invalid point id %q", r.PathValue("id")))
+		return
+	}
+	m, err := s.cfg.Store.DeletePoint(name, id)
+	if err != nil {
+		s.mutationError(w, err)
+		return
+	}
+	if err := s.refreshDataset(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	s.writeMutation(w, m)
+}
+
+// handleSnapshot serves POST /v1/datasets/{name}/snapshot. Compaction
+// is store-wide (one WAL serves every dataset); the per-dataset route
+// keeps the admin surface uniform and confirms the dataset exists.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.cfg.Store.Dataset(name)
+	if err != nil {
+		s.mutationError(w, err)
+		return
+	}
+	if err := s.cfg.Store.Compact(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+	s.writeMutation(w, store.Mutation{Dataset: name, Version: info.Version, N: info.N})
+}
+
+// storePoints converts the wire insert body into store points,
+// enforcing the exactly-one-kind shape.
+func storePoints(req api.InsertPoints) ([]store.Point, error) {
+	if len(req.Disks) > 0 && len(req.Discrete) > 0 {
+		return nil, errors.New("insert body must set exactly one of disks and discrete")
+	}
+	var out []store.Point
+	for _, d := range req.Disks {
+		out = append(out, store.Point{Disk: &datafile.DiskJSON{
+			X: d.X, Y: d.Y, R: d.R, Density: d.Density, Sigma: d.Sigma,
+		}})
+	}
+	for _, d := range req.Discrete {
+		out = append(out, store.Point{Discrete: &datafile.DiscreteJSON{
+			X: d.X, Y: d.Y, W: d.W,
+		}})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("insert body holds no points")
+	}
+	return out, nil
+}

@@ -32,6 +32,30 @@
 // dataset names are uniformly 404/api.CodeUnknownDataset on every
 // path, single-query and batch alike.
 //
+// # Mutations
+//
+// With Config.Store set, datasets are durable live objects backed by
+// pnn/store (write-ahead log + snapshots) and the admin endpoints
+// accept online mutations:
+//
+//	PUT    /v1/datasets/{name}             create (idempotent)
+//	DELETE /v1/datasets/{name}             drop
+//	POST   /v1/datasets/{name}/points      insert (stable ids returned)
+//	DELETE /v1/datasets/{name}/points/{id} delete one point
+//	POST   /v1/datasets/{name}/snapshot    compact the store
+//
+// All of them require "Authorization: Bearer <Config.AdminToken>";
+// with no token configured they are disabled, and with no store they
+// answer 409 api.CodeReadOnly. A mutation is acknowledged only after
+// its WAL record is fsynced. Each write bumps the dataset's monotone
+// version, which keys the result cache (a stale cached answer is
+// structurally unreachable after a write) and retires the dataset's
+// engine generation: old batchers drain gracefully while queued
+// queries retry against engines rebuilt over the new point set.
+// Queries against a created-but-empty dataset answer 409
+// api.CodeEmptyDataset.
+//
 // The sub-package pnn/server/shard layers a stateless scatter-gather
-// routing tier over multiple replicated instances of this server.
+// routing tier over multiple replicated instances of this server; it
+// forwards mutations to each dataset's rendezvous owner.
 package server

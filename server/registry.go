@@ -62,16 +62,27 @@ func (k IndexKey) Options() ([]pnn.Option, error) {
 }
 
 // Dataset is one named uncertain-point set plus its lazily built
-// engines, one per IndexKey.
+// engines, one per IndexKey. Mutable datasets (store-backed) swap their
+// set and bump their version atomically; the engines of the old version
+// are retired and rebuilt lazily against the new set.
 type Dataset struct {
 	// Name is the registry key clients address the dataset by.
 	Name string
 	// Kind is "disks", "discrete", or "squares".
 	Kind string
-	// Set is the underlying uncertain-point set (read-only once served).
-	Set pnn.UncertainSet
 
-	mu      sync.Mutex
+	// durable marks a store-backed dataset: only these accept
+	// mutations (static datasets are fixed at startup).
+	durable bool
+
+	mu sync.Mutex
+	// set is the currently served point set; nil when the dataset is
+	// empty (created but no points yet).
+	set pnn.UncertainSet
+	// version is the dataset's monotone mutation version. It keys the
+	// result cache, so entries cached against an older version can
+	// never be served after a write.
+	version uint64
 	entries map[IndexKey]*indexEntry
 }
 
@@ -84,11 +95,75 @@ type indexEntry struct {
 	batcher *Batcher
 }
 
-// Indexes returns the number of engines built (or building) so far.
+// Snapshot returns the dataset's current point set and version under
+// one lock acquisition: the pair is consistent, which is what lets
+// callers key caches by version. The set is nil when the dataset is
+// empty.
+func (d *Dataset) Snapshot() (pnn.UncertainSet, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.set, d.version
+}
+
+// Set returns the current point set (nil when empty).
+func (d *Dataset) Set() pnn.UncertainSet {
+	set, _ := d.Snapshot()
+	return set
+}
+
+// Version returns the dataset's monotone mutation version.
+func (d *Dataset) Version() uint64 {
+	_, v := d.Snapshot()
+	return v
+}
+
+// Len returns the current point count (0 when empty).
+func (d *Dataset) Len() int {
+	set, _ := d.Snapshot()
+	if set == nil {
+		return 0
+	}
+	return set.Len()
+}
+
+// Durable reports whether the dataset is store-backed (mutable).
+func (d *Dataset) Durable() bool { return d.durable }
+
+// Indexes returns the number of engines built (or building) for the
+// current version.
 func (d *Dataset) Indexes() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.entries)
+}
+
+// update swaps in a new set under a newer version and retires the old
+// version's engines: their batchers are closed in the background
+// (pending coalesced requests flush, then further submits fail and the
+// callers retry against the new engines). Stale updates (version not
+// newer) are ignored, so concurrent refreshes can land in any order.
+func (d *Dataset) update(set pnn.UncertainSet, version uint64) {
+	d.mu.Lock()
+	if version <= d.version {
+		d.mu.Unlock()
+		return
+	}
+	old := d.entries
+	d.set = set
+	d.version = version
+	d.entries = make(map[IndexKey]*indexEntry)
+	d.mu.Unlock()
+	go closeEntries(old)
+}
+
+// closeEntries gracefully closes every built batcher of a retired
+// engine generation, flushing pending requests.
+func closeEntries(entries map[IndexKey]*indexEntry) {
+	for _, e := range entries {
+		if e.batcher != nil {
+			e.batcher.Close()
+		}
+	}
 }
 
 // ErrTooManyEngines rejects a request that would build yet another
@@ -98,13 +173,25 @@ func (d *Dataset) Indexes() int {
 // bound.
 var ErrTooManyEngines = errors.New("server: too many engine configurations for dataset")
 
-// entry returns the dataset's engine for key, creating the slot on
-// first use (up to maxEngines slots; maxEngines ≤ 0 means unlimited).
-// build is invoked at most once per key, outside the dataset lock
-// (index construction can be slow); a panic inside build is captured
-// into the entry's error rather than poisoning the slot.
-func (d *Dataset) entry(key IndexKey, maxEngines int, build func(*indexEntry)) (*indexEntry, error) {
+// errStaleVersion reports that the dataset was mutated between the
+// caller's snapshot and its engine lookup; the caller re-reads and
+// retries.
+var errStaleVersion = errors.New("server: dataset version changed")
+
+// entry returns the dataset's engine for key at the given version,
+// creating the slot on first use (up to maxEngines slots; maxEngines
+// ≤ 0 means unlimited). It fails with errStaleVersion when the dataset
+// has moved past version — the caller's set snapshot no longer matches
+// the entries generation. build is invoked at most once per key,
+// outside the dataset lock (index construction can be slow); a panic
+// inside build is captured into the entry's error rather than
+// poisoning the slot.
+func (d *Dataset) entry(key IndexKey, version uint64, maxEngines int, build func(*indexEntry)) (*indexEntry, error) {
 	d.mu.Lock()
+	if d.version != version {
+		d.mu.Unlock()
+		return nil, errStaleVersion
+	}
 	e, ok := d.entries[key]
 	if !ok {
 		if maxEngines > 0 && len(d.entries) >= maxEngines {
@@ -138,25 +225,21 @@ func (d *Dataset) entry(key IndexKey, maxEngines int, build func(*indexEntry)) (
 	return e, nil
 }
 
-// closeBatchers gracefully closes every built batcher, flushing pending
-// requests.
+// closeBatchers gracefully closes every built batcher of the current
+// generation, flushing pending requests.
 func (d *Dataset) closeBatchers() {
 	d.mu.Lock()
-	entries := make([]*indexEntry, 0, len(d.entries))
-	for _, e := range d.entries {
-		entries = append(entries, e)
-	}
+	entries := d.entries
+	d.entries = make(map[IndexKey]*indexEntry)
 	d.mu.Unlock()
-	for _, e := range entries {
-		if e.batcher != nil {
-			e.batcher.Close()
-		}
-	}
+	closeEntries(entries)
 }
 
-// Registry is the server's set of named datasets. It is populated
-// before serving and read-only afterwards, so lookups need no lock.
+// Registry is the server's set of named datasets. It is safe for
+// concurrent use: datasets can be added, mutated, and removed while
+// queries are in flight.
 type Registry struct {
+	mu       sync.RWMutex
 	datasets map[string]*Dataset
 }
 
@@ -165,8 +248,9 @@ func NewRegistry() *Registry {
 	return &Registry{datasets: make(map[string]*Dataset)}
 }
 
-// Add registers a dataset under name. It rejects duplicate names and
-// infers Kind from the set's concrete type.
+// Add registers a static (read-only) dataset under name at version 1.
+// It rejects duplicate names and infers Kind from the set's concrete
+// type.
 func (r *Registry) Add(name string, set pnn.UncertainSet) error {
 	if name == "" {
 		return fmt.Errorf("empty dataset name")
@@ -174,30 +258,89 @@ func (r *Registry) Add(name string, set pnn.UncertainSet) error {
 	if set == nil || set.Len() == 0 {
 		return fmt.Errorf("dataset %q is empty", name)
 	}
-	if _, dup := r.datasets[name]; dup {
-		return fmt.Errorf("duplicate dataset %q", name)
-	}
-	r.datasets[name] = &Dataset{
-		Name:    name,
-		Kind:    kindOf(set),
-		Set:     set,
+	return r.add(&Dataset{
+		Name: name, Kind: kindOf(set),
+		set: set, version: 1,
 		entries: make(map[IndexKey]*indexEntry),
+	})
+}
+
+// AddDurable registers a store-backed (mutable) dataset with an
+// explicit kind and version; set may be nil for an empty dataset.
+func (r *Registry) AddDurable(name, kind string, set pnn.UncertainSet, version uint64) error {
+	if name == "" {
+		return fmt.Errorf("empty dataset name")
 	}
+	return r.add(&Dataset{
+		Name: name, Kind: kind, durable: true,
+		set: set, version: version,
+		entries: make(map[IndexKey]*indexEntry),
+	})
+}
+
+func (r *Registry) add(d *Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.datasets[d.Name]; dup {
+		return fmt.Errorf("duplicate dataset %q", d.Name)
+	}
+	r.datasets[d.Name] = d
 	return nil
 }
 
+// Upsert registers a durable dataset or, when it already exists, swaps
+// in the new set at the new version (stale versions are ignored).
+func (r *Registry) Upsert(name, kind string, set pnn.UncertainSet, version uint64) {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	if !ok {
+		r.datasets[name] = &Dataset{
+			Name: name, Kind: kind, durable: true,
+			set: set, version: version,
+			entries: make(map[IndexKey]*indexEntry),
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	d.update(set, version)
+}
+
+// Remove unregisters a dataset and closes its batchers (pending
+// requests flush first). It reports whether the name was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	d, ok := r.datasets[name]
+	delete(r.datasets, name)
+	r.mu.Unlock()
+	if ok {
+		d.closeBatchers()
+	}
+	return ok
+}
+
 // Get returns the named dataset, or nil.
-func (r *Registry) Get(name string) *Dataset { return r.datasets[name] }
+func (r *Registry) Get(name string) *Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.datasets[name]
+}
 
 // Len returns the number of datasets.
-func (r *Registry) Len() int { return len(r.datasets) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.datasets)
+}
 
-// Names returns the dataset names in sorted order.
+// Names returns a copy of the dataset names in sorted order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
 	names := make([]string, 0, len(r.datasets))
 	for name := range r.datasets {
 		names = append(names, name)
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pnn"
+)
+
+// TestRegistryConcurrentMutations hammers Add/AddDurable/Upsert/Remove/
+// Get/Names/Snapshot from many goroutines — run under -race (the CI
+// race job covers ./server/...). Before the registry grew its RWMutex,
+// Add was startup-only and any in-flight Get raced the first mutation.
+func TestRegistryConcurrentMutations(t *testing.T) {
+	set, err := pnn.NewDiscreteSet([]pnn.DiscretePoint{
+		{Locations: []pnn.Point{pnn.Pt(1, 2)}},
+		{Locations: []pnn.Point{pnn.Pt(3, 4)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	const names = 8
+	name := func(i int) string { return fmt.Sprintf("ds%d", i%names) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // writers: add/upsert/remove the same few names
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					_ = reg.Add(name(i+g), set) // duplicate errors expected
+				case 1:
+					reg.Upsert(name(i+g), "discrete", set, uint64(i+2))
+				default:
+					reg.Remove(name(i + g))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // readers: Get/Names/Snapshot/Len concurrently
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if d := reg.Get(name(i + g)); d != nil {
+					s, v := d.Snapshot()
+					if s != nil && s.Len() != 2 {
+						t.Errorf("torn snapshot: len %d", s.Len())
+					}
+					_ = v
+					_ = d.Len()
+					_ = d.Indexes()
+				}
+				if i%50 == 0 {
+					ns := reg.Names()
+					for j := 1; j < len(ns); j++ {
+						if ns[j-1] >= ns[j] {
+							t.Errorf("Names() unsorted: %v", ns)
+						}
+					}
+					_ = reg.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Upserts must stay monotone: a stale version never overwrites a
+	// newer one.
+	reg2 := NewRegistry()
+	reg2.Upsert("m", "discrete", set, 5)
+	reg2.Upsert("m", "discrete", nil, 3) // stale: ignored
+	if d := reg2.Get("m"); d.Version() != 5 || d.Set() == nil {
+		t.Fatalf("stale upsert applied: version %d set %v", d.Version(), d.Set())
+	}
+	reg2.Upsert("m", "discrete", nil, 7)
+	if d := reg2.Get("m"); d.Version() != 7 || d.Set() != nil {
+		t.Fatalf("fresh upsert ignored: version %d", d.Version())
+	}
+}

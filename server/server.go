@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pnn"
 	"pnn/api"
+	"pnn/store"
 )
 
 // Config tunes the serving behavior. The zero value is usable:
@@ -41,6 +43,17 @@ type Config struct {
 	// query loop over fresh seeds. Requests beyond the cap fail with
 	// 429; 0 means the default (32), < 0 removes the cap.
 	MaxEnginesPerDataset int
+	// Store, when non-nil, makes the server's datasets durable and
+	// mutable: the mutation endpoints (PUT/DELETE /v1/datasets/{name},
+	// POST .../points, DELETE .../points/{id}, POST .../snapshot) write
+	// through it, and its datasets are loaded into the registry at New.
+	// Without a store the mutation endpoints answer 409 read_only.
+	Store *store.Store
+	// AdminToken guards the mutation endpoints: requests must carry
+	// "Authorization: Bearer <AdminToken>". Empty means the mutation
+	// endpoints are disabled (403) even with a store — the admin
+	// surface is authenticated by design, never open by omission.
+	AdminToken string
 }
 
 // DefaultConfig returns the documented defaults.
@@ -95,10 +108,18 @@ type Server struct {
 	cache   *resultCache
 	metrics *Metrics
 	handler http.Handler
+	// closed distinguishes a batcher drained by Close (late queries
+	// must fail) from one drained by an engine swap (the query retries
+	// against the new generation).
+	closed atomic.Bool
 }
 
-// New builds a server over reg. The registry must be fully populated:
-// it is treated as read-only from here on.
+// New builds a server over reg. Static datasets must be registered
+// before New; when cfg.Store is set its datasets are loaded into reg
+// here and stay mutable through the admin endpoints (an error loading
+// one is returned from the first query instead — New itself never
+// fails, so a server can come up and report /healthz while an operator
+// investigates).
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -106,6 +127,15 @@ func New(reg *Registry, cfg Config) *Server {
 		reg:     reg,
 		cache:   newResultCache(cfg.CacheSize),
 		metrics: newMetrics(),
+	}
+	if cfg.Store != nil {
+		for _, info := range cfg.Store.Infos() {
+			set, version, err := cfg.Store.Set(info.Name)
+			if err != nil {
+				continue // surfaces as empty_dataset / unknown until fixed
+			}
+			reg.Upsert(info.Name, info.Kind, set, version)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -119,6 +149,11 @@ func New(reg *Registry, cfg Config) *Server {
 		mux.HandleFunc(api.QueryPath(name), s.handleQuery(op))
 	}
 	mux.HandleFunc(api.BatchPath, s.handleBatch)
+	mux.HandleFunc("PUT /v1/datasets/{name}", s.admin(s.handleCreateDataset))
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.admin(s.handleDropDataset))
+	mux.HandleFunc("POST /v1/datasets/{name}/points", s.admin(s.handleInsertPoints))
+	mux.HandleFunc("DELETE /v1/datasets/{name}/points/{id}", s.admin(s.handleDeletePoint))
+	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.admin(s.handleSnapshot))
 	s.handler = http.Handler(mux)
 	if cfg.RequestTimeout > 0 {
 		// TimeoutHandler also puts the deadline on the request context,
@@ -148,10 +183,14 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close gracefully closes every batcher: pending coalesced requests
 // are answered, then further queries fail. Call after the HTTP
-// listener has stopped accepting.
+// listener has stopped accepting. The store, if any, stays open (its
+// owner closes it).
 func (s *Server) Close() {
+	s.closed.Store(true)
 	for _, name := range s.reg.Names() {
-		s.reg.Get(name).closeBatchers()
+		if d := s.reg.Get(name); d != nil {
+			d.closeBatchers()
+		}
 	}
 }
 
@@ -172,11 +211,22 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%s requires GET", r.URL.Path))
 		return
 	}
+	// The listing is ordering-stable (sorted by name) and carries each
+	// dataset's monotone version, so clients and routers can detect
+	// staleness from two consecutive listings alone.
 	infos := make([]api.DatasetInfo, 0, s.reg.Len())
 	for _, name := range s.reg.Names() {
 		d := s.reg.Get(name)
+		if d == nil {
+			continue // removed between Names and Get
+		}
+		set, version := d.Snapshot()
+		n := 0
+		if set != nil {
+			n = set.Len()
+		}
 		infos = append(infos, api.DatasetInfo{
-			Name: d.Name, Kind: d.Kind, N: d.Set.Len(), Indexes: d.Indexes(),
+			Name: d.Name, Kind: d.Kind, N: n, Version: version, Indexes: d.Indexes(),
 		})
 	}
 	s.writeJSON(w, http.StatusOK, infos, "")
@@ -221,68 +271,104 @@ type queryError struct {
 // shared core of the single-query handlers and the /v1/batch items, so
 // both return byte-identical bodies and identical error codes. The
 // returned body has no trailing newline (writeRaw appends one).
+//
+// Mutations race with queries by design: the cache key carries the
+// dataset version read together with the set snapshot, so a stale
+// cache line can never answer a post-write query, and a query that
+// loses its engine generation mid-flight (errStaleVersion from the
+// lookup, or ErrBatcherClosed from a batcher drained by the swap)
+// retries against the new generation.
 func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, cacheStatus string, qerr *queryError) {
-	ds := s.reg.Get(p.dataset)
-	if ds == nil {
-		return nil, "", &queryError{http.StatusNotFound, api.CodeUnknownDataset,
-			fmt.Errorf("unknown dataset %q", p.dataset)}
-	}
-	cacheKey := p.cacheKey(op)
-	if body, ok := s.cache.Get(cacheKey); ok {
-		s.metrics.cacheHits.Add(1)
-		return body, "hit", nil
-	}
-	s.metrics.cacheMisses.Add(1)
-	entry, err := ds.entry(p.key, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
-		opts, optErr := p.key.Options()
-		if optErr != nil {
-			e.err = optErr
-			return
+	const maxSwapRetries = 4
+	var lastErr error
+	for attempt := 0; attempt < maxSwapRetries; attempt++ {
+		ds := s.reg.Get(p.dataset)
+		if ds == nil {
+			return nil, "", &queryError{http.StatusNotFound, api.CodeUnknownDataset,
+				fmt.Errorf("unknown dataset %q", p.dataset)}
 		}
-		s.metrics.indexBuilds.Add(1)
-		e.idx, e.err = pnn.New(ds.Set, opts...)
-		if e.err == nil {
-			e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
-				s.cfg.BatchWorkers, s.metrics.flush)
+		set, version := ds.Snapshot()
+		if set == nil {
+			return nil, "", &queryError{http.StatusConflict, api.CodeEmptyDataset,
+				fmt.Errorf("dataset %q has no points yet", p.dataset)}
 		}
-	})
-	if err != nil {
-		if errors.Is(err, ErrTooManyEngines) {
-			return nil, "", &queryError{http.StatusTooManyRequests, api.CodeTooManyEngines, err}
+		cacheKey := p.cacheKey(op, version)
+		if body, ok := s.cache.Get(cacheKey); ok {
+			s.metrics.cacheHits.Add(1)
+			return body, "hit", nil
 		}
-		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
-	}
-	if entry.err != nil {
-		if errors.Is(entry.err, pnn.ErrUnsupported) {
-			return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, entry.err}
+		s.metrics.cacheMisses.Add(1)
+		if s.closed.Load() {
+			// The cache may outlive Close and keep answering hits, but
+			// no new engine is ever built for a closed server.
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, ErrBatcherClosed}
 		}
-		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, entry.err}
-	}
-	res, err := entry.batcher.Submit(ctx, p.request(op))
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			return nil, "", &queryError{http.StatusGatewayTimeout, api.CodeTimeout, err}
-		case errors.Is(err, context.Canceled):
-			// The client went away mid-request; 499 (nginx's "client
-			// closed request") keeps these out of server-timeout
-			// dashboards. Nobody reads the response body.
-			return nil, "", &queryError{499, api.CodeCanceled, err}
+		entry, err := ds.entry(p.key, version, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
+			opts, optErr := p.key.Options()
+			if optErr != nil {
+				e.err = optErr
+				return
+			}
+			s.metrics.indexBuilds.Add(1)
+			e.idx, e.err = pnn.New(set, opts...)
+			if e.err == nil {
+				e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
+					s.cfg.BatchWorkers, s.metrics.flush)
+			}
+		})
+		if err != nil {
+			if errors.Is(err, errStaleVersion) {
+				lastErr = err
+				continue
+			}
+			if errors.Is(err, ErrTooManyEngines) {
+				return nil, "", &queryError{http.StatusTooManyRequests, api.CodeTooManyEngines, err}
+			}
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
 		}
-		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
-	}
-	if res.Err != nil {
-		if errors.Is(res.Err, pnn.ErrUnsupported) {
-			return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, res.Err}
+		if entry.err != nil {
+			if errors.Is(entry.err, pnn.ErrUnsupported) {
+				return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, entry.err}
+			}
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, entry.err}
 		}
-		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
+		res, err := entry.batcher.Submit(ctx, p.request(op))
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBatcherClosed):
+				if s.closed.Load() {
+					// Close drained the batchers for good; don't rebuild.
+					return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+				}
+				// The engine generation was swapped out by a mutation
+				// while we queued; retry against the new one.
+				lastErr = err
+				continue
+			case errors.Is(err, context.DeadlineExceeded):
+				return nil, "", &queryError{http.StatusGatewayTimeout, api.CodeTimeout, err}
+			case errors.Is(err, context.Canceled):
+				// The client went away mid-request; 499 (nginx's "client
+				// closed request") keeps these out of server-timeout
+				// dashboards. Nobody reads the response body.
+				return nil, "", &queryError{499, api.CodeCanceled, err}
+			}
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+		}
+		if res.Err != nil {
+			if errors.Is(res.Err, pnn.ErrUnsupported) {
+				return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, res.Err}
+			}
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
+		}
+		body, err = json.Marshal(p.response(op, ds, entry.idx, res))
+		if err != nil {
+			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
+		}
+		s.cache.Put(cacheKey, body)
+		return body, "miss", nil
 	}
-	body, err = json.Marshal(p.response(op, ds, entry.idx, res))
-	if err != nil {
-		return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
-	}
-	s.cache.Put(cacheKey, body)
-	return body, "miss", nil
+	return nil, "", &queryError{http.StatusServiceUnavailable, api.CodeInternal,
+		fmt.Errorf("dataset %q is being mutated too rapidly: %w", p.dataset, lastErr)}
 }
 
 // params is one parsed query request.
@@ -434,11 +520,14 @@ func intParam(s, name string, def int) (int, error) {
 	return v, nil
 }
 
-// cacheKey identifies the request exactly: dataset, engine, method, and
-// the query point down to the float bit pattern.
-func (p params) cacheKey(op pnn.Op) string {
-	return fmt.Sprintf("%s|%s|%s|k=%d|tau=%x|%x,%x",
-		op, p.dataset, p.key, p.k, math.Float64bits(p.tau),
+// cacheKey identifies the request exactly: dataset and its mutation
+// version, engine, method, and the query point down to the float bit
+// pattern. The version makes cache invalidation structural — a write
+// bumps it, so entries cached against the old state simply can no
+// longer be addressed.
+func (p params) cacheKey(op pnn.Op, version uint64) string {
+	return fmt.Sprintf("%s|%s@%d|%s|k=%d|tau=%x|%x,%x",
+		op, p.dataset, version, p.key, p.k, math.Float64bits(p.tau),
 		math.Float64bits(p.x), math.Float64bits(p.y))
 }
 
@@ -452,7 +541,7 @@ func (p params) response(op pnn.Op, ds *Dataset, idx *pnn.Index, res pnn.OpResul
 	qp := api.Point{X: p.x, Y: p.y}
 	switch op {
 	case pnn.OpNonzero:
-		return api.Nonzero{Dataset: ds.Name, Query: qp, N: ds.Set.Len(),
+		return api.Nonzero{Dataset: ds.Name, Query: qp, N: idx.Len(),
 			Indices: emptyIfNilInts(res.Nonzero)}
 	case pnn.OpProbabilities:
 		return api.Probabilities{Dataset: ds.Name, Query: qp, Eps: idx.Eps(),

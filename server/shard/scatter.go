@@ -105,7 +105,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 		return
 	}
 	rt.metrics.subBatches.Add(1)
-	res, retryable, err := rt.attempt(ctx, owner, http.MethodPost, api.BatchPath, body)
+	res, retryable, err := rt.attempt(ctx, owner, http.MethodPost, api.BatchPath, body, "")
 	if err != nil {
 		if retryable && attempt < 2 && ctx.Err() == nil {
 			rt.metrics.failovers.Add(1)
@@ -143,6 +143,16 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 	}
 	for j, i := range group {
 		results[i] = bresp.Results[j]
+		if len(exclude) > 0 && results[i].Error != nil && results[i].Error.Code == api.CodeUnknownDataset {
+			// A failover replica's unknown_dataset is not authoritative:
+			// with durable stores the dataset may live only on the
+			// excluded owner. Report the replica outage, not a hard
+			// "does not exist" (mirrors handleQuery's single-query rule).
+			results[i] = api.BatchResult{Error: &api.Error{
+				Error: fmt.Sprintf("dataset %q unknown to the failover replica and its owner is unavailable", items[i].Dataset),
+				Code:  api.CodeNoBackend,
+			}}
+		}
 	}
 }
 

@@ -5,9 +5,15 @@
 // weight) hashing over a static backend list: every router instance
 // computes the same per-dataset preference order with no coordination,
 // and removing one backend only moves the datasets that backend owned.
-// Because backends are replicas (each hosts every dataset), the hash
+// When backends are replicas (each hosts every dataset), the hash
 // order doubles as the failover order — a request that fails on the
-// owning backend is retried exactly once on the next replica.
+// owning backend is retried exactly once on the next replica. With
+// durable stores (pnnserve -store), datasets created through the
+// router live only on their rendezvous owner: mutations are forwarded
+// there (never retried elsewhere — stores are independent), reads
+// prefer the same owner (read-your-writes), a failover replica's 404
+// is answered as 503 no_backend rather than taken as authoritative,
+// and GET /v1/datasets merges every healthy backend's listing.
 //
 // The router proxies the pnn/api wire types unchanged, so pnn/client
 // works against a router exactly as against a single pnnserve. Single
@@ -132,6 +138,11 @@ func New(cfg Config) (*Router, error) {
 		mux.HandleFunc(api.QueryPath(op), rt.handleQuery)
 	}
 	mux.HandleFunc(api.BatchPath, rt.handleBatch)
+	mux.HandleFunc("PUT /v1/datasets/{name}", rt.handleWrite)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", rt.handleWrite)
+	mux.HandleFunc("POST /v1/datasets/{name}/points", rt.handleWrite)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/points/{id}", rt.handleWrite)
+	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", rt.handleWrite)
 	rt.handler = mux
 
 	if cfg.ProbeInterval > 0 {
@@ -251,8 +262,9 @@ type attemptResult struct {
 // whether a failure may be retried on the next replica: transport
 // errors and 5xx statuses are retryable (the replica is unhealthy),
 // 4xx are not (the request itself is at fault and every replica would
-// answer the same).
-func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery string, body []byte) (res attemptResult, retryable bool, err error) {
+// answer the same). auth, when non-empty, is forwarded as the
+// Authorization header (the router never holds tokens of its own).
+func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery string, body []byte, auth string) (res attemptResult, retryable bool, err error) {
 	caller := ctx // distinguishes a client abandoning us from a backend timing out
 	if rt.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -269,6 +281,9 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
 	}
 	start := time.Now()
 	b.requests.Add(1)
@@ -312,8 +327,9 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery 
 
 // proxyOrdered tries the request on each backend of prefs in turn —
 // at most two attempts (owner plus one failover) — and returns the
-// first verbatim answer.
-func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pathAndQuery string, body []byte) (attemptResult, *backend, error) {
+// first verbatim answer plus the attempt index it came from (0 = the
+// preferred backend, usually the dataset's owner).
+func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pathAndQuery string, body []byte) (attemptResult, *backend, int, error) {
 	const maxAttempts = 2
 	var lastErr error
 	for i, b := range prefs {
@@ -323,9 +339,9 @@ func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pa
 		if i > 0 {
 			rt.metrics.failovers.Add(1)
 		}
-		res, retryable, err := rt.attempt(ctx, b, method, pathAndQuery, body)
+		res, retryable, err := rt.attempt(ctx, b, method, pathAndQuery, body, "")
 		if err == nil {
-			return res, b, nil
+			return res, b, i, nil
 		}
 		lastErr = err
 		if !retryable || ctx.Err() != nil {
@@ -335,7 +351,7 @@ func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pa
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no healthy backend")
 	}
-	return attemptResult{}, nil, lastErr
+	return attemptResult{}, nil, 0, lastErr
 }
 
 // handleQuery routes one single-query endpoint: rendezvous-order the
@@ -359,16 +375,77 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		pathAndQuery += "?" + r.URL.RawQuery
 	}
-	res, b, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
+	res, b, attempt, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
 	if err != nil {
 		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		return
+	}
+	if attempt > 0 && isUnknownDataset(res) {
+		// A failover replica's 404 is not authoritative: with durable
+		// stores a dataset may live only on its (currently failing)
+		// owner, so claiming unknown_dataset here would turn a replica
+		// outage into a hard "does not exist". Answer 503 and let the
+		// client retry once the owner is back.
+		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+			fmt.Errorf("dataset %q unknown to the failover replica and its owner is unavailable", dataset))
 		return
 	}
 	rt.writeProxied(w, res, b)
 }
 
-// handleDatasets forwards the dataset listing to the first healthy
-// backend (all replicas host the same datasets).
+// isUnknownDataset reports whether a proxied answer is a 404 carrying
+// the unknown_dataset code.
+func isUnknownDataset(res attemptResult) bool {
+	if res.status != http.StatusNotFound {
+		return false
+	}
+	var e api.Error
+	return json.Unmarshal(res.body, &e) == nil && e.Code == api.CodeUnknownDataset
+}
+
+// handleWrite forwards one mutation to the dataset's rendezvous owner
+// — the same replica the dataset's reads prefer, so a client that
+// writes through the router reads its own writes on the very next
+// query. Writes are never retried on another replica: replicas own
+// independent stores, so re-applying a non-idempotent insert elsewhere
+// would diverge the fleet; a failed owner answers 502 and the client
+// decides. The Authorization header is forwarded verbatim (the
+// backends, not the router, hold the admin token).
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	dataset := r.PathValue("name")
+	prefs := rt.prefsFor(rt.order(dataset))
+	if len(prefs) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+			fmt.Errorf("no healthy backend for dataset %q", dataset))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("reading mutation body: %w", err))
+		return
+	}
+	if len(body) == 0 {
+		body = nil
+	}
+	owner := prefs[0]
+	res, _, err := rt.attempt(r.Context(), owner, r.Method, r.URL.Path, body, r.Header.Get("Authorization"))
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		return
+	}
+	rt.writeProxied(w, res, owner)
+}
+
+// handleDatasets merges the dataset listings of every healthy backend.
+// A single replica's view is no longer complete: with durable stores a
+// dataset lives only on its rendezvous owner, so the routed listing
+// fans out and merges by name — replicated datasets (same name on
+// every backend) collapse to the entry with the highest version, and
+// single-owner datasets appear exactly once. The merged listing stays
+// name-sorted and carries the per-dataset versions, preserving the
+// staleness-detection contract of the single-node endpoint.
 func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	rt.metrics.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -383,12 +460,54 @@ func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("no healthy backend"))
 		return
 	}
-	res, b, err := rt.proxyOrdered(r.Context(), prefs, r.Method, "/v1/datasets", nil)
-	if err != nil {
-		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+	type reply struct {
+		infos []api.DatasetInfo
+		err   error
+	}
+	replies := make([]reply, len(prefs))
+	var wg sync.WaitGroup
+	for i, b := range prefs {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			res, _, err := rt.attempt(r.Context(), b, http.MethodGet, "/v1/datasets", nil, "")
+			if err != nil {
+				replies[i].err = err
+				return
+			}
+			if res.status != http.StatusOK {
+				replies[i].err = fmt.Errorf("backend %s: status %d", b.base, res.status)
+				return
+			}
+			replies[i].err = json.Unmarshal(res.body, &replies[i].infos)
+		}(i, b)
+	}
+	wg.Wait()
+	merged := make(map[string]api.DatasetInfo)
+	answered := false
+	var lastErr error
+	for _, rep := range replies {
+		if rep.err != nil {
+			lastErr = rep.err
+			continue
+		}
+		answered = true
+		for _, in := range rep.infos {
+			if cur, ok := merged[in.Name]; !ok || in.Version > cur.Version {
+				merged[in.Name] = in
+			}
+		}
+	}
+	if !answered {
+		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, lastErr)
 		return
 	}
-	rt.writeProxied(w, res, b)
+	out := make([]api.DatasetInfo, 0, len(merged))
+	for _, in := range merged {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	rt.writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealth reports the router's own health: "ok" when every

@@ -565,7 +565,7 @@ func TestClientCancelDoesNotMarkDown(t *testing.T) {
 	rt := newRouter(t, Config{Backends: []string{block.URL}, ProbeInterval: -1})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, _, err := rt.attempt(ctx, rt.backends[0], http.MethodGet, "/v1/datasets", nil); err == nil {
+	if _, _, err := rt.attempt(ctx, rt.backends[0], http.MethodGet, "/v1/datasets", nil, ""); err == nil {
 		t.Fatal("attempt against a blocking backend with a canceled caller succeeded, want error")
 	}
 	if !rt.backends[0].up.Load() {
@@ -578,7 +578,7 @@ func TestClientCancelDoesNotMarkDown(t *testing.T) {
 	// A genuine transport failure — connection refused while the caller
 	// is still waiting — must keep marking down immediately.
 	dead := newRouter(t, Config{Backends: []string{"http://127.0.0.1:1"}, ProbeInterval: -1})
-	if _, _, err := dead.attempt(context.Background(), dead.backends[0], http.MethodGet, "/v1/datasets", nil); err == nil {
+	if _, _, err := dead.attempt(context.Background(), dead.backends[0], http.MethodGet, "/v1/datasets", nil, ""); err == nil {
 		t.Fatal("attempt against a dead backend succeeded, want error")
 	}
 	if dead.backends[0].up.Load() {

@@ -1,0 +1,59 @@
+// Package store is the durable dataset-lifecycle subsystem: named
+// uncertain-point datasets that survive process death, mutated through
+// an append-only write-ahead log and compacted into binary snapshots.
+//
+// # Layout
+//
+// A store is one directory:
+//
+//	dir/
+//	  wal.log       append-only log of dataset ops
+//	  snapshot.bin  last compacted state (absent until the first Compact)
+//
+// # Durability contract
+//
+// Every mutation (CreateDataset, DropDataset, InsertPoints,
+// DeletePoint) is acknowledged only after its WAL record has been
+// fsynced: an op whose call returned survives any subsequent crash,
+// kill -9 included. Concurrent mutations share fsyncs (group commit) —
+// the first committer syncs everything written so far and later
+// committers piggyback, so a write-heavy burst pays far fewer than one
+// fsync per op.
+//
+// Mutations become visible to readers when applied in memory, which
+// happens before the fsync returns; a reader can therefore observe an
+// op that a crash then loses. What is never lost is an acknowledged
+// op, and recovery never invents state: after a crash, Open recovers
+// exactly the longest durable prefix of the op sequence.
+//
+// # Ordering contract
+//
+// Ops are totally ordered by a store-wide monotone sequence number,
+// assigned under the store lock together with the in-memory apply and
+// the WAL write — so WAL order, apply order, and sequence order always
+// agree. A dataset's Version is the sequence number of the last op
+// that touched it: versions are monotone per dataset, change on every
+// mutation, and never repeat across datasets' lifetimes (a dropped and
+// recreated dataset resumes at a higher version), which is what lets
+// serving layers key caches by (dataset, version).
+//
+// # Recovery
+//
+// Open loads snapshot.bin (if present), then replays the WAL tail:
+// records whose sequence number the snapshot already covers are
+// skipped, the rest are re-applied in order. Each WAL record is framed
+// with a length and a CRC-32C; replay stops at the first frame that is
+// short, oversized, or fails its checksum — a torn tail from a crash
+// mid-write — and truncates the log there, recovering exactly the ops
+// that were fully written. A snapshot that fails its own checksum (or
+// magic) is a hard error: the store refuses to open rather than serve
+// silently corrupted state.
+//
+// # Compaction
+//
+// Compact folds the full state into a fresh snapshot — written to a
+// temporary file, fsynced, atomically renamed over snapshot.bin, with
+// the directory fsynced — and then truncates the WAL. A crash between
+// the rename and the truncate is safe: the stale WAL records are
+// skipped by sequence number on the next Open.
+package store

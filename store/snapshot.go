@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// snapshotMagic opens every snapshot file; a mismatch means the file
+// is not (or no longer) a pnn store snapshot.
+var snapshotMagic = [8]byte{'P', 'N', 'N', 'S', 'T', 'O', 'R', '1'}
+
+// ErrSnapshotCorrupt reports a snapshot that failed its magic, header,
+// or checksum — the store refuses to open rather than serve garbage.
+var ErrSnapshotCorrupt = errors.New("store: snapshot corrupt")
+
+// snapshotDoc is the gob payload: the full store state as of LastSeq.
+type snapshotDoc struct {
+	LastSeq  uint64
+	Datasets []snapshotDataset
+}
+
+type snapshotDataset struct {
+	Name    string
+	Kind    string
+	NextID  uint64
+	Version uint64
+	Points  []storedPoint
+}
+
+// writeSnapshot persists doc atomically: temp file, fsync, rename,
+// directory fsync. A crash at any point leaves either the old snapshot
+// or the new one, never a torn file under the final name.
+func writeSnapshot(dir string, doc snapshotDoc) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(doc); err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload.Bytes(), castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, snapshotFile)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and verifies the snapshot; ok = false (with nil
+// error) when none exists.
+func readSnapshot(dir string) (doc snapshotDoc, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return doc, false, nil
+	}
+	if err != nil {
+		return doc, false, err
+	}
+	if len(raw) < len(snapshotMagic)+12 || !bytes.Equal(raw[:8], snapshotMagic[:]) {
+		return doc, false, fmt.Errorf("%w: bad magic or truncated header", ErrSnapshotCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	want := binary.LittleEndian.Uint32(raw[16:20])
+	payload := raw[20:]
+	if uint64(len(payload)) != n {
+		return doc, false, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrSnapshotCorrupt, len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return doc, false, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&doc); err != nil {
+		return doc, false, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return doc, true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"pnn"
+)
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.bin"
+)
+
+// Sentinel errors of the mutation surface; serving layers map them to
+// stable API codes.
+var (
+	// ErrExists reports a CreateDataset of a name already present.
+	ErrExists = errors.New("store: dataset already exists")
+	// ErrUnknownDataset reports an op against an absent dataset.
+	ErrUnknownDataset = errors.New("store: unknown dataset")
+	// ErrUnknownPoint reports a DeletePoint of an absent point id.
+	ErrUnknownPoint = errors.New("store: unknown point")
+	// ErrKindMismatch reports a point whose shape does not match its
+	// dataset's kind.
+	ErrKindMismatch = errors.New("store: point kind mismatch")
+	// ErrClosed reports an op on a closed store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// nameRE bounds dataset names: they travel in URL paths, file-backed
+// logs, and cache keys.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+// storedPoint is one live point: a stable id plus its data. Points of
+// a dataset are kept in increasing id order, which is insertion order.
+type storedPoint struct {
+	ID uint64
+	P  Point
+}
+
+// dataset is the in-memory state of one named dataset.
+type dataset struct {
+	kind    string
+	nextID  uint64
+	version uint64
+	points  []storedPoint // increasing ID
+	// set caches the built pnn set; nil when dirty or empty.
+	set      pnn.UncertainSet
+	setDirty bool
+}
+
+func (d *dataset) find(id uint64) (int, bool) {
+	return sort.Find(len(d.points), func(i int) int {
+		switch {
+		case id < d.points[i].ID:
+			return -1
+		case id > d.points[i].ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// record is one WAL entry (JSON payload inside the CRC frame).
+type record struct {
+	Seq     uint64  `json:"seq"`
+	Op      string  `json:"op"` // "create", "drop", "insert", "delete"
+	Dataset string  `json:"dataset"`
+	Kind    string  `json:"kind,omitempty"`
+	FirstID uint64  `json:"first_id,omitempty"`
+	Points  []Point `json:"points,omitempty"`
+	ID      uint64  `json:"id,omitempty"`
+}
+
+// Store is a directory of durable datasets. All methods are safe for
+// concurrent use; see the package docs for the durability and ordering
+// contracts.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	wal      *wal
+	datasets map[string]*dataset
+	seq      uint64
+	closed   bool
+}
+
+// Mutation is the acknowledgment of one applied op: the dataset's new
+// monotone version and point count, plus the ids assigned by an
+// InsertPoints.
+type Mutation struct {
+	Dataset string
+	Version uint64
+	N       int
+	IDs     []uint64
+}
+
+// DatasetInfo describes one dataset for listings.
+type DatasetInfo struct {
+	Name    string
+	Kind    string
+	N       int
+	Version uint64
+}
+
+// Open loads (or initializes) the store in dir: the snapshot is read
+// first, then the WAL tail is replayed, and a torn tail from a crash
+// mid-append is truncated away. The recovered state is exactly the
+// longest durable prefix of the op sequence.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, datasets: make(map[string]*dataset)}
+	doc, ok, err := readSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		s.seq = doc.LastSeq
+		for _, sd := range doc.Datasets {
+			s.datasets[sd.Name] = &dataset{
+				kind:     sd.Kind,
+				nextID:   sd.NextID,
+				version:  sd.Version,
+				points:   sd.Points,
+				setDirty: true,
+			}
+		}
+	}
+	w, _, err := openWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	snapSeq := s.seq
+	good, torn, err := replayWAL(w.f, func(payload []byte) error {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: undecodable wal record (checksum valid): %w", err)
+		}
+		if rec.Seq <= snapSeq {
+			return nil // already folded into the snapshot
+		}
+		if err := s.apply(rec); err != nil {
+			return fmt.Errorf("store: replaying op %d: %w", rec.Seq, err)
+		}
+		s.seq = rec.Seq
+		return nil
+	})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	if torn {
+		// Crash mid-append: drop the torn tail so the next append starts
+		// at a clean frame boundary. The intact prefix is exactly the
+		// acknowledged (or in-flight-but-complete) ops.
+		if err := w.truncateTo(good); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	s.wal = w
+	return s, nil
+}
+
+// apply mutates in-memory state with one validated record. It is the
+// single state-transition function, shared by the live write path and
+// recovery, so replay reconstructs exactly what the writer built.
+func (s *Store) apply(rec record) error {
+	switch rec.Op {
+	case "create":
+		if _, dup := s.datasets[rec.Dataset]; dup {
+			return ErrExists
+		}
+		if rec.Kind != KindDisks && rec.Kind != KindDiscrete {
+			return fmt.Errorf("store: unknown kind %q", rec.Kind)
+		}
+		s.datasets[rec.Dataset] = &dataset{kind: rec.Kind, nextID: 1, version: rec.Seq}
+	case "drop":
+		if _, ok := s.datasets[rec.Dataset]; !ok {
+			return ErrUnknownDataset
+		}
+		delete(s.datasets, rec.Dataset)
+	case "insert":
+		d, ok := s.datasets[rec.Dataset]
+		if !ok {
+			return ErrUnknownDataset
+		}
+		if rec.Kind != "" && rec.Kind != d.kind {
+			// The dataset was dropped and recreated under another kind
+			// between this op's validation and its apply.
+			return ErrKindMismatch
+		}
+		id := rec.FirstID
+		for _, p := range rec.Points {
+			d.points = append(d.points, storedPoint{ID: id, P: p})
+			id++
+		}
+		if id > d.nextID {
+			d.nextID = id
+		}
+		d.version = rec.Seq
+		d.setDirty = true
+	case "delete":
+		d, ok := s.datasets[rec.Dataset]
+		if !ok {
+			return ErrUnknownDataset
+		}
+		i, found := d.find(rec.ID)
+		if !found {
+			return ErrUnknownPoint
+		}
+		d.points = append(d.points[:i], d.points[i+1:]...)
+		d.version = rec.Seq
+		d.setDirty = true
+	default:
+		return fmt.Errorf("store: unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// commit assigns the next sequence number, applies rec, and writes it
+// to the WAL under the store lock (so sequence order, apply order, and
+// log order agree), then waits for the group-commit fsync outside the
+// lock before acknowledging.
+func (s *Store) commit(rec record) (Mutation, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Mutation{}, ErrClosed
+	}
+	rec.Seq = s.seq + 1
+	if rec.Op == "insert" {
+		d := s.datasets[rec.Dataset]
+		if d == nil {
+			s.mu.Unlock()
+			return Mutation{}, fmt.Errorf("%w: %q", ErrUnknownDataset, rec.Dataset)
+		}
+		rec.FirstID = d.nextID
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return Mutation{}, err
+	}
+	if err := s.apply(rec); err != nil {
+		s.mu.Unlock()
+		return Mutation{}, err
+	}
+	s.seq = rec.Seq
+	off, err := s.wal.append(payload)
+	if err != nil {
+		// The in-memory state is now ahead of a log that may hold a
+		// torn frame. If a later append succeeded after the tear,
+		// replay would stop at the torn frame and silently lose the
+		// later — acknowledged — op; and with this op's record missing
+		// entirely, later records referencing its effects would fail
+		// replay. Poison the store instead: every further op fails
+		// with ErrClosed, so the durable prefix stays exactly what
+		// recovery will reconstruct.
+		s.closed = true
+		s.mu.Unlock()
+		return Mutation{}, fmt.Errorf("store: wal append failed (store now refuses writes): %w", err)
+	}
+	m := Mutation{Dataset: rec.Dataset, Version: rec.Seq}
+	if d := s.datasets[rec.Dataset]; d != nil {
+		m.N = len(d.points)
+	}
+	if rec.Op == "insert" {
+		m.IDs = make([]uint64, len(rec.Points))
+		for i := range rec.Points {
+			m.IDs[i] = rec.FirstID + uint64(i)
+		}
+	}
+	s.mu.Unlock()
+	if err := s.wal.waitSync(off); err != nil {
+		// A failed fsync is sticky in the WAL; close the store too so
+		// in-memory state stops drifting ahead of the durable prefix.
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return Mutation{}, err
+	}
+	return m, nil
+}
+
+// CreateDataset creates an empty dataset of the given kind ("disks" or
+// "discrete").
+func (s *Store) CreateDataset(name, kind string) (Mutation, error) {
+	if !nameRE.MatchString(name) {
+		return Mutation{}, fmt.Errorf("store: invalid dataset name %q", name)
+	}
+	if kind != KindDisks && kind != KindDiscrete {
+		return Mutation{}, fmt.Errorf("store: unknown kind %q", kind)
+	}
+	return s.commit(record{Op: "create", Dataset: name, Kind: kind})
+}
+
+// DropDataset removes a dataset and all its points.
+func (s *Store) DropDataset(name string) (Mutation, error) {
+	return s.commit(record{Op: "drop", Dataset: name})
+}
+
+// InsertPoints appends points to a dataset, assigning consecutive
+// stable ids (returned in Mutation.IDs, in input order). All points
+// are validated against the dataset's kind before anything is logged;
+// the insert is all-or-nothing.
+func (s *Store) InsertPoints(name string, pts []Point) (Mutation, error) {
+	if len(pts) == 0 {
+		return Mutation{}, errors.New("store: no points to insert")
+	}
+	s.mu.Lock()
+	d, ok := s.datasets[name]
+	if !ok {
+		s.mu.Unlock()
+		return Mutation{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	kind := d.kind
+	s.mu.Unlock()
+	for i, p := range pts {
+		if err := p.validate(kind); err != nil {
+			return Mutation{}, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	// Kind rides along so apply (and replay) can re-check it against
+	// the dataset the op actually lands on.
+	return s.commit(record{Op: "insert", Dataset: name, Kind: kind, Points: pts})
+}
+
+// DeletePoint removes one point by id.
+func (s *Store) DeletePoint(name string, id uint64) (Mutation, error) {
+	return s.commit(record{Op: "delete", Dataset: name, ID: id})
+}
+
+// Compact folds the whole state into a fresh snapshot and truncates
+// the WAL. Mutations block for the duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	doc := snapshotDoc{LastSeq: s.seq}
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.datasets[name]
+		doc.Datasets = append(doc.Datasets, snapshotDataset{
+			Name: name, Kind: d.kind, NextID: d.nextID, Version: d.version,
+			Points: d.points,
+		})
+	}
+	if err := writeSnapshot(s.dir, doc); err != nil {
+		return err
+	}
+	return s.wal.truncateTo(0)
+}
+
+// Close flushes nothing (every acknowledged op is already durable) and
+// releases the WAL file. Further ops fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}
+
+// Names returns the dataset names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos lists every dataset, sorted by name.
+func (s *Store) Infos() []DatasetInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		out = append(out, DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dataset returns one dataset's info.
+func (s *Store) Dataset(name string) (DatasetInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version}, nil
+}
+
+// Set returns the dataset's current point set (nil when empty) and its
+// version. The set is immutable and cached until the next mutation, so
+// repeated calls between writes are cheap and callers may index it
+// concurrently.
+func (s *Store) Set(name string) (pnn.UncertainSet, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if d.setDirty || (d.set == nil && len(d.points) > 0) {
+		set, err := buildSet(d.kind, d.points)
+		if err != nil {
+			return nil, 0, err
+		}
+		d.set = set
+		d.setDirty = false
+	}
+	if len(d.points) == 0 {
+		return nil, d.version, nil
+	}
+	return d.set, d.version, nil
+}
+
+// Points returns the dataset's live points with their ids, in
+// insertion order — result index i of a query over Set corresponds to
+// Points[i].
+func (s *Store) Points(name string) ([]uint64, []Point, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	ids := make([]uint64, len(d.points))
+	pts := make([]Point, len(d.points))
+	for i, sp := range d.points {
+		ids[i] = sp.ID
+		pts[i] = sp.P
+	}
+	return ids, pts, nil
+}

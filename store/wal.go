@@ -1,0 +1,175 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Frame layout: u32-LE payload length, u32-LE CRC-32C of the payload,
+// then the payload. A frame is torn (crash mid-write) when the header
+// is short, the payload is short, or the CRC mismatches; replay stops
+// there and truncates.
+const frameHeader = 8
+
+// maxWALRecord bounds one record's payload — a guard against reading a
+// garbage length from a corrupted header, far above any real record
+// (the HTTP layer caps request bodies well below this).
+const maxWALRecord = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is the append-only log file with group-commit fsync: appenders
+// write frames under one lock, and the first waiter of an unsynced
+// suffix performs the fsync for everyone who wrote before it.
+type wal struct {
+	mu      sync.Mutex // file writes and the written offset
+	f       *os.File
+	written int64
+
+	smu     sync.Mutex // sync state
+	scond   *sync.Cond
+	synced  int64
+	syncing bool
+	err     error // sticky: a failed fsync poisons the log
+}
+
+func openWAL(path string) (*wal, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := &wal{f: f}
+	w.scond = sync.NewCond(&w.smu)
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	w.written, w.synced = size, size
+	return w, size, nil
+}
+
+// append writes one framed record and returns the file offset past it.
+// The record is durable only once waitSync(off) has returned.
+func (w *wal) append(payload []byte) (int64, error) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return 0, err
+	}
+	w.written += int64(frameHeader + len(payload))
+	return w.written, nil
+}
+
+// waitSync blocks until the log is durable through off: whoever
+// arrives first at an unsynced suffix runs the fsync (covering every
+// byte written so far), everyone else piggybacks on it.
+func (w *wal) waitSync(off int64) error {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	for w.synced < off && w.err == nil {
+		if w.syncing {
+			w.scond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.smu.Unlock()
+		w.mu.Lock()
+		target := w.written
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.smu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = fmt.Errorf("store: wal fsync: %w", err)
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.scond.Broadcast()
+	}
+	return w.err
+}
+
+// truncateTo discards everything past off — the torn tail found during
+// replay, or the whole log after a compaction (off = 0).
+func (w *wal) truncateTo(off int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.written = off
+	w.smu.Lock()
+	w.synced = off
+	w.smu.Unlock()
+	return nil
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// replayWAL scans the log from the start, handing each intact payload
+// to apply, and returns the offset past the last intact frame. A short
+// or checksum-failing tail is reported via torn (the caller truncates);
+// an apply error aborts the replay.
+func replayWAL(f *os.File, apply func(payload []byte) error) (good int64, torn bool, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	r := io.Reader(f)
+	var hdr [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return good, false, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return good, true, nil
+			}
+			return good, false, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxWALRecord {
+			// A garbage length is indistinguishable from a torn header.
+			return good, true, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return good, true, nil
+			}
+			return good, false, err
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return good, true, nil
+		}
+		if err := apply(payload); err != nil {
+			return good, false, err
+		}
+		good += int64(frameHeader) + int64(n)
+	}
+}
