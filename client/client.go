@@ -261,10 +261,15 @@ func (c *Client) CreateDataset(ctx context.Context, name, kind string) (*api.Mut
 	return &out, nil
 }
 
-// DropDataset removes a durable dataset and all its points.
-func (c *Client) DropDataset(ctx context.Context, name string) error {
+// DropDataset removes a durable dataset and all its points. Like the
+// other mutation calls it returns the server's acknowledgment (the ack
+// of a drop reports version 0 — the dataset no longer has one).
+func (c *Client) DropDataset(ctx context.Context, name string) (*api.Mutation, error) {
 	var out api.Mutation
-	return c.doAdmin(ctx, http.MethodDelete, api.DatasetPath(name), nil, &out)
+	if err := c.doAdmin(ctx, http.MethodDelete, api.DatasetPath(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // InsertPoints appends points to a durable dataset; the returned

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pnn/api"
 	"pnn/internal/datafile"
@@ -50,11 +51,23 @@ func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
 // refreshDataset re-reads a dataset from the store into the registry
 // after a mutation: the registry swap retires the old engine
 // generation and the version bump re-keys the result cache. Dropped
-// datasets are removed. Stale refreshes (a newer mutation already
-// landed) are ignored by the registry, so concurrent mutations can
-// refresh in any order.
+// datasets are removed. Refreshes of one name are serialized (see
+// lockRefresh): the registry ignores stale versions on Upsert, but a
+// Remove has no version to compare against, so an unserialized slow
+// refresh from an older mutation could read the dataset before a
+// concurrent drop commits and then Upsert after the drop's Remove —
+// resurrecting a registry entry for a dataset the store no longer
+// holds. Under the per-name lock each refresh reads the store's
+// current state, so the last one to run leaves the registry agreeing
+// with the store.
 func (s *Server) refreshDataset(name string) error {
-	info, err := s.cfg.Store.Dataset(name)
+	l := s.lockRefresh(name)
+	defer s.unlockRefresh(name, l)
+	// View reads (kind, set, version) under one store-lock acquisition:
+	// two separate Dataset+Set calls could straddle a concurrent drop
+	// (500 for an already-committed mutation) or drop+recreate (the old
+	// kind paired with the new set).
+	info, set, err := s.cfg.Store.View(name)
 	if errors.Is(err, store.ErrUnknownDataset) {
 		s.reg.Remove(name)
 		return nil
@@ -62,12 +75,45 @@ func (s *Server) refreshDataset(name string) error {
 	if err != nil {
 		return err
 	}
-	set, version, err := s.cfg.Store.Set(name)
-	if err != nil {
-		return err
-	}
-	s.reg.Upsert(name, info.Kind, set, version)
+	s.reg.Upsert(name, info.Kind, set, info.Version)
 	return nil
+}
+
+// refreshLock is one name's refresh mutex plus the count of holders
+// and waiters; the count lets unlockRefresh reclaim the map entry once
+// nobody references it, so the map does not grow one entry per dataset
+// name ever mutated (names are client-chosen with unbounded
+// cardinality — think create-test-drop loops over generated names).
+type refreshLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockRefresh acquires the refresh lock for one dataset name, creating
+// it on first use. The ref count is taken under refreshMu before
+// blocking on the name lock, so a concurrent unlockRefresh can never
+// delete an entry someone is still queued on.
+func (s *Server) lockRefresh(name string) *refreshLock {
+	s.refreshMu.Lock()
+	l, ok := s.refreshLocks[name]
+	if !ok {
+		l = &refreshLock{}
+		s.refreshLocks[name] = l
+	}
+	l.refs++
+	s.refreshMu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+func (s *Server) unlockRefresh(name string, l *refreshLock) {
+	l.mu.Unlock()
+	s.refreshMu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(s.refreshLocks, name)
+	}
+	s.refreshMu.Unlock()
 }
 
 // writeMutation acknowledges one applied (and fsynced) mutation.

@@ -157,9 +157,15 @@ func (d *Dataset) update(set pnn.UncertainSet, version uint64) {
 }
 
 // closeEntries gracefully closes every built batcher of a retired
-// engine generation, flushing pending requests.
+// engine generation, flushing pending requests. The empty once.Do
+// synchronizes with an in-flight build (entry fields are written
+// inside the entry's once): it blocks until a running build finishes,
+// or claims a not-yet-started build's slot outright — the creator's
+// own once.Do then no-ops, leaving the entry with neither error nor
+// batcher, which answer treats as one more stale-generation retry.
 func closeEntries(entries map[IndexKey]*indexEntry) {
 	for _, e := range entries {
+		e.once.Do(func() {})
 		if e.batcher != nil {
 			e.batcher.Close()
 		}
@@ -271,11 +277,15 @@ func (r *Registry) AddDurable(name, kind string, set pnn.UncertainSet, version u
 	if name == "" {
 		return fmt.Errorf("empty dataset name")
 	}
-	return r.add(&Dataset{
+	return r.add(newDurableDataset(name, kind, set, version))
+}
+
+func newDurableDataset(name, kind string, set pnn.UncertainSet, version uint64) *Dataset {
+	return &Dataset{
 		Name: name, Kind: kind, durable: true,
 		set: set, version: version,
 		entries: make(map[IndexKey]*indexEntry),
-	})
+	}
 }
 
 func (r *Registry) add(d *Dataset) error {
@@ -289,32 +299,51 @@ func (r *Registry) add(d *Dataset) error {
 }
 
 // Upsert registers a durable dataset or, when it already exists, swaps
-// in the new set at the new version (stale versions are ignored).
+// in the new set at the new version (stale versions are ignored). A
+// newer version under a different kind means the name was dropped and
+// recreated as a different dataset between refreshes — the entry is
+// replaced wholesale, since Dataset.update deliberately never changes
+// Kind (an older-kind refresh must not relabel the current data). The
+// whole decision runs under r.mu — releasing it between the lookup and
+// the version-checked apply would let a concurrent kind-change replace
+// the map entry while a same-kind caller updates the detached object,
+// silently losing the newer version. (Lock order r.mu → d.mu; nothing
+// acquires them the other way around.)
 func (r *Registry) Upsert(name, kind string, set pnn.UncertainSet, version uint64) {
 	r.mu.Lock()
 	d, ok := r.datasets[name]
-	if !ok {
-		r.datasets[name] = &Dataset{
-			Name: name, Kind: kind, durable: true,
-			set: set, version: version,
-			entries: make(map[IndexKey]*indexEntry),
-		}
+	switch {
+	case !ok:
+		r.datasets[name] = newDurableDataset(name, kind, set, version)
 		r.mu.Unlock()
-		return
+	case d.Kind != kind:
+		if version <= d.Version() {
+			r.mu.Unlock()
+			return // stale refresh from before the drop+recreate
+		}
+		r.datasets[name] = newDurableDataset(name, kind, set, version)
+		r.mu.Unlock()
+		go d.closeBatchers()
+	default:
+		// update takes d.mu only briefly (map swap; the batcher close is
+		// backgrounded), so holding r.mu across it is cheap.
+		d.update(set, version)
+		r.mu.Unlock()
 	}
-	r.mu.Unlock()
-	d.update(set, version)
 }
 
-// Remove unregisters a dataset and closes its batchers (pending
-// requests flush first). It reports whether the name was present.
+// Remove unregisters a dataset and closes its batchers in the
+// background (pending requests flush, and the close joins any
+// in-flight engine build — see closeEntries — which can take seconds;
+// the drop path must not stall on it). It reports whether the name was
+// present.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
 	d, ok := r.datasets[name]
 	delete(r.datasets, name)
 	r.mu.Unlock()
 	if ok {
-		d.closeBatchers()
+		go d.closeBatchers()
 	}
 	return ok
 }

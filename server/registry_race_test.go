@@ -82,3 +82,57 @@ func TestRegistryConcurrentMutations(t *testing.T) {
 		t.Fatalf("fresh upsert ignored: version %d", d.Version())
 	}
 }
+
+// TestUpsertKindChange pins the drop+recreate semantics of Upsert: a
+// newer version under a different kind replaces the entry wholesale
+// (Dataset.update never changes Kind), while a stale refresh carrying
+// the pre-recreate kind must not relabel — or replace — the current
+// dataset.
+func TestUpsertKindChange(t *testing.T) {
+	reg := NewRegistry()
+	reg.Upsert("d", "discrete", nil, 5)
+	reg.Upsert("d", "disks", nil, 8) // the refresh that saw the recreate
+	if d := reg.Get("d"); d.Kind != "disks" || d.Version() != 8 {
+		t.Fatalf("recreate not applied: kind %q version %d", d.Kind, d.Version())
+	}
+	reg.Upsert("d", "discrete", nil, 7) // stale refresh from before the drop
+	if d := reg.Get("d"); d.Kind != "disks" || d.Version() != 8 {
+		t.Fatalf("stale old-kind refresh relabeled the dataset: kind %q version %d", d.Kind, d.Version())
+	}
+	reg.Upsert("d", "disks", nil, 9) // same kind keeps the swap-in-place path
+	if d := reg.Get("d"); d.Kind != "disks" || d.Version() != 9 {
+		t.Fatalf("same-kind upsert lost: kind %q version %d", d.Kind, d.Version())
+	}
+}
+
+// TestUpsertKindChangeConcurrent hammers one name with concurrent
+// Upserts across two kinds. Every version is distinct, and both the
+// same-kind and kind-change paths ignore non-newer versions, so the
+// registry must converge to the globally newest version's (kind,
+// version) regardless of interleaving — a lost update (e.g. a
+// same-kind caller applying to an entry a concurrent kind-change
+// already detached from the map) would strand an older version.
+func TestUpsertKindChangeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const n = 200
+	var wg sync.WaitGroup
+	for v := 1; v <= n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			kind := "discrete"
+			if v%3 == 0 {
+				kind = "disks"
+			}
+			reg.Upsert("d", kind, nil, uint64(v))
+		}(v)
+	}
+	wg.Wait()
+	wantKind := "discrete"
+	if n%3 == 0 {
+		wantKind = "disks"
+	}
+	if d := reg.Get("d"); d.Version() != n || d.Kind != wantKind {
+		t.Fatalf("converged to kind %q version %d, want %q %d", d.Kind, d.Version(), wantKind, n)
+	}
+}

@@ -108,6 +108,13 @@ type Server struct {
 	cache   *resultCache
 	metrics *Metrics
 	handler http.Handler
+	// refreshLocks serializes refreshDataset per dataset name: the
+	// read-store-then-update-registry sequence is not atomic, so
+	// without it a slow refresh from an older mutation could Upsert
+	// after a concurrent drop's Remove and resurrect a ghost dataset.
+	// Entries are refcounted and reclaimed when idle (see lockRefresh).
+	refreshMu    sync.Mutex
+	refreshLocks map[string]*refreshLock
 	// closed distinguishes a batcher drained by Close (late queries
 	// must fail) from one drained by an engine swap (the query retries
 	// against the new generation).
@@ -123,18 +130,19 @@ type Server struct {
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   newResultCache(cfg.CacheSize),
-		metrics: newMetrics(),
+		cfg:          cfg,
+		reg:          reg,
+		cache:        newResultCache(cfg.CacheSize),
+		metrics:      newMetrics(),
+		refreshLocks: make(map[string]*refreshLock),
 	}
 	if cfg.Store != nil {
-		for _, info := range cfg.Store.Infos() {
-			set, version, err := cfg.Store.Set(info.Name)
+		for _, name := range cfg.Store.Names() {
+			info, set, err := cfg.Store.View(name)
 			if err != nil {
 				continue // surfaces as empty_dataset / unknown until fixed
 			}
-			reg.Upsert(info.Name, info.Kind, set, version)
+			reg.Upsert(name, info.Kind, set, info.Version)
 		}
 	}
 	mux := http.NewServeMux()
@@ -331,6 +339,14 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 				return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, entry.err}
 			}
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, entry.err}
+		}
+		if entry.batcher == nil {
+			// Neither error nor engine: the generation was retired before
+			// our build ran, and closeEntries claimed the build slot (see
+			// closeEntries). Retry against the new generation, exactly as
+			// for a batcher drained mid-flight.
+			lastErr = ErrBatcherClosed
+			continue
 		}
 		res, err := entry.batcher.Submit(ctx, p.request(op))
 		if err != nil {

@@ -11,7 +11,7 @@ import (
 )
 
 // handleBatch scatter-gathers POST /v1/batch: the mixed-dataset batch
-// is split by owning backend, sub-batches fan out concurrently (each
+// is split by targeted backend, sub-batches fan out concurrently (each
 // under the per-backend timeout), and per-item results are reassembled
 // in request order. A failed sub-batch is re-scattered exactly once
 // over each dataset's next healthy replica in hash order; items that
@@ -36,8 +36,9 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // scatter answers items[i] for every i in idxs, writing into
-// results[i]. Items are grouped by owning backend — the first healthy,
-// non-excluded backend in each dataset's rendezvous order — and each
+// results[i]. Items are grouped by targeted backend — the first
+// healthy, non-excluded backend in each dataset's rendezvous order,
+// which is the true owner whenever it is up — and each
 // group is posted as one sub-batch, concurrently. When a sub-batch
 // fails retryably on attempt 1, its items are re-scattered with the
 // failed backend excluded, which lands every dataset on its next
@@ -46,55 +47,55 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // lock.
 func (rt *Router) scatter(ctx context.Context, items []api.BatchItem, idxs []int, exclude map[*backend]bool, attempt int, results []api.BatchResult) {
 	groups := make(map[*backend][]int)
-	owners := make(map[string]*backend) // dataset → owner, memoized per call
+	targets := make(map[string]*backend) // dataset → targeted backend, memoized per call
 	for _, i := range idxs {
 		ds := items[i].Dataset
-		owner, memoized := owners[ds]
+		target, memoized := targets[ds]
 		if !memoized {
 			order := rt.order(ds)
 			for _, b := range order {
 				if b.up.Load() && !exclude[b] {
-					owner = b
+					target = b
 					break
 				}
 			}
-			if owner == nil && !rt.probing {
+			if target == nil && !rt.probing {
 				// Fail open, exactly as prefsFor does for single
 				// queries: without probes a fully marked-down order
 				// must still be tried so it can recover.
 				for _, b := range order {
 					if !exclude[b] {
-						owner = b
+						target = b
 						break
 					}
 				}
 			}
-			owners[ds] = owner
+			targets[ds] = target
 		}
-		if owner == nil {
+		if target == nil {
 			results[i] = api.BatchResult{Error: &api.Error{
 				Error: fmt.Sprintf("no healthy backend for dataset %q", ds),
 				Code:  api.CodeNoBackend,
 			}}
 			continue
 		}
-		groups[owner] = append(groups[owner], i)
+		groups[target] = append(groups[target], i)
 	}
 	var wg sync.WaitGroup
-	for owner, group := range groups {
+	for target, group := range groups {
 		wg.Add(1)
-		go func(owner *backend, group []int) {
+		go func(target *backend, group []int) {
 			defer wg.Done()
-			rt.sendSubBatch(ctx, owner, items, group, exclude, attempt, results)
-		}(owner, group)
+			rt.sendSubBatch(ctx, target, items, group, exclude, attempt, results)
+		}(target, group)
 	}
 	wg.Wait()
 }
 
-// sendSubBatch posts one owner's items as a sub-batch and places the
-// per-item results; on retryable failure it either re-scatters (first
-// attempt) or records per-item errors (second).
-func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.BatchItem, group []int, exclude map[*backend]bool, attempt int, results []api.BatchResult) {
+// sendSubBatch posts one targeted backend's items as a sub-batch and
+// places the per-item results; on retryable failure it either
+// re-scatters (first attempt) or records per-item errors (second).
+func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api.BatchItem, group []int, exclude map[*backend]bool, attempt int, results []api.BatchResult) {
 	sub := api.BatchRequest{Items: make([]api.BatchItem, len(group))}
 	for j, i := range group {
 		sub.Items[j] = items[i]
@@ -105,7 +106,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 		return
 	}
 	rt.metrics.subBatches.Add(1)
-	res, retryable, err := rt.attempt(ctx, owner, http.MethodPost, api.BatchPath, body, "")
+	res, retryable, err := rt.attempt(ctx, target, http.MethodPost, api.BatchPath, body, "")
 	if err != nil {
 		if retryable && attempt < 2 && ctx.Err() == nil {
 			rt.metrics.failovers.Add(1)
@@ -113,7 +114,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 			for b := range exclude {
 				next[b] = true
 			}
-			next[owner] = true
+			next[target] = true
 			rt.scatter(ctx, items, group, next, attempt+1, results)
 			return
 		}
@@ -125,9 +126,9 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 		// cannot happen for a router-built one, so this is unexpected);
 		// surface its error body per item rather than retrying.
 		var apiErr api.Error
-		msg := fmt.Sprintf("backend %s: status %d", owner.base, res.status)
+		msg := fmt.Sprintf("backend %s: status %d", target.base, res.status)
 		if json.Unmarshal(res.body, &apiErr) == nil && apiErr.Error != "" {
-			msg = fmt.Sprintf("backend %s: %s", owner.base, apiErr.Error)
+			msg = fmt.Sprintf("backend %s: %s", target.base, apiErr.Error)
 		}
 		fillError(results, group, api.CodeBackendError, msg)
 		return
@@ -138,18 +139,31 @@ func (rt *Router) sendSubBatch(ctx context.Context, owner *backend, items []api.
 			err = fmt.Errorf("got %d results for %d items", len(bresp.Results), len(group))
 		}
 		fillError(results, group, api.CodeBackendError,
-			fmt.Sprintf("backend %s: invalid batch response: %v", owner.base, err))
+			fmt.Sprintf("backend %s: invalid batch response: %v", target.base, err))
 		return
 	}
+	isOwner := make(map[string]bool) // dataset → did its true owner answer this sub-batch
 	for j, i := range group {
 		results[i] = bresp.Results[j]
-		if len(exclude) > 0 && results[i].Error != nil && results[i].Error.Code == api.CodeUnknownDataset {
-			// A failover replica's unknown_dataset is not authoritative:
-			// with durable stores the dataset may live only on the
-			// excluded owner. Report the replica outage, not a hard
-			// "does not exist" (mirrors handleQuery's single-query rule).
+		if results[i].Error == nil || results[i].Error.Code != api.CodeUnknownDataset {
+			continue
+		}
+		ds := items[i].Dataset
+		own, memoized := isOwner[ds]
+		if !memoized {
+			own = rt.order(ds)[0] == target
+			isOwner[ds] = own
+		}
+		if !own {
+			// A non-owner's unknown_dataset is not authoritative: with
+			// durable stores the dataset may live only on its true
+			// rendezvous owner, which this sub-batch skipped — whether by
+			// failover exclusion or because the owner was already marked
+			// down when scatter picked the group's backend. Report the
+			// owner outage, not a hard "does not exist" (mirrors
+			// handleQuery's single-query rule).
 			results[i] = api.BatchResult{Error: &api.Error{
-				Error: fmt.Sprintf("dataset %q unknown to the failover replica and its owner is unavailable", items[i].Dataset),
+				Error: fmt.Sprintf("dataset %q unknown to a non-owner replica and its owner is unavailable", ds),
 				Code:  api.CodeNoBackend,
 			}}
 		}

@@ -365,7 +365,8 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dataset := r.URL.Query().Get("dataset")
-	prefs := rt.prefsFor(rt.order(dataset))
+	order := rt.order(dataset)
+	prefs := rt.prefsFor(order)
 	if len(prefs) == 0 {
 		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
 			fmt.Errorf("no healthy backend for dataset %q", dataset))
@@ -375,19 +376,22 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		pathAndQuery += "?" + r.URL.RawQuery
 	}
-	res, b, attempt, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
+	res, b, _, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
 	if err != nil {
 		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
 		return
 	}
-	if attempt > 0 && isUnknownDataset(res) {
-		// A failover replica's 404 is not authoritative: with durable
-		// stores a dataset may live only on its (currently failing)
-		// owner, so claiming unknown_dataset here would turn a replica
-		// outage into a hard "does not exist". Answer 503 and let the
-		// client retry once the owner is back.
+	if b != order[0] && isUnknownDataset(res) {
+		// A non-owner's 404 is not authoritative: with durable stores a
+		// dataset may live only on its true rendezvous owner, so claiming
+		// unknown_dataset here would turn an owner outage into a hard
+		// "does not exist". The check is against the head of the
+		// unfiltered order — whether the non-owner answered as a failover
+		// (attempt 1) or as prefs[0] because the owner was already marked
+		// down, the situation is the same. Answer 503 and let the client
+		// retry once the owner is back.
 		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
-			fmt.Errorf("dataset %q unknown to the failover replica and its owner is unavailable", dataset))
+			fmt.Errorf("dataset %q unknown to a non-owner replica and its owner is unavailable", dataset))
 		return
 	}
 	rt.writeProxied(w, res, b)
@@ -406,18 +410,24 @@ func isUnknownDataset(res attemptResult) bool {
 // handleWrite forwards one mutation to the dataset's rendezvous owner
 // — the same replica the dataset's reads prefer, so a client that
 // writes through the router reads its own writes on the very next
-// query. Writes are never retried on another replica: replicas own
-// independent stores, so re-applying a non-idempotent insert elsewhere
-// would diverge the fleet; a failed owner answers 502 and the client
-// decides. The Authorization header is forwarded verbatim (the
-// backends, not the router, hold the admin token).
+// query. The owner is the head of the unfiltered rendezvous order,
+// never a health-filtered substitute: writes are never redirected to
+// (or retried on) another replica, because replicas own independent
+// stores and a mutation landing elsewhere would diverge the fleet and
+// vanish the moment the owner recovers and reads prefer it again. A
+// marked-down owner answers 503 no_backend (the probe loop will mark
+// it back up); without probes the router fails open to the owner
+// itself — the attempt is the only way it can be marked up again — and
+// a still-dead owner answers 502. The Authorization header is
+// forwarded verbatim (the backends, not the router, hold the admin
+// token).
 func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 	rt.metrics.requests.Add(1)
 	dataset := r.PathValue("name")
-	prefs := rt.prefsFor(rt.order(dataset))
-	if len(prefs) == 0 {
+	owner := rt.order(dataset)[0]
+	if !owner.up.Load() && rt.probing {
 		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
-			fmt.Errorf("no healthy backend for dataset %q", dataset))
+			fmt.Errorf("owner %s of dataset %q is unavailable; writes are not redirected", owner.base, dataset))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes))
@@ -429,7 +439,6 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if len(body) == 0 {
 		body = nil
 	}
-	owner := prefs[0]
 	res, _, err := rt.attempt(r.Context(), owner, r.Method, r.URL.Path, body, r.Header.Get("Authorization"))
 	if err != nil {
 		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"pnn/api"
 	"pnn/client"
@@ -131,11 +134,141 @@ func TestRouterWriteForwarding(t *testing.T) {
 	if _, err := cl.DeletePoint(ctx, "fleet", ins.IDs[1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DropDataset(ctx, "fleet"); err != nil {
+	if _, err := cl.DropDataset(ctx, "fleet"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.TopK(ctx, "fleet", 0, 0, 1, nil); err == nil {
 		t.Fatal("query after routed drop succeeded")
+	}
+}
+
+// TestRouterWriteOwnerDown pins the write-path ownership rule: a write
+// whose rendezvous owner is marked down answers 503 no_backend — it is
+// never redirected to a surviving replica, whose independent store
+// would diverge from the owner's and make the acknowledged write
+// vanish the moment the owner recovers and reads prefer it again.
+func TestRouterWriteOwnerDown(t *testing.T) {
+	b1 := newDurableBackend(t)
+	b2 := newDurableBackend(t)
+	rt := newRouter(t, Config{Backends: []string{b1.URL, b2.URL}, ProbeInterval: 10 * time.Millisecond})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const name = "orphan"
+	owner := rt.order(name)[0]
+	other := b1
+	if owner.base == b1.URL {
+		b1.Close() // kill the owner; Close is idempotent with the cleanup
+		other = b2
+	} else {
+		b2.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for owner.up.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never marked the dead owner down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodPut, front.URL+"/v1/datasets/"+name,
+		strings.NewReader(`{"kind":"discrete"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+adminToken)
+	res, err := front.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var e api.Error
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusServiceUnavailable || e.Code != api.CodeNoBackend {
+		t.Fatalf("write with owner down answered %d %+v, want 503 %s",
+			res.StatusCode, e, api.CodeNoBackend)
+	}
+
+	// The surviving replica never saw the write.
+	var infos []api.DatasetInfo
+	resp, err := other.Client().Get(other.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("write redirected to the non-owner: %+v", infos)
+	}
+
+	// Reads follow the same ownership rule: while the owner is down the
+	// surviving non-owner's 404 is not authoritative (the dataset may
+	// live only on the owner), so both the single-query path and batch
+	// items must answer no_backend, never a hard unknown_dataset.
+	rres, err := front.Client().Get(front.URL + "/v1/nonzero?dataset=" + name + "&x=0&y=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re api.Error
+	if err := json.NewDecoder(rres.Body).Decode(&re); err != nil {
+		t.Fatal(err)
+	}
+	rres.Body.Close()
+	if rres.StatusCode != http.StatusServiceUnavailable || re.Code != api.CodeNoBackend {
+		t.Fatalf("read with owner down answered %d %+v, want 503 %s", rres.StatusCode, re, api.CodeNoBackend)
+	}
+	status, bresp := postBatch(t, front.URL, []api.BatchItem{{Dataset: name, Op: "nonzero", X: 0, Y: 0}})
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+	if e := bresp.Results[0].Error; e == nil || e.Code != api.CodeNoBackend {
+		t.Fatalf("batch item with owner down = %+v, want code %s", bresp.Results[0].Error, api.CodeNoBackend)
+	}
+}
+
+// TestRouterWriteFailsOpenToOwner covers the probe-less recovery path:
+// with probing disabled a mark-down would otherwise be permanent, so
+// the write is attempted on the owner anyway (never a substitute) and
+// a success clears the stale mark.
+func TestRouterWriteFailsOpenToOwner(t *testing.T) {
+	b1 := newDurableBackend(t)
+	b2 := newDurableBackend(t)
+	rt := newRouter(t, Config{Backends: []string{b1.URL, b2.URL}, ProbeInterval: -1})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const name = "comeback"
+	owner := rt.order(name)[0]
+	rt.markDown(owner) // stale mark; the backend itself is healthy
+	cl := client.New(front.URL, client.WithAdminToken(adminToken))
+	if _, err := cl.CreateDataset(context.Background(), name, "discrete"); err != nil {
+		t.Fatalf("write with a stale mark and no probes: %v", err)
+	}
+	if !owner.up.Load() {
+		t.Fatal("successful write did not mark the owner back up")
+	}
+	// The dataset exists exactly on the owner.
+	for _, b := range []*httptest.Server{b1, b2} {
+		var infos []api.DatasetInfo
+		res, err := b.Client().Get(b.URL + "/v1/datasets")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(res.Body).Decode(&infos); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		has := false
+		for _, in := range infos {
+			has = has || in.Name == name
+		}
+		if want := b.URL == owner.base; has != want {
+			t.Fatalf("backend %s hosts %q = %v, want %v", b.URL, name, has, want)
+		}
 	}
 }
 

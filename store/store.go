@@ -257,7 +257,7 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		return Mutation{}, err
 	}
 	s.seq = rec.Seq
-	off, err := s.wal.append(payload)
+	off, gen, err := s.wal.append(payload)
 	if err != nil {
 		// The in-memory state is now ahead of a log that may hold a
 		// torn frame. If a later append succeeded after the tear,
@@ -266,10 +266,13 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		// entirely, later records referencing its effects would fail
 		// replay. Poison the store instead: every further op fails
 		// with ErrClosed, so the durable prefix stays exactly what
-		// recovery will reconstruct.
+		// recovery will reconstruct. ErrClosed is wrapped in here too:
+		// an I/O failure is a server-side fault (disk full, dead disk),
+		// and matching the sentinel keeps serving layers from mapping
+		// it onto an input-validation status.
 		s.closed = true
 		s.mu.Unlock()
-		return Mutation{}, fmt.Errorf("store: wal append failed (store now refuses writes): %w", err)
+		return Mutation{}, fmt.Errorf("store: wal append failed (store now refuses writes): %w; %w", err, ErrClosed)
 	}
 	m := Mutation{Dataset: rec.Dataset, Version: rec.Seq}
 	if d := s.datasets[rec.Dataset]; d != nil {
@@ -282,13 +285,18 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		}
 	}
 	s.mu.Unlock()
-	if err := s.wal.waitSync(off); err != nil {
+	// waitSync runs outside s.mu (group commit), so a concurrent
+	// Compact may truncate the log before this record's fsync; the
+	// (off, gen) pair lets the WAL resolve that race — see waitSync.
+	if err := s.wal.waitSync(off, gen); err != nil {
 		// A failed fsync is sticky in the WAL; close the store too so
 		// in-memory state stops drifting ahead of the durable prefix.
+		// Wrapping ErrClosed marks the failure as server-side for the
+		// serving layers (503, not an input-validation 4xx).
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
-		return Mutation{}, err
+		return Mutation{}, fmt.Errorf("store: commit durability unknown (store now refuses writes): %w; %w", err, ErrClosed)
 	}
 	return m, nil
 }
@@ -392,7 +400,10 @@ func (s *Store) Names() []string {
 	return names
 }
 
-// Infos lists every dataset, sorted by name.
+// Infos lists every dataset, sorted by name. The listing alone is
+// consistent, but pairing it with per-name Set calls is not atomic
+// under concurrent mutations — use View to read one dataset's info and
+// set together.
 func (s *Store) Infos() []DatasetInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -418,7 +429,10 @@ func (s *Store) Dataset(name string) (DatasetInfo, error) {
 // Set returns the dataset's current point set (nil when empty) and its
 // version. The set is immutable and cached until the next mutation, so
 // repeated calls between writes are cheap and callers may index it
-// concurrently.
+// concurrently. Callers that also need the dataset's kind or count
+// must use View: pairing Set with a separate Dataset/Infos call is not
+// atomic, and a concurrent drop+recreate between the two calls can
+// hand back the old kind with the new set.
 func (s *Store) Set(name string) (pnn.UncertainSet, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -426,18 +440,48 @@ func (s *Store) Set(name string) (pnn.UncertainSet, uint64, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
+	set, err := s.setLocked(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, d.version, nil
+}
+
+// View returns one dataset's info and its current point set under a
+// single lock acquisition: the (kind, set, version) triple can never
+// mix two mutations' states. Callers that read info and set in two
+// separate calls would race concurrent drops and drop+recreates — a
+// recreate under another kind between the calls could pair the old
+// kind with the new set.
+func (s *Store) View(name string) (DatasetInfo, pnn.UncertainSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return DatasetInfo{}, nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	set, err := s.setLocked(d)
+	if err != nil {
+		return DatasetInfo{}, nil, err
+	}
+	return DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version}, set, nil
+}
+
+// setLocked returns d's built point set (nil when empty), rebuilding
+// the cached set if a mutation dirtied it. The caller holds s.mu.
+func (s *Store) setLocked(d *dataset) (pnn.UncertainSet, error) {
 	if d.setDirty || (d.set == nil && len(d.points) > 0) {
 		set, err := buildSet(d.kind, d.points)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		d.set = set
 		d.setDirty = false
 	}
 	if len(d.points) == 0 {
-		return nil, d.version, nil
+		return nil, nil
 	}
-	return d.set, d.version, nil
+	return d.set, nil
 }
 
 // Points returns the dataset's live points with their ids, in

@@ -331,6 +331,153 @@ func TestTornWriteRecovery(t *testing.T) {
 	}
 }
 
+// TestWALFailurePoisonsStore pins the error identity of a WAL I/O
+// failure: the failing commit (and everything after it) must match
+// ErrClosed, so serving layers answer a server-side 5xx instead of
+// mistaking a dead disk for input validation.
+func TestWALFailurePoisonsStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+		t.Fatal(err)
+	}
+	s.wal.f.Close() // the disk vanishes under the log
+	if _, err := s.InsertPoints("a", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit after wal failure: %v, want ErrClosed in the chain", err)
+	}
+	if _, err := s.CreateDataset("b", KindDiscrete); !errors.Is(err, ErrClosed) {
+		t.Fatalf("op on poisoned store: %v, want ErrClosed", err)
+	}
+}
+
+// TestWALTruncateEpoch pins the epoch semantics of truncateTo: an
+// offset appended before a truncation belongs to the old file epoch,
+// so waiting on it must resolve immediately (the record is durable via
+// the compaction snapshot) instead of spinning against a reset synced
+// watermark, and the stale offset must never leak into synced where it
+// would let later commits skip their fsync.
+func TestWALTruncateEpoch(t *testing.T) {
+	w, _, err := openWAL(filepath.Join(t.TempDir(), walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	off, gen, err := w.append([]byte("pre-truncation record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.truncateTo(0); err != nil {
+		t.Fatal(err)
+	}
+	// The old-epoch waiter returns promptly (this hung forever before
+	// waitSync was epoch-aware).
+	if err := w.waitSync(off, gen); err != nil {
+		t.Fatal(err)
+	}
+	w.smu.Lock()
+	synced := w.synced
+	w.smu.Unlock()
+	if synced != 0 {
+		t.Fatalf("synced = %d after truncateTo(0), want 0", synced)
+	}
+	// The new epoch starts clean: a fresh append gets the bumped gen and
+	// still has to earn its own fsync.
+	off2, gen2, err := w.append([]byte("post-truncation record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 != gen+1 {
+		t.Fatalf("gen after truncate = %d, want %d", gen2, gen+1)
+	}
+	if err := w.waitSync(off2, gen2); err != nil {
+		t.Fatal(err)
+	}
+	w.smu.Lock()
+	synced = w.synced
+	w.smu.Unlock()
+	if synced != off2 {
+		t.Fatalf("synced = %d after new-epoch sync, want %d", synced, off2)
+	}
+}
+
+// TestCompactConcurrentWithWrites races Compact's log truncation
+// against commits sitting between append and waitSync (commit releases
+// the store lock before waiting on the fsync). Every acknowledged
+// insert must survive a reopen, and no waiter may hang on a watermark
+// that compaction reset underneath it.
+func TestCompactConcurrentWithWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 4, 40
+	errs := make(chan error, writers+1)
+	stop := make(chan struct{})
+	var compactWG sync.WaitGroup
+	compactWG.Add(1)
+	go func() {
+		defer compactWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil {
+				errs <- fmt.Errorf("compact: %w", err)
+				return
+			}
+		}
+	}()
+	acked := make([][]uint64, writers)
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < each; i++ {
+				m, err := s.InsertPoints("a", []Point{disk(float64(w), float64(i), 1)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				acked[w] = append(acked[w], m.IDs...)
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	compactWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	ids, _, err := s2.Points("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		recovered[id] = true
+	}
+	for w, batch := range acked {
+		for _, id := range batch {
+			if !recovered[id] {
+				t.Fatalf("acknowledged id %d (writer %d) lost across compaction + reopen", id, w)
+			}
+		}
+	}
+	if len(ids) != writers*each {
+		t.Fatalf("recovered %d points, want %d", len(ids), writers*each)
+	}
+}
+
 func TestGroupCommitConcurrency(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)

@@ -34,7 +34,12 @@ type wal struct {
 	scond   *sync.Cond
 	synced  int64
 	syncing bool
-	err     error // sticky: a failed fsync poisons the log
+	// gen is the file epoch: truncateTo bumps it, invalidating every
+	// offset handed out by append before the truncation. A waiter whose
+	// epoch is stale must not compare its offset against synced — the
+	// two count bytes of different files (see waitSync).
+	gen uint64
+	err error // sticky: a failed fsync poisons the log
 }
 
 func openWAL(path string) (*wal, int64, error) {
@@ -53,36 +58,62 @@ func openWAL(path string) (*wal, int64, error) {
 	return w, size, nil
 }
 
-// append writes one framed record and returns the file offset past it.
-// The record is durable only once waitSync(off) has returned.
-func (w *wal) append(payload []byte) (int64, error) {
+// append writes one framed record and returns the file offset past it
+// plus the file epoch it was written under. The record is durable only
+// once waitSync(off, gen) has returned.
+func (w *wal) append(payload []byte) (int64, uint64, error) {
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.f.Write(hdr[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if _, err := w.f.Write(payload); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	w.written += int64(frameHeader + len(payload))
-	return w.written, nil
+	// truncateTo holds mu while bumping gen, so reading it under smu
+	// here pins the epoch the bytes above actually landed in.
+	w.smu.Lock()
+	gen := w.gen
+	w.smu.Unlock()
+	return w.written, gen, nil
 }
 
-// waitSync blocks until the log is durable through off: whoever
-// arrives first at an unsynced suffix runs the fsync (covering every
-// byte written so far), everyone else piggybacks on it.
-func (w *wal) waitSync(off int64) error {
+// waitSync blocks until the record appended at (off, gen) is durable:
+// whoever arrives first at an unsynced suffix runs the fsync (covering
+// every byte written so far), everyone else piggybacks on it.
+//
+// A gen older than the current epoch means a compaction truncated the
+// log after this record was appended. Compaction (Store.Compact) holds
+// the store lock, which every append also holds, so the record's
+// effects were in memory when the snapshot was written and fsynced —
+// the record is already durable via the snapshot, and its offset is
+// meaningless against the new file. Without the epoch check such a
+// waiter would either spin forever (synced reset below off) or, worse,
+// publish a stale large synced after its fsync, acknowledging later
+// commits without any fsync at all.
+func (w *wal) waitSync(off int64, gen uint64) error {
 	w.smu.Lock()
 	defer w.smu.Unlock()
-	for w.synced < off && w.err == nil {
+	for {
+		if w.gen != gen {
+			return nil // durable via the compaction snapshot
+		}
+		if w.err != nil {
+			return w.err
+		}
+		if w.synced >= off {
+			return nil
+		}
 		if w.syncing {
 			w.scond.Wait()
 			continue
 		}
 		w.syncing = true
+		startGen := w.gen
 		w.smu.Unlock()
 		w.mu.Lock()
 		target := w.written
@@ -90,18 +121,25 @@ func (w *wal) waitSync(off int64) error {
 		err := w.f.Sync()
 		w.smu.Lock()
 		w.syncing = false
-		if err != nil {
+		switch {
+		case err != nil:
 			w.err = fmt.Errorf("store: wal fsync: %w", err)
-		} else if target > w.synced {
+		case w.gen != startGen:
+			// The log was truncated while the fsync ran: target counts
+			// bytes of the old epoch and must not become synced, or every
+			// post-truncation commit below it would skip its fsync.
+		case target > w.synced:
 			w.synced = target
 		}
 		w.scond.Broadcast()
 	}
-	return w.err
 }
 
 // truncateTo discards everything past off — the torn tail found during
-// replay, or the whole log after a compaction (off = 0).
+// replay, or the whole log after a compaction (off = 0). It starts a
+// new file epoch: offsets handed out before the truncation no longer
+// address these bytes, so waiters from the old epoch are woken and
+// resolved by the gen check in waitSync.
 func (w *wal) truncateTo(off int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -116,7 +154,9 @@ func (w *wal) truncateTo(off int64) error {
 	}
 	w.written = off
 	w.smu.Lock()
+	w.gen++
 	w.synced = off
+	w.scond.Broadcast()
 	w.smu.Unlock()
 	return nil
 }
