@@ -1,0 +1,21 @@
+# Convenience targets over the CI gates. scripts/check.sh is the
+# single source of truth for what "clean" means; the CI jobs and
+# `make check` both run it piecewise.
+.PHONY: check race test pnnvet smoke
+
+check:
+	./scripts/check.sh
+
+race:
+	CHECK_RACE=1 ./scripts/check.sh
+
+test:
+	go test ./...
+
+pnnvet:
+	go run ./cmd/pnnvet ./...
+
+smoke:
+	./scripts/server_smoke.sh
+	./scripts/router_smoke.sh
+	./scripts/store_smoke.sh

@@ -78,9 +78,45 @@ const (
 	// CodeBackendError is a router error: the owning replica (and the
 	// failover replica) failed to answer. Paired with HTTP 502.
 	CodeBackendError = "backend_error"
-	// CodeInternal marks any other server-side failure.
+	// CodeUnavailable marks a request the server cannot serve right now
+	// but may serve after a retry: the durable store is closed (a dead
+	// disk poisons the WAL), or a dataset is being mutated faster than
+	// queries can land on a stable engine generation. Paired with HTTP
+	// 503. Distinct from CodeInternal (a bug or unexpected failure,
+	// HTTP 500) and from CodeNoBackend (a router with no live replica).
+	CodeUnavailable = "unavailable"
+	// CodeInternal marks any other server-side failure. Paired with
+	// HTTP 500.
 	CodeInternal = "internal"
 )
+
+// CodeStatuses is the canonical pairing of every stable error code
+// with the HTTP statuses it may ride on — the single source of truth
+// the pnnvet errcode analyzer enforces at every handler site, so the
+// code/status story can never drift between pnnserve and pnnrouter.
+// Most codes pair with exactly one status; the two documented
+// exceptions are CodeBadRequest (400 malformed body, 405 wrong method)
+// and CodeUnauthorized (401 missing token, 403 wrong token).
+var CodeStatuses = map[string][]int{
+	CodeBadRequest:     {http.StatusBadRequest, http.StatusMethodNotAllowed},
+	CodeBadParam:       {http.StatusBadRequest},
+	CodeUnknownDataset: {http.StatusNotFound},
+	CodeUnsupported:    {http.StatusBadRequest},
+	CodeTooManyEngines: {http.StatusTooManyRequests},
+	CodeTimeout:        {http.StatusGatewayTimeout},
+	// 499 is nginx's "client closed request": keeps client abandonment
+	// out of server-error dashboards.
+	CodeCanceled:     {499},
+	CodeUnauthorized: {http.StatusUnauthorized, http.StatusForbidden},
+	CodeReadOnly:     {http.StatusConflict},
+	CodeExists:       {http.StatusConflict},
+	CodeUnknownPoint: {http.StatusNotFound},
+	CodeEmptyDataset: {http.StatusConflict},
+	CodeNoBackend:    {http.StatusServiceUnavailable},
+	CodeBackendError: {http.StatusBadGateway},
+	CodeUnavailable:  {http.StatusServiceUnavailable},
+	CodeInternal:     {http.StatusInternalServerError},
+}
 
 // Nonzero is the response of GET /v1/nonzero: NN≠0(q), the indices with
 // a nonzero probability of being the nearest neighbor, in increasing

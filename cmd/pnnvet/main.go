@@ -1,0 +1,85 @@
+// Command pnnvet runs the project-invariant analyzer suite
+// (internal/analysis) over the module: stable error-code/status
+// pairing, errors.Is for sentinels, lock discipline on the serving
+// path, caller-owned query results, context flow, and determinism of
+// the quantification packages.
+//
+// Usage:
+//
+//	go run ./cmd/pnnvet ./...
+//	go run ./cmd/pnnvet ./server ./store/...
+//
+// Findings print as file:line:col: rule: message and make the exit
+// status non-zero. Suppress a finding at its line (or the line above)
+// with a justified directive:
+//
+//	//pnnvet:ignore <rule> -- <reason>
+//
+// Flags:
+//
+//	-list  print the analyzer names and the invariant each encodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pnn/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pnnvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, targets, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pnnvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, targets, analysis.All)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pnnvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,207 @@
+// Package analysis implements pnnvet, the project-invariant analyzer
+// suite: six checkers over go/ast + go/types that encode the invariants
+// this codebase's correctness rests on — stable error-code/status
+// pairing, errors.Is for sentinels, lock discipline on the serving
+// path, caller-owned query results, context flow on request paths, and
+// determinism of the quantification packages. The suite is pure
+// standard library: packages are loaded and type-checked by load.go,
+// no external analysis framework.
+//
+// A diagnostic can be suppressed at the offending line (or the line
+// directly above it) with a justified directive:
+//
+//	//pnnvet:ignore <rule> -- <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// Suppressions are grep-able by design.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single package and
+// reports findings through the pass.
+type Analyzer struct {
+	// Name is the rule name used in output and ignore directives.
+	Name string
+	// Doc is the one-line invariant the analyzer encodes.
+	Doc string
+	// Run analyzes pass.Pkg. Analyzers scope themselves: a package
+	// outside the analyzer's remit returns without diagnostics.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the pnnvet analyzer suite.
+var All = []*Analyzer{
+	ErrCode,
+	SentinelCmp,
+	LockDiscipline,
+	CallerOwned,
+	CtxFlow,
+	NonDeterminism,
+}
+
+// Run applies every analyzer in suite to every target package, applies
+// the ignore directives found in the targets' sources, and returns the
+// surviving diagnostics in file/line order. Malformed directives (no
+// "-- reason") are reported as rule "ignore".
+func Run(prog *Program, targets []*Package, suite []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range targets {
+		for _, a := range suite {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg}
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
+		}
+	}
+	ignores, malformed := collectIgnores(prog, targets)
+	diags = append(diags, malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// ignoreSet records, per file and line, which rules are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) add(file string, line int, rule string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	rules := lines[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		lines[line] = rules
+	}
+	rules[rule] = true
+}
+
+// covers reports whether d is suppressed: a directive for its rule (or
+// "all") sits on the same line or the line directly above.
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if rules := lines[line]; rules != nil && (rules[d.Rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//pnnvet:ignore"
+
+// collectIgnores scans target sources for ignore directives. A
+// directive names one or more comma-separated rules and must justify
+// itself after " -- "; `//pnnvet:ignore errcode -- helper validated at
+// construction` is well-formed, a reasonless directive is reported.
+func collectIgnores(prog *Program, targets []*Package) (ignoreSet, []Diagnostic) {
+	ignores := make(ignoreSet)
+	var malformed []Diagnostic
+	known := make(map[string]bool, len(All)+1)
+	known["all"] = true
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					rules, reason, ok := strings.Cut(rest, "--")
+					reason = strings.TrimSpace(reason)
+					var names []string
+					for _, name := range strings.Split(strings.TrimSpace(rules), ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names = append(names, name)
+						}
+					}
+					bad := !ok || reason == "" || len(names) == 0
+					for _, name := range names {
+						if !known[name] {
+							bad = true
+						}
+					}
+					if !bad {
+						for _, name := range names {
+							ignores.add(pos.Filename, pos.Line, name)
+						}
+					} else {
+						malformed = append(malformed, Diagnostic{
+							Pos:  pos,
+							Rule: "ignore",
+							Message: fmt.Sprintf("malformed directive %q: want %s <rule>[,<rule>] -- <reason>",
+								c.Text, ignorePrefix),
+						})
+					}
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// inspect walks every file of the package, calling fn on each node.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Each analyzer owns a golden mini-module under testdata/<rule>/ (its
+// own go.mod, invisible to the go tool). Seeded violations carry
+//
+//	// want "message substring"
+//
+// comments on the line the diagnostic must land on; clean files carry
+// none. The test is bidirectional: every want must be matched by a
+// diagnostic on that exact file and line, and every diagnostic must be
+// claimed by a want — an analyzer that drifts in either direction
+// fails loudly.
+
+// want is one expected diagnostic: file, exact line, and a substring
+// of the message.
+type want struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+func (w *want) String() string {
+	return fmt.Sprintf("%s:%d: %q", w.file, w.line, w.sub)
+}
+
+var wantSubRE = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants scans the loaded sources for want comments. Malformed
+// ignore directives are themselves expectations: the runner must
+// report them under rule "ignore" at the directive's line.
+func collectWants(t *testing.T, prog *Program, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					if strings.HasPrefix(c.Text, ignorePrefix) {
+						if directiveMalformed(c.Text) {
+							wants = append(wants, &want{file: pos.Filename, line: pos.Line, sub: "malformed directive"})
+						}
+						continue
+					}
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					subs := wantSubRE.FindAllStringSubmatch(rest, -1)
+					if len(subs) == 0 {
+						t.Fatalf("%s: want comment without a quoted substring: %s", pos, c.Text)
+					}
+					for _, m := range subs {
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, sub: m[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// directiveMalformed mirrors the runner's directive grammar: rules,
+// " -- ", a non-empty reason, and only known rule names.
+func directiveMalformed(text string) bool {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	rules, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return true
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	names := 0
+	for _, name := range strings.Split(strings.TrimSpace(rules), ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		names++
+		if !known[name] {
+			return true
+		}
+	}
+	return names == 0
+}
+
+// runGolden loads testdata/<a.Name> and checks Run's diagnostics
+// against the want comments, both directions.
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", a.Name)
+	prog, targets, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run(prog, targets, []*Analyzer{a})
+	wants := collectWants(t, prog, targets)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+				w.hit, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s", w)
+		}
+	}
+}
+
+func TestErrCode(t *testing.T)        { runGolden(t, ErrCode) }
+func TestSentinelCmp(t *testing.T)    { runGolden(t, SentinelCmp) }
+func TestLockDiscipline(t *testing.T) { runGolden(t, LockDiscipline) }
+func TestCallerOwned(t *testing.T)    { runGolden(t, CallerOwned) }
+func TestCtxFlow(t *testing.T)        { runGolden(t, CtxFlow) }
+func TestNonDeterminism(t *testing.T) { runGolden(t, NonDeterminism) }
+
+// TestSuppressionIsLineScoped pins the directive's reach: the line it
+// sits on and the line directly below, nothing further. The seeded
+// violation in sentinelcmp's ignored.go sits one line under its
+// directive and must stay suppressed even when the whole suite runs.
+func TestSuppressionIsLineScoped(t *testing.T) {
+	prog, targets, err := Load(filepath.Join("testdata", "sentinelcmp"), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, targets, All)
+	for _, d := range diags {
+		if d.Rule != "sentinelcmp" {
+			continue
+		}
+		if strings.HasSuffix(d.Pos.Filename, "ignored.go") && strings.Contains(d.Message, "ErrClosed compared with ==") {
+			t.Errorf("suppressed violation reported anyway: %s", d)
+		}
+	}
+}
+
+// TestRunOrdersDiagnostics pins the file/line ordering contract of Run
+// — pnnvet's output must be stable across runs for diffing in CI logs.
+func TestRunOrdersDiagnostics(t *testing.T) {
+	prog, targets, err := Load(filepath.Join("testdata", "sentinelcmp"), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, targets, []*Analyzer{SentinelCmp})
+	if len(diags) < 2 {
+		t.Fatalf("want several diagnostics, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename || (a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallerOwned enforces the result-ownership contract of the query
+// surface: an exported method of the root package or of an internal
+// package must not return a slice or map that aliases receiver state —
+// `return x.field`, `return x.field[:n]`, or `return x.a.b`. A caller
+// that mutates (or merely holds) such a result races with every later
+// query against the same structure; PR 4's aliasing audit proved the
+// facade clean dynamically, this is the static twin that keeps it
+// that way. Intentional zero-copy views carry an ignore directive with
+// their justification.
+var CallerOwned = &Analyzer{
+	Name: "callerowned",
+	Doc:  "exported query methods must not return slices/maps aliasing receiver state",
+	Run:  runCallerOwned,
+}
+
+func runCallerOwned(pass *Pass) {
+	rel := pass.Pkg.RelPath
+	if rel != "" && !hasPathPrefix(rel, "internal") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			recvObj := info.Defs[recv]
+			if recvObj == nil {
+				continue
+			}
+			results := fieldListTypes(info, fd.Type.Results)
+			if len(results) == 0 {
+				continue
+			}
+			checkReturns(pass, fd, recvObj, results)
+		}
+	}
+}
+
+func fieldListTypes(info *types.Info, fl *ast.FieldList) []types.Type {
+	if fl == nil {
+		return nil
+	}
+	var out []types.Type
+	for _, f := range fl.List {
+		t := info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func checkReturns(pass *Pass, fd *ast.FuncDecl, recvObj types.Object, results []types.Type) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are not the method's return path
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(results) {
+			return true
+		}
+		for i, e := range ret.Results {
+			if !isSliceOrMap(results[i]) {
+				continue
+			}
+			if field, ok := aliasesReceiver(info, recvObj, e); ok {
+				pass.Reportf(e.Pos(),
+					"%s returns %s, aliasing receiver state; return a copy (or justify a zero-copy view with an ignore directive)",
+					fd.Name.Name, field)
+			}
+		}
+		return true
+	})
+}
+
+// aliasesReceiver reports whether e reads a field (or subslice of a
+// field) reachable from the receiver: x.f, x.a.b, x.f[1:], (*x).f.
+func aliasesReceiver(info *types.Info, recvObj types.Object, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if isReceiverChain(info, recvObj, e.X) {
+			return types.ExprString(e), true
+		}
+	case *ast.SliceExpr:
+		// A full or partial subslice shares the backing array.
+		return aliasesReceiver(info, recvObj, e.X)
+	}
+	return "", false
+}
+
+// isReceiverChain reports whether e is the receiver itself or a
+// selector chain rooted at it (x, *x, x.a, x.a.b …).
+func isReceiverChain(info *types.Info, recvObj types.Object, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e] == recvObj
+	case *ast.SelectorExpr:
+		return isReceiverChain(info, recvObj, e.X)
+	case *ast.StarExpr:
+		return isReceiverChain(info, recvObj, e.X)
+	}
+	return false
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || (len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/')
+}

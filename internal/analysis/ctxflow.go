@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow patrols request-path functions: a function that accepts a
+// context.Context must neither mint a fresh root context
+// (context.Background/context.TODO — which silently detaches the work
+// from the caller's deadline and cancellation) nor block the request
+// on a wall-clock time.Sleep. Goroutines spawned inside such a
+// function (go func() { … }) are deliberately out of scope: detached
+// background work owning a fresh context is legitimate, as in the
+// batcher's flush path.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions taking a context must not call context.Background/TODO or time.Sleep",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasContextParam(info, fd.Type.Params) {
+				continue
+			}
+			checkCtxBody(pass, fd.Body)
+		}
+	}
+}
+
+func hasContextParam(info *types.Info, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, p := range params.List {
+		if isNamed(info.TypeOf(p.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Detached goroutines may own a fresh context; skip the spawned
+			// function but keep checking its synchronously evaluated args.
+			for _, arg := range n.Call.Args {
+				checkCtxExpr(pass, arg)
+			}
+			if _, ok := n.Call.Fun.(*ast.FuncLit); !ok {
+				checkCtxExpr(pass, n.Call.Fun)
+			}
+			return false
+		case *ast.CallExpr:
+			reportCtxCall(pass, info, n)
+		}
+		return true
+	})
+}
+
+func checkCtxExpr(pass *Pass, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportCtxCall(pass, pass.Pkg.Info, call)
+		}
+		return true
+	})
+}
+
+func reportCtxCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+		pass.Reportf(call.Pos(),
+			"context.%s inside a context-taking function detaches the request from its deadline; thread the caller's ctx",
+			fn.Name())
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		pass.Reportf(call.Pos(),
+			"time.Sleep on a request path; respect ctx cancellation (timer + select) instead")
+	}
+}

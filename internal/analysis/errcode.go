@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrCode enforces the wire error-code contract in the handler
+// packages (server, server/shard): every error code written to a
+// response must be one of the declared api constants — never a string
+// literal — and every (code, status) pairing must be declared in
+// api.CodeStatuses, the single source of truth for which HTTP status a
+// code may ride on. This kills the code/status drift between tiers
+// that stable wire codes exist to prevent.
+//
+// The check covers every call argument whose parameter is named "code"
+// (writeError, fillError, and any future helper alike) and every
+// composite literal with a string "code"/"Code" field (queryError,
+// api.Error). A non-constant code or status is accepted only as a
+// plain identifier or field selector — a pass-through of a value whose
+// construction site is itself checked.
+var ErrCode = &Analyzer{
+	Name: "errcode",
+	Doc:  "handler error codes must be api constants paired with their declared HTTP status",
+	Run:  runErrCode,
+}
+
+func runErrCode(pass *Pass) {
+	rel := pass.Pkg.RelPath
+	if rel != "server" && rel != "server/shard" {
+		return
+	}
+	apiPkg := pass.Prog.Rel("api")
+	if apiPkg == nil {
+		pass.Reportf(pass.Pkg.Files[0].Package, "cannot enforce code/status pairs: module has no api package")
+		return
+	}
+	allowed, ok := codeStatuses(apiPkg)
+	if !ok {
+		pass.Reportf(pass.Pkg.Files[0].Package, "cannot enforce code/status pairs: api.CodeStatuses map not found")
+		return
+	}
+	info := pass.Pkg.Info
+
+	checkPair := func(codeExpr, statusExpr ast.Expr) {
+		code, codeConst := stringConst(info, codeExpr)
+		if codeConst {
+			obj := objectOf(info, codeExpr)
+			c, isConst := obj.(*types.Const)
+			if !isConst || c.Pkg() == nil || c.Pkg().Path() != apiPkg.Path {
+				pass.Reportf(codeExpr.Pos(),
+					"error code %q must be a declared api constant, not a literal or foreign constant", code)
+				return
+			}
+			statuses, declared := allowed[code]
+			if !declared {
+				pass.Reportf(codeExpr.Pos(),
+					"error code %q has no entry in api.CodeStatuses", code)
+				return
+			}
+			if statusExpr != nil {
+				if status, statusConst := intConst(info, statusExpr); statusConst {
+					if !statuses[status] {
+						pass.Reportf(statusExpr.Pos(),
+							"error code %q paired with HTTP status %d; api.CodeStatuses declares %s",
+							code, status, statusList(statuses))
+					}
+				} else if !isPassThrough(statusExpr) {
+					pass.Reportf(statusExpr.Pos(),
+						"HTTP status for code %q must be a constant or a pass-through identifier", code)
+				}
+			}
+			return
+		}
+		if !isPassThrough(codeExpr) {
+			pass.Reportf(codeExpr.Pos(),
+				"error code must be an api constant or a pass-through identifier, not a computed value")
+		}
+	}
+
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			codeExpr, statusExpr := codeStatusArgs(info, n)
+			if codeExpr != nil {
+				checkPair(codeExpr, statusExpr)
+			}
+		case *ast.CompositeLit:
+			codeExpr, statusExpr := codeStatusFields(info, n)
+			if codeExpr != nil {
+				checkPair(codeExpr, statusExpr)
+			}
+		}
+		return true
+	})
+}
+
+// codeStatuses constant-folds the api package's
+//
+//	var CodeStatuses = map[string][]int{CodeX: {400, 405}, ...}
+//
+// declaration into code → allowed-status-set.
+func codeStatuses(apiPkg *Package) (map[string]map[int]bool, bool) {
+	for _, f := range apiPkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "CodeStatuses" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						return nil, false
+					}
+					return foldCodeStatuses(apiPkg.Info, lit)
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func foldCodeStatuses(info *types.Info, lit *ast.CompositeLit) (map[string]map[int]bool, bool) {
+	out := make(map[string]map[int]bool)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		code, ok := stringConst(info, kv.Key)
+		if !ok {
+			return nil, false
+		}
+		val, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		set := make(map[int]bool)
+		for _, s := range val.Elts {
+			status, ok := intConst(info, s)
+			if !ok {
+				return nil, false
+			}
+			set[status] = true
+		}
+		out[code] = set
+	}
+	return out, true
+}
+
+// codeStatusArgs finds, in one call, the argument bound to a string
+// parameter named "code" and (if present) the one bound to an int
+// parameter named "status".
+func codeStatusArgs(info *types.Info, call *ast.CallExpr) (codeExpr, statusExpr ast.Expr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := types.Unalias(tv.Type).(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		p := params.At(i)
+		switch {
+		case p.Name() == "code" && types.Identical(p.Type().Underlying(), types.Typ[types.String].Underlying()):
+			codeExpr = call.Args[i]
+		case p.Name() == "status" && types.Identical(p.Type().Underlying(), types.Typ[types.Int]):
+			statusExpr = call.Args[i]
+		}
+	}
+	return codeExpr, statusExpr
+}
+
+// codeStatusFields finds, in a struct composite literal, the value of
+// a string field named "code"/"Code" and of an int field named
+// "status"/"Status" (positional and keyed literals alike).
+func codeStatusFields(info *types.Info, lit *ast.CompositeLit) (codeExpr, statusExpr ast.Expr) {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return nil, nil
+	}
+	st, ok := types.Unalias(tv.Type).Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fieldVal := func(want string) ast.Expr {
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && strings.EqualFold(id.Name, want) {
+					return kv.Value
+				}
+				continue
+			}
+			if i < st.NumFields() && strings.EqualFold(st.Field(i).Name(), want) {
+				return elt
+			}
+		}
+		return nil
+	}
+	isString := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	if ce := fieldVal("code"); ce != nil && isString(ce) {
+		codeExpr = ce
+		statusExpr = fieldVal("status")
+	}
+	return codeExpr, statusExpr
+}
+
+// isPassThrough reports whether e is a plain identifier or field
+// selector — a value forwarded from a construction site that the
+// analyzer checks on its own.
+func isPassThrough(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPassThrough(e.X)
+	}
+	return false
+}
+
+func stringConst(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func intConst(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func statusList(set map[int]bool) string {
+	var list []int
+	for s := range set {
+		list = append(list, s)
+	}
+	sort.Ints(list)
+	parts := make([]string, len(list))
+	for i, s := range list {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is (or trivially implements) error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, errorType)
+}
+
+// objectOf resolves the object an expression refers to: a bare
+// identifier or the selected name of a selector. Returns nil for
+// anything else.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// namedFrom unwraps t (through pointers and aliases) to a named type,
+// or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t unwraps to the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// calleeFunc resolves the called function or method of call, or nil
+// (builtins, calls of function-typed values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	obj := objectOf(info, call.Fun)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isSliceOrMap reports whether t is a slice or map type.
+func isSliceOrMap(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex
+// or sync.RWMutex by value (directly, through struct fields, or
+// through arrays). Pointers never count: sharing a lock via pointer is
+// the correct idiom.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, make(map[types.Type]bool))
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex") {
+		// isNamed sees through pointers; reject those here.
+		if _, ptr := types.Unalias(t).(*types.Pointer); ptr {
+			return false
+		}
+		return true
+	}
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// recvIdent returns the receiver identifier of a method declaration,
+// or nil (unnamed or "_" receivers).
+func recvIdent(decl *ast.FuncDecl) *ast.Ident {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := decl.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the full import path ("pnn/server/shard").
+	Path string
+	// RelPath is the path relative to the module root: "" for the root
+	// package, "server/shard" for pnn/server/shard. Analyzers scope
+	// themselves by RelPath so they work identically on the real module
+	// and on testdata mini-modules.
+	RelPath string
+	// Dir is the package directory on disk.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a module's worth of loaded packages sharing one FileSet:
+// the analysis targets plus every module-internal dependency (analyzers
+// such as errcode read declarations out of dependency packages).
+type Program struct {
+	ModPath string
+	ModDir  string
+	Fset    *token.FileSet
+	// Pkgs maps import path to package, for targets and module-internal
+	// dependencies alike.
+	Pkgs map[string]*Package
+}
+
+// Rel returns the package with the given module-relative path, or nil.
+func (p *Program) Rel(rel string) *Package {
+	path := p.ModPath
+	if rel != "" {
+		path += "/" + rel
+	}
+	return p.Pkgs[path]
+}
+
+// sharedFset is the FileSet behind every Load: the stdlib source
+// importer is bound to one FileSet for its lifetime, and sharing it
+// across loads lets one process (pnnvet, the self-tests) type-check the
+// standard library once instead of once per mini-module.
+var (
+	sharedFset = token.NewFileSet()
+	stdOnce    sync.Once
+	stdImp     types.ImporterFrom
+)
+
+func stdImporter() types.ImporterFrom {
+	stdOnce.Do(func() {
+		// The "source" importer type-checks dependencies from source under
+		// GOROOT — no compiled export data needed, no external tooling.
+		stdImp = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdImp
+}
+
+// loader resolves module-internal imports by recursively loading them
+// and everything else through the stdlib source importer.
+type loader struct {
+	prog    *Program
+	loading map[string]bool
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.prog.ModPath || strings.HasPrefix(path, l.prog.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdImporter().ImportFrom(path, srcDir, mode)
+}
+
+// load parses and type-checks one module-internal package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.prog.Pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.prog.ModPath), "/")
+	dir := filepath.Join(l.prog.ModDir, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if isIgnoredFile(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, RelPath: rel, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.prog.Pkgs[path] = pkg
+	return pkg, nil
+}
+
+// isIgnoredFile reports whether the file opts out of the build
+// ("//go:build ignore" and friends before the package clause).
+func isIgnoredFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "go:build") && strings.Contains(text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Load type-checks the packages of the module rooted at dir (the
+// directory holding go.mod) selected by patterns. Supported patterns:
+// "./..." (every package), "./x" (one package), "./x/..." (a subtree).
+// Test files are never loaded: pnnvet checks the shipped code.
+//
+// The returned slice holds the pattern-matched target packages in
+// path order; the Program additionally holds every module-internal
+// dependency that was pulled in.
+func Load(dir string, patterns ...string) (*Program, []*Package, error) {
+	modDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath, err := modulePath(modDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := &Program{
+		ModPath: modPath,
+		ModDir:  modDir,
+		Fset:    sharedFset,
+		Pkgs:    make(map[string]*Package),
+	}
+	l := &loader{prog: prog, loading: make(map[string]bool)}
+
+	rels, err := matchPatterns(modDir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var targets []*Package
+	for _, rel := range rels {
+		path := modPath
+		if rel != "" {
+			path += "/" + rel
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	return prog, targets, nil
+}
+
+// modulePath reads the module path out of dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", dir)
+}
+
+// matchPatterns expands patterns into module-relative package dirs.
+func matchPatterns(modDir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var rels []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			rels = append(rels, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(strings.TrimSuffix(pat, "/"), "./")
+		switch {
+		case pat == "..." || pat == ".":
+			subtree, err := packageDirs(modDir, "")
+			if err != nil {
+				return nil, err
+			}
+			for _, rel := range subtree {
+				add(rel)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			subtree, err := packageDirs(modDir, filepath.FromSlash(base))
+			if err != nil {
+				return nil, err
+			}
+			for _, rel := range subtree {
+				add(rel)
+			}
+		default:
+			add(filepath.ToSlash(filepath.FromSlash(pat)))
+		}
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// packageDirs walks the subtree under modDir/base collecting every
+// directory holding non-test Go files, skipping hidden directories,
+// underscore directories, and testdata trees.
+func packageDirs(modDir, base string) ([]string, error) {
+	root := filepath.Join(modDir, base)
+	var rels []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(modDir, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rels = append(rels, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	// De-duplicate (one entry per file above).
+	out := rels[:0]
+	for i, rel := range rels {
+		if i == 0 || rels[i-1] != rel {
+			out = append(out, rel)
+		}
+	}
+	return out, nil
+}

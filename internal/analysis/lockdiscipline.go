@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces two lock rules. Everywhere: no sync.Mutex or
+// sync.RWMutex copied by value (signatures, receivers, assignments,
+// range variables). In the serving packages (server, store,
+// server/shard): no mutex held across a channel send, a
+// sync.WaitGroup.Wait, or an outbound HTTP call — the exact shape of
+// the PR-5 registry-refresh and batcher-retirement races, where a
+// blocking operation under a lock turned a mutation race into a
+// deadlock or a stalled drop path. sync.Cond.Wait is exempt (holding
+// the lock is its contract).
+//
+// The held-across check is a per-function, branch-local approximation:
+// it tracks Lock/RLock…Unlock/RUnlock windows in statement order
+// (deferred unlocks hold to function end) and does not follow calls.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no lock copies; no lock held across channel send, WaitGroup.Wait, or outbound HTTP",
+	Run:  runLockDiscipline,
+}
+
+// heldAcrossPackages are the module-relative packages the held-across
+// sub-rule patrols.
+var heldAcrossPackages = map[string]bool{
+	"server":       true,
+	"store":        true,
+	"server/shard": true,
+}
+
+func runLockDiscipline(pass *Pass) {
+	checkCopies(pass)
+	if heldAcrossPackages[pass.Pkg.RelPath] {
+		checkHeldAcross(pass)
+	}
+}
+
+// checkCopies flags mutexes moved by value.
+func checkCopies(pass *Pass) {
+	info := pass.Pkg.Info
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := info.TypeOf(f.Type)
+			if t != nil && containsLock(t) {
+				pass.Reportf(f.Type.Pos(), "%s passes a lock by value; use a pointer", what)
+			}
+		}
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Recv, "receiver")
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if !isAddressableExpr(rhs) {
+					continue // fresh values (literals, calls) are not copies of a shared lock
+				}
+				if t := info.TypeOf(rhs); t != nil && containsLock(t) {
+					pass.Reportf(rhs.Pos(), "assignment copies a lock; use a pointer")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := info.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range variable copies a lock; range over pointers")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isAddressableExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return isAddressableExpr(e.X)
+	}
+	return false
+}
+
+// lockKind classifies one call as acquiring or releasing a mutex.
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockScanner tracks held-lock windows through one function body.
+type lockScanner struct {
+	pass *Pass
+	info *types.Info
+}
+
+// classifyLock recognizes m.Lock/m.RLock/m.Unlock/m.RUnlock where m is
+// a sync.Mutex or sync.RWMutex (possibly behind a pointer), returning
+// a stable key naming the lock.
+func (s *lockScanner) classifyLock(call *ast.CallExpr) (key string, kind lockKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	recv := s.info.TypeOf(sel.X)
+	if recv == nil || (!isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex")) {
+		return "", lockNone
+	}
+	key = types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return key, lockAcquire
+	case "Unlock", "RUnlock":
+		return key, lockRelease
+	}
+	return "", lockNone
+}
+
+// isBlockingCall recognizes the calls that must not run under a lock:
+// sync.WaitGroup.Wait and the net/http request functions.
+func (s *lockScanner) isBlockingCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(s.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case fn.Name() == "Wait" && fn.Pkg().Path() == "sync":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			isNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait", true
+		}
+	case fn.Pkg().Path() == "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip":
+			return "net/http." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func checkHeldAcross(pass *Pass) {
+	s := &lockScanner{pass: pass, info: pass.Pkg.Info}
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				s.stmts(n.Body.List, map[string]bool{})
+			}
+		case *ast.FuncLit:
+			// Function literals run in their own dynamic context (often a
+			// fresh goroutine); scan them with an empty held set.
+			s.stmts(n.Body.List, map[string]bool{})
+		}
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func heldName(held map[string]bool) string {
+	for k := range held {
+		return k
+	}
+	return "?"
+}
+
+// stmts walks one statement list in order, tracking the held set.
+// Nested control-flow bodies get a copy of the set: an unlock inside a
+// conditional branch (almost always followed by return) does not clear
+// the window on the fall-through path.
+func (s *lockScanner) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *lockScanner) stmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, kind := s.classifyLock(call); kind != lockNone {
+				if kind == lockAcquire {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		s.exprs(held, st.X)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.pass.Reportf(st.Arrow, "channel send while holding %s", heldName(held))
+		}
+		s.exprs(held, st.Chan, st.Value)
+	case *ast.DeferStmt:
+		if _, kind := s.classifyLock(st.Call); kind == lockRelease {
+			// A deferred unlock releases at return: the lock stays held for
+			// the remainder of the body, which is exactly what the held set
+			// already says.
+			return
+		}
+		s.exprs(held, st.Call.Args...)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the parent's locks; only
+		// the argument evaluation runs here.
+		s.exprs(held, st.Call.Args...)
+	case *ast.AssignStmt:
+		s.exprs(held, st.Rhs...)
+		s.exprs(held, st.Lhs...)
+	case *ast.ReturnStmt:
+		s.exprs(held, st.Results...)
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.exprs(held, st.Cond)
+		s.stmts(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.exprs(held, st.Cond)
+		}
+		s.stmts(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		s.exprs(held, st.X)
+		s.stmts(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.exprs(held, st.Tag)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.exprs(held, cc.List...)
+				s.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && len(held) > 0 {
+				s.pass.Reportf(send.Arrow, "channel send (select) while holding %s", heldName(held))
+			}
+			s.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.IncDecStmt:
+		s.exprs(held, st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.exprs(held, vs.Values...)
+				}
+			}
+		}
+	}
+}
+
+// exprs reports blocking calls inside arbitrary expressions while any
+// lock is held. Function literals are skipped: they are scanned as
+// their own context.
+func (s *lockScanner) exprs(held map[string]bool, list ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if what, ok := s.isBlockingCall(call); ok {
+					s.pass.Reportf(call.Pos(), "%s while holding %s", what, heldName(held))
+				}
+			}
+			return true
+		})
+	}
+}

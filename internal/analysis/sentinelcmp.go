@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelCmp flags comparisons of errors against sentinel values with
+// == or != (including switch cases over an error tag). Sentinels here
+// are package-level variables of error type — ErrClosed,
+// ErrSnapshotCorrupt, pnn.ErrInvalidParam, io.EOF, …. Direct equality
+// breaks the moment anyone wraps the sentinel with %w, which is
+// exactly how the store and server layers propagate them; errors.Is
+// matches wrapped and unwrapped alike.
+var SentinelCmp = &Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "compare sentinel errors with errors.Is/errors.As, never == or !=",
+	Run:  runSentinelCmp,
+}
+
+func runSentinelCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	sentinel := func(e ast.Expr) types.Object {
+		obj := objectOf(info, e)
+		v, ok := obj.(*types.Var)
+		if !ok || !isPackageLevel(v) || !isErrorType(v.Type()) {
+			return nil
+		}
+		return v
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range [2]ast.Expr{n.X, n.Y} {
+				if obj := sentinel(side); obj != nil {
+					pass.Reportf(n.Pos(), "%s compared with %s; use errors.Is", obj.Name(), n.Op)
+					return true
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isErrorType(info.TypeOf(n.Tag)) {
+				return true
+			}
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := sentinel(e); obj != nil {
+						pass.Reportf(e.Pos(), "switch case compares %s by identity; use errors.Is", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,3 @@
+module example.test/callerowned
+
+go 1.24

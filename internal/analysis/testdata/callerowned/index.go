@@ -1,0 +1,59 @@
+// Package callerowned is the mini-module's root package — in scope for
+// the caller-owned-results rule, like the real module's pnn facade.
+package callerowned
+
+type inner struct {
+	buf []float64
+}
+
+// Index mimics a query structure: exported accessors must hand back
+// copies, never views of receiver state.
+type Index struct {
+	ids  []int
+	tags map[string]int
+	sub  inner
+}
+
+func (x *Index) IDs() []int {
+	return x.ids // want "IDs returns x.ids, aliasing receiver state"
+}
+
+func (x *Index) Head(n int) []int {
+	return x.ids[:n] // want "Head returns x.ids"
+}
+
+func (x *Index) Tags() map[string]int {
+	return x.tags // want "Tags returns x.tags"
+}
+
+func (x *Index) Buf() []float64 {
+	return x.sub.buf // want "Buf returns x.sub.buf"
+}
+
+// Copy is the blessed shape: a fresh allocation per call.
+func (x *Index) Copy() []int {
+	out := make([]int, len(x.ids))
+	copy(out, x.ids)
+	return out
+}
+
+// Len returns a value, not a view.
+func (x *Index) Len() int {
+	return len(x.ids)
+}
+
+// raw is unexported: internal helpers may share freely.
+func (x *Index) raw() []int {
+	return x.ids
+}
+
+// View is a documented zero-copy accessor: the directive suppresses
+// the finding with a grep-able justification.
+//
+//pnnvet:ignore callerowned -- zero-copy view by contract; callers iterate and never retain
+func (x *Index) View() []int { return x.ids }
+
+// Fresh has no receiver state to alias.
+func Fresh(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,17 @@
+// Package sub proves internal/* packages are in scope for the
+// caller-owned-results rule.
+package sub
+
+type Set struct {
+	members []string
+}
+
+func (s *Set) Members() []string {
+	return s.members // want "Members returns s.members, aliasing receiver state"
+}
+
+func (s *Set) Sorted() []string {
+	out := make([]string, len(s.members))
+	copy(out, s.members)
+	return out
+}

@@ -1,0 +1,37 @@
+// Package ctxflow seeds context-flow violations: functions that accept
+// a context must thread it, not mint roots or sleep the request.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func handle(ctx context.Context, retry bool) error {
+	if retry {
+		ctx = context.Background() // want "context.Background inside a context-taking function"
+	}
+	time.Sleep(time.Millisecond) // want "time.Sleep on a request path"
+	return ctx.Err()
+}
+
+func lookup(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO inside a context-taking function"
+}
+
+// detached spawns background work: a goroutine owning a fresh context
+// and its own pacing is legitimate and must not be flagged.
+func detached(ctx context.Context, done chan struct{}) {
+	go func() {
+		time.Sleep(time.Millisecond)
+		bg := context.Background()
+		_ = bg
+		close(done)
+	}()
+	<-ctx.Done()
+}
+
+// plain takes no context: wall-clock pacing is its own business.
+func plain(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,3 @@
+module example.test/ctxflow
+
+go 1.24

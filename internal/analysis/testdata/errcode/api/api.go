@@ -1,0 +1,20 @@
+// Package api is the testdata twin of the real wire-contract package:
+// a handful of code constants plus the CodeStatuses declaration the
+// errcode analyzer constant-folds.
+package api
+
+const (
+	CodeBadParam       = "bad_param"
+	CodeUnknownDataset = "unknown_dataset"
+	CodeInternal       = "internal"
+	// CodeOrphan is deliberately absent from CodeStatuses: pairing it
+	// with any status must be flagged.
+	CodeOrphan = "orphan"
+)
+
+// CodeStatuses declares the allowed HTTP statuses per code.
+var CodeStatuses = map[string][]int{
+	CodeBadParam:       {400, 405},
+	CodeUnknownDataset: {404},
+	CodeInternal:       {500},
+}

@@ -1,0 +1,3 @@
+module example.test/errcode
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package other sits outside the errcode analyzer's remit (it is
+// neither server nor server/shard): a naked code literal here must not
+// be flagged.
+package other
+
+func report(status int, code string, err error) {
+	_, _, _ = status, code, err
+}
+
+func use(err error) {
+	report(500, "totally_made_up", err)
+}

@@ -1,0 +1,60 @@
+// Package server seeds errcode violations: the analyzer patrols the
+// "server" and "server/shard" packages of any module it loads, this
+// mini-module's included.
+package server
+
+import (
+	"example.test/errcode/api"
+)
+
+type responseWriter interface{ WriteHeader(int) }
+
+type srv struct{}
+
+// writeError mirrors the real handler helper: the analyzer binds the
+// arguments by parameter name (status int, code string).
+func (s srv) writeError(w responseWriter, status int, code string, err error) {
+	w.WriteHeader(status)
+	_ = err
+}
+
+// queryError mirrors the real struct shape the composite-literal check
+// covers: a code field next to a status field.
+type queryError struct {
+	status int
+	code   string
+	err    error
+}
+
+const homegrown = "homegrown"
+
+func (s srv) handle(w responseWriter, err error, dynamic string) {
+	// Declared pairs pass.
+	s.writeError(w, 400, api.CodeBadParam, err)
+	s.writeError(w, 405, api.CodeBadParam, err)
+	s.writeError(w, 404, api.CodeUnknownDataset, err)
+
+	s.writeError(w, 418, api.CodeInternal, err) // want "paired with HTTP status 418; api.CodeStatuses declares 500"
+
+	s.writeError(w, 400, "bad_param", err) // want "must be a declared api constant, not a literal or foreign constant"
+
+	s.writeError(w, 400, homegrown, err) // want "must be a declared api constant, not a literal or foreign constant"
+
+	s.writeError(w, 400, api.CodeOrphan, err) // want "has no entry in api.CodeStatuses"
+
+	s.writeError(w, 500, dynamic+"x", err) // want "not a computed value"
+
+	// Pass-through of an already-checked construction site is fine.
+	qe := queryError{status: 404, code: api.CodeUnknownDataset, err: err}
+	s.writeError(w, qe.status, qe.code, qe.err)
+}
+
+func (s srv) build(err error) []queryError {
+	return []queryError{
+		{status: 500, code: api.CodeInternal, err: err},
+		{404, api.CodeUnknownDataset, err},
+		{status: 500, code: api.CodeUnknownDataset, err: err}, // want "paired with HTTP status 500; api.CodeStatuses declares 404"
+		{418, api.CodeInternal, err},                          // want "paired with HTTP status 418; api.CodeStatuses declares 500"
+		{status: 400, code: "oops", err: err},                 // want "must be a declared api constant, not a literal or foreign constant"
+	}
+}

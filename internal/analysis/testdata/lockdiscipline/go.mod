@@ -1,0 +1,3 @@
+module example.test/lockdiscipline
+
+go 1.24

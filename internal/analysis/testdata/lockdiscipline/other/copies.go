@@ -1,0 +1,56 @@
+// Package other is outside the held-across packages (server, store,
+// server/shard) — blocking under a lock is not flagged here — but the
+// no-lock-copies rule applies module-wide.
+package other
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(mu sync.Mutex) { // want "parameter passes a lock by value; use a pointer"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func byValueRecv(g guarded) int { // want "parameter passes a lock by value; use a pointer"
+	return g.n
+}
+
+func (g guarded) Count() int { // want "receiver passes a lock by value; use a pointer"
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	m := g.mu // want "assignment copies a lock; use a pointer"
+	_ = &m
+}
+
+func rangeCopy(all []guarded) int {
+	total := 0
+	for _, g := range all { // want "range variable copies a lock; range over pointers"
+		total += g.n
+	}
+	return total
+}
+
+// cleanPointers moves locks the right way: behind pointers.
+func cleanPointers(g *guarded, all []*guarded) int {
+	p := g
+	total := p.n
+	for _, q := range all {
+		total += q.n
+	}
+	return total
+}
+
+// heldAcrossOutOfScope blocks under a lock, but this package is not on
+// the serving path: no held-across finding.
+func heldAcrossOutOfScope(g *guarded, ch chan int, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	ch <- 1
+	wg.Wait()
+	g.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+// Package server seeds lock-discipline violations in a package the
+// held-across sub-rule patrols (module-relative path "server").
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+type T struct {
+	mu   sync.Mutex
+	smu  sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+}
+
+func (t *T) sendUnderLock() {
+	t.mu.Lock()
+	t.ch <- 1 // want "channel send while holding t.mu"
+	t.mu.Unlock()
+}
+
+func (t *T) waitUnderDeferredUnlock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wg.Wait() // want "sync.WaitGroup.Wait while holding t.mu"
+}
+
+func (t *T) httpUnderLock() {
+	t.mu.Lock()
+	resp, err := http.Get("http://localhost/healthz") // want "net/http.Get while holding t.mu"
+	t.mu.Unlock()
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// branchUnlock releases only on the early-return path: the
+// fall-through still holds the lock at the send.
+func (t *T) branchUnlock(done bool) {
+	t.mu.Lock()
+	if done {
+		t.mu.Unlock()
+		return
+	}
+	t.ch <- 1 // want "channel send while holding t.mu"
+	t.mu.Unlock()
+}
+
+// cleanWindow closes the lock window before blocking: no findings.
+func (t *T) cleanWindow() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.ch <- 1
+	t.wg.Wait()
+}
+
+// condWait is the blessed pattern: sync.Cond.Wait holds its mutex by
+// contract and is exempt.
+func (t *T) condWait() {
+	t.smu.Lock()
+	defer t.smu.Unlock()
+	t.cond.Wait()
+}
+
+// spawned goroutines run in their own dynamic context; the send inside
+// the literal does not inherit the parent's held set.
+func (t *T) spawn() {
+	t.mu.Lock()
+	go func() {
+		t.ch <- 1
+	}()
+	t.mu.Unlock()
+}

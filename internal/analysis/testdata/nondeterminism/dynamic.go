@@ -1,0 +1,9 @@
+package nondeterminism
+
+import "time"
+
+// tick lives in dynamic.go of the root package — the one root-package
+// file under the determinism contract (the DynamicIndex layer).
+func tick() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}

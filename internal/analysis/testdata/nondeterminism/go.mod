@@ -1,0 +1,3 @@
+module example.test/nondeterminism
+
+go 1.24

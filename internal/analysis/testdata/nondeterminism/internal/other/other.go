@@ -1,0 +1,16 @@
+// Package other is off the determinism contract: wall-clock reads and
+// the global rand source are its own business.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}

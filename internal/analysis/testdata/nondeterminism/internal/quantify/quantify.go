@@ -1,0 +1,33 @@
+// Package quantify stands in for the real deterministic quantifier
+// package (module-relative path internal/quantify is under the
+// determinism contract).
+package quantify
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "rand.Float64 uses the process-global source"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn uses the process-global source"
+}
+
+// seeded uses an explicit source: a pure function of the seed, allowed.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// elapsed operates on caller-provided times: methods on time.Time are
+// fine, only time.Now is banned.
+func elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

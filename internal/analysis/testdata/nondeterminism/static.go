@@ -1,0 +1,10 @@
+// Package nondeterminism is the mini-module's root package. Only its
+// dynamic.go carries the determinism contract; this file may read the
+// clock.
+package nondeterminism
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,36 @@
+// Package sentinelcmp seeds identity comparisons against sentinel
+// errors — the class errors.Is exists to replace.
+package sentinelcmp
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is a package-level sentinel, the shape the analyzer keys
+// on.
+var ErrClosed = errors.New("sentinelcmp: closed")
+
+func eq(err error) bool {
+	return err == ErrClosed // want "ErrClosed compared with ==; use errors.Is"
+}
+
+func neq(err error) bool {
+	return err != io.EOF // want "EOF compared with !=; use errors.Is"
+}
+
+func reversed(err error) bool {
+	return ErrClosed == err // want "ErrClosed compared with ==; use errors.Is"
+}
+
+func tagSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrClosed: // want "switch case compares ErrClosed by identity; use errors.Is"
+		return "closed"
+	case io.ErrUnexpectedEOF: // want "switch case compares ErrUnexpectedEOF by identity; use errors.Is"
+		return "torn"
+	}
+	return "other"
+}

@@ -1,0 +1,19 @@
+package sentinelcmp
+
+import (
+	"errors"
+	"io"
+)
+
+// clean compares the blessed ways: errors.Is for sentinels, == only
+// against nil or non-sentinel locals.
+func clean(err error) bool {
+	if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) {
+		return true
+	}
+	if err == nil {
+		return false
+	}
+	local := errors.New("scratch")
+	return err == local
+}

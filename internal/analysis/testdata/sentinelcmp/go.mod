@@ -1,0 +1,3 @@
+module example.test/sentinelcmp
+
+go 1.24

@@ -1,0 +1,24 @@
+package sentinelcmp
+
+import "io"
+
+// suppressed carries a well-formed directive on the line above the
+// comparison: the violation must NOT be reported.
+func suppressed(err error) bool {
+	//pnnvet:ignore sentinelcmp -- identity semantics are the point here: the test asserts pointer equality
+	return err == ErrClosed
+}
+
+// reasonless has a directive without the mandatory "-- reason" tail:
+// the directive itself is reported (rule "ignore") and the comparison
+// below stays reported — a broken suppression must not suppress.
+func reasonless(err error) bool {
+	//pnnvet:ignore sentinelcmp
+	return err == io.EOF // want "EOF compared with ==; use errors.Is"
+}
+
+// unknownRule names a rule that does not exist; same treatment.
+func unknownRule(err error) bool {
+	//pnnvet:ignore nosuchrule -- the rule name is a typo
+	return err != ErrClosed // want "ErrClosed compared with !=; use errors.Is"
+}

@@ -82,6 +82,8 @@ func (t *Tracker) Alive(slot int) bool { return t.alive[slot] }
 
 // Buckets returns the current buckets (shared, read-only; valid until
 // the next mutation). Order is unspecified.
+//
+//pnnvet:ignore callerowned -- documented zero-copy view on the DynamicIndex query hot path; callers iterate and never retain or mutate
 func (t *Tracker) Buckets() []*Bucket { return t.buckets }
 
 // Insert adds slot as a new live member, cascading merges until the

@@ -1,0 +1,65 @@
+package testutil
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The package eats its own cooking: its tests run under the leak gate.
+func TestMain(m *testing.M) {
+	os.Exit(VerifyNoLeaks(m.Run))
+}
+
+// TestLeakedGoroutinesSeesAPlantedLeak plants a goroutine parked on a
+// channel nobody closes and checks the detector reports it, then
+// releases it and checks the report drains within the retry pattern.
+func TestLeakedGoroutinesSeesAPlantedLeak(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	found := false
+	for _, g := range leakedGoroutines() {
+		if strings.Contains(g, "TestLeakedGoroutinesSeesAPlantedLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted leaked goroutine not reported")
+	}
+
+	close(release)
+	deadline := time.Now().Add(leakRetryWindow)
+	for {
+		still := false
+		for _, g := range leakedGoroutines() {
+			if strings.Contains(g, "TestLeakedGoroutinesSeesAPlantedLeak") {
+				still = true
+			}
+		}
+		if !still {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("released goroutine still reported as leaked")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestVerifyNoLeaksPassesFailureThrough pins that a failing run is
+// reported as-is, leak check skipped.
+func TestVerifyNoLeaksPassesFailureThrough(t *testing.T) {
+	release := make(chan struct{})
+	go func() { <-release }()
+	defer close(release)
+	if got := VerifyNoLeaks(func() int { return 2 }); got != 2 {
+		t.Fatalf("VerifyNoLeaks rewrote exit code %d", got)
+	}
+}

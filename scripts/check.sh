@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-shot local gate mirroring the CI lint and test jobs, in CI
+# order: format, vet, pnnvet, build, tests. `make check` wraps it;
+# CHECK_RACE=1 adds the full-matrix race pass the CI race job runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "FAIL: gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== pnnvet (project invariants)"
+go run ./cmd/pnnvet ./...
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck"
+  shellcheck scripts/*.sh
+else
+  echo "== shellcheck (skipped: not installed)"
+fi
+
+echo "== build"
+go build ./...
+
+echo "== tests"
+go test ./...
+
+if [ "${CHECK_RACE:-0}" = "1" ]; then
+  echo "== race (full matrix)"
+  go test -race ./...
+fi
+
+echo "PASS: all checks"

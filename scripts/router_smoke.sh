@@ -44,8 +44,8 @@ pids+=($!)
 router_pid="${pids[2]}"
 
 wait_healthy() { # wait_healthy <port> <pid> <name>
-  local port="$1" pid="$2" name="$3" i
-  for i in $(seq 1 50); do
+  local port="$1" pid="$2" name="$3"
+  for _ in $(seq 1 50); do
     if curl -fsS -o /dev/null "http://127.0.0.1:$port/healthz" 2>/dev/null; then return 0; fi
     if ! kill -0 "$pid" 2>/dev/null; then
       echo "FAIL: $name exited before becoming healthy" >&2; exit 1
@@ -132,7 +132,7 @@ fi
 echo "ok   batch answers identical after failover"
 
 echo "== router health degrades after probes notice the dead replica"
-for i in $(seq 1 50); do
+for _ in $(seq 1 50); do
   status="$(curl -sS "$base/healthz" | tr -d '\r')"
   case "$status" in *degraded*) break ;; esac
   sleep 0.1

@@ -24,7 +24,7 @@ echo "== starting pnnserve on :$port"
 server_pid=$!
 
 base="http://127.0.0.1:$port"
-for i in $(seq 1 50); do
+for _ in $(seq 1 50); do
   if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then break; fi
   if ! kill -0 "$server_pid" 2>/dev/null; then
     echo "FAIL: pnnserve exited before becoming healthy" >&2; exit 1

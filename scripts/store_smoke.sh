@@ -26,7 +26,7 @@ start_server() {
     -admin-token "$token" \
     -batch-window 1ms &
   server_pid=$!
-  for i in $(seq 1 50); do
+  for _ in $(seq 1 50); do
     if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then return; fi
     if ! kill -0 "$server_pid" 2>/dev/null; then
       echo "FAIL: pnnserve exited before becoming healthy" >&2; exit 1

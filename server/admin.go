@@ -136,7 +136,9 @@ func (s *Server) mutationError(w http.ResponseWriter, err error) {
 	case errors.Is(err, store.ErrKindMismatch):
 		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
 	case errors.Is(err, store.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeInternal, err)
+		// A poisoned store (dead disk, failed fsync) is retryable against
+		// a recovered or failed-over server — unavailable, not a bug.
+		s.writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, err)
 	default:
 		// Everything else the store rejects before logging is input
 		// validation (bad names, bad kinds, malformed points).

@@ -491,3 +491,24 @@ func TestRefreshDropRace(t *testing.T) {
 		t.Fatalf("%d refresh lock entries leaked after quiescence", leaked)
 	}
 }
+
+// TestDeadStoreAnswersUnavailable pins the wire identity of a dead
+// store: a mutation against a closed (or disk-poisoned) store answers
+// 503 with the stable code "unavailable" — retryable infrastructure
+// trouble, not "internal" (a bug) and not 400 (the client's fault).
+func TestDeadStoreAnswersUnavailable(t *testing.T) {
+	_, hs, st := storeServer(t, Config{})
+	if status, raw := adminDo(t, hs, http.MethodPut, "/v1/datasets/a", api.CreateDataset{Kind: "disks"}, testToken); status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	st.Close() // the store dies under the server
+	status, raw := adminDo(t, hs, http.MethodPost, "/v1/datasets/a/points", api.InsertPoints{
+		Disks: []api.DiskPointJSON{{X: 1, Y: 2, R: 0.5}},
+	}, testToken)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("insert on dead store: status %d %s, want 503", status, raw)
+	}
+	if code := errCode(t, raw); code != api.CodeUnavailable {
+		t.Fatalf("insert on dead store: code %q, want %q", code, api.CodeUnavailable)
+	}
+}

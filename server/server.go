@@ -383,7 +383,7 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 		s.cache.Put(cacheKey, body)
 		return body, "miss", nil
 	}
-	return nil, "", &queryError{http.StatusServiceUnavailable, api.CodeInternal,
+	return nil, "", &queryError{http.StatusServiceUnavailable, api.CodeUnavailable,
 		fmt.Errorf("dataset %q is being mutated too rapidly: %w", p.dataset, lastErr)}
 }
 

@@ -1,0 +1,14 @@
+package shard
+
+import (
+	"os"
+	"testing"
+
+	"pnn/internal/testutil"
+)
+
+// TestMain gates the package on goroutine hygiene: health probes and
+// scatter fan-outs must not outlive the router that started them.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

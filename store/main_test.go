@@ -1,0 +1,15 @@
+package store
+
+import (
+	"os"
+	"testing"
+
+	"pnn/internal/testutil"
+)
+
+// TestMain gates the package on goroutine hygiene: a store whose sync
+// or compaction machinery survives Close is a durability bug the next
+// test would otherwise inherit silently.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -170,8 +171,11 @@ func (w *wal) close() error {
 // replayWAL scans the log from the start, handing each intact payload
 // to apply, and returns the offset past the last intact frame. A short
 // or checksum-failing tail is reported via torn (the caller truncates);
-// an apply error aborts the replay.
-func replayWAL(f *os.File, apply func(payload []byte) error) (good int64, torn bool, err error) {
+// an apply error aborts the replay. End-of-stream errors are matched
+// with errors.Is, so a reader layering over the raw file (a follower
+// tailing a shipped log, a decompressor) may signal end of input with
+// a wrapped io.EOF and still terminate the replay cleanly.
+func replayWAL(f io.ReadSeeker, apply func(payload []byte) error) (good int64, torn bool, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, false, err
 	}
@@ -180,10 +184,10 @@ func replayWAL(f *os.File, apply func(payload []byte) error) (good int64, torn b
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return good, false, nil
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return good, true, nil
 			}
 			return good, false, err
@@ -199,7 +203,7 @@ func replayWAL(f *os.File, apply func(payload []byte) error) (good int64, torn b
 		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return good, true, nil
 			}
 			return good, false, err

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// wrappedEOFReader delegates to the underlying file but reports end of
+// input as a *wrapped* io.EOF — the shape a layered reader (a follower
+// tailing a shipped log, a decompressor) hands up.
+type wrappedEOFReader struct {
+	f *os.File
+}
+
+func (r wrappedEOFReader) Read(p []byte) (int, error) {
+	n, err := r.f.Read(p)
+	if err == io.EOF {
+		return n, fmt.Errorf("stream ended: %w", io.EOF)
+	}
+	return n, err
+}
+
+func (r wrappedEOFReader) Seek(offset int64, whence int) (int64, error) {
+	return r.f.Seek(offset, whence)
+}
+
+// TestReplayWrappedEOF pins that replayWAL matches end-of-stream with
+// errors.Is: a reader signalling end of input with a wrapped io.EOF
+// terminates the replay cleanly instead of aborting it (under the old
+// == comparison this replay returned an error).
+func TestReplayWrappedEOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walFile)
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("one"), []byte("twotwo")}
+	var want int64
+	for _, p := range payloads {
+		off, gen, err := w.append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.waitSync(off, gen); err != nil {
+			t.Fatal(err)
+		}
+		want = off
+	}
+
+	var got [][]byte
+	good, torn, err := replayWAL(wrappedEOFReader{f: w.f}, func(payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay over wrapped-EOF reader: %v", err)
+	}
+	if torn {
+		t.Fatal("replay reported a torn tail on an intact log")
+	}
+	if good != want {
+		t.Fatalf("replayed %d bytes, want %d", good, want)
+	}
+	if len(got) != len(payloads) || string(got[0]) != "one" || string(got[1]) != "twotwo" {
+		t.Fatalf("replayed payloads %q", got)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
