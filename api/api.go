@@ -26,6 +26,10 @@ type IndexProb struct {
 type Error struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// RequestID echoes the request's X-Pnn-Request-Id (see
+	// RequestIDHeader), so a failure in hand can be correlated with the
+	// router and backend log lines that produced it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Stable error codes carried in Error.Code. HTTP statuses tell the
@@ -211,6 +215,15 @@ const CacheHeader = "X-Pnn-Cache"
 // backend that answered a proxied request — observability only, never
 // part of the cached body.
 const BackendHeader = "X-Pnn-Backend"
+
+// RequestIDHeader carries the request ID end to end: minted at the
+// first pnn tier a request reaches (router or server) unless the
+// client supplied its own, forwarded on every proxied hop and
+// scatter-gather sub-request, and echoed on the response — so one ID
+// names the same request in the client's error, the router's log line,
+// and the backend's log line. It is a header rather than a body field
+// so cached bodies stay byte-identical across requests.
+const RequestIDHeader = "X-Pnn-Request-Id"
 
 // BatchPath is the heterogeneous-batch endpoint, served by both
 // pnnserve and pnnrouter (which scatter-gathers it across backends).

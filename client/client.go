@@ -66,14 +66,27 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error message.
 	Message string
+	// RequestID is the server-assigned (or caller-supplied) request ID
+	// echoed with the failure — quote it when filing a report, it
+	// matches the request's log lines on every tier it touched. Empty
+	// when talking to servers predating request tracing.
+	RequestID string
 }
 
-// Error renders the status, code, and message.
+// Error renders the status, code, message, and request ID.
 func (e *APIError) Error() string {
+	var b strings.Builder
+	b.WriteString("pnnserve: ")
+	b.WriteString(strconv.Itoa(e.StatusCode))
 	if e.Code != "" {
-		return fmt.Sprintf("pnnserve: %d (%s): %s", e.StatusCode, e.Code, e.Message)
+		fmt.Fprintf(&b, " (%s)", e.Code)
 	}
-	return fmt.Sprintf("pnnserve: %d: %s", e.StatusCode, e.Message)
+	b.WriteString(": ")
+	b.WriteString(e.Message)
+	if e.RequestID != "" {
+		fmt.Fprintf(&b, " [request %s]", e.RequestID)
+	}
+	return b.String()
 }
 
 // Client talks to one pnnserve or pnnrouter instance — or, when built
@@ -380,11 +393,19 @@ func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Val
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
+		// Prefer the error body's request ID; fall back to the response
+		// header, which survives even when the body is not an api.Error
+		// (e.g. TimeoutHandler's plaintext 503 — the middleware stamped
+		// the header before the handler ran).
+		reqID := resp.Header.Get(api.RequestIDHeader)
 		var apiErr api.Error
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
+			if apiErr.RequestID != "" {
+				reqID = apiErr.RequestID
+			}
+			return &APIError{StatusCode: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error, RequestID: reqID}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body)), RequestID: reqID}
 	}
 	return json.Unmarshal(body, out)
 }

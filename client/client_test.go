@@ -6,12 +6,14 @@ import (
 	"math"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"pnn"
 	"pnn/api"
 	"pnn/internal/datafile"
 	"pnn/server"
+	"pnn/server/shard"
 )
 
 func testServer(t *testing.T) (*Client, pnn.UncertainSet) {
@@ -144,9 +146,43 @@ func TestClientErrors(t *testing.T) {
 	if apiErr.Code != api.CodeUnknownDataset {
 		t.Errorf("apiErr.Code = %q, want %q", apiErr.Code, api.CodeUnknownDataset)
 	}
+	if len(apiErr.RequestID) != 16 {
+		t.Errorf("apiErr.RequestID = %q, want a minted 16-hex id", apiErr.RequestID)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.RequestID) {
+		t.Errorf("Error() = %q, want the request id included", apiErr.Error())
+	}
 
 	if _, err := c.TopK(context.Background(), "fleet", 1, 2, -1, nil); err == nil {
 		t.Error("negative k: want an error")
+	}
+}
+
+// TestClientRequestIDThroughRouter: an error answered through the full
+// stack (client → router → backend) surfaces the request ID the router
+// minted, so one identifier correlates the client-side failure with the
+// log lines on both tiers.
+func TestClientRequestIDThroughRouter(t *testing.T) {
+	_, _, backendURL := testServerURL(t)
+	rt, err := shard.New(shard.Config{Backends: []string{backendURL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	router := httptest.NewServer(rt.Handler())
+	t.Cleanup(router.Close)
+
+	c := New(router.URL)
+	_, err = c.Nonzero(context.Background(), "missing", 1, 2, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.Code != api.CodeUnknownDataset {
+		t.Errorf("apiErr.Code = %q", apiErr.Code)
+	}
+	if len(apiErr.RequestID) != 16 {
+		t.Errorf("routed apiErr.RequestID = %q, want a minted 16-hex id", apiErr.RequestID)
 	}
 }
 

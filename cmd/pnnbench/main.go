@@ -38,6 +38,7 @@ import (
 	"pnn/internal/geom"
 	"pnn/internal/linf"
 	"pnn/internal/nnq"
+	"pnn/internal/obs"
 	"pnn/internal/quantify"
 	"pnn/internal/rtree"
 	"pnn/internal/stats"
@@ -1016,6 +1017,23 @@ func expMicrobench() {
 			for i := 0; i < b.N; i++ {
 				dyn.deleteOldest()
 				dyn.insert()
+			}
+		}},
+		// The observability hot path (PR 7): one request's worth of metric
+		// work — endpoint counter increment, label lookup, histogram
+		// observe. The CI bench gate holds this at zero allocs/op so
+		// instrumenting the serving path stays free.
+		{"obs-observe", map[string]any{"buckets": len(obs.DurationBuckets)}, func(b *testing.B) {
+			reg := obs.NewRegistry()
+			requests := reg.NewCounterVec("bench_requests_total", "endpoint")
+			latency := reg.NewHistogramVec("bench_latency_seconds", "endpoint", obs.DurationBuckets)
+			requests.Inc("nonzero") // pre-mint so the loop measures steady state
+			h := latency.With("nonzero")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				requests.Inc("nonzero")
+				latency.With("nonzero").ObserveDuration(time.Duration(i%1000) * time.Microsecond)
+				h.Observe(float64(i%1000) * 1e-6)
 			}
 		}},
 		{"dyn-mixed-90-10", map[string]any{"n": dynN, "reads": 9}, func(b *testing.B) {

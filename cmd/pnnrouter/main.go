@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"pnn/internal/obs"
 	"pnn/server/shard"
 )
 
@@ -40,6 +42,9 @@ var (
 	timeout       = flag.Duration("timeout", 15*time.Second, "per-backend attempt timeout (0 disables)")
 	probeInterval = flag.Duration("probe-interval", 2*time.Second, "backend health probe period (0 disables)")
 	probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+	logLevel      = flag.String("log-level", "info", "structured log level: debug logs every request, info only slow ones (off disables)")
+	slowQuery     = flag.Duration("slow-query", time.Second, "log requests at least this slow at Warn (0 disables)")
+	pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it leaks stacks and heap contents)")
 )
 
 func main() {
@@ -59,16 +64,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatalf("pnnrouter: %v", err)
+		}
+		logger = obs.NewLogger(os.Stderr, level)
+	}
+
 	rt, err := shard.New(shard.Config{
-		Backends:       backends,
-		ProbeInterval:  orDisabledDur(*probeInterval),
-		ProbeTimeout:   *probeTimeout,
-		RequestTimeout: orDisabledDur(*timeout),
+		Backends:           backends,
+		ProbeInterval:      orDisabledDur(*probeInterval),
+		ProbeTimeout:       *probeTimeout,
+		RequestTimeout:     orDisabledDur(*timeout),
+		Logger:             logger,
+		SlowQueryThreshold: orDisabledDur(*slowQuery),
 	})
 	if err != nil {
 		log.Fatalf("pnnrouter: %v", err)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	handler := rt.Handler()
+	if *pprofFlag {
+		handler = obs.WithPprof(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

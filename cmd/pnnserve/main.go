@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"pnn/internal/datafile"
+	"pnn/internal/obs"
 	"pnn/server"
 	"pnn/store"
 )
@@ -60,6 +62,9 @@ var (
 	timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
 	storeDir    = flag.String("store", "", "durable store directory (WAL + snapshots); empty = read-only datasets")
 	adminToken  = flag.String("admin-token", "", "bearer token for the mutation endpoints (empty disables them)")
+	logLevel    = flag.String("log-level", "info", "structured log level: debug logs every request, info only slow ones (off disables)")
+	slowQuery   = flag.Duration("slow-query", time.Second, "log requests at least this slow at Warn (0 disables)")
+	pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it leaks stacks and heap contents)")
 )
 
 func main() {
@@ -133,16 +138,31 @@ func main() {
 		}
 	}
 
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			log.Fatalf("pnnserve: %v", err)
+		}
+		logger = obs.NewLogger(os.Stderr, level)
+	}
+
 	srv := server.New(reg, server.Config{
-		CacheSize:      orDisabled(*cacheSize),
-		BatchWindow:    orDisabledDur(*batchWindow),
-		BatchMaxSize:   *batchMax,
-		BatchWorkers:   *batchWork,
-		RequestTimeout: orDisabledDur(*timeout),
-		Store:          st,
-		AdminToken:     *adminToken,
+		CacheSize:          orDisabled(*cacheSize),
+		BatchWindow:        orDisabledDur(*batchWindow),
+		BatchMaxSize:       *batchMax,
+		BatchWorkers:       *batchWork,
+		RequestTimeout:     orDisabledDur(*timeout),
+		Store:              st,
+		AdminToken:         *adminToken,
+		Logger:             logger,
+		SlowQueryThreshold: orDisabledDur(*slowQuery),
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		handler = obs.WithPprof(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

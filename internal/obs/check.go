@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text exposition page. It is
+// deliberately strict about the invariants our own renderer must hold
+// and that scrapers depend on:
+//
+//   - every line is a comment, a `# TYPE name type` header, or a
+//     parseable `name[{labels}] value` sample;
+//   - each family has at most one # TYPE line;
+//   - every sample belongs to a declared family (for histograms, the
+//     _bucket/_sum/_count suffixed series);
+//   - no series (name plus label set) appears twice;
+//   - histogram buckets are sorted by `le`, cumulative, end in a
+//     `le="+Inf"` bucket, and that bucket equals the family's _count.
+//
+// Tests in server and shard feed their full /metrics pages through
+// this, so a renderer regression fails loudly instead of producing a
+// page Prometheus silently drops.
+func CheckExposition(text string) error {
+	types := make(map[string]string)        // family -> type
+	seen := make(map[string]bool)           // full series line key
+	buckets := make(map[string][]bucketObs) // family{labels-sans-le} -> buckets in order
+	counts := make(map[string]uint64)       // family{labels} of _count series
+	hasCount := make(map[string]bool)
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for family %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		seriesKey := name + "{" + labels + "}"
+		if seen[seriesKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seen[seriesKey] = true
+
+		family, ok := familyOf(name, types)
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+
+		if types[family] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, rest, err := splitLE(labels)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				key := family + "{" + rest + "}"
+				buckets[key] = append(buckets[key], bucketObs{le: le, count: uint64(value), line: lineNo})
+			case strings.HasSuffix(name, "_count"):
+				key := family + "{" + labels + "}"
+				counts[key] = uint64(value)
+				hasCount[key] = true
+			}
+		}
+	}
+
+	for key, bs := range buckets {
+		for i := range bs {
+			if i > 0 {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("line %d: %s buckets not sorted by le", bs[i].line, key)
+				}
+				if bs[i].count < bs[i-1].count {
+					return fmt.Errorf("line %d: %s buckets not cumulative", bs[i].line, key)
+				}
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("line %d: %s missing le=\"+Inf\" bucket", last.line, key)
+		}
+		if !hasCount[key] {
+			return fmt.Errorf("%s has buckets but no _count series", key)
+		}
+		if counts[key] != last.count {
+			return fmt.Errorf("%s: +Inf bucket %d != _count %d", key, last.count, counts[key])
+		}
+	}
+	return nil
+}
+
+type bucketObs struct {
+	le    float64
+	count uint64
+	line  int
+}
+
+// parseSample splits `name[{labels}] value` into parts, validating the
+// label syntax (quoted values, comma-separated key="value" pairs).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed sample %q: unterminated labels", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, fmt.Errorf("malformed sample %q: %v", line, err)
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("malformed sample %q: bad metric name", line)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("malformed sample %q: bad value %q", line, rest)
+	}
+	return name, labels, value, nil
+}
+
+func validMetricName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkLabels validates `k1="v1",k2="v2"` syntax.
+func checkLabels(labels string) error {
+	if labels == "" {
+		return nil
+	}
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair near %q", rest)
+		}
+		if len(rest) <= eq+1 || rest[eq+1] != '"' {
+			return fmt.Errorf("unquoted label value near %q", rest)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		i := eq + 2
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value near %q", rest)
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("bad label separator near %q", rest)
+		}
+		rest = rest[1:]
+	}
+	return fmt.Errorf("trailing comma in labels %q", labels)
+}
+
+// splitLE extracts the le bound from a bucket's label string and
+// returns the remaining labels.
+func splitLE(labels string) (le float64, rest string, err error) {
+	parts := splitLabelPairs(labels)
+	kept := make([]string, 0, len(parts))
+	found := false
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) && strings.HasSuffix(p, `"`) {
+			raw := p[len(`le="`) : len(p)-1]
+			if raw == "+Inf" {
+				le = math.Inf(1)
+			} else if le, err = strconv.ParseFloat(raw, 64); err != nil {
+				return 0, "", fmt.Errorf("bad le bound %q", raw)
+			}
+			found = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket series missing le label in {%s}", labels)
+	}
+	return le, strings.Join(kept, ","), nil
+}
+
+// splitLabelPairs splits on commas outside quotes. Labels have already
+// passed checkLabels, so the syntax is trusted here.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, labels[start:])
+	return out
+}
+
+// familyOf maps a sample name to its declared family: the name itself,
+// or for histograms the name with a _bucket/_sum/_count suffix removed.
+func familyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}

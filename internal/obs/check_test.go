@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExpositionValid(t *testing.T) {
+	page := strings.Join([]string{
+		"# TYPE pnn_requests_total counter",
+		`pnn_requests_total{endpoint="topk"} 4`,
+		`pnn_requests_total{endpoint="batch"} 1`,
+		"# TYPE pnn_datasets gauge",
+		"pnn_datasets 2",
+		"# TYPE pnn_latency_seconds histogram",
+		`pnn_latency_seconds_bucket{le="0.001"} 1`,
+		`pnn_latency_seconds_bucket{le="0.01"} 3`,
+		`pnn_latency_seconds_bucket{le="+Inf"} 4`,
+		"pnn_latency_seconds_sum 0.5",
+		"pnn_latency_seconds_count 4",
+		"",
+	}, "\n")
+	if err := CheckExposition(page); err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string
+	}{
+		{
+			name: "duplicate TYPE",
+			page: "# TYPE a counter\na 1\n# TYPE a counter\n",
+			want: "duplicate # TYPE",
+		},
+		{
+			name: "duplicate series",
+			page: "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+			want: "duplicate series",
+		},
+		{
+			name: "undeclared sample",
+			page: "# TYPE a counter\nb 1\n",
+			want: "no # TYPE declaration",
+		},
+		{
+			name: "bad value",
+			page: "# TYPE a counter\na one\n",
+			want: "bad value",
+		},
+		{
+			name: "unquoted label",
+			page: "# TYPE a counter\na{x=1} 1\n",
+			want: "unquoted label value",
+		},
+		{
+			name: "unsorted buckets",
+			page: "# TYPE h histogram\n" +
+				`h_bucket{le="2"} 1` + "\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+			want: "not sorted",
+		},
+		{
+			name: "non-cumulative buckets",
+			page: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+			want: "not cumulative",
+		},
+		{
+			name: "missing +Inf",
+			page: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+			want: "missing le=\"+Inf\"",
+		},
+		{
+			name: "Inf disagrees with count",
+			page: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+			want: "!= _count",
+		},
+		{
+			name: "buckets without count",
+			page: "# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1` + "\nh_sum 1\n",
+			want: "no _count",
+		},
+		{
+			name: "malformed type line",
+			page: "# TYPE onlyname\n",
+			want: "malformed TYPE line",
+		},
+		{
+			name: "unknown type",
+			page: "# TYPE a widget\na 1\n",
+			want: "unknown metric type",
+		},
+		{
+			name: "bad metric name",
+			page: "# TYPE a counter\n1a 1\n",
+			want: "bad metric name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckExposition(tc.page)
+			if err == nil {
+				t.Fatalf("accepted invalid page:\n%s", tc.page)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckExpositionLabeledHistograms(t *testing.T) {
+	// Two label sets of one family interleave _bucket series; the
+	// checker must track cumulativity per label set, not globally.
+	page := strings.Join([]string{
+		"# TYPE h histogram",
+		`h_bucket{endpoint="a",le="1"} 5`,
+		`h_bucket{endpoint="a",le="+Inf"} 5`,
+		`h_sum{endpoint="a"} 2`,
+		`h_count{endpoint="a"} 5`,
+		`h_bucket{endpoint="b",le="1"} 1`,
+		`h_bucket{endpoint="b",le="+Inf"} 2`,
+		`h_sum{endpoint="b"} 9`,
+		`h_count{endpoint="b"} 2`,
+		"",
+	}, "\n")
+	if err := CheckExposition(page); err != nil {
+		t.Fatalf("labeled histograms rejected: %v", err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package obs is the shared observability toolkit of the serving
+// stack: stdlib-only metric instruments (counters, gauges, and
+// log-bucketed cumulative histograms) rendered in the Prometheus text
+// exposition format, a registry that keeps one /metrics page
+// well-formed, request-ID generation and context propagation for
+// cross-tier correlation, and a monotonic stage timer for latency
+// decomposition.
+//
+// Every tier registers its instruments into one Registry: pnnserve
+// mounts its own families plus the store's (WAL, snapshot, replay),
+// pnnrouter mounts the routing families. Render produces the full
+// exposition page; Snapshot derives human-oriented statistics
+// (p50/p99/p999 per label) for /debug/obs and load harnesses.
+//
+// Instruments are safe for concurrent use and their hot paths are
+// allocation-free: Histogram.Observe is a bucket search plus atomic
+// adds (the micro-obs-observe bench row gates this), so instrumenting
+// a query hot path costs nanoseconds, not allocations.
+package obs

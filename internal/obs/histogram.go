@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start: start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets covers 1µs to ~34s in factor-of-two steps — wide
+// enough for a cache hit and a cold engine build on one scale.
+var DurationBuckets = ExpBuckets(1e-6, 2, 26)
+
+// SizeBuckets covers counts from 1 to 4096 in factor-of-two steps
+// (batch sizes, group-commit sizes).
+var SizeBuckets = ExpBuckets(1, 2, 13)
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is
+// lock-free and allocation-free: one binary search over the bounds,
+// two atomic adds, and a CAS loop for the floating-point sum.
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a standalone histogram (register it explicitly,
+// or use Registry.NewHistogram). bounds must be strictly increasing.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	if len(bounds) == 0 {
+		panic("obs: histogram wants at least one bound")
+	}
+	return &Histogram{
+		name:   name,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the buckets,
+// interpolating linearly inside the bucket that holds the rank.
+// Observations beyond the last bound clamp to it. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Name implements Collector.
+func (h *Histogram) Name() string { return h.name }
+
+// Collect implements Collector: cumulative buckets, sum, count.
+func (h *Histogram) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(h.name)
+	b.WriteString(" histogram\n")
+	h.collectSeries(b, "")
+}
+
+// collectSeries writes the bucket/sum/count lines with the given
+// pre-rendered label prefix (`label="value"` or empty).
+func (h *Histogram) collectSeries(b *strings.Builder, labels string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b.WriteString(h.name)
+		b.WriteString(`_bucket{`)
+		if labels != "" {
+			b.WriteString(labels)
+			b.WriteString(",")
+		}
+		b.WriteString(`le="`)
+		b.WriteString(strconv.FormatFloat(bound, 'g', -1, 64))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b.WriteString(h.name)
+	b.WriteString(`_bucket{`)
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteString(",")
+	}
+	b.WriteString(`le="+Inf"} `)
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(h.name)
+	b.WriteString("_sum")
+	if labels != "" {
+		b.WriteString("{" + labels + "}")
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	b.WriteByte('\n')
+	b.WriteString(h.name)
+	b.WriteString("_count")
+	if labels != "" {
+		b.WriteString("{" + labels + "}")
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// Stats summarizes a histogram for /debug/obs: totals plus derived
+// percentiles.
+type Stats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Stats derives the histogram's summary.
+func (h *Histogram) Stats() Stats {
+	return Stats{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// HistogramVec is a histogram family partitioned by one label. With
+// interns the per-label child on first use; lookups afterwards are one
+// read-locked map access.
+type HistogramVec struct {
+	name   string
+	label  string
+	bounds []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramVec builds a standalone labeled histogram family.
+func NewHistogramVec(name, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{name: name, label: label, bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[value]; ok {
+		return h
+	}
+	h = NewHistogram(v.name, v.bounds)
+	v.m[value] = h
+	return h
+}
+
+// Name implements Collector.
+func (v *HistogramVec) Name() string { return v.name }
+
+// Collect implements Collector, rendering children in sorted label
+// order under one # TYPE header.
+func (v *HistogramVec) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(v.name)
+	b.WriteString(" histogram\n")
+	for _, value := range v.sortedValues() {
+		v.mu.RLock()
+		h := v.m[value]
+		v.mu.RUnlock()
+		h.collectSeries(b, v.label+"="+strconv.Quote(value))
+	}
+}
+
+// StatsByLabel derives every child's summary, keyed by label value.
+func (v *HistogramVec) StatsByLabel() map[string]Stats {
+	out := make(map[string]Stats)
+	for _, value := range v.sortedValues() {
+		v.mu.RLock()
+		h := v.m[value]
+		v.mu.RUnlock()
+		out[value] = h.Stats()
+	}
+	return out
+}
+
+func (v *HistogramVec) sortedValues() []string {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.m))
+	for value := range v.m {
+		values = append(values, value)
+	}
+	v.mu.RUnlock()
+	sort.Strings(values)
+	return values
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone counter.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// NewCounter builds a standalone counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name implements Collector.
+func (c *Counter) Name() string { return c.name }
+
+// Collect implements Collector.
+func (c *Counter) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(c.name)
+	b.WriteString(" counter\n")
+	b.WriteString(c.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct {
+	name  string
+	label string
+
+	mu sync.RWMutex
+	m  map[string]*atomic.Uint64
+}
+
+// NewCounterVec builds a standalone labeled counter family.
+func NewCounterVec(name, label string) *CounterVec {
+	return &CounterVec{name: name, label: label, m: make(map[string]*atomic.Uint64)}
+}
+
+// Inc adds one to the child for value.
+func (v *CounterVec) Inc(value string) { v.Add(value, 1) }
+
+// Add adds n to the child for value.
+func (v *CounterVec) Add(value string, n uint64) {
+	v.mu.RLock()
+	c, ok := v.m[value]
+	v.mu.RUnlock()
+	if !ok {
+		v.mu.Lock()
+		if c, ok = v.m[value]; !ok {
+			c = new(atomic.Uint64)
+			v.m[value] = c
+		}
+		v.mu.Unlock()
+	}
+	c.Add(n)
+}
+
+// Value returns the child count for value (0 when never incremented).
+func (v *CounterVec) Value(value string) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.m[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Values copies every child count, keyed by label value.
+func (v *CounterVec) Values() map[string]uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.m))
+	for value, c := range v.m {
+		out[value] = c.Load()
+	}
+	return out
+}
+
+// Total sums every child.
+func (v *CounterVec) Total() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var total uint64
+	for _, c := range v.m {
+		total += c.Load()
+	}
+	return total
+}
+
+// Name implements Collector.
+func (v *CounterVec) Name() string { return v.name }
+
+// Collect implements Collector, rendering children in sorted label
+// order.
+func (v *CounterVec) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(v.name)
+	b.WriteString(" counter\n")
+	vals := v.Values()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(v.name)
+		b.WriteByte('{')
+		b.WriteString(v.label)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(k))
+		b.WriteString("} ")
+		b.WriteString(strconv.FormatUint(vals[k], 10))
+		b.WriteByte('\n')
+	}
+}
+
+// GaugeFunc is a gauge whose value is read at render time.
+type GaugeFunc struct {
+	name string
+	fn   func() float64
+}
+
+// NewGaugeFunc builds a standalone callback gauge.
+func NewGaugeFunc(name string, fn func() float64) *GaugeFunc {
+	return &GaugeFunc{name: name, fn: fn}
+}
+
+// Value reads the gauge.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+// Name implements Collector.
+func (g *GaugeFunc) Name() string { return g.name }
+
+// Collect implements Collector.
+func (g *GaugeFunc) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(g.name)
+	b.WriteString(" gauge\n")
+	b.WriteString(g.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(g.fn(), 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// LabeledGaugeFunc is a gauge family whose label set and values are
+// read at render time (e.g. per-backend up/down).
+type LabeledGaugeFunc struct {
+	name  string
+	label string
+	fn    func() map[string]float64
+}
+
+// NewLabeledGaugeFunc builds a standalone labeled callback gauge.
+func NewLabeledGaugeFunc(name, label string, fn func() map[string]float64) *LabeledGaugeFunc {
+	return &LabeledGaugeFunc{name: name, label: label, fn: fn}
+}
+
+// Values reads the gauge family.
+func (g *LabeledGaugeFunc) Values() map[string]float64 { return g.fn() }
+
+// Name implements Collector.
+func (g *LabeledGaugeFunc) Name() string { return g.name }
+
+// Collect implements Collector, rendering in sorted label order.
+func (g *LabeledGaugeFunc) Collect(b *strings.Builder) {
+	b.WriteString("# TYPE ")
+	b.WriteString(g.name)
+	b.WriteString(" gauge\n")
+	vals := g.fn()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(g.name)
+		b.WriteByte('{')
+		b.WriteString(g.label)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(k))
+		b.WriteString("} ")
+		b.WriteString(strconv.FormatFloat(vals[k], 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// WithPprof mounts the stdlib pprof handlers under /debug/pprof/ in
+// front of next. Profiling is opt-in at the binary level (the -pprof
+// flag): the endpoints expose stacks, heap contents, and command lines,
+// so they are never on by default.
+func WithPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Collector renders one metric family (all series of one name) in the
+// Prometheus text exposition format, prefixed by its # TYPE line.
+type Collector interface {
+	Name() string
+	Collect(b *strings.Builder)
+}
+
+// Registry owns the collectors behind one /metrics page and keeps the
+// page well-formed: family names are unique (one # TYPE line each) and
+// rendered in sorted name order, so the output is deterministic and
+// every series appears exactly once.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]Collector)}
+}
+
+// Register adds collectors. Registering a second collector under an
+// already-held name panics: duplicate families would render duplicate
+// # TYPE lines, which scrapers reject — catching the wiring bug at
+// startup beats serving a corrupt page forever.
+func (r *Registry) Register(cs ...Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cs {
+		if _, dup := r.byID[c.Name()]; dup {
+			panic(fmt.Sprintf("obs: duplicate metric family %q", c.Name()))
+		}
+		r.byID[c.Name()] = c
+	}
+}
+
+// NewCounter builds and registers a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	c := NewCounter(name)
+	r.Register(c)
+	return c
+}
+
+// NewCounterVec builds and registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, label string) *CounterVec {
+	c := NewCounterVec(name, label)
+	r.Register(c)
+	return c
+}
+
+// NewGaugeFunc builds and registers a callback gauge.
+func (r *Registry) NewGaugeFunc(name string, fn func() float64) *GaugeFunc {
+	g := NewGaugeFunc(name, fn)
+	r.Register(g)
+	return g
+}
+
+// NewLabeledGaugeFunc builds and registers a labeled callback gauge.
+func (r *Registry) NewLabeledGaugeFunc(name, label string, fn func() map[string]float64) *LabeledGaugeFunc {
+	g := NewLabeledGaugeFunc(name, label, fn)
+	r.Register(g)
+	return g
+}
+
+// NewHistogram builds and registers a histogram.
+func (r *Registry) NewHistogram(name string, bounds []float64) *Histogram {
+	h := NewHistogram(name, bounds)
+	r.Register(h)
+	return h
+}
+
+// NewHistogramVec builds and registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, label string, bounds []float64) *HistogramVec {
+	h := NewHistogramVec(name, label, bounds)
+	r.Register(h)
+	return h
+}
+
+// sorted returns the collectors in name order.
+func (r *Registry) sorted() []Collector {
+	r.mu.Lock()
+	out := make([]Collector, 0, len(r.byID))
+	for _, c := range r.byID {
+		out = append(out, c)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Render writes the full exposition page.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	for _, c := range r.sorted() {
+		c.Collect(&b)
+	}
+	return b.String()
+}
+
+// Snapshot is the /debug/obs view of a registry: counters and gauges
+// by family and label, histograms summarized with derived percentiles.
+// Scalar (unlabeled) families appear under the empty label "".
+type Snapshot struct {
+	Counters   map[string]map[string]uint64  `json:"counters"`
+	Gauges     map[string]map[string]float64 `json:"gauges"`
+	Histograms map[string]map[string]Stats   `json:"histograms"`
+}
+
+// Snapshot derives the registry's debug view.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]map[string]uint64),
+		Gauges:     make(map[string]map[string]float64),
+		Histograms: make(map[string]map[string]Stats),
+	}
+	for _, c := range r.sorted() {
+		switch c := c.(type) {
+		case *Counter:
+			s.Counters[c.Name()] = map[string]uint64{"": c.Value()}
+		case *CounterVec:
+			s.Counters[c.Name()] = c.Values()
+		case *GaugeFunc:
+			s.Gauges[c.Name()] = map[string]float64{"": c.Value()}
+		case *LabeledGaugeFunc:
+			s.Gauges[c.Name()] = c.Values()
+		case *Histogram:
+			s.Histograms[c.Name()] = map[string]Stats{"": c.Stats()}
+		case *HistogramVec:
+			s.Histograms[c.Name()] = c.StatsByLabel()
+		}
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+type reqIDKey struct{}
+
+// NewRequestID mints a 16-hex-character request ID from 8 random
+// bytes. IDs only need to be unique enough to correlate one request's
+// log lines across tiers, not globally forever.
+func NewRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed
+		// fallback keeps the serving path total rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// WithRequestID stores a request ID on the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" if none was set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "time"
+
+// Timer decomposes a request into stages against one monotonic clock:
+// each Lap returns the time since the previous Lap (or Start), Total
+// the time since Start. The zero Timer is unusable; call StartTimer.
+type Timer struct {
+	start time.Time
+	last  time.Time
+}
+
+// StartTimer starts a stage timer.
+func StartTimer() Timer {
+	now := time.Now()
+	return Timer{start: now, last: now}
+}
+
+// Lap returns the duration of the stage that just ended and starts the
+// next one.
+func (t *Timer) Lap() time.Duration {
+	now := time.Now()
+	d := now.Sub(t.last)
+	t.last = now
+	return d
+}
+
+// Total returns the time since Start without ending the current stage.
+func (t *Timer) Total() time.Duration {
+	return time.Since(t.start)
+}

@@ -39,7 +39,8 @@ echo "== starting pnnrouter on :$router_port"
 "$workdir/pnnrouter" \
   -addr "127.0.0.1:$router_port" \
   -backends "127.0.0.1:$b1_port,127.0.0.1:$b2_port" \
-  -probe-interval 200ms &
+  -probe-interval 200ms \
+  -pprof -log-level off &
 pids+=($!)
 router_pid="${pids[2]}"
 
@@ -143,11 +144,25 @@ case "$status" in
 esac
 
 curl -sS "$base/metrics" > "$workdir/metrics"
-for metric in pnn_router_backend_up pnn_router_failovers_total pnn_router_batches_total; do
+for metric in pnn_router_backend_up pnn_router_failovers_total pnn_router_batches_total \
+    pnn_router_request_duration_seconds_bucket pnn_router_request_duration_seconds_sum \
+    pnn_router_request_duration_seconds_count pnn_router_backend_latency_seconds_bucket; do
   grep -q "$metric" "$workdir/metrics" || {
     echo "FAIL: /metrics lacks $metric" >&2; exit 1; }
 done
-echo "ok   /metrics exposes router counters"
+echo "ok   /metrics exposes router counters and histograms"
+
+echo "== request-id echoed through the router"
+echoed="$(curl -sS -o /dev/null -D - -H 'X-Pnn-Request-Id: smoke1234abcd' "$base/v1/nonzero?dataset=fleet&x=1&y=2" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-pnn-request-id"{print $2}')"
+if [ "$echoed" != "smoke1234abcd" ]; then
+  echo "FAIL: supplied request id not echoed back, got '${echoed:-none}'" >&2; exit 1
+fi
+echo "ok   X-Pnn-Request-Id echoed"
+
+echo "== pprof reachable with -pprof"
+curl -fsS -o /dev/null "$base/debug/pprof/cmdline" || {
+  echo "FAIL: /debug/pprof/cmdline not reachable with -pprof" >&2; exit 1; }
+echo "ok   /debug/pprof/ serves"
 
 echo "== graceful shutdown"
 kill -TERM "$router_pid"

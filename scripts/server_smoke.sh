@@ -20,7 +20,8 @@ echo "== starting pnnserve on :$port"
   -addr "127.0.0.1:$port" \
   -data "fleet=$workdir/fleet.json" \
   -gen 'demo=disks:n=50,seed=7' \
-  -batch-window 1ms &
+  -batch-window 1ms \
+  -pprof -log-level off &
 server_pid=$!
 
 base="http://127.0.0.1:$port"
@@ -70,6 +71,30 @@ if ! grep -q 'pnn_requests_total' "$workdir/last_body" 2>/dev/null; then
   grep -q 'pnn_requests_total' "$workdir/metrics" || {
     echo "FAIL: /metrics lacks pnn_requests_total" >&2; exit 1; }
 fi
+
+echo "== request-id echo"
+reqid="$(curl -sS -o /dev/null -D - "$base/v1/nonzero?dataset=fleet&x=1&y=2" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-pnn-request-id"{print $2}')"
+if [ -z "$reqid" ]; then
+  echo "FAIL: response lacks X-Pnn-Request-Id" >&2; exit 1
+fi
+echoed="$(curl -sS -o /dev/null -D - -H 'X-Pnn-Request-Id: smoke1234abcd' "$base/v1/nonzero?dataset=fleet&x=1&y=2" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-pnn-request-id"{print $2}')"
+if [ "$echoed" != "smoke1234abcd" ]; then
+  echo "FAIL: supplied request id not echoed back, got '${echoed:-none}'" >&2; exit 1
+fi
+echo "ok   X-Pnn-Request-Id minted and echoed"
+
+echo "== latency histogram series"
+curl -sS "$base/metrics" > "$workdir/metrics"
+for series in pnn_request_duration_seconds_bucket pnn_request_duration_seconds_sum pnn_request_duration_seconds_count; do
+  grep -q "$series" "$workdir/metrics" || {
+    echo "FAIL: /metrics lacks $series" >&2; exit 1; }
+done
+echo "ok   /metrics exposes _bucket/_sum/_count"
+
+echo "== pprof reachable with -pprof"
+curl -fsS -o /dev/null "$base/debug/pprof/cmdline" || {
+  echo "FAIL: /debug/pprof/cmdline not reachable with -pprof" >&2; exit 1; }
+echo "ok   /debug/pprof/ serves"
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"

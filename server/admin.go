@@ -22,25 +22,24 @@ import (
 // bearer token (else 401/403).
 func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.request("admin")
 		if s.cfg.Store == nil {
-			s.writeError(w, http.StatusConflict, api.CodeReadOnly,
+			s.writeError(w, r, http.StatusConflict, api.CodeReadOnly,
 				errors.New("server runs without a durable store; datasets are read-only"))
 			return
 		}
 		if s.cfg.AdminToken == "" {
-			s.writeError(w, http.StatusForbidden, api.CodeUnauthorized,
+			s.writeError(w, r, http.StatusForbidden, api.CodeUnauthorized,
 				errors.New("admin token not configured; mutations disabled"))
 			return
 		}
 		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !ok {
-			s.writeError(w, http.StatusUnauthorized, api.CodeUnauthorized,
+			s.writeError(w, r, http.StatusUnauthorized, api.CodeUnauthorized,
 				errors.New("missing bearer token"))
 			return
 		}
 		if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
-			s.writeError(w, http.StatusForbidden, api.CodeUnauthorized,
+			s.writeError(w, r, http.StatusForbidden, api.CodeUnauthorized,
 				errors.New("wrong admin token"))
 			return
 		}
@@ -125,24 +124,24 @@ func (s *Server) writeMutation(w http.ResponseWriter, m store.Mutation) {
 
 // mutationError maps store failures onto transport statuses and stable
 // api codes.
-func (s *Server) mutationError(w http.ResponseWriter, err error) {
+func (s *Server) mutationError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, store.ErrUnknownDataset):
-		s.writeError(w, http.StatusNotFound, api.CodeUnknownDataset, err)
+		s.writeError(w, r, http.StatusNotFound, api.CodeUnknownDataset, err)
 	case errors.Is(err, store.ErrUnknownPoint):
-		s.writeError(w, http.StatusNotFound, api.CodeUnknownPoint, err)
+		s.writeError(w, r, http.StatusNotFound, api.CodeUnknownPoint, err)
 	case errors.Is(err, store.ErrExists):
-		s.writeError(w, http.StatusConflict, api.CodeExists, err)
+		s.writeError(w, r, http.StatusConflict, api.CodeExists, err)
 	case errors.Is(err, store.ErrKindMismatch):
-		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam, err)
 	case errors.Is(err, store.ErrClosed):
 		// A poisoned store (dead disk, failed fsync) is retryable against
 		// a recovered or failed-over server — unavailable, not a bug.
-		s.writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, api.CodeUnavailable, err)
 	default:
 		// Everything else the store rejects before logging is input
 		// validation (bad names, bad kinds, malformed points).
-		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam, err)
 	}
 }
 
@@ -153,7 +152,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req api.CreateDataset
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
 			fmt.Errorf("decoding create request: %w", err))
 		return
 	}
@@ -164,23 +163,23 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			// Dropped concurrently between the create and this lookup;
 			// a retry would succeed, so report the lookup outcome
 			// rather than a phantom conflict.
-			s.mutationError(w, ierr)
+			s.mutationError(w, r, ierr)
 			return
 		}
 		if info.Kind == req.Kind {
 			s.writeMutation(w, store.Mutation{Dataset: name, Version: info.Version, N: info.N})
 			return
 		}
-		s.writeError(w, http.StatusConflict, api.CodeExists,
+		s.writeError(w, r, http.StatusConflict, api.CodeExists,
 			fmt.Errorf("dataset %q already exists with kind %q", name, info.Kind))
 		return
 	}
 	if err != nil {
-		s.mutationError(w, err)
+		s.mutationError(w, r, err)
 		return
 	}
 	if err := s.refreshDataset(name); err != nil {
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.writeMutation(w, m)
@@ -192,11 +191,11 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, err := s.cfg.Store.DropDataset(name); err != nil {
-		s.mutationError(w, err)
+		s.mutationError(w, r, err)
 		return
 	}
 	if err := s.refreshDataset(name); err != nil {
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.writeMutation(w, store.Mutation{Dataset: name})
@@ -207,22 +206,22 @@ func (s *Server) handleInsertPoints(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req api.InsertPoints
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
 			fmt.Errorf("decoding insert request: %w", err))
 		return
 	}
 	pts, err := storePoints(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam, err)
 		return
 	}
 	m, err := s.cfg.Store.InsertPoints(name, pts)
 	if err != nil {
-		s.mutationError(w, err)
+		s.mutationError(w, r, err)
 		return
 	}
 	if err := s.refreshDataset(name); err != nil {
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.writeMutation(w, m)
@@ -233,17 +232,17 @@ func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, api.CodeBadParam,
+		s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam,
 			fmt.Errorf("invalid point id %q", r.PathValue("id")))
 		return
 	}
 	m, err := s.cfg.Store.DeletePoint(name, id)
 	if err != nil {
-		s.mutationError(w, err)
+		s.mutationError(w, r, err)
 		return
 	}
 	if err := s.refreshDataset(name); err != nil {
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.writeMutation(w, m)
@@ -256,11 +255,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, err := s.cfg.Store.Dataset(name)
 	if err != nil {
-		s.mutationError(w, err)
+		s.mutationError(w, r, err)
 		return
 	}
 	if err := s.cfg.Store.Compact(); err != nil {
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.writeMutation(w, store.Mutation{Dataset: name, Version: info.Version, N: info.N})

@@ -10,6 +10,7 @@ import (
 
 	"pnn"
 	"pnn/api"
+	"pnn/internal/obs"
 )
 
 // handleBatch serves POST /v1/batch: a heterogeneous batch of query
@@ -21,10 +22,9 @@ import (
 // answered concurrently (coalescing merges same-engine items into one
 // QueryBatchOps call) and results come back in request order.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("batch")
 	breq, status, err := api.DecodeBatchRequest(w, r)
 	if err != nil {
-		s.writeError(w, status, api.CodeBadRequest, err)
+		s.writeError(w, r, status, api.CodeBadRequest, err)
 		return
 	}
 	// The whole batch runs under an aggregate deadline — a small fixed
@@ -74,7 +74,7 @@ const batchBudgetFactor = 4
 func (s *Server) answerItem(ctx context.Context, it api.BatchItem) api.BatchResult {
 	op, p, err := paramsFromItem(it)
 	if err != nil {
-		return api.BatchResult{Error: &api.Error{Error: err.Error(), Code: api.CodeBadParam}}
+		return s.itemError(ctx, api.CodeBadParam, err)
 	}
 	// Each item gets its own RequestTimeout budget (bounded by the
 	// aggregate batch deadline in ctx) — /v1/batch is exempt from the
@@ -88,9 +88,20 @@ func (s *Server) answerItem(ctx context.Context, it api.BatchItem) api.BatchResu
 	}
 	body, _, qerr := s.answer(ctx, op, p)
 	if qerr != nil {
-		return api.BatchResult{Error: &api.Error{Error: qerr.err.Error(), Code: qerr.code}}
+		return s.itemError(ctx, qerr.code, qerr.err)
 	}
 	return api.BatchResult{Body: json.RawMessage(body)}
+}
+
+// itemError shapes one failed batch item, counting it in
+// pnn_errors_total alongside the single-query failures (which count in
+// writeError) and stamping the batch's request ID so the item can be
+// correlated with the server's log line.
+func (s *Server) itemError(ctx context.Context, code string, err error) api.BatchResult {
+	s.metrics.errors.Inc(code)
+	return api.BatchResult{Error: &api.Error{
+		Error: err.Error(), Code: code, RequestID: obs.RequestID(ctx),
+	}}
 }
 
 // opFromString maps a wire op name onto the facade's Op.

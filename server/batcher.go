@@ -33,6 +33,12 @@ type Batcher struct {
 	// coalescing window expired), "immediate" (coalescing disabled,
 	// window ≤ 0), or "close" (flushed during Close).
 	onFlush func(size int, reason string)
+	// onQueue and onExec, when non-nil, decompose the batching latency:
+	// onQueue observes each request's wait between Submit and its flush
+	// starting, onExec the engine time of each flushed batch. Set via
+	// SetStageObserver before the batcher serves its first Submit.
+	onQueue func(time.Duration)
+	onExec  func(time.Duration)
 
 	mu      sync.Mutex
 	pending []pendingReq
@@ -44,6 +50,9 @@ type Batcher struct {
 type pendingReq struct {
 	req pnn.Request
 	ch  chan pnn.OpResult
+	// enq is the Submit time, stamped only when a queue observer is
+	// wired, so unobserved batchers skip the clock read.
+	enq time.Time
 }
 
 // NewBatcher builds a batcher over idx. window ≤ 0 means flush every
@@ -62,6 +71,15 @@ func NewBatcher(idx *pnn.Index, window time.Duration, maxBatch, workers int, onF
 	}
 }
 
+// SetStageObserver wires latency decomposition: onQueue sees each
+// request's wait between Submit and flush start, onExec each flushed
+// batch's engine time. Call before the batcher serves its first Submit
+// (the fields are read without a lock on the hot path).
+func (b *Batcher) SetStageObserver(onQueue, onExec func(time.Duration)) {
+	b.onQueue = onQueue
+	b.onExec = onExec
+}
+
 // Submit enqueues one request and blocks until its batch is answered,
 // ctx is cancelled, or the batcher is closed. The result is exactly
 // what a sequential call of the request's method on the underlying
@@ -78,7 +96,11 @@ func (b *Batcher) Submit(ctx context.Context, req pnn.Request) (pnn.OpResult, er
 	}
 	// Buffered so a flush never blocks on a caller that gave up.
 	ch := make(chan pnn.OpResult, 1)
-	b.pending = append(b.pending, pendingReq{req: req, ch: ch})
+	pr := pendingReq{req: req, ch: ch}
+	if b.onQueue != nil {
+		pr.enq = time.Now()
+	}
+	b.pending = append(b.pending, pr)
 	switch {
 	case len(b.pending) >= b.maxBatch:
 		batch := b.takeLocked()
@@ -155,7 +177,20 @@ func (b *Batcher) run(batch []pendingReq, reason string) {
 	for _, p := range batch {
 		reqs = append(reqs, p.req)
 	}
+	if b.onQueue != nil {
+		now := time.Now()
+		for _, p := range batch {
+			b.onQueue(now.Sub(p.enq))
+		}
+	}
+	start := time.Time{}
+	if b.onExec != nil {
+		start = time.Now()
+	}
 	res, err := b.idx.QueryBatchOps(context.Background(), reqs, b.workers)
+	if b.onExec != nil {
+		b.onExec(time.Since(start))
+	}
 	*rp = reqs[:0]
 	reqScratch.Put(rp)
 	for i, p := range batch {

@@ -1,46 +1,64 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+	"pnn/internal/obs"
 )
 
-// Metrics holds the server's counters, rendered at /metrics in the
-// Prometheus text exposition format (stdlib only — no client library).
+// Metrics holds the server's instruments, rendered at /metrics in the
+// Prometheus text exposition format through the shared obs registry
+// (stdlib only — no client library).
 type Metrics struct {
-	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
-	batches        atomic.Uint64
-	batchedReqs    atomic.Uint64
-	indexBuilds    atomic.Uint64
-	errorsTotal    atomic.Uint64
-	mu             sync.Mutex
-	requestsByPath map[string]uint64
-	flushesByWhy   map[string]uint64
+	reg *obs.Registry
+
+	requests    *obs.CounterVec // pnn_requests_total{endpoint=}
+	errors      *obs.CounterVec // pnn_errors_total{code=}
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	batches     *obs.Counter
+	batchedReqs *obs.Counter
+	indexBuilds *obs.Counter
+	flushes     *obs.CounterVec // pnn_batch_flushes_total{reason=}
+
+	// reqLatency is the per-endpoint end-to-end latency; dsLatency the
+	// same by dataset (only datasets the registry resolves, so the
+	// label cardinality is bounded by hosted datasets, not client
+	// input); stages decomposes the answer core (cache probe, batcher
+	// queue wait, engine build, engine execute, JSON encode); batchSizes
+	// the coalesced flush sizes.
+	reqLatency *obs.HistogramVec // pnn_request_duration_seconds{endpoint=}
+	dsLatency  *obs.HistogramVec // pnn_dataset_duration_seconds{dataset=}
+	stages     *obs.HistogramVec // pnn_stage_duration_seconds{stage=}
+	batchSizes *obs.Histogram    // pnn_batch_size
 }
 
 func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
 	return &Metrics{
-		requestsByPath: make(map[string]uint64),
-		flushesByWhy:   make(map[string]uint64),
+		reg:         reg,
+		requests:    reg.NewCounterVec("pnn_requests_total", "endpoint"),
+		errors:      reg.NewCounterVec("pnn_errors_total", "code"),
+		cacheHits:   reg.NewCounter("pnn_cache_hits_total"),
+		cacheMisses: reg.NewCounter("pnn_cache_misses_total"),
+		batches:     reg.NewCounter("pnn_batches_total"),
+		batchedReqs: reg.NewCounter("pnn_batched_requests_total"),
+		indexBuilds: reg.NewCounter("pnn_index_builds_total"),
+		flushes:     reg.NewCounterVec("pnn_batch_flushes_total", "reason"),
+		reqLatency:  reg.NewHistogramVec("pnn_request_duration_seconds", "endpoint", obs.DurationBuckets),
+		dsLatency:   reg.NewHistogramVec("pnn_dataset_duration_seconds", "dataset", obs.DurationBuckets),
+		stages:      reg.NewHistogramVec("pnn_stage_duration_seconds", "stage", obs.DurationBuckets),
+		batchSizes:  reg.NewHistogram("pnn_batch_size", obs.SizeBuckets),
 	}
 }
 
-func (m *Metrics) request(endpoint string) {
-	m.mu.Lock()
-	m.requestsByPath[endpoint]++
-	m.mu.Unlock()
-}
+// Registry exposes the underlying obs registry, so embedding servers
+// can mount extra collectors onto the same /metrics page.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 func (m *Metrics) flush(size int, reason string) {
-	m.batches.Add(1)
+	m.batches.Inc()
 	m.batchedReqs.Add(uint64(size))
-	m.mu.Lock()
-	m.flushesByWhy[reason]++
-	m.mu.Unlock()
+	m.flushes.Inc(reason)
+	m.batchSizes.Observe(float64(size))
 }
 
 // Snapshot is a point-in-time copy of the counters, for tests and
@@ -51,73 +69,33 @@ type Snapshot struct {
 	// Batches counts flushed coalesced batches; BatchedReqs the
 	// requests they carried.
 	Batches, BatchedReqs uint64
-	// IndexBuilds counts lazily built engines; Errors the non-2xx
-	// responses.
+	// IndexBuilds counts lazily built engines; Errors the failed
+	// requests (non-2xx responses and failed batch items), across all
+	// codes.
 	IndexBuilds, Errors uint64
 	// Requests counts requests per endpoint name.
 	Requests map[string]uint64
 	// Flushes counts batch flushes per reason ("full", "window",
 	// "immediate", "close").
 	Flushes map[string]uint64
+	// ErrorsByCode counts failures per stable api code.
+	ErrorsByCode map[string]uint64
 }
 
 // Snapshot copies every counter.
 func (m *Metrics) Snapshot() Snapshot {
-	s := Snapshot{
-		CacheHits:   m.cacheHits.Load(),
-		CacheMisses: m.cacheMisses.Load(),
-		Batches:     m.batches.Load(),
-		BatchedReqs: m.batchedReqs.Load(),
-		IndexBuilds: m.indexBuilds.Load(),
-		Errors:      m.errorsTotal.Load(),
-		Requests:    make(map[string]uint64),
-		Flushes:     make(map[string]uint64),
+	return Snapshot{
+		CacheHits:    m.cacheHits.Value(),
+		CacheMisses:  m.cacheMisses.Value(),
+		Batches:      m.batches.Value(),
+		BatchedReqs:  m.batchedReqs.Value(),
+		IndexBuilds:  m.indexBuilds.Value(),
+		Errors:       m.errors.Total(),
+		Requests:     m.requests.Values(),
+		Flushes:      m.flushes.Values(),
+		ErrorsByCode: m.errors.Values(),
 	}
-	m.mu.Lock()
-	for k, v := range m.requestsByPath {
-		s.Requests[k] = v
-	}
-	for k, v := range m.flushesByWhy {
-		s.Flushes[k] = v
-	}
-	m.mu.Unlock()
-	return s
 }
 
-// render writes the counters in deterministic order.
-func (m *Metrics) render(datasets int) string {
-	s := m.Snapshot()
-	var b strings.Builder
-	b.WriteString("# TYPE pnn_datasets gauge\n")
-	fmt.Fprintf(&b, "pnn_datasets %d\n", datasets)
-	b.WriteString("# TYPE pnn_requests_total counter\n")
-	for _, ep := range sortedKeys(s.Requests) {
-		fmt.Fprintf(&b, "pnn_requests_total{endpoint=%q} %d\n", ep, s.Requests[ep])
-	}
-	b.WriteString("# TYPE pnn_errors_total counter\n")
-	fmt.Fprintf(&b, "pnn_errors_total %d\n", s.Errors)
-	b.WriteString("# TYPE pnn_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "pnn_cache_hits_total %d\n", s.CacheHits)
-	b.WriteString("# TYPE pnn_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "pnn_cache_misses_total %d\n", s.CacheMisses)
-	b.WriteString("# TYPE pnn_batches_total counter\n")
-	fmt.Fprintf(&b, "pnn_batches_total %d\n", s.Batches)
-	b.WriteString("# TYPE pnn_batched_requests_total counter\n")
-	fmt.Fprintf(&b, "pnn_batched_requests_total %d\n", s.BatchedReqs)
-	b.WriteString("# TYPE pnn_batch_flushes_total counter\n")
-	for _, why := range sortedKeys(s.Flushes) {
-		fmt.Fprintf(&b, "pnn_batch_flushes_total{reason=%q} %d\n", why, s.Flushes[why])
-	}
-	b.WriteString("# TYPE pnn_index_builds_total counter\n")
-	fmt.Fprintf(&b, "pnn_index_builds_total %d\n", s.IndexBuilds)
-	return b.String()
-}
-
-func sortedKeys(m map[string]uint64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// render writes the full exposition page in deterministic order.
+func (m *Metrics) render() string { return m.reg.Render() }

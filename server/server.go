@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"pnn"
 	"pnn/api"
+	"pnn/internal/obs"
 	"pnn/store"
 )
 
@@ -54,6 +56,14 @@ type Config struct {
 	// endpoints are disabled (403) even with a store — the admin
 	// surface is authenticated by design, never open by omission.
 	AdminToken string
+	// Logger receives one structured log line per request (request ID,
+	// endpoint, dataset, status, duration) at Debug — promoted to Warn
+	// at or beyond SlowQueryThreshold. Nil discards.
+	Logger *slog.Logger
+	// SlowQueryThreshold promotes the per-request log line to Warn once
+	// the request takes at least this long; 0 means the default (1s),
+	// < 0 disables slow-query promotion.
+	SlowQueryThreshold time.Duration
 }
 
 // DefaultConfig returns the documented defaults.
@@ -64,6 +74,7 @@ func DefaultConfig() Config {
 		BatchMaxSize:         64,
 		RequestTimeout:       30 * time.Second,
 		MaxEnginesPerDataset: 32,
+		SlowQueryThreshold:   time.Second,
 	}
 }
 
@@ -96,6 +107,12 @@ func (c Config) withDefaults() Config {
 	case c.MaxEnginesPerDataset == 0:
 		c.MaxEnginesPerDataset = d.MaxEnginesPerDataset
 	}
+	switch {
+	case c.SlowQueryThreshold < 0:
+		c.SlowQueryThreshold = 0
+	case c.SlowQueryThreshold == 0:
+		c.SlowQueryThreshold = d.SlowQueryThreshold
+	}
 	return c
 }
 
@@ -107,6 +124,7 @@ type Server struct {
 	reg     *Registry
 	cache   *resultCache
 	metrics *Metrics
+	logger  *slog.Logger
 	handler http.Handler
 	// refreshLocks serializes refreshDataset per dataset name: the
 	// read-store-then-update-registry sequence is not atomic, so
@@ -134,9 +152,15 @@ func New(reg *Registry, cfg Config) *Server {
 		reg:          reg,
 		cache:        newResultCache(cfg.CacheSize),
 		metrics:      newMetrics(),
+		logger:       cfg.Logger,
 		refreshLocks: make(map[string]*refreshLock),
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.metrics.reg.NewGaugeFunc("pnn_datasets", func() float64 { return float64(reg.Len()) })
 	if cfg.Store != nil {
+		s.metrics.reg.Register(cfg.Store.Collectors()...)
 		for _, name := range cfg.Store.Names() {
 			info, set, err := cfg.Store.View(name)
 			if err != nil {
@@ -148,6 +172,7 @@ func New(reg *Registry, cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/obs", s.handleDebugObs)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	for _, name := range api.Ops {
 		op, err := opFromString(name)
@@ -162,7 +187,7 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/datasets/{name}/points", s.admin(s.handleInsertPoints))
 	mux.HandleFunc("DELETE /v1/datasets/{name}/points/{id}", s.admin(s.handleDeletePoint))
 	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.admin(s.handleSnapshot))
-	s.handler = http.Handler(mux)
+	inner := http.Handler(mux)
 	if cfg.RequestTimeout > 0 {
 		// TimeoutHandler also puts the deadline on the request context,
 		// so a request stuck queueing in the batcher is abandoned too.
@@ -172,7 +197,7 @@ func New(reg *Registry, cfg Config) *Server {
 		// answer, instead of the whole batch collapsing into
 		// TimeoutHandler's plaintext 503.
 		timed := http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
-		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if r.URL.Path == api.BatchPath {
 				mux.ServeHTTP(w, r)
 				return
@@ -180,6 +205,11 @@ func New(reg *Registry, cfg Config) *Server {
 			timed.ServeHTTP(w, r)
 		})
 	}
+	// The instrument middleware sits outside the timeout wrapper, so the
+	// request ID lands on the real ResponseWriter (TimeoutHandler drops
+	// inner headers on timeout) and timed-out requests are still counted
+	// and logged with their true duration.
+	s.handler = s.instrument(inner)
 	return s
 }
 
@@ -208,14 +238,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprint(w, s.metrics.render(s.reg.Len()))
+	fmt.Fprint(w, s.metrics.render())
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	s.metrics.request("datasets")
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		s.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+		s.writeError(w, r, http.StatusMethodNotAllowed, api.CodeBadRequest,
 			fmt.Errorf("%s requires GET", r.URL.Path))
 		return
 	}
@@ -244,21 +273,20 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 // core (cache probe → lazy index build → coalescing batcher → encode).
 func (s *Server) handleQuery(op pnn.Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.request(op.String())
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
-			s.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+			s.writeError(w, r, http.StatusMethodNotAllowed, api.CodeBadRequest,
 				fmt.Errorf("%s requires GET", r.URL.Path))
 			return
 		}
 		p, err := parseParams(r, op)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, api.CodeBadParam, err)
+			s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam, err)
 			return
 		}
 		body, cacheStatus, qerr := s.answer(r.Context(), op, p)
 		if qerr != nil {
-			s.writeError(w, qerr.status, qerr.code, qerr.err)
+			s.writeError(w, r, qerr.status, qerr.code, qerr.err)
 			return
 		}
 		s.writeRaw(w, body, cacheStatus)
@@ -289,23 +317,37 @@ type queryError struct {
 func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, cacheStatus string, qerr *queryError) {
 	const maxSwapRetries = 4
 	var lastErr error
+	// Per-dataset latency is observed only for names the registry
+	// resolves, so the label cardinality is bounded by hosted datasets,
+	// never by client-chosen strings.
+	total := obs.StartTimer()
+	resolved := false
+	defer func() {
+		if resolved {
+			s.metrics.dsLatency.With(p.dataset).ObserveDuration(total.Total())
+		}
+	}()
 	for attempt := 0; attempt < maxSwapRetries; attempt++ {
 		ds := s.reg.Get(p.dataset)
 		if ds == nil {
 			return nil, "", &queryError{http.StatusNotFound, api.CodeUnknownDataset,
 				fmt.Errorf("unknown dataset %q", p.dataset)}
 		}
+		resolved = true
 		set, version := ds.Snapshot()
 		if set == nil {
 			return nil, "", &queryError{http.StatusConflict, api.CodeEmptyDataset,
 				fmt.Errorf("dataset %q has no points yet", p.dataset)}
 		}
 		cacheKey := p.cacheKey(op, version)
-		if body, ok := s.cache.Get(cacheKey); ok {
-			s.metrics.cacheHits.Add(1)
+		probe := obs.StartTimer()
+		body, ok := s.cache.Get(cacheKey)
+		s.metrics.stages.With("cache").ObserveDuration(probe.Total())
+		if ok {
+			s.metrics.cacheHits.Inc()
 			return body, "hit", nil
 		}
-		s.metrics.cacheMisses.Add(1)
+		s.metrics.cacheMisses.Inc()
 		if s.closed.Load() {
 			// The cache may outlive Close and keep answering hits, but
 			// no new engine is ever built for a closed server.
@@ -317,11 +359,19 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 				e.err = optErr
 				return
 			}
-			s.metrics.indexBuilds.Add(1)
+			s.metrics.indexBuilds.Inc()
+			build := obs.StartTimer()
 			e.idx, e.err = pnn.New(set, opts...)
+			s.metrics.stages.With("build").ObserveDuration(build.Total())
 			if e.err == nil {
 				e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
 					s.cfg.BatchWorkers, s.metrics.flush)
+				// The entry is still private to this build, so wiring the
+				// stage observer here is race-free.
+				e.batcher.SetStageObserver(
+					s.metrics.stages.With("queue").ObserveDuration,
+					s.metrics.stages.With("execute").ObserveDuration,
+				)
 			}
 		})
 		if err != nil {
@@ -376,7 +426,9 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			}
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
 		}
+		enc := obs.StartTimer()
 		body, err = json.Marshal(p.response(op, ds, entry.idx, res))
+		s.metrics.stages.With("encode").ObserveDuration(enc.Total())
 		if err != nil {
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
 		}
@@ -627,7 +679,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
 		encPool.Put(e)
-		s.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		s.writeError(w, nil, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -646,9 +698,19 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any, cacheStatus
 // maxPooledEncBuf caps the encode buffers kept in encPool.
 const maxPooledEncBuf = 1 << 16
 
-func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
-	s.metrics.errorsTotal.Add(1)
-	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	s.metrics.errors.Inc(code)
+	// The request ID travels in the request context, not the response
+	// header: under TimeoutHandler the inner handlers see a fresh header
+	// map, so the header set by the instrument middleware is invisible
+	// here even though it does reach the client. r may be nil on paths
+	// with no request in hand (writeJSON's encode-failure fallback).
+	var reqID string
+	if r != nil {
+		reqID = obs.RequestID(r.Context())
+	}
+	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code,
+		RequestID: reqID})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

@@ -9,8 +9,9 @@ import (
 	"time"
 )
 
-// backend is one replicated pnnserve instance: its canonical base URL,
-// its health mark, and its request counters. All fields are safe for
+// backend is one replicated pnnserve instance: its canonical base URL
+// and its health mark. Its request/error/latency series live on the
+// router's Metrics (pre-minted per backend). All fields are safe for
 // concurrent use; up is flipped by both the probe loop and the request
 // path (mark-down on transport error).
 type backend struct {
@@ -21,11 +22,6 @@ type backend struct {
 	// dropped probe (a loaded host, a GC pause) cannot spuriously
 	// remove a healthy replica from rotation.
 	probeFails atomic.Int32
-
-	requests     atomic.Uint64
-	errors       atomic.Uint64
-	latencyTotal atomic.Uint64 // microseconds
-	latencyCount atomic.Uint64
 }
 
 // probeFailThreshold is how many consecutive probe failures mark a
@@ -34,22 +30,20 @@ type backend struct {
 // probe is not.
 const probeFailThreshold = 2
 
-func (b *backend) observeLatency(d time.Duration) {
-	b.latencyTotal.Add(uint64(d.Microseconds()))
-	b.latencyCount.Add(1)
-}
-
-// markDown flips a backend to down, counting the transition.
+// markDown flips a backend to down, counting and logging the
+// transition (a fleet-health event, not per-request noise).
 func (rt *Router) markDown(b *backend) {
 	if b.up.CompareAndSwap(true, false) {
-		rt.metrics.markDowns.Add(1)
+		rt.metrics.markDowns.Inc()
+		rt.logger.Warn("backend marked down", "backend", b.base)
 	}
 }
 
-// markUp flips a backend to up, counting the transition.
+// markUp flips a backend to up, counting and logging the transition.
 func (rt *Router) markUp(b *backend) {
 	if b.up.CompareAndSwap(false, true) {
-		rt.metrics.markUps.Add(1)
+		rt.metrics.markUps.Inc()
+		rt.logger.Info("backend marked up", "backend", b.base)
 	}
 }
 
@@ -78,7 +72,7 @@ func (rt *Router) probeAll() {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
-			rt.metrics.probes.Add(1)
+			rt.metrics.probes.Inc()
 			if rt.probe(b) {
 				b.probeFails.Store(0)
 				rt.markUp(b)

@@ -1,38 +1,91 @@
 package shard
 
 import (
-	"fmt"
-	"strings"
-	"sync/atomic"
+	"pnn/internal/obs"
 )
 
-// Metrics holds the router's counters, rendered at /metrics in the
-// Prometheus text exposition format (stdlib only). Per-backend request,
-// error, and latency counters live on the backends themselves; Metrics
-// aggregates them at render time.
+// Metrics holds the router's observability state on a shared obs
+// registry, rendered at /metrics in the Prometheus text exposition
+// format (stdlib only). Per-backend series (requests, errors, latency
+// histograms, up/down) are pre-minted for every configured backend at
+// construction, so the page always shows the full fleet — a backend
+// that never answered still renders with zero counts.
 type Metrics struct {
+	reg      *obs.Registry
 	backends []*backend
 
-	requests   atomic.Uint64
-	errors     atomic.Uint64
-	batches    atomic.Uint64
-	batchItems atomic.Uint64
-	subBatches atomic.Uint64
-	failovers  atomic.Uint64
-	probes     atomic.Uint64
-	markDowns  atomic.Uint64
-	markUps    atomic.Uint64
+	// requests stays a scalar (unlabeled) counter of routed API
+	// requests — health checks, /metrics scrapes, and /debug/obs reads
+	// are excluded so the count means client traffic.
+	requests *obs.Counter
+	// errors counts router-originated error answers by wire code,
+	// including per-item batch errors the router mints itself
+	// (no_backend, backend_error).
+	errors *obs.CounterVec
+
+	batches    *obs.Counter
+	batchItems *obs.Counter
+	subBatches *obs.Counter
+	failovers  *obs.Counter
+	probes     *obs.Counter
+	markDowns  *obs.Counter
+	markUps    *obs.Counter
+
+	backendRequests *obs.CounterVec   // pnn_router_backend_requests_total{backend=}
+	backendErrors   *obs.CounterVec   // pnn_router_backend_errors_total{backend=}
+	backendLatency  *obs.HistogramVec // pnn_router_backend_latency_seconds{backend=}
+	reqLatency      *obs.HistogramVec // pnn_router_request_duration_seconds{endpoint=}
 }
 
 func newMetrics(backends []*backend) *Metrics {
-	return &Metrics{backends: backends}
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:             reg,
+		backends:        backends,
+		requests:        reg.NewCounter("pnn_router_requests_total"),
+		errors:          reg.NewCounterVec("pnn_router_errors_total", "code"),
+		batches:         reg.NewCounter("pnn_router_batches_total"),
+		batchItems:      reg.NewCounter("pnn_router_batch_items_total"),
+		subBatches:      reg.NewCounter("pnn_router_sub_batches_total"),
+		failovers:       reg.NewCounter("pnn_router_failovers_total"),
+		probes:          reg.NewCounter("pnn_router_probes_total"),
+		markDowns:       reg.NewCounter("pnn_router_mark_downs_total"),
+		markUps:         reg.NewCounter("pnn_router_mark_ups_total"),
+		backendRequests: reg.NewCounterVec("pnn_router_backend_requests_total", "backend"),
+		backendErrors:   reg.NewCounterVec("pnn_router_backend_errors_total", "backend"),
+		backendLatency:  reg.NewHistogramVec("pnn_router_backend_latency_seconds", "backend", obs.DurationBuckets),
+		reqLatency:      reg.NewHistogramVec("pnn_router_request_duration_seconds", "endpoint", obs.DurationBuckets),
+	}
+	reg.NewGaugeFunc("pnn_router_backends", func() float64 { return float64(len(backends)) })
+	reg.NewLabeledGaugeFunc("pnn_router_backend_up", "backend", func() map[string]float64 {
+		up := make(map[string]float64, len(backends))
+		for _, b := range backends {
+			if b.up.Load() {
+				up[b.base] = 1
+			} else {
+				up[b.base] = 0
+			}
+		}
+		return up
+	})
+	for _, b := range backends {
+		m.backendRequests.Add(b.base, 0)
+		m.backendErrors.Add(b.base, 0)
+		m.backendLatency.With(b.base)
+	}
+	return m
 }
+
+// Registry exposes the underlying registry (for /debug/obs and tests).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Snapshot is a point-in-time copy of the router counters, for tests
 // and introspection.
 type Snapshot struct {
 	// Requests and Errors are router-level: one per routed request.
 	Requests, Errors uint64
+	// ErrorsByCode splits Errors by wire code.
+	ErrorsByCode map[string]uint64
 	// Batches and BatchItems count /v1/batch envelopes and their items;
 	// SubBatches counts the scatter-gathered per-backend posts.
 	Batches, BatchItems, SubBatches uint64
@@ -56,79 +109,31 @@ type BackendSnapshot struct {
 // Snapshot copies every counter.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests:   m.requests.Load(),
-		Errors:     m.errors.Load(),
-		Batches:    m.batches.Load(),
-		BatchItems: m.batchItems.Load(),
-		SubBatches: m.subBatches.Load(),
-		Failovers:  m.failovers.Load(),
-		Probes:     m.probes.Load(),
-		MarkDowns:  m.markDowns.Load(),
-		MarkUps:    m.markUps.Load(),
-		Backends:   make(map[string]BackendSnapshot, len(m.backends)),
+		Requests:     m.requests.Value(),
+		Errors:       m.errors.Total(),
+		ErrorsByCode: m.errors.Values(),
+		Batches:      m.batches.Value(),
+		BatchItems:   m.batchItems.Value(),
+		SubBatches:   m.subBatches.Value(),
+		Failovers:    m.failovers.Value(),
+		Probes:       m.probes.Value(),
+		MarkDowns:    m.markDowns.Value(),
+		MarkUps:      m.markUps.Value(),
+		Backends:     make(map[string]BackendSnapshot, len(m.backends)),
 	}
 	for _, b := range m.backends {
+		h := m.backendLatency.With(b.base)
 		s.Backends[b.base] = BackendSnapshot{
 			Up:              b.up.Load(),
-			Requests:        b.requests.Load(),
-			Errors:          b.errors.Load(),
-			LatencyMicros:   b.latencyTotal.Load(),
-			LatencyRequests: b.latencyCount.Load(),
+			Requests:        m.backendRequests.Value(b.base),
+			Errors:          m.backendErrors.Value(b.base),
+			LatencyMicros:   uint64(h.Sum() * 1e6),
+			LatencyRequests: h.Count(),
 		}
 	}
 	return s
 }
 
-// render writes the counters in deterministic order (backends are
-// sorted at construction).
-func (m *Metrics) render() string {
-	s := m.Snapshot()
-	var b strings.Builder
-	b.WriteString("# TYPE pnn_router_backends gauge\n")
-	fmt.Fprintf(&b, "pnn_router_backends %d\n", len(m.backends))
-	b.WriteString("# TYPE pnn_router_backend_up gauge\n")
-	for _, bk := range m.backends {
-		up := 0
-		if s.Backends[bk.base].Up {
-			up = 1
-		}
-		fmt.Fprintf(&b, "pnn_router_backend_up{backend=%q} %d\n", bk.base, up)
-	}
-	b.WriteString("# TYPE pnn_router_requests_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_requests_total %d\n", s.Requests)
-	b.WriteString("# TYPE pnn_router_errors_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_errors_total %d\n", s.Errors)
-	b.WriteString("# TYPE pnn_router_backend_requests_total counter\n")
-	for _, bk := range m.backends {
-		fmt.Fprintf(&b, "pnn_router_backend_requests_total{backend=%q} %d\n", bk.base, s.Backends[bk.base].Requests)
-	}
-	b.WriteString("# TYPE pnn_router_backend_errors_total counter\n")
-	for _, bk := range m.backends {
-		fmt.Fprintf(&b, "pnn_router_backend_errors_total{backend=%q} %d\n", bk.base, s.Backends[bk.base].Errors)
-	}
-	b.WriteString("# TYPE pnn_router_backend_latency_seconds_sum counter\n")
-	for _, bk := range m.backends {
-		fmt.Fprintf(&b, "pnn_router_backend_latency_seconds_sum{backend=%q} %g\n",
-			bk.base, float64(s.Backends[bk.base].LatencyMicros)/1e6)
-	}
-	b.WriteString("# TYPE pnn_router_backend_latency_seconds_count counter\n")
-	for _, bk := range m.backends {
-		fmt.Fprintf(&b, "pnn_router_backend_latency_seconds_count{backend=%q} %d\n",
-			bk.base, s.Backends[bk.base].LatencyRequests)
-	}
-	b.WriteString("# TYPE pnn_router_batches_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_batches_total %d\n", s.Batches)
-	b.WriteString("# TYPE pnn_router_batch_items_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_batch_items_total %d\n", s.BatchItems)
-	b.WriteString("# TYPE pnn_router_sub_batches_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_sub_batches_total %d\n", s.SubBatches)
-	b.WriteString("# TYPE pnn_router_failovers_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_failovers_total %d\n", s.Failovers)
-	b.WriteString("# TYPE pnn_router_probes_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_probes_total %d\n", s.Probes)
-	b.WriteString("# TYPE pnn_router_mark_downs_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_mark_downs_total %d\n", s.MarkDowns)
-	b.WriteString("# TYPE pnn_router_mark_ups_total counter\n")
-	fmt.Fprintf(&b, "pnn_router_mark_ups_total %d\n", s.MarkUps)
-	return b.String()
-}
+// render writes the full exposition page (families in sorted name
+// order; the registry guarantees unique # TYPE lines).
+func (m *Metrics) render() string { return m.reg.Render() }

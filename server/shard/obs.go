@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"pnn/api"
+	"pnn/internal/obs"
+)
+
+// endpointOf maps a request path onto a bounded endpoint label: the op
+// name for single-query paths, the section name for everything else.
+// Labels come from the route table, never raw client input, so metric
+// cardinality cannot be inflated by path scans.
+func endpointOf(path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	case "/debug/obs":
+		return "debug"
+	case api.BatchPath:
+		return "batch"
+	case "/v1/datasets":
+		return "datasets"
+	}
+	if strings.HasPrefix(path, "/v1/datasets/") {
+		return "admin"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "debug"
+	}
+	if op, ok := strings.CutPrefix(path, "/v1/"); ok {
+		for _, name := range api.Ops {
+			if op == name {
+				return name
+			}
+		}
+	}
+	return "other"
+}
+
+// apiEndpoint reports whether an endpoint label is client API traffic —
+// what the scalar pnn_router_requests_total counts. Health checks,
+// scrapes, and debug reads are machinery, not routed load.
+func apiEndpoint(endpoint string) bool {
+	switch endpoint {
+	case "healthz", "metrics", "debug":
+		return false
+	}
+	return true
+}
+
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument is the router's edge middleware: it assigns the request
+// ID (minting one unless the client supplied it), echoes it on the
+// response before any handler writes, counts and times the request per
+// endpoint, and emits one structured log line per request — Debug
+// normally, Warn at or beyond the slow-query threshold. The same ID is
+// forwarded to every backend the request touches (see attempt), so one
+// client request correlates across the whole fleet's logs.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(api.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(api.RequestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+
+		endpoint := endpointOf(r.URL.Path)
+		if apiEndpoint(endpoint) {
+			rt.metrics.requests.Inc()
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t := obs.StartTimer()
+		next.ServeHTTP(sw, r)
+		d := t.Total()
+		rt.metrics.reqLatency.With(endpoint).ObserveDuration(d)
+
+		level := slog.LevelDebug
+		msg := "request"
+		if rt.cfg.SlowQueryThreshold > 0 && d >= rt.cfg.SlowQueryThreshold {
+			level = slog.LevelWarn
+			msg = "slow request"
+		}
+		rt.logger.Log(r.Context(), level, msg,
+			"request_id", id,
+			"endpoint", endpoint,
+			"dataset", r.URL.Query().Get("dataset"),
+			"status", sw.status,
+			"duration", d,
+		)
+	})
+}
+
+// handleDebugObs serves GET /debug/obs: the registry's derived
+// statistics (p50/p99/p999 per histogram label) as JSON.
+func (rt *Router) handleDebugObs(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.metrics.reg.Snapshot())
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pnn/api"
+	"pnn/internal/obs"
 )
 
 // handleBatch scatter-gathers POST /v1/batch: the mixed-dataset batch
@@ -18,13 +19,12 @@ import (
 // still cannot be answered come back as per-item api errors, never as
 // a whole-batch failure.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
-	rt.metrics.requests.Add(1)
 	breq, status, err := api.DecodeBatchRequest(w, r)
 	if err != nil {
-		rt.writeError(w, status, api.CodeBadRequest, err)
+		rt.writeError(w, r, status, api.CodeBadRequest, err)
 		return
 	}
-	rt.metrics.batches.Add(1)
+	rt.metrics.batches.Inc()
 	rt.metrics.batchItems.Add(uint64(len(breq.Items)))
 	results := make([]api.BatchResult, len(breq.Items))
 	idxs := make([]int, len(breq.Items))
@@ -73,10 +73,8 @@ func (rt *Router) scatter(ctx context.Context, items []api.BatchItem, idxs []int
 			targets[ds] = target
 		}
 		if target == nil {
-			results[i] = api.BatchResult{Error: &api.Error{
-				Error: fmt.Sprintf("no healthy backend for dataset %q", ds),
-				Code:  api.CodeNoBackend,
-			}}
+			results[i] = rt.itemError(ctx, api.CodeNoBackend,
+				fmt.Sprintf("no healthy backend for dataset %q", ds))
 			continue
 		}
 		groups[target] = append(groups[target], i)
@@ -102,14 +100,14 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 	}
 	body, err := json.Marshal(sub)
 	if err != nil { // unreachable for these types; defensive
-		fillError(results, group, api.CodeInternal, err.Error())
+		rt.fillError(ctx, results, group, api.CodeInternal, err.Error())
 		return
 	}
-	rt.metrics.subBatches.Add(1)
+	rt.metrics.subBatches.Inc()
 	res, retryable, err := rt.attempt(ctx, target, http.MethodPost, api.BatchPath, body, "")
 	if err != nil {
 		if retryable && attempt < 2 && ctx.Err() == nil {
-			rt.metrics.failovers.Add(1)
+			rt.metrics.failovers.Inc()
 			next := make(map[*backend]bool, len(exclude)+1)
 			for b := range exclude {
 				next[b] = true
@@ -118,7 +116,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 			rt.scatter(ctx, items, group, next, attempt+1, results)
 			return
 		}
-		fillError(results, group, api.CodeBackendError, err.Error())
+		rt.fillError(ctx, results, group, api.CodeBackendError, err.Error())
 		return
 	}
 	if res.status != http.StatusOK {
@@ -130,7 +128,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 		if json.Unmarshal(res.body, &apiErr) == nil && apiErr.Error != "" {
 			msg = fmt.Sprintf("backend %s: %s", target.base, apiErr.Error)
 		}
-		fillError(results, group, api.CodeBackendError, msg)
+		rt.fillError(ctx, results, group, api.CodeBackendError, msg)
 		return
 	}
 	var bresp api.BatchResponse
@@ -138,7 +136,7 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 		if err == nil {
 			err = fmt.Errorf("got %d results for %d items", len(bresp.Results), len(group))
 		}
-		fillError(results, group, api.CodeBackendError,
+		rt.fillError(ctx, results, group, api.CodeBackendError,
 			fmt.Sprintf("backend %s: invalid batch response: %v", target.base, err))
 		return
 	}
@@ -162,17 +160,26 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 			// down when scatter picked the group's backend. Report the
 			// owner outage, not a hard "does not exist" (mirrors
 			// handleQuery's single-query rule).
-			results[i] = api.BatchResult{Error: &api.Error{
-				Error: fmt.Sprintf("dataset %q unknown to a non-owner replica and its owner is unavailable", ds),
-				Code:  api.CodeNoBackend,
-			}}
+			results[i] = rt.itemError(ctx,
+				api.CodeNoBackend,
+				fmt.Sprintf("dataset %q unknown to a non-owner replica and its owner is unavailable", ds))
 		}
 	}
 }
 
+// itemError shapes one router-minted per-item error, counting it by
+// code (backend-minted item errors are counted by the backend) and
+// stamping the batch envelope's request ID.
+func (rt *Router) itemError(ctx context.Context, code, msg string) api.BatchResult {
+	rt.metrics.errors.Inc(code)
+	return api.BatchResult{Error: &api.Error{
+		Error: msg, Code: code, RequestID: obs.RequestID(ctx),
+	}}
+}
+
 // fillError records one error on every item of a group.
-func fillError(results []api.BatchResult, group []int, code, msg string) {
+func (rt *Router) fillError(ctx context.Context, results []api.BatchResult, group []int, code, msg string) {
 	for _, i := range group {
-		results[i] = api.BatchResult{Error: &api.Error{Error: msg, Code: code}}
+		results[i] = rt.itemError(ctx, code, msg)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"pnn/api"
+	"pnn/internal/obs"
 )
 
 // Config tunes the router. Backends is required; every other field has
@@ -69,6 +71,15 @@ type Config struct {
 	// Client is the HTTP client used for proxying and probing; nil
 	// means http.DefaultClient.
 	Client *http.Client
+	// Logger receives one structured log line per routed request
+	// (request ID, endpoint, dataset, backend, status, duration) at
+	// Debug — promoted to Warn at or beyond SlowQueryThreshold — plus
+	// backend mark-down/mark-up transitions. Nil discards.
+	Logger *slog.Logger
+	// SlowQueryThreshold promotes the per-request log line to Warn once
+	// the request takes at least this long; 0 means the default (1s),
+	// < 0 disables slow-query promotion.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +98,12 @@ func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = http.DefaultClient
 	}
+	switch {
+	case c.SlowQueryThreshold < 0:
+		c.SlowQueryThreshold = 0
+	case c.SlowQueryThreshold == 0:
+		c.SlowQueryThreshold = time.Second
+	}
 	return c
 }
 
@@ -97,6 +114,7 @@ type Router struct {
 	probing  bool // whether the probe loop runs (it alone can mark up absent traffic)
 	backends []*backend
 	metrics  *Metrics
+	logger   *slog.Logger
 	handler  http.Handler
 	stopc    chan struct{}
 	stopOnce sync.Once
@@ -109,7 +127,10 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("shard: no backends configured")
 	}
-	rt := &Router{cfg: cfg, stopc: make(chan struct{})}
+	rt := &Router{cfg: cfg, logger: cfg.Logger, stopc: make(chan struct{})}
+	if rt.logger == nil {
+		rt.logger = slog.New(slog.DiscardHandler)
+	}
 	seen := make(map[string]bool)
 	for _, raw := range cfg.Backends {
 		base := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -133,6 +154,7 @@ func New(cfg Config) (*Router, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", rt.handleHealth)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/debug/obs", rt.handleDebugObs)
 	mux.HandleFunc("/v1/datasets", rt.handleDatasets)
 	for _, op := range api.Ops {
 		mux.HandleFunc(api.QueryPath(op), rt.handleQuery)
@@ -143,7 +165,7 @@ func New(cfg Config) (*Router, error) {
 	mux.HandleFunc("POST /v1/datasets/{name}/points", rt.handleWrite)
 	mux.HandleFunc("DELETE /v1/datasets/{name}/points/{id}", rt.handleWrite)
 	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", rt.handleWrite)
-	rt.handler = mux
+	rt.handler = rt.instrument(mux)
 
 	if cfg.ProbeInterval > 0 {
 		rt.probing = true
@@ -285,11 +307,18 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery 
 	if auth != "" {
 		req.Header.Set("Authorization", auth)
 	}
+	// Forward the request ID so one client request correlates across
+	// the router's and every touched backend's log lines and error
+	// bodies (scatter-gathered sub-batches included — they share the
+	// envelope's ctx).
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(api.RequestIDHeader, id)
+	}
 	start := time.Now()
-	b.requests.Add(1)
+	rt.metrics.backendRequests.Inc(b.base)
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
-		b.errors.Add(1)
+		rt.metrics.backendErrors.Inc(b.base)
 		// Don't wait for the next probe: the replica is unreachable
 		// right now, so steer subsequent requests away immediately.
 		// Unless the failure is the caller's own cancellation — a
@@ -301,16 +330,16 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery 
 	}
 	defer resp.Body.Close()
 	buf, err := io.ReadAll(resp.Body)
-	b.observeLatency(time.Since(start))
+	rt.metrics.backendLatency.With(b.base).ObserveDuration(time.Since(start))
 	if err != nil {
-		b.errors.Add(1)
+		rt.metrics.backendErrors.Inc(b.base)
 		if caller.Err() == nil {
 			rt.markDown(b)
 		}
 		return res, true, fmt.Errorf("backend %s: reading response: %w", b.base, err)
 	}
 	if resp.StatusCode >= 500 {
-		b.errors.Add(1)
+		rt.metrics.backendErrors.Inc(b.base)
 		return res, true, fmt.Errorf("backend %s: status %d", b.base, resp.StatusCode)
 	}
 	// A definitive answer proves the backend is reachable; mark it back
@@ -337,7 +366,7 @@ func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pa
 			break
 		}
 		if i > 0 {
-			rt.metrics.failovers.Add(1)
+			rt.metrics.failovers.Inc()
 		}
 		res, retryable, err := rt.attempt(ctx, b, method, pathAndQuery, body, "")
 		if err == nil {
@@ -357,10 +386,9 @@ func (rt *Router) proxyOrdered(ctx context.Context, prefs []*backend, method, pa
 // handleQuery routes one single-query endpoint: rendezvous-order the
 // replicas by the dataset parameter, forward verbatim, fail over once.
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
-	rt.metrics.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		rt.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+		rt.writeError(w, r, http.StatusMethodNotAllowed, api.CodeBadRequest,
 			fmt.Errorf("%s requires GET", r.URL.Path))
 		return
 	}
@@ -368,7 +396,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	order := rt.order(dataset)
 	prefs := rt.prefsFor(order)
 	if len(prefs) == 0 {
-		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+		rt.writeError(w, r, http.StatusServiceUnavailable, api.CodeNoBackend,
 			fmt.Errorf("no healthy backend for dataset %q", dataset))
 		return
 	}
@@ -378,7 +406,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, b, _, err := rt.proxyOrdered(r.Context(), prefs, r.Method, pathAndQuery, nil)
 	if err != nil {
-		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		rt.writeError(w, r, http.StatusBadGateway, api.CodeBackendError, err)
 		return
 	}
 	if b != order[0] && isUnknownDataset(res) {
@@ -390,7 +418,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// (attempt 1) or as prefs[0] because the owner was already marked
 		// down, the situation is the same. Answer 503 and let the client
 		// retry once the owner is back.
-		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+		rt.writeError(w, r, http.StatusServiceUnavailable, api.CodeNoBackend,
 			fmt.Errorf("dataset %q unknown to a non-owner replica and its owner is unavailable", dataset))
 		return
 	}
@@ -422,17 +450,16 @@ func isUnknownDataset(res attemptResult) bool {
 // forwarded verbatim (the backends, not the router, hold the admin
 // token).
 func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
-	rt.metrics.requests.Add(1)
 	dataset := r.PathValue("name")
 	owner := rt.order(dataset)[0]
 	if !owner.up.Load() && rt.probing {
-		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+		rt.writeError(w, r, http.StatusServiceUnavailable, api.CodeNoBackend,
 			fmt.Errorf("owner %s of dataset %q is unavailable; writes are not redirected", owner.base, dataset))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, api.MaxMutationBytes))
 	if err != nil {
-		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+		rt.writeError(w, r, http.StatusBadRequest, api.CodeBadRequest,
 			fmt.Errorf("reading mutation body: %w", err))
 		return
 	}
@@ -441,7 +468,7 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	res, _, err := rt.attempt(r.Context(), owner, r.Method, r.URL.Path, body, r.Header.Get("Authorization"))
 	if err != nil {
-		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, err)
+		rt.writeError(w, r, http.StatusBadGateway, api.CodeBackendError, err)
 		return
 	}
 	rt.writeProxied(w, res, owner)
@@ -456,16 +483,15 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 // name-sorted and carries the per-dataset versions, preserving the
 // staleness-detection contract of the single-node endpoint.
 func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	rt.metrics.requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		rt.writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest,
+		rt.writeError(w, r, http.StatusMethodNotAllowed, api.CodeBadRequest,
 			fmt.Errorf("%s requires GET", r.URL.Path))
 		return
 	}
 	prefs := rt.prefsFor(rt.backends)
 	if len(prefs) == 0 {
-		rt.writeError(w, http.StatusServiceUnavailable, api.CodeNoBackend,
+		rt.writeError(w, r, http.StatusServiceUnavailable, api.CodeNoBackend,
 			fmt.Errorf("no healthy backend"))
 		return
 	}
@@ -508,7 +534,7 @@ func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !answered {
-		rt.writeError(w, http.StatusBadGateway, api.CodeBackendError, lastErr)
+		rt.writeError(w, r, http.StatusBadGateway, api.CodeBackendError, lastErr)
 		return
 	}
 	out := make([]api.DatasetInfo, 0, len(merged))
@@ -559,7 +585,7 @@ func (rt *Router) writeProxied(w http.ResponseWriter, res attemptResult, b *back
 func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		rt.writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		rt.writeError(w, nil, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -567,9 +593,16 @@ func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(body, '\n'))
 }
 
-func (rt *Router) writeError(w http.ResponseWriter, status int, code string, err error) {
-	rt.metrics.errors.Add(1)
-	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code})
+// writeError answers one router-originated error, counted by wire code
+// and stamped with the request ID from r's context (r may be nil on
+// paths with no request in hand).
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	rt.metrics.errors.Inc(code)
+	var reqID string
+	if r != nil {
+		reqID = obs.RequestID(r.Context())
+	}
+	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code, RequestID: reqID})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

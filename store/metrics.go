@@ -1,0 +1,43 @@
+package store
+
+import (
+	"pnn/internal/obs"
+)
+
+// metrics holds the store's instruments. They are plain obs collectors
+// rather than a registry: the store does not serve HTTP itself, so the
+// embedding tier (pnnserve) mounts them onto its own /metrics page via
+// Collectors.
+type metrics struct {
+	appendLatency *obs.Histogram // pnn_store_wal_append_seconds
+	fsyncLatency  *obs.Histogram // pnn_store_wal_fsync_seconds
+	groupSize     *obs.Histogram // pnn_store_wal_group_commit_size
+	snapshotDur   *obs.Histogram // pnn_store_snapshot_seconds
+	replayRecords *obs.Counter   // pnn_store_replay_records_total
+	walBytes      *obs.GaugeFunc // pnn_store_wal_size_bytes
+}
+
+func newStoreMetrics() *metrics {
+	return &metrics{
+		appendLatency: obs.NewHistogram("pnn_store_wal_append_seconds", obs.DurationBuckets),
+		fsyncLatency:  obs.NewHistogram("pnn_store_wal_fsync_seconds", obs.DurationBuckets),
+		groupSize:     obs.NewHistogram("pnn_store_wal_group_commit_size", obs.SizeBuckets),
+		snapshotDur:   obs.NewHistogram("pnn_store_snapshot_seconds", obs.DurationBuckets),
+		replayRecords: obs.NewCounter("pnn_store_replay_records_total"),
+	}
+}
+
+// Collectors returns the store's metric families, for the serving tier
+// to register onto its /metrics page: WAL append and fsync latency,
+// group-commit batch size, snapshot (compaction) duration, replay
+// progress, and the current WAL size.
+func (s *Store) Collectors() []obs.Collector {
+	return []obs.Collector{
+		s.metrics.appendLatency,
+		s.metrics.fsyncLatency,
+		s.metrics.groupSize,
+		s.metrics.snapshotDur,
+		s.metrics.replayRecords,
+		s.metrics.walBytes,
+	}
+}

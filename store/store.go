@@ -9,8 +9,10 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"time"
 
 	"pnn"
+	"pnn/internal/obs"
 )
 
 const (
@@ -84,7 +86,8 @@ type record struct {
 // concurrent use; see the package docs for the durability and ordering
 // contracts.
 type Store struct {
-	dir string
+	dir     string
+	metrics *metrics
 
 	mu       sync.Mutex
 	wal      *wal
@@ -119,7 +122,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, datasets: make(map[string]*dataset)}
+	s := &Store{dir: dir, metrics: newStoreMetrics(), datasets: make(map[string]*dataset)}
 	doc, ok, err := readSnapshot(dir)
 	if err != nil {
 		return nil, err
@@ -140,12 +143,21 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.metrics = s.metrics
+	s.metrics.walBytes = obs.NewGaugeFunc("pnn_store_wal_size_bytes", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(w.written)
+	})
 	snapSeq := s.seq
 	good, torn, err := replayWAL(w.f, func(payload []byte) error {
 		var rec record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("store: undecodable wal record (checksum valid): %w", err)
 		}
+		// Counted before the snapshot-seq filter: replay progress means
+		// frames scanned, which is what a long recovery spends time on.
+		s.metrics.replayRecords.Inc()
 		if rec.Seq <= snapSeq {
 			return nil // already folded into the snapshot
 		}
@@ -357,6 +369,8 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return ErrClosed
 	}
+	start := time.Now()
+	defer func() { s.metrics.snapshotDur.ObserveDuration(time.Since(start)) }()
 	doc := snapshotDoc{LastSeq: s.seq}
 	names := make([]string, 0, len(s.datasets))
 	for name := range s.datasets {

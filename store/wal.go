@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Frame layout: u32-LE payload length, u32-LE CRC-32C of the payload,
@@ -27,6 +29,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // write frames under one lock, and the first waiter of an unsynced
 // suffix performs the fsync for everyone who wrote before it.
 type wal struct {
+	// metrics, when non-nil, observes append latency, fsync latency,
+	// and group-commit size. Set once right after openWAL, before the
+	// wal serves appends.
+	metrics *metrics
+	// appended counts records since the last fsync read it; the syncer
+	// swaps it to zero, so its reading is the group-commit batch size.
+	appended atomic.Uint64
+
 	mu      sync.Mutex // file writes and the written offset
 	f       *os.File
 	written int64
@@ -63,6 +73,14 @@ func openWAL(path string) (*wal, int64, error) {
 // plus the file epoch it was written under. The record is durable only
 // once waitSync(off, gen) has returned.
 func (w *wal) append(payload []byte) (int64, uint64, error) {
+	var start time.Time
+	if w.metrics != nil {
+		start = time.Now()
+		// Observed on the deferred path so failed appends count too:
+		// append latency includes lock wait, which is where contention
+		// between concurrent committers shows up.
+		defer func() { w.metrics.appendLatency.ObserveDuration(time.Since(start)) }()
+	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
@@ -75,6 +93,7 @@ func (w *wal) append(payload []byte) (int64, uint64, error) {
 		return 0, 0, err
 	}
 	w.written += int64(frameHeader + len(payload))
+	w.appended.Add(1)
 	// truncateTo holds mu while bumping gen, so reading it under smu
 	// here pins the epoch the bytes above actually landed in.
 	w.smu.Lock()
@@ -119,7 +138,22 @@ func (w *wal) waitSync(off int64, gen uint64) error {
 		w.mu.Lock()
 		target := w.written
 		w.mu.Unlock()
+		// The swap reads how many records accumulated since the previous
+		// group commit — this fsync's batch size (an append racing in
+		// between may shift a record into the neighboring group; the
+		// distribution is what matters, not exact attribution).
+		group := w.appended.Swap(0)
+		var syncStart time.Time
+		if w.metrics != nil {
+			syncStart = time.Now()
+		}
 		err := w.f.Sync()
+		if w.metrics != nil {
+			w.metrics.fsyncLatency.ObserveDuration(time.Since(syncStart))
+			if err == nil && group > 0 {
+				w.metrics.groupSize.Observe(float64(group))
+			}
+		}
 		w.smu.Lock()
 		w.syncing = false
 		switch {
