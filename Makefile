@@ -1,7 +1,7 @@
 # Convenience targets over the CI gates. scripts/check.sh is the
 # single source of truth for what "clean" means; the CI jobs and
 # `make check` both run it piecewise.
-.PHONY: check race test pnnvet smoke
+.PHONY: check race test pnnvet smoke load coverage experiments
 
 check:
 	./scripts/check.sh
@@ -19,3 +19,13 @@ smoke:
 	./scripts/server_smoke.sh
 	./scripts/router_smoke.sh
 	./scripts/store_smoke.sh
+	./scripts/load_smoke.sh
+
+load:
+	./scripts/load_smoke.sh
+
+coverage:
+	./scripts/coverage.sh
+
+experiments:
+	./scripts/experiments.sh

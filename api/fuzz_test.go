@@ -1,0 +1,81 @@
+package api_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pnn/api"
+	"pnn/internal/loadgen"
+)
+
+// FuzzDecodeBatchRequest hammers the batch wire decoder — the one
+// endpoint that accepts an attacker-shaped JSON body on the query
+// (unauthenticated) surface. Seeds come from the load generator's own
+// corpus so the fuzzer starts from realistic envelopes, not just
+// degenerate JSON.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	spec := loadgen.DefaultSpec()
+	spec.Backend = "index"
+	spec.Method = "spiral"
+	spec.Eps = 0.05
+	if err := spec.Set("mix", "batch=1"); err != nil {
+		f.Fatal(err)
+	}
+	gen, err := loadgen.NewGen(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		body, err := json.Marshal(api.BatchRequest{Items: gen.Next().Items})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"items":null}`))
+	f.Add([]byte(`{"items":[{"op":"nonzero"}]}`))
+	f.Add([]byte(`{"items":[{"x":1e308,"y":-1e308,"k":-1}]}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r := httptest.NewRequest(http.MethodPost, api.BatchPath, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		breq, status, err := api.DecodeBatchRequest(w, r)
+		if err != nil {
+			if status == 0 {
+				t.Fatalf("error without an http status: %v", err)
+			}
+			return
+		}
+		if status != 0 {
+			t.Fatalf("status %d without an error", status)
+		}
+		if len(breq.Items) > api.MaxBatchItems {
+			t.Fatalf("decoder accepted %d items past the cap of %d", len(breq.Items), api.MaxBatchItems)
+		}
+	})
+}
+
+// FuzzDecodeBatchRequestMethod checks the method guard never panics on
+// arbitrary verbs.
+func FuzzDecodeBatchRequestMethod(f *testing.F) {
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, "PATCH", "QUERY"} {
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, method string) {
+		r := &http.Request{Method: method, Body: http.NoBody}
+		w := httptest.NewRecorder()
+		_, status, err := api.DecodeBatchRequest(w, r)
+		if method != http.MethodPost && err == nil {
+			t.Fatalf("method %q should be rejected", method)
+		}
+		if err != nil && status == 0 {
+			t.Fatalf("error without an http status: %v", err)
+		}
+	})
+}

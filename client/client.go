@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"pnn/api"
 )
@@ -118,6 +119,46 @@ func WithHTTPClient(h *http.Client) Option {
 // authenticate with. Query methods never send it.
 func WithAdminToken(token string) Option {
 	return func(c *Client) { c.adminToken = token }
+}
+
+// WithMaxConns raises the connection-reuse ceiling to n concurrent
+// requests per endpoint. The default transport keeps only 2 idle
+// connections per host, so a client issuing hundreds of concurrent
+// requests (a load generator, a busy proxy) churns through fresh TCP
+// handshakes and measures connection setup instead of the server —
+// this knob sizes the idle pool to the intended concurrency. It
+// derives a fresh transport from the client's current one (or the
+// default), so apply it after WithHTTPClient, never before.
+func WithMaxConns(n int) Option {
+	return func(c *Client) {
+		if n < 1 {
+			return
+		}
+		base := http.DefaultTransport.(*http.Transport)
+		if t, ok := c.http.Transport.(*http.Transport); ok {
+			base = t
+		}
+		t := base.Clone()
+		t.MaxIdleConns = 2 * n
+		t.MaxIdleConnsPerHost = n
+		// Copy the http.Client so shared defaults (http.DefaultClient)
+		// are never mutated underneath other users.
+		cp := *c.http
+		cp.Transport = t
+		c.http = &cp
+	}
+}
+
+// WithTimeout bounds every request end to end (connection, send,
+// response body). Zero means no client-side bound. Like WithMaxConns
+// it copies the underlying http.Client rather than mutating a shared
+// one.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		cp := *c.http
+		cp.Timeout = d
+		c.http = &cp
+	}
 }
 
 // New builds a client for the server at baseURL (e.g.

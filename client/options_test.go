@@ -1,0 +1,60 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestWithTimeout(t *testing.T) {
+	before := http.DefaultClient.Timeout
+	c := New("http://127.0.0.1:0", WithTimeout(3*time.Second))
+	if c.http.Timeout != 3*time.Second {
+		t.Fatalf("timeout = %v, want 3s", c.http.Timeout)
+	}
+	// The option must copy, never mutate the shared default client.
+	if http.DefaultClient.Timeout != before {
+		t.Fatalf("WithTimeout mutated http.DefaultClient (timeout %v)", http.DefaultClient.Timeout)
+	}
+}
+
+func TestWithMaxConns(t *testing.T) {
+	c := New("http://127.0.0.1:0", WithMaxConns(40))
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", c.http.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 40 || tr.MaxIdleConns != 80 {
+		t.Fatalf("per-host %d / total %d, want 40 / 80", tr.MaxIdleConnsPerHost, tr.MaxIdleConns)
+	}
+	// The shared default transport must stay untouched.
+	def := http.DefaultTransport.(*http.Transport)
+	if def.MaxIdleConnsPerHost == 40 {
+		t.Fatal("WithMaxConns mutated http.DefaultTransport")
+	}
+	if tr == def {
+		t.Fatal("WithMaxConns must clone, not alias, the default transport")
+	}
+}
+
+func TestWithMaxConnsIgnoresNonPositive(t *testing.T) {
+	c := New("http://127.0.0.1:0", WithMaxConns(0))
+	if c.http.Transport != nil {
+		t.Fatalf("n=0 should leave the client's transport alone, got %T", c.http.Transport)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	c := New("http://127.0.0.1:0",
+		WithMaxConns(8), WithTimeout(time.Second), WithAdminToken("tok"))
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok || tr.MaxIdleConnsPerHost != 8 {
+		t.Fatalf("conns option lost under composition: %T", c.http.Transport)
+	}
+	if c.http.Timeout != time.Second {
+		t.Fatalf("timeout option lost under composition: %v", c.http.Timeout)
+	}
+	if c.adminToken != "tok" {
+		t.Fatalf("admin token lost under composition")
+	}
+}

@@ -1,11 +1,19 @@
 // Command benchdiff compares two directories of BENCH_<name>.json
-// records (as written by pnnbench -json) and fails when the new run has
-// regressed against the baseline: it exits non-zero if any record's
-// ns_op or allocs/op grew by more than the tolerance (default 30%).
+// records and fails when the new run has regressed against the
+// baseline. It understands both record shapes the repo produces:
+//
+//   - micro rows (pnnbench -json): gate ns_op and allocs/op growth
+//     beyond the tolerance (default 30%).
+//   - macro rows (pnnload, "macro": true): wall-clock microbenchmark
+//     numbers are meaningless for a served workload, so the gate
+//     judges p99 latency (its own, looser tolerance) and error rate
+//     (absolute slack) instead — the two axes a serving regression
+//     actually shows up on.
 //
 // It is the CI bench gate:
 //
 //	go run ./cmd/pnnbench -experiment microbench -quick -json /tmp/bench
+//	go run ./cmd/pnnload -target $URL -out /tmp/bench
 //	go run ./cmd/benchdiff -base bench -new /tmp/bench
 //
 // Records are matched by name; names present on only one side are
@@ -29,14 +37,33 @@ type record struct {
 	Name   string `json:"name"`
 	NsOp   int64  `json:"ns_op"`
 	Allocs int64  `json:"allocs"`
+
+	// Macro-row fields (pnnload); zero on micro rows.
+	Macro        bool    `json:"macro"`
+	P99Ns        int64   `json:"p99_ns"`
+	ErrorRate    float64 `json:"error_rate"`
+	NonRetryable int64   `json:"non_retryable"`
+}
+
+// tolerances holds the per-metric gates; see the flag definitions for
+// what each means.
+type tolerances struct {
+	tol      float64 // ns_op + allocs fractional growth (micro)
+	nsTol    float64 // ns_op override; <0 means use tol
+	p99Tol   float64 // macro p99 fractional growth
+	errSlack float64 // macro absolute error-rate growth
+	nonRetry bool    // macro: fail on any non-retryable errors in the new run
 }
 
 var (
-	baseDir = flag.String("base", "bench", "baseline directory of BENCH_*.json records")
-	newDir  = flag.String("new", "", "directory of freshly generated BENCH_*.json records")
-	tol     = flag.Float64("tolerance", 0.30, "allowed fractional growth of ns_op and allocs before failing")
-	nsTol   = flag.Float64("ns-tolerance", -1, "separate tolerance for ns_op (wall clock varies across machines; allocs do not); -1 means use -tolerance")
-	verbose = flag.Bool("v", false, "print every comparison, not just regressions")
+	baseDir  = flag.String("base", "bench", "baseline directory of BENCH_*.json records")
+	newDir   = flag.String("new", "", "directory of freshly generated BENCH_*.json records")
+	tol      = flag.Float64("tolerance", 0.30, "allowed fractional growth of ns_op and allocs before failing (micro rows)")
+	nsTol    = flag.Float64("ns-tolerance", -1, "separate tolerance for ns_op (wall clock varies across machines; allocs do not); -1 means use -tolerance")
+	p99Tol   = flag.Float64("p99-tolerance", 1.0, "allowed fractional growth of p99 latency on macro rows (served latency is noisier than ns/op, so the default is loose)")
+	errSlack = flag.Float64("error-rate-slack", 0.01, "allowed absolute growth of macro error rate (0.01 = one extra failure per hundred requests)")
+	nonRetry = flag.Bool("fail-on-nonretryable", false, "fail any macro row whose new run recorded non-retryable errors")
+	verbose  = flag.Bool("v", false, "print every comparison, not just regressions")
 )
 
 func load(dir string) (map[string]record, error) {
@@ -69,6 +96,38 @@ func grew(base, next int64, tolerance float64, slack int64) bool {
 	return float64(next) > float64(base)*(1+tolerance)+float64(slack)
 }
 
+// compare judges one matched pair and renders the one-line report.
+// failed is the gate verdict; detail the human-readable comparison.
+func compare(b, n record, t tolerances) (failed bool, detail string) {
+	if b.Macro || n.Macro {
+		p99Bad := grew(b.P99Ns, n.P99Ns, t.p99Tol, 0)
+		errBad := n.ErrorRate > b.ErrorRate+t.errSlack
+		nrBad := t.nonRetry && n.NonRetryable > 0
+		detail = fmt.Sprintf("p99 %d -> %d (%+.0f%%), err %.4f -> %.4f",
+			b.P99Ns, n.P99Ns, 100*growth(b.P99Ns, n.P99Ns), b.ErrorRate, n.ErrorRate)
+		if nrBad {
+			detail += fmt.Sprintf(", %d non-retryable", n.NonRetryable)
+		}
+		return p99Bad || errBad || nrBad, detail
+	}
+	nsTolerance := t.tol
+	if t.nsTol >= 0 {
+		nsTolerance = t.nsTol
+	}
+	nsBad := grew(b.NsOp, n.NsOp, nsTolerance, 0)
+	allocBad := grew(b.Allocs, n.Allocs, t.tol, 1)
+	detail = fmt.Sprintf("ns/op %d -> %d (%+.0f%%), allocs %d -> %d",
+		b.NsOp, n.NsOp, 100*growth(b.NsOp, n.NsOp), b.Allocs, n.Allocs)
+	return nsBad || allocBad, detail
+}
+
+func growth(base, next int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(next)/float64(base) - 1
+}
+
 func main() {
 	flag.Parse()
 	if *newDir == "" {
@@ -96,6 +155,7 @@ func main() {
 	}
 	sort.Strings(names)
 
+	t := tolerances{tol: *tol, nsTol: *nsTol, p99Tol: *p99Tol, errSlack: *errSlack, nonRetry: *nonRetry}
 	matched, regressions := 0, 0
 	for _, name := range names {
 		b := base[name]
@@ -105,20 +165,13 @@ func main() {
 			continue
 		}
 		matched++
-		nsTolerance := *tol
-		if *nsTol >= 0 {
-			nsTolerance = *nsTol
-		}
-		nsBad := grew(b.NsOp, n.NsOp, nsTolerance, 0)
-		allocBad := grew(b.Allocs, n.Allocs, *tol, 1)
+		failed, detail := compare(b, n, t)
 		switch {
-		case nsBad || allocBad:
+		case failed:
 			regressions++
-			fmt.Printf("FAIL   %-24s ns/op %d -> %d (%+.0f%%), allocs %d -> %d\n",
-				name, b.NsOp, n.NsOp, 100*(float64(n.NsOp)/float64(b.NsOp)-1), b.Allocs, n.Allocs)
+			fmt.Printf("FAIL   %-24s %s\n", name, detail)
 		case *verbose:
-			fmt.Printf("ok     %-24s ns/op %d -> %d (%+.0f%%), allocs %d -> %d\n",
-				name, b.NsOp, n.NsOp, 100*(float64(n.NsOp)/float64(b.NsOp)-1), b.Allocs, n.Allocs)
+			fmt.Printf("ok     %-24s %s\n", name, detail)
 		}
 	}
 	for name := range next {
@@ -131,9 +184,8 @@ func main() {
 		os.Exit(2)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed beyond %.0f%%\n",
-			regressions, matched, 100**tol)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d benchmarks regressed\n", regressions, matched)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", matched, 100**tol)
+	fmt.Printf("benchdiff: %d benchmarks within tolerance of baseline\n", matched)
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func defaults() tolerances {
+	return tolerances{tol: 0.30, nsTol: -1, p99Tol: 1.0, errSlack: 0.01}
+}
+
+func TestCompareMicro(t *testing.T) {
+	cases := []struct {
+		name string
+		base record
+		next record
+		tols tolerances
+		fail bool
+	}{
+		{"within tolerance", record{NsOp: 1000, Allocs: 10}, record{NsOp: 1200, Allocs: 10}, defaults(), false},
+		{"ns_op regressed", record{NsOp: 1000, Allocs: 10}, record{NsOp: 1400, Allocs: 10}, defaults(), true},
+		{"allocs regressed", record{NsOp: 1000, Allocs: 10}, record{NsOp: 1000, Allocs: 15}, defaults(), true},
+		{"alloc slack absorbs 0 to 1", record{NsOp: 1000, Allocs: 0}, record{NsOp: 1000, Allocs: 1}, defaults(), false},
+		{"ns tolerance override", record{NsOp: 1000, Allocs: 10}, record{NsOp: 1400, Allocs: 10},
+			tolerances{tol: 0.30, nsTol: 0.50, p99Tol: 1.0, errSlack: 0.01}, false},
+		{"improvement never fails", record{NsOp: 1000, Allocs: 10}, record{NsOp: 100, Allocs: 1}, defaults(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failed, detail := compare(tc.base, tc.next, tc.tols)
+			if failed != tc.fail {
+				t.Errorf("compare(%+v, %+v) failed=%v, want %v (%s)", tc.base, tc.next, failed, tc.fail, detail)
+			}
+			if !strings.Contains(detail, "ns/op") {
+				t.Errorf("micro detail should report ns/op, got %q", detail)
+			}
+		})
+	}
+}
+
+func TestCompareMacro(t *testing.T) {
+	base := record{Macro: true, NsOp: 5_000_000, P99Ns: 20_000_000, ErrorRate: 0}
+	cases := []struct {
+		name string
+		next record
+		tols tolerances
+		fail bool
+	}{
+		{"steady", record{Macro: true, P99Ns: 21_000_000, ErrorRate: 0}, defaults(), false},
+		{"p99 doubled plus is a fail", record{Macro: true, P99Ns: 41_000_000, ErrorRate: 0}, defaults(), true},
+		{"p99 under 2x passes at default", record{Macro: true, P99Ns: 39_000_000, ErrorRate: 0}, defaults(), false},
+		{"error rate within slack", record{Macro: true, P99Ns: 20_000_000, ErrorRate: 0.009}, defaults(), false},
+		{"error rate beyond slack", record{Macro: true, P99Ns: 20_000_000, ErrorRate: 0.02}, defaults(), true},
+		{"ns_op regression alone is ignored on macro rows",
+			record{Macro: true, NsOp: 50_000_000, P99Ns: 20_000_000, ErrorRate: 0}, defaults(), false},
+		{"non-retryable ignored by default",
+			record{Macro: true, P99Ns: 20_000_000, NonRetryable: 3}, defaults(), false},
+		{"non-retryable fails when gated",
+			record{Macro: true, P99Ns: 20_000_000, NonRetryable: 3},
+			tolerances{tol: 0.30, nsTol: -1, p99Tol: 1.0, errSlack: 0.01, nonRetry: true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failed, detail := compare(base, tc.next, tc.tols)
+			if failed != tc.fail {
+				t.Errorf("compare failed=%v, want %v (%s)", failed, tc.fail, detail)
+			}
+			if !strings.Contains(detail, "p99") {
+				t.Errorf("macro detail should report p99, got %q", detail)
+			}
+		})
+	}
+}
+
+func TestCompareMacroMarkedOnEitherSide(t *testing.T) {
+	// A macro baseline against a row that forgot the marker (or vice
+	// versa) must still be judged by macro rules, not ns/op.
+	b := record{Macro: true, P99Ns: 20_000_000}
+	n := record{P99Ns: 100_000_000}
+	failed, _ := compare(b, n, defaults())
+	if !failed {
+		t.Fatal("5x p99 growth should fail even when the new row lost its macro flag")
+	}
+}
+
+func TestLoadMixedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_micro-x.json", `{"name":"micro-x","ns_op":123,"allocs":4}`)
+	write("BENCH_macro-y.json", `{"name":"macro-y","macro":true,"ns_op":99,"p99_ns":5000,"error_rate":0.5,"non_retryable":2}`)
+	write("BENCH_unnamed.json", `{"ns_op":7}`)
+	write("ignored.txt", `not json`)
+
+	recs, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3: %v", len(recs), recs)
+	}
+	if r := recs["micro-x"]; r.Macro || r.NsOp != 123 {
+		t.Errorf("micro row mangled: %+v", r)
+	}
+	r, ok := recs["macro-y"]
+	if !ok || !r.Macro || r.P99Ns != 5000 || r.ErrorRate != 0.5 || r.NonRetryable != 2 {
+		t.Errorf("macro row mangled: %+v", r)
+	}
+	// Fallback name from the filename when the record omits one.
+	if _, ok := recs["unnamed"]; !ok {
+		t.Errorf("filename-derived name missing: %v", recs)
+	}
+}

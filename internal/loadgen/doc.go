@@ -1,0 +1,31 @@
+// Package loadgen synthesizes production-shaped load for the pnnserve
+// and pnnrouter tiers and measures what comes back: macro latency
+// percentiles, error codes, and achieved-vs-offered throughput.
+//
+// The pieces compose bottom-up:
+//
+//   - Zipf: a deterministic seeded Zipf rank generator (Gray et al.'s
+//     O(1) approximation), the popularity law behind both dataset and
+//     query-point choice. Skew theta = 0 is uniform; theta → 1 puts
+//     almost all traffic on the head ranks, the regime the ROADMAP's
+//     hot-dataset items target.
+//   - Spec / Mix: a declarative workload — target QPS, duration,
+//     datasets, skews, a weighted op mix over all five query endpoints
+//     plus /v1/batch and the mutation endpoints, and engine selection.
+//     Spec.Set applies pnnload's flag keys, so flags and grid cells
+//     share one parameter surface.
+//   - Gen: the deterministic request sequence of a Spec. Equal specs
+//     emit byte-identical sequences (Gen.Dump is the witness), which
+//     is what makes a committed BENCH_macro row reproducible.
+//   - Run: the open-loop driver — Poisson arrivals at the target rate,
+//     an inflight cap that sheds (never blocks) so a slow server can't
+//     secretly turn the loop closed, per-endpoint latency recorded in
+//     internal/obs histograms.
+//   - MacroRecord / GridSpec: BENCH_macro-*.json rows consumed by
+//     cmd/benchdiff's macro gate (p99 + error-rate aware), and the
+//     JSON experiment-grid format cmd/pnnload expands into one run
+//     per cell × repeat.
+//
+// cmd/pnnload is the CLI over all of this; scripts/load_smoke.sh and
+// scripts/experiments.sh drive it against live topologies.
+package loadgen

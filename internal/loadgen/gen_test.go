@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testSpec() Spec {
+	s := DefaultSpec()
+	s.Duration = 0 // Gen never consults timing fields
+	s.Datasets = []string{"alpha", "beta"}
+	s.DatasetTheta = 0.5
+	s.PointTheta = 0.9
+	s.Points = 32
+	return s
+}
+
+func TestGenDumpByteStable(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1 // Validate wants a positive duration
+	if err := s.Set("mix", "read=8,write=2"); err != nil {
+		t.Fatal(err)
+	}
+	dump := func() []byte {
+		g, err := NewGen(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Dump(&buf, 500); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two dumps of one spec must be byte-identical")
+	}
+	s.Seed++
+	if bytes.Equal(a, dump()) {
+		t.Fatal("bumping the seed must change the sequence")
+	}
+}
+
+func TestGenRespectsMix(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	if err := s.Set("mix", "topk=1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		req := g.Next()
+		if req.Op != "topk" {
+			t.Fatalf("topk-only mix emitted %q", req.Op)
+		}
+		if req.K != s.K {
+			t.Fatalf("topk request lost k: %+v", req)
+		}
+		if req.Dataset != "alpha" && req.Dataset != "beta" {
+			t.Fatalf("unknown dataset %q", req.Dataset)
+		}
+	}
+}
+
+func TestGenHotPointsRepeat(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	s.Points = 8 // tiny pool: repeats are guaranteed, exact coordinates included
+	g, err := NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]float64]int{}
+	for i := 0; i < 500; i++ {
+		req := g.Next()
+		seen[[2]float64{req.X, req.Y}]++
+	}
+	// Two datasets × 8 pool points = at most 16 distinct query points.
+	if len(seen) > 16 {
+		t.Fatalf("%d distinct query points from two 8-point pools — pool draws are not being reused", len(seen))
+	}
+}
+
+func TestGenBatchItems(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	s.Backend = "index"
+	s.Method = "spiral"
+	s.Eps = 0.05
+	s.BatchSize = 5
+	if err := s.Set("mix", "batch=1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := g.Next()
+	if req.Op != OpBatch || len(req.Items) != 5 {
+		t.Fatalf("batch request malformed: op=%q items=%d", req.Op, len(req.Items))
+	}
+	for _, it := range req.Items {
+		if it.Backend != "index" || it.Method != "spiral" || it.Eps != 0.05 {
+			t.Fatalf("batch item lost engine selection: %+v", it)
+		}
+		switch it.Op {
+		case "nonzero", "probabilities", "topk", "threshold", "expectednn":
+		default:
+			t.Fatalf("batch item has non-read op %q", it.Op)
+		}
+	}
+}
+
+func TestGenInsertKinds(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	if err := s.Set("mix", "insert=1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := g.Next()
+	if len(req.Disks) != 1 || len(req.Discrete) != 0 {
+		t.Fatalf("disks insert malformed: %+v", req)
+	}
+	if req.Disks[0].R <= 0 {
+		t.Fatalf("disk radius must be positive: %+v", req.Disks[0])
+	}
+
+	s.Kind = "discrete"
+	g, err = NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = g.Next()
+	if len(req.Discrete) != 1 || len(req.Disks) != 0 {
+		t.Fatalf("discrete insert malformed: %+v", req)
+	}
+	d := req.Discrete[0]
+	if len(d.X) != len(d.Y) || len(d.X) == 0 {
+		t.Fatalf("discrete locations malformed: %+v", d)
+	}
+}
+
+func TestGenDeleteCarriesNoID(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	if err := s.Set("mix", "delete=1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := g.Next()
+	if req.Op != OpDelete || req.Dataset == "" {
+		t.Fatalf("delete request malformed: %+v", req)
+	}
+}
+
+func TestGenRejectsInvalidSpec(t *testing.T) {
+	s := testSpec()
+	s.Duration = 1
+	s.Points = 0
+	if _, err := NewGen(s); err == nil {
+		t.Fatal("NewGen must reject an invalid spec")
+	}
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleGrid = `{
+  "name": "sweep",
+  "seed": 5,
+  "repeats": 2,
+  "base": {"duration": "2s", "mix": "read=9,write=1"},
+  "sweep": {"qps": [100, 400], "point-theta": [0, 0.99]}
+}`
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(sampleGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "sweep" || g.Seed != 5 || g.Repeats != 2 {
+		t.Fatalf("parsed grid mangled: %+v", g)
+	}
+
+	if _, err := ParseGrid(strings.NewReader(`{"seed": 1}`)); err == nil {
+		t.Error("grid without a name should fail")
+	}
+	if _, err := ParseGrid(strings.NewReader(`{"name": "x", "bogus": 1}`)); err == nil {
+		t.Error("unknown top-level keys should fail (DisallowUnknownFields)")
+	}
+	g, err = ParseGrid(strings.NewReader(`{"name": "x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Repeats != 1 || g.Seed != 1 {
+		t.Errorf("defaults not applied: repeats=%d seed=%d, want 1/1", g.Repeats, g.Seed)
+	}
+}
+
+func TestGridCells(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(sampleGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 qps values × 2 theta values × 2 repeats.
+	if len(cells) != 8 {
+		t.Fatalf("expanded %d cells, want 8", len(cells))
+	}
+
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, c := range cells {
+		if names[c.Spec.Name] {
+			t.Errorf("duplicate cell name %q", c.Spec.Name)
+		}
+		names[c.Spec.Name] = true
+		if seeds[c.Spec.Seed] {
+			t.Errorf("duplicate cell seed %d", c.Spec.Seed)
+		}
+		seeds[c.Spec.Seed] = true
+
+		// Base assignments apply to every cell.
+		if c.Spec.Duration != 2*time.Second {
+			t.Errorf("cell %q lost base duration: %v", c.Spec.Name, c.Spec.Duration)
+		}
+		if !c.Spec.Mix.HasWrites() {
+			t.Errorf("cell %q lost base mix", c.Spec.Name)
+		}
+		// Cell names become BENCH_<name>.json basenames.
+		if strings.ContainsAny(c.Spec.Name, "/\\ ") {
+			t.Errorf("cell name %q is not filename-safe", c.Spec.Name)
+		}
+		if err := c.Spec.Validate(); err != nil {
+			t.Errorf("cell %q invalid: %v", c.Spec.Name, err)
+		}
+	}
+
+	// Expansion is deterministic: a second expansion matches exactly.
+	again, err := g.Cells(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, again) {
+		t.Fatal("two expansions of one grid must be identical")
+	}
+
+	// Sweep assignments cover the full product.
+	combos := map[string]bool{}
+	for _, c := range cells {
+		combos[c.Assignment["qps"]+"/"+c.Assignment["point-theta"]] = true
+	}
+	for _, want := range []string{"100/0", "100/0.99", "400/0", "400/0.99"} {
+		if !combos[want] {
+			t.Errorf("missing sweep combination %s (have %v)", want, combos)
+		}
+	}
+}
+
+func TestGridCellErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"empty sweep values": `{"name": "x", "sweep": {"qps": []}}`,
+		"unknown sweep key":  `{"name": "x", "sweep": {"warp": [9]}}`,
+		"non-scalar value":   `{"name": "x", "sweep": {"qps": [[1]]}}`,
+		"unknown base key":   `{"name": "x", "base": {"warp": 9}}`,
+		"bad base value":     `{"name": "x", "base": {"qps": "fast"}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			g, err := ParseGrid(strings.NewReader(body))
+			if err != nil {
+				return // rejected at parse time is fine too
+			}
+			if _, err := g.Cells(DefaultSpec()); err == nil {
+				t.Fatalf("Cells should fail for %s", body)
+			}
+		})
+	}
+}
+
+func TestGridNoSweepSingleCell(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(`{"name": "solo", "base": {"qps": 50}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Spec.Name != "solo" || cells[0].Spec.QPS != 50 {
+		t.Fatalf("degenerate grid: %+v", cells)
+	}
+}

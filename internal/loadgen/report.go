@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"pnn/internal/obs"
+)
+
+// MacroRecord is the machine-readable BENCH_<name>.json row of one
+// load run. It is a superset of the micro benchRecord schema pnnbench
+// writes (name/params/ns_op/ops/allocs), so cmd/benchdiff loads both
+// from one directory; Macro marks the row so the gate knows to judge
+// p99 and error rate instead of ns/op and allocs.
+type MacroRecord struct {
+	Name   string         `json:"name"`
+	Macro  bool           `json:"macro"`
+	Params map[string]any `json:"params"`
+
+	// NsOp is the mean request latency in nanoseconds (the micro-row
+	// field reused so generic tooling sorts macro rows sensibly).
+	NsOp int64 `json:"ns_op"`
+	// Ops counts completed requests; Allocs is always 0 (a macro row
+	// measures the serving stack, not the harness's heap).
+	Ops    int64 `json:"ops"`
+	Allocs int64 `json:"allocs"`
+
+	// Latency percentiles in nanoseconds, derived from the harness's
+	// log-bucketed histograms.
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+
+	// TargetQPS is the offered open-loop rate; AchievedQPS the
+	// completion rate actually measured.
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	// Offered/Shed/Noops account for every arrival that did not become
+	// a completed request.
+	Offered int64 `json:"offered"`
+	Shed    int64 `json:"shed,omitempty"`
+	Noops   int64 `json:"noops,omitempty"`
+
+	// Failures counts errored requests; ErrorRate is Failures/Ops;
+	// NonRetryable the subset no retry could fix; Errors the per-code
+	// breakdown.
+	Failures     int64            `json:"failures"`
+	ErrorRate    float64          `json:"error_rate"`
+	NonRetryable int64            `json:"non_retryable"`
+	Errors       map[string]int64 `json:"errors,omitempty"`
+
+	// PerOp summarizes latency by endpoint, nanoseconds.
+	PerOp map[string]OpStats `json:"per_op,omitempty"`
+
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// OpStats is one endpoint's latency summary in nanoseconds.
+type OpStats struct {
+	Count  int64 `json:"count"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+}
+
+func toNs(seconds float64) int64 { return int64(seconds * float64(time.Second)) }
+
+func opStats(s obs.Stats) OpStats {
+	return OpStats{
+		Count:  int64(s.Count),
+		P50Ns:  toNs(s.P50),
+		P99Ns:  toNs(s.P99),
+		P999Ns: toNs(s.P999),
+	}
+}
+
+// Record shapes a run's Result into its macro record.
+func Record(res *Result) MacroRecord {
+	rec := MacroRecord{
+		Name:         res.Spec.Name,
+		Macro:        true,
+		Params:       res.Spec.Params(),
+		Ops:          res.Completed,
+		P50Ns:        toNs(res.Overall.P50),
+		P99Ns:        toNs(res.Overall.P99),
+		P999Ns:       toNs(res.Overall.P999),
+		TargetQPS:    res.Spec.QPS,
+		AchievedQPS:  res.AchievedQPS(),
+		Offered:      res.Offered,
+		Shed:         res.Shed,
+		Noops:        res.Noops,
+		Failures:     res.Failed(),
+		ErrorRate:    res.ErrorRate(),
+		NonRetryable: res.NonRetryable(),
+		Go:           runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}
+	if res.Completed > 0 {
+		rec.NsOp = toNs(res.Overall.Sum) / res.Completed
+	}
+	if len(res.Errors) > 0 {
+		rec.Errors = res.Errors
+	}
+	if len(res.PerOp) > 0 {
+		rec.PerOp = make(map[string]OpStats, len(res.PerOp))
+		for op, s := range res.PerOp {
+			rec.PerOp[op] = opStats(s)
+		}
+	}
+	return rec
+}
+
+// WriteJSON writes the record to dir/BENCH_<name>.json, the layout
+// cmd/benchdiff consumes.
+func (rec MacroRecord) WriteJSON(dir string) error {
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadgen: encode %s: %w", rec.Name, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+rec.Name+".json")
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	return nil
+}
+
+// csvHeader is the column set of WriteCSV, one row per record.
+var csvHeader = []string{
+	"name", "target_qps", "achieved_qps", "ops",
+	"p50_ns", "p99_ns", "p999_ns",
+	"failures", "error_rate", "non_retryable", "shed",
+}
+
+// WriteCSV appends the records as CSV (header first) — the
+// spreadsheet-side of the same measurement.
+func WriteCSV(w io.Writer, recs []MacroRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.Name,
+			strconv.FormatFloat(r.TargetQPS, 'g', -1, 64),
+			strconv.FormatFloat(r.AchievedQPS, 'f', 1, 64),
+			strconv.FormatInt(r.Ops, 10),
+			strconv.FormatInt(r.P50Ns, 10),
+			strconv.FormatInt(r.P99Ns, 10),
+			strconv.FormatInt(r.P999Ns, 10),
+			strconv.FormatInt(r.Failures, 10),
+			strconv.FormatFloat(r.ErrorRate, 'f', 4, 64),
+			strconv.FormatInt(r.NonRetryable, 10),
+			strconv.FormatInt(r.Shed, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summarize renders the records as an aligned text table, sorted by
+// name, for the end of a grid run.
+func Summarize(w io.Writer, recs []MacroRecord) {
+	sorted := append([]MacroRecord{}, recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	fmt.Fprintf(w, "%-40s %9s %9s %8s %10s %10s %10s %7s\n",
+		"name", "qps", "achieved", "ops", "p50", "p99", "p999", "err%")
+	for _, r := range sorted {
+		fmt.Fprintf(w, "%-40s %9.0f %9.1f %8d %10v %10v %10v %6.2f%%\n",
+			r.Name, r.TargetQPS, r.AchievedQPS, r.Ops,
+			time.Duration(r.P50Ns).Round(time.Microsecond),
+			time.Duration(r.P99Ns).Round(time.Microsecond),
+			time.Duration(r.P999Ns).Round(time.Microsecond),
+			100*r.ErrorRate)
+	}
+}

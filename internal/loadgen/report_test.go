@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pnn/internal/obs"
+)
+
+func sampleResult(t *testing.T) *Result {
+	t.Helper()
+	s := DefaultSpec()
+	s.Name = "macro-test"
+	s.QPS = 200
+	return &Result{
+		Spec:      s,
+		Wall:      2 * time.Second,
+		Offered:   410,
+		Completed: 400,
+		Shed:      10,
+		Noops:     3,
+		Errors:    map[string]int64{"timeout": 4, "bad_param": 1},
+		Overall: obs.Stats{
+			Count: 400, Sum: 2.0, // mean 5ms
+			P50: 0.004, P99: 0.020, P999: 0.050,
+		},
+		PerOp: map[string]obs.Stats{
+			"nonzero": {Count: 300, P50: 0.003, P99: 0.015, P999: 0.040},
+			"insert":  {Count: 100, P50: 0.008, P99: 0.030, P999: 0.060},
+		},
+	}
+}
+
+func TestRecordShapesResult(t *testing.T) {
+	rec := Record(sampleResult(t))
+	if !rec.Macro {
+		t.Fatal("macro flag must be set — benchdiff keys its gate on it")
+	}
+	if rec.Name != "macro-test" || rec.Ops != 400 || rec.Offered != 410 || rec.Shed != 10 || rec.Noops != 3 {
+		t.Fatalf("counts mangled: %+v", rec)
+	}
+	if rec.NsOp != int64(5*time.Millisecond) {
+		t.Errorf("ns_op = %d, want mean 5ms", rec.NsOp)
+	}
+	if rec.P50Ns != int64(4*time.Millisecond) || rec.P99Ns != int64(20*time.Millisecond) || rec.P999Ns != int64(50*time.Millisecond) {
+		t.Errorf("percentiles mangled: p50=%d p99=%d p999=%d", rec.P50Ns, rec.P99Ns, rec.P999Ns)
+	}
+	if rec.TargetQPS != 200 || rec.AchievedQPS != 200 {
+		t.Errorf("qps mangled: target=%g achieved=%g", rec.TargetQPS, rec.AchievedQPS)
+	}
+	if rec.Failures != 5 || rec.ErrorRate != 5.0/400 || rec.NonRetryable != 1 {
+		t.Errorf("error accounting mangled: %+v", rec)
+	}
+	if rec.PerOp["insert"].P99Ns != int64(30*time.Millisecond) {
+		t.Errorf("per-op stats mangled: %+v", rec.PerOp)
+	}
+	if rec.Allocs != 0 {
+		t.Errorf("macro rows never report allocs, got %d", rec.Allocs)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := Record(sampleResult(t))
+	if err := rec.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "BENCH_macro-test.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MacroRecord
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Macro || back.Name != rec.Name || back.P99Ns != rec.P99Ns || back.Errors["timeout"] != 4 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+	// The row is also loadable as a micro record (schema superset).
+	var micro struct {
+		Name string `json:"name"`
+		NsOp int64  `json:"ns_op"`
+	}
+	if err := json.Unmarshal(body, &micro); err != nil || micro.NsOp != rec.NsOp {
+		t.Fatalf("macro row must stay micro-schema compatible: %v %+v", err, micro)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []MacroRecord{Record(sampleResult(t))}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d CSV rows, want header + 1", len(rows))
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Fatalf("header has %d columns, row has %d", len(rows[0]), len(rows[1]))
+	}
+	if rows[1][0] != "macro-test" {
+		t.Errorf("first column should be the name, got %q", rows[1][0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []MacroRecord{Record(sampleResult(t))}
+	recs[0].Name = "zzz"
+	second := Record(sampleResult(t))
+	second.Name = "aaa"
+	recs = append(recs, second)
+	Summarize(&buf, recs)
+	out := buf.String()
+	if !strings.Contains(out, "aaa") || !strings.Contains(out, "zzz") {
+		t.Fatalf("summary missing records:\n%s", out)
+	}
+	if strings.Index(out, "aaa") > strings.Index(out, "zzz") {
+		t.Errorf("summary should sort by name:\n%s", out)
+	}
+}

@@ -1,0 +1,307 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"pnn/api"
+	"pnn/client"
+	"pnn/internal/obs"
+)
+
+// LatencyBuckets is the histogram geometry macro latency percentiles
+// derive from: factor-1.5 log spacing from 1µs to ~11s, finer than the
+// serving tiers' factor-2 DurationBuckets because the load harness's
+// p99/p999 are gate inputs, not dashboards.
+var LatencyBuckets = obs.ExpBuckets(1e-6, 1.5, 40)
+
+// Retryable reports whether an error code names a transient condition
+// (a retry may succeed: timeouts, dead replicas, overload) as opposed
+// to a request the server will always reject. The smoke gate allows
+// only retryable failures; a bad_param under generated load is a bug
+// in the generator or the server, never load.
+func Retryable(code string) bool {
+	switch code {
+	case api.CodeTimeout, api.CodeCanceled, api.CodeUnavailable,
+		api.CodeNoBackend, api.CodeBackendError,
+		codeClientTimeout, codeClientCanceled, codeTransport:
+		return true
+	}
+	return false
+}
+
+// Client-side failure classifications, distinct from server codes.
+const (
+	codeClientTimeout  = "client_timeout"
+	codeClientCanceled = "client_canceled"
+	codeTransport      = "transport"
+)
+
+// Result is one load run's measurement.
+type Result struct {
+	Spec Spec
+	// Wall is the measured span from first arrival to last completion.
+	Wall time.Duration
+	// Offered counts scheduled arrivals; Completed the requests that
+	// got an answer (success or error); Shed the arrivals dropped at
+	// the inflight cap; Noops the deletes skipped for want of an id.
+	Offered, Completed, Shed, Noops int64
+	// Errors counts failures by stable error code.
+	Errors map[string]int64
+	// Overall and PerOp are latency summaries (seconds) of completed
+	// requests, overall and by op.
+	Overall obs.Stats
+	PerOp   map[string]obs.Stats
+}
+
+// AchievedQPS is the completion rate over the measured wall time.
+func (r *Result) AchievedQPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Wall.Seconds()
+}
+
+// Failed sums every recorded error.
+func (r *Result) Failed() int64 {
+	var n int64
+	for _, c := range r.Errors {
+		n += c
+	}
+	return n
+}
+
+// NonRetryable sums the errors a retry could never fix.
+func (r *Result) NonRetryable() int64 {
+	var n int64
+	for code, c := range r.Errors {
+		if !Retryable(code) {
+			n += c
+		}
+	}
+	return n
+}
+
+// ErrorRate is failures over completed requests.
+func (r *Result) ErrorRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.Failed()) / float64(r.Completed)
+}
+
+// runState is the mutable side of a run, shared by the workers.
+type runState struct {
+	cli     *client.Client
+	params  *client.Params
+	latency *obs.HistogramVec
+	overall *obs.Histogram
+	errs    *obs.CounterVec
+
+	mu    sync.Mutex
+	ids   map[string][]uint64 // per-dataset ids our inserts created
+	noops int64
+}
+
+// Run offers the spec's request sequence open-loop against the target:
+// arrivals follow a seeded Poisson process at Spec.QPS, each arrival
+// is dispatched immediately on its own worker slot, and — crucially —
+// a slow server never slows the arrival clock down (that would be a
+// closed loop, which hides latency under coordinated omission; see
+// Schroeder et al., "Open versus closed: a cautionary tale", NSDI'06).
+// Arrivals that find every slot busy are shed and counted, keeping
+// memory bounded while preserving the offered-vs-achieved gap as a
+// visible signal.
+//
+// The request *sequence* is deterministic in the spec; what the run
+// measures (latency, errors) of course depends on the server. Run
+// returns early, with partial results, when ctx is canceled.
+func Run(ctx context.Context, cli *client.Client, spec Spec) (*Result, error) {
+	gen, err := NewGen(spec)
+	if err != nil {
+		return nil, err
+	}
+	inflight := spec.MaxInflight
+	if inflight <= 0 {
+		inflight = 16 * runtime.GOMAXPROCS(0)
+	}
+
+	st := &runState{
+		cli:     cli,
+		latency: obs.NewHistogramVec("loadgen_latency_seconds", "op", LatencyBuckets),
+		overall: obs.NewHistogram("loadgen_latency_overall_seconds", LatencyBuckets),
+		errs:    obs.NewCounterVec("loadgen_errors_total", "code"),
+		ids:     make(map[string][]uint64),
+	}
+	if spec.Backend != "" || spec.Method != "" || spec.Eps != 0 {
+		st.params = &client.Params{Backend: spec.Backend, Method: spec.Method, Eps: spec.Eps}
+	}
+
+	arrivals := rand.New(rand.NewSource(spec.Seed + 3))
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	res := &Result{Spec: spec, Errors: make(map[string]int64)}
+
+	start := time.Now()
+	deadline := start.Add(spec.Duration)
+	next := start
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+
+loop:
+	for {
+		// Exponential inter-arrival on an absolute schedule: a stall
+		// releases the backlog in a burst instead of silently thinning
+		// the offered load.
+		next = next.Add(time.Duration(arrivals.ExpFloat64() / spec.QPS * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		req := gen.Next()
+		res.Offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			res.Shed++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st.execute(ctx, req)
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	res.Noops = st.noops
+	for code, n := range st.errs.Values() {
+		res.Errors[code] = int64(n)
+	}
+	res.Overall = st.overall.Stats()
+	res.PerOp = st.latency.StatsByLabel()
+	res.Completed = int64(res.Overall.Count)
+	return res, nil
+}
+
+// execute issues one request, recording latency under the request's op
+// and the outcome under its error code.
+func (st *runState) execute(ctx context.Context, req Request) {
+	op := req.Op
+	if op == OpDelete {
+		id, ok := st.popID(req.Dataset)
+		if !ok {
+			// Nothing of ours to delete yet; a noop, not an error — the
+			// arrival still happened, but there is no latency to record.
+			st.mu.Lock()
+			st.noops++
+			st.mu.Unlock()
+			return
+		}
+		start := time.Now()
+		_, err := st.cli.DeletePoint(ctx, req.Dataset, id)
+		st.record(op, start, err)
+		return
+	}
+	start := time.Now()
+	var err error
+	switch op {
+	case "nonzero":
+		_, err = st.cli.Nonzero(ctx, req.Dataset, req.X, req.Y, st.params)
+	case "probabilities":
+		_, err = st.cli.Probabilities(ctx, req.Dataset, req.X, req.Y, st.params)
+	case "topk":
+		_, err = st.cli.TopK(ctx, req.Dataset, req.X, req.Y, req.K, st.params)
+	case "threshold":
+		_, err = st.cli.Threshold(ctx, req.Dataset, req.X, req.Y, req.Tau, st.params)
+	case "expectednn":
+		_, err = st.cli.ExpectedNN(ctx, req.Dataset, req.X, req.Y, st.params)
+	case OpBatch:
+		var results []api.BatchResult
+		results, err = st.cli.Batch(ctx, req.Items)
+		for _, r := range results {
+			if r.Error != nil {
+				st.errs.Inc(itemCode(r.Error))
+			}
+		}
+	case OpInsert:
+		var m *api.Mutation
+		m, err = st.cli.InsertPoints(ctx, req.Dataset, api.InsertPoints{
+			Disks: req.Disks, Discrete: req.Discrete,
+		})
+		if err == nil {
+			st.pushIDs(req.Dataset, m.IDs)
+		}
+	default:
+		err = fmt.Errorf("loadgen: unknown op %q", op)
+	}
+	st.record(op, start, err)
+}
+
+func (st *runState) record(op string, start time.Time, err error) {
+	st.latency.With(op).ObserveDuration(time.Since(start))
+	st.overall.ObserveDuration(time.Since(start))
+	if err != nil {
+		st.errs.Inc(errCode(err))
+	}
+}
+
+func (st *runState) pushIDs(dataset string, ids []uint64) {
+	st.mu.Lock()
+	st.ids[dataset] = append(st.ids[dataset], ids...)
+	st.mu.Unlock()
+}
+
+func (st *runState) popID(dataset string) (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := st.ids[dataset]
+	if len(ids) == 0 {
+		return 0, false
+	}
+	id := ids[0]
+	st.ids[dataset] = ids[1:]
+	return id, true
+}
+
+// errCode classifies a client error under a stable code: the server's
+// api code when there is one, else a client-side classification.
+func errCode(err error) string {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Code != "" {
+			return apiErr.Code
+		}
+		return fmt.Sprintf("http_%d", apiErr.StatusCode)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return codeClientTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return codeClientCanceled
+	}
+	return codeTransport
+}
+
+func itemCode(e *api.Error) string {
+	if e.Code != "" {
+		return e.Code
+	}
+	return api.CodeInternal
+}

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnn/api"
+	"pnn/client"
+)
+
+// fakeServer answers every endpoint the runner can hit with minimal
+// valid bodies, tracking what arrived.
+type fakeServer struct {
+	mu      sync.Mutex
+	ops     map[string]int
+	nextID  atomic.Uint64
+	deleted []string // delete request paths, to check ids resolve
+}
+
+func (f *fakeServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.ops[r.URL.Path]++
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == api.BatchPath:
+			var req api.BatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp := api.BatchResponse{Results: make([]api.BatchResult, len(req.Items))}
+			json.NewEncoder(w).Encode(resp)
+		case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/points"):
+			id := f.nextID.Add(1)
+			json.NewEncoder(w).Encode(api.Mutation{IDs: []uint64{id}})
+		case r.Method == http.MethodDelete:
+			f.mu.Lock()
+			f.deleted = append(f.deleted, r.URL.Path)
+			f.mu.Unlock()
+			json.NewEncoder(w).Encode(api.Mutation{})
+		default:
+			w.Write([]byte("{}"))
+		}
+	})
+}
+
+func runSpec(t *testing.T, mix string) Spec {
+	t.Helper()
+	s := DefaultSpec()
+	s.Name = "run-test"
+	s.QPS = 400
+	s.Duration = 400 * time.Millisecond
+	s.Points = 16
+	if err := s.Set("mix", mix); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunMixedLoad(t *testing.T) {
+	fake := &fakeServer{ops: map[string]int{}}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	res, err := Run(context.Background(), client.New(srv.URL), runSpec(t, "read=6,batch=2,write=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if got := res.Failed(); got != 0 {
+		t.Fatalf("healthy server produced %d failures: %v", got, res.Errors)
+	}
+	if res.Completed+res.Shed+res.Noops > res.Offered {
+		t.Fatalf("accounting leak: completed %d + shed %d + noops %d > offered %d",
+			res.Completed, res.Shed, res.Noops, res.Offered)
+	}
+	if res.AchievedQPS() <= 0 {
+		t.Fatalf("achieved qps %g", res.AchievedQPS())
+	}
+	if res.Overall.Count == 0 || res.Overall.P99 <= 0 {
+		t.Fatalf("no latency recorded: %+v", res.Overall)
+	}
+	if len(res.PerOp) == 0 {
+		t.Fatal("no per-op stats recorded")
+	}
+	// Deletes only ever address ids our own inserts created.
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if len(fake.deleted) == 0 && res.Noops == 0 {
+		t.Error("write mix recorded neither deletes nor delete noops")
+	}
+}
+
+func TestRunCountsServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.Error{Error: "synthetic", Code: api.CodeBadParam})
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), client.New(srv.URL), runSpec(t, "nonzero=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors[api.CodeBadParam] == 0 {
+		t.Fatalf("bad_param responses not counted: %v", res.Errors)
+	}
+	if res.NonRetryable() == 0 {
+		t.Fatalf("bad_param must count as non-retryable: %v", res.Errors)
+	}
+	if res.ErrorRate() != 1 {
+		t.Fatalf("every request failed, error rate %g", res.ErrorRate())
+	}
+}
+
+func TestRunHonorsCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	spec := runSpec(t, "nonzero=1")
+	spec.QPS = 10 // long idle gaps: cancellation must interrupt the timer wait
+	spec.Duration = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = Run(ctx, client.New(srv.URL), spec)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall > 2*time.Second {
+		t.Fatalf("partial result wall %v, want prompt return", res.Wall)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	spec := DefaultSpec()
+	spec.QPS = 0
+	if _, err := Run(context.Background(), client.New("http://127.0.0.1:0"), spec); err == nil {
+		t.Fatal("Run must reject an invalid spec before offering load")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for code, want := range map[string]bool{
+		api.CodeTimeout:        true,
+		api.CodeCanceled:       true,
+		api.CodeUnavailable:    true,
+		api.CodeNoBackend:      true,
+		api.CodeBackendError:   true,
+		codeClientTimeout:      true,
+		codeClientCanceled:     true,
+		codeTransport:          true,
+		api.CodeBadParam:       false,
+		api.CodeUnknownDataset: false,
+		api.CodeUnauthorized:   false,
+		api.CodeInternal:       false,
+		"http_404":             false,
+	} {
+		if got := Retryable(code); got != want {
+			t.Errorf("Retryable(%q) = %v, want %v", code, got, want)
+		}
+	}
+}

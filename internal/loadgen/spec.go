@@ -1,0 +1,359 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pnn/api"
+)
+
+// Ops the generator can emit. The first five are the single-query
+// endpoints (api.Ops verbatim); OpBatch posts a heterogeneous
+// POST /v1/batch envelope; OpInsert and OpDelete exercise the mutation
+// endpoints (and require an admin token at run time).
+const (
+	OpBatch  = "batch"
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// MixOps lists every op a Mix may weight, in canonical order: the five
+// read endpoints first, then batch, then the two mutations.
+var MixOps = append(append([]string{}, api.Ops...), OpBatch, OpInsert, OpDelete)
+
+// Mix is a weighted operation mix. Weights are relative (they need not
+// sum to anything); a zero-weight op is never emitted.
+type Mix struct {
+	weights map[string]int
+}
+
+// ParseMix parses "op=weight,op=weight" pairs. Two meta-ops expand to
+// groups: "read" spreads its weight evenly over the five single-query
+// endpoints, "write" over insert and delete — so "read=9,write=1" is a
+// 90/10 read/write mix. An empty string means reads only, uniformly.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{weights: make(map[string]int)}
+	if strings.TrimSpace(s) == "" {
+		for _, op := range api.Ops {
+			m.weights[op] = 1
+		}
+		return m, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: mix wants op=weight, got %q", kv)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: mix weight %q must be a non-negative integer", val)
+		}
+		switch key {
+		case "read":
+			for _, op := range api.Ops {
+				m.weights[op] += w
+			}
+		case "write":
+			m.weights[OpInsert] += w
+			m.weights[OpDelete] += w
+		default:
+			if !validOp(key) {
+				return Mix{}, fmt.Errorf("loadgen: unknown mix op %q (want one of %s, read, write)",
+					key, strings.Join(MixOps, ", "))
+			}
+			m.weights[key] += w
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+func validOp(op string) bool {
+	for _, o := range MixOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func (m Mix) total() int {
+	t := 0
+	for _, w := range m.weights {
+		t += w
+	}
+	return t
+}
+
+// HasWrites reports whether the mix can emit insert or delete ops.
+func (m Mix) HasWrites() bool {
+	return m.weights[OpInsert] > 0 || m.weights[OpDelete] > 0
+}
+
+// String renders the mix canonically (ops in MixOps order, zero
+// weights omitted), so equal mixes render equal.
+func (m Mix) String() string {
+	var parts []string
+	for _, op := range MixOps {
+		if w := m.weights[op]; w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", op, w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// pick draws one op from the mix given a uniform draw in [0, total).
+func (m Mix) pick(u int) string {
+	for _, op := range MixOps {
+		if w := m.weights[op]; w > 0 {
+			if u < w {
+				return op
+			}
+			u -= w
+		}
+	}
+	// Unreachable with u < total; fall back to the first weighted op.
+	for _, op := range MixOps {
+		if m.weights[op] > 0 {
+			return op
+		}
+	}
+	return api.Ops[0]
+}
+
+// Spec configures one load run: what traffic to synthesize and how
+// fast to offer it. The request sequence a Spec generates depends only
+// on the Spec's fields (Seed included, target endpoint and timing
+// excluded), so a committed Spec names a reproducible workload.
+type Spec struct {
+	// Name labels the emitted macro record: BENCH_<Name>.json.
+	Name string
+	// Seed seeds every random choice the generator makes.
+	Seed int64
+	// QPS is the open-loop target arrival rate.
+	QPS float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// MaxInflight caps concurrently outstanding requests; arrivals past
+	// the cap are shed (counted, never blocking the arrival clock —
+	// that would turn the open loop closed and hide latency). 0 means
+	// 16× GOMAXPROCS.
+	MaxInflight int
+	// Datasets are the target dataset names; popularity across them is
+	// Zipf(DatasetTheta).
+	Datasets []string
+	// DatasetTheta skews dataset popularity (0 uniform, 0.99 hot).
+	DatasetTheta float64
+	// PointTheta skews query-point popularity within a dataset's pool.
+	PointTheta float64
+	// Points is the per-dataset popular-point pool size.
+	Points int
+	// Extent is the coordinate extent query points and inserted points
+	// are drawn from ([0, Extent)²), matching the pnngen default.
+	Extent float64
+	// Mix is the weighted operation mix.
+	Mix Mix
+	// BatchSize is the number of items per OpBatch request.
+	BatchSize int
+	// K and Tau parameterize topk and threshold requests.
+	K   int
+	Tau float64
+	// Backend and Method select the engine configuration every query
+	// rides on ("" means server defaults).
+	Backend string
+	Method  string
+	// Eps parameterizes spiral and mc methods.
+	Eps float64
+	// Kind is the dataset kind insert payloads are shaped for: "disks"
+	// or "discrete". Only consulted when the mix has writes.
+	Kind string
+}
+
+// DefaultSpec returns the baseline spec: a pure read mix at a gentle
+// rate against one dataset.
+func DefaultSpec() Spec {
+	mix, err := ParseMix("")
+	if err != nil {
+		panic(err) // the empty mix always parses
+	}
+	return Spec{
+		Name:      "macro-load",
+		Seed:      1,
+		QPS:       100,
+		Duration:  5 * time.Second,
+		Datasets:  []string{"demo"},
+		Points:    512,
+		Extent:    100,
+		Mix:       mix,
+		BatchSize: 8,
+		K:         3,
+		Tau:       0.2,
+		Kind:      "disks",
+	}
+}
+
+// Set applies one key=value parameter, using the same keys as the
+// pnnload flags — the grid runner funnels sweep assignments through
+// here, so a flag and a grid cell can never drift apart.
+func (s *Spec) Set(key, val string) error {
+	fail := func(err error) error {
+		return fmt.Errorf("loadgen: param %s=%q: %w", key, val, err)
+	}
+	switch key {
+	case "name":
+		s.Name = val
+	case "seed":
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.Seed = v
+	case "qps":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.QPS = v
+	case "duration":
+		v, err := time.ParseDuration(val)
+		if err != nil {
+			return fail(err)
+		}
+		s.Duration = v
+	case "inflight":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fail(err)
+		}
+		s.MaxInflight = v
+	case "datasets":
+		s.Datasets = nil
+		for _, name := range strings.Split(val, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				s.Datasets = append(s.Datasets, name)
+			}
+		}
+	case "dataset-theta":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.DatasetTheta = v
+	case "point-theta":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.PointTheta = v
+	case "points":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fail(err)
+		}
+		s.Points = v
+	case "extent":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.Extent = v
+	case "mix":
+		m, err := ParseMix(val)
+		if err != nil {
+			return err
+		}
+		s.Mix = m
+	case "batch-size":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fail(err)
+		}
+		s.BatchSize = v
+	case "k":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fail(err)
+		}
+		s.K = v
+	case "tau":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.Tau = v
+	case "kind":
+		s.Kind = val
+	case "backend":
+		s.Backend = val
+	case "method":
+		s.Method = val
+	case "eps":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail(err)
+		}
+		s.Eps = v
+	default:
+		return fmt.Errorf("loadgen: unknown param %q", key)
+	}
+	return nil
+}
+
+// Validate checks the spec is runnable.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("loadgen: spec needs a name")
+	case s.QPS <= 0:
+		return fmt.Errorf("loadgen: qps must be positive, got %g", s.QPS)
+	case s.Duration <= 0:
+		return fmt.Errorf("loadgen: duration must be positive, got %v", s.Duration)
+	case len(s.Datasets) == 0:
+		return fmt.Errorf("loadgen: spec needs at least one dataset")
+	case s.Points < 1:
+		return fmt.Errorf("loadgen: points must be >= 1, got %d", s.Points)
+	case s.Extent <= 0:
+		return fmt.Errorf("loadgen: extent must be positive, got %g", s.Extent)
+	case s.BatchSize < 1:
+		return fmt.Errorf("loadgen: batch-size must be >= 1, got %d", s.BatchSize)
+	case s.Mix.total() == 0:
+		return fmt.Errorf("loadgen: spec needs a mix")
+	}
+	if s.DatasetTheta < 0 || s.DatasetTheta >= 1 {
+		return fmt.Errorf("loadgen: dataset-theta must be in [0, 1), got %g", s.DatasetTheta)
+	}
+	if s.PointTheta < 0 || s.PointTheta >= 1 {
+		return fmt.Errorf("loadgen: point-theta must be in [0, 1), got %g", s.PointTheta)
+	}
+	if s.Kind != "disks" && s.Kind != "discrete" {
+		return fmt.Errorf("loadgen: kind must be disks or discrete, got %q", s.Kind)
+	}
+	return nil
+}
+
+// Params renders the spec as the params map of a macro record, in
+// stable key order when marshaled (maps marshal sorted).
+func (s Spec) Params() map[string]any {
+	return map[string]any{
+		"seed":          s.Seed,
+		"qps":           s.QPS,
+		"duration":      s.Duration.String(),
+		"datasets":      strings.Join(sortedCopy(s.Datasets), ","),
+		"dataset_theta": s.DatasetTheta,
+		"point_theta":   s.PointTheta,
+		"points":        s.Points,
+		"mix":           s.Mix.String(),
+		"batch_size":    s.BatchSize,
+	}
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string{}, in...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in        string
+		want      string // canonical String()
+		hasWrites bool
+		wantErr   bool
+	}{
+		{in: "", want: "nonzero=1,probabilities=1,topk=1,threshold=1,expectednn=1"},
+		{in: "read=2", want: "nonzero=2,probabilities=2,topk=2,threshold=2,expectednn=2"},
+		{in: "read=9,write=1",
+			want:      "nonzero=9,probabilities=9,topk=9,threshold=9,expectednn=9,insert=1,delete=1",
+			hasWrites: true},
+		{in: "topk=3,batch=1", want: "topk=3,batch=1"},
+		{in: "insert=1", want: "insert=1", hasWrites: true},
+		{in: " topk=1 , nonzero=2 ", want: "nonzero=2,topk=1"},
+		{in: "topk=1,topk=2", want: "topk=3"},
+		{in: "bogus=1", wantErr: true},
+		{in: "topk", wantErr: true},
+		{in: "topk=-1", wantErr: true},
+		{in: "topk=x", wantErr: true},
+		{in: "topk=0", wantErr: true}, // zero total weight
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			m, err := ParseMix(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseMix(%q) should fail, got %q", tc.in, m.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.String(); got != tc.want {
+				t.Errorf("ParseMix(%q).String() = %q, want %q", tc.in, got, tc.want)
+			}
+			if m.HasWrites() != tc.hasWrites {
+				t.Errorf("ParseMix(%q).HasWrites() = %v, want %v", tc.in, m.HasWrites(), tc.hasWrites)
+			}
+		})
+	}
+}
+
+func TestMixPickCoversWeightRange(t *testing.T) {
+	m, err := ParseMix("nonzero=2,topk=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for u := 0; u < m.total(); u++ {
+		got[m.pick(u)]++
+	}
+	if got["nonzero"] != 2 || got["topk"] != 1 {
+		t.Fatalf("pick distribution %v, want nonzero:2 topk:1", got)
+	}
+}
+
+func TestDefaultSpecValidates(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec must validate: %v", err)
+	}
+}
+
+func TestSpecSetRoundTrip(t *testing.T) {
+	s := DefaultSpec()
+	set := func(k, v string) {
+		t.Helper()
+		if err := s.Set(k, v); err != nil {
+			t.Fatalf("Set(%s, %s): %v", k, v, err)
+		}
+	}
+	set("name", "x")
+	set("seed", "99")
+	set("qps", "250.5")
+	set("duration", "1500ms")
+	set("inflight", "32")
+	set("datasets", "a, b ,c")
+	set("dataset-theta", "0.9")
+	set("point-theta", "0.5")
+	set("points", "64")
+	set("extent", "10")
+	set("mix", "read=1,write=1")
+	set("batch-size", "4")
+	set("k", "7")
+	set("tau", "0.4")
+	set("kind", "discrete")
+	set("backend", "index")
+	set("method", "spiral")
+	set("eps", "0.01")
+
+	if s.Name != "x" || s.Seed != 99 || s.QPS != 250.5 || s.Duration != 1500*time.Millisecond ||
+		s.MaxInflight != 32 || len(s.Datasets) != 3 || s.Datasets[1] != "b" ||
+		s.DatasetTheta != 0.9 || s.PointTheta != 0.5 || s.Points != 64 || s.Extent != 10 ||
+		!s.Mix.HasWrites() || s.BatchSize != 4 || s.K != 7 || s.Tau != 0.4 ||
+		s.Kind != "discrete" || s.Backend != "index" || s.Method != "spiral" || s.Eps != 0.01 {
+		t.Fatalf("round-trip mangled spec: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("round-tripped spec must validate: %v", err)
+	}
+}
+
+func TestSpecSetErrors(t *testing.T) {
+	s := DefaultSpec()
+	for _, kv := range [][2]string{
+		{"seed", "x"}, {"qps", "fast"}, {"duration", "5"}, {"inflight", "many"},
+		{"dataset-theta", "hot"}, {"points", "lots"}, {"mix", "bogus=1"},
+		{"no-such-param", "1"},
+	} {
+		if err := s.Set(kv[0], kv[1]); err == nil {
+			t.Errorf("Set(%s, %s) should fail", kv[0], kv[1])
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	mutate := func(f func(*Spec)) Spec {
+		s := DefaultSpec()
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		frag string
+	}{
+		{"no name", mutate(func(s *Spec) { s.Name = "" }), "name"},
+		{"zero qps", mutate(func(s *Spec) { s.QPS = 0 }), "qps"},
+		{"negative duration", mutate(func(s *Spec) { s.Duration = -time.Second }), "duration"},
+		{"no datasets", mutate(func(s *Spec) { s.Datasets = nil }), "dataset"},
+		{"zero points", mutate(func(s *Spec) { s.Points = 0 }), "points"},
+		{"zero extent", mutate(func(s *Spec) { s.Extent = 0 }), "extent"},
+		{"zero batch", mutate(func(s *Spec) { s.BatchSize = 0 }), "batch"},
+		{"empty mix", mutate(func(s *Spec) { s.Mix = Mix{} }), "mix"},
+		{"dataset theta at 1", mutate(func(s *Spec) { s.DatasetTheta = 1 }), "dataset-theta"},
+		{"point theta negative", mutate(func(s *Spec) { s.PointTheta = -0.5 }), "point-theta"},
+		{"bad kind", mutate(func(s *Spec) { s.Kind = "squares" }), "kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("Validate should fail")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q should mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestSpecParamsStable(t *testing.T) {
+	s := DefaultSpec()
+	s.Datasets = []string{"b", "a"}
+	p := s.Params()
+	if p["datasets"] != "a,b" {
+		t.Errorf("params datasets = %v, want sorted a,b", p["datasets"])
+	}
+	if p["mix"] != s.Mix.String() {
+		t.Errorf("params mix = %v, want %q", p["mix"], s.Mix.String())
+	}
+}

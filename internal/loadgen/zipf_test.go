@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     uint64
+		theta float64
+	}{
+		{"zero ranks", 0, 0.5},
+		{"theta one diverges", 10, 1.0},
+		{"theta negative", 10, -0.1},
+		{"theta NaN", 10, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewZipf(1, tc.n, tc.theta); err == nil {
+				t.Fatalf("NewZipf(1, %d, %g) should fail", tc.n, tc.theta)
+			}
+		})
+	}
+}
+
+func TestZipfSeedStable(t *testing.T) {
+	a, err := NewZipf(42, 1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewZipf(42, 1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewZipf(43, 1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diverged bool
+	for i := 0; i < 10_000; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			t.Fatalf("draw %d: seed-42 streams diverged: %d vs %d", i, av, bv)
+		}
+		if av != cv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("10k draws with different seeds never diverged")
+	}
+}
+
+func TestZipfRanksInBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.99} {
+		z, err := NewZipf(7, 25, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50_000; i++ {
+			if r := z.Next(); r >= 25 {
+				t.Fatalf("theta=%g: rank %d out of [0, 25)", theta, r)
+			}
+		}
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	z, err := NewZipf(9, 1, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if r := z.Next(); r != 0 {
+			t.Fatalf("n=1 must always draw rank 0, got %d", r)
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	const n, draws = 10, 200_000
+	z, err := NewZipf(3, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(draws) / n
+	for rank, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.10 {
+			t.Errorf("theta=0 rank %d drawn %d times, want ~%.0f (±10%%)", rank, c, want)
+		}
+	}
+}
+
+// TestZipfSlope checks the empirical rank-frequency law: on a log-log
+// plot, frequency against (rank+1) should be a line of slope -theta.
+// The least-squares slope over the head ranks (where counts are large
+// enough to be stable) must land within tolerance of the target.
+func TestZipfSlope(t *testing.T) {
+	const n, draws, headRanks = 1000, 500_000, 50
+	for _, theta := range []float64{0.5, 0.9} {
+		z, err := NewZipf(11, n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		var xs, ys []float64
+		for rank := 0; rank < headRanks; rank++ {
+			if counts[rank] == 0 {
+				continue
+			}
+			xs = append(xs, math.Log(float64(rank+1)))
+			ys = append(ys, math.Log(float64(counts[rank])))
+		}
+		if len(xs) < headRanks/2 {
+			t.Fatalf("theta=%g: only %d head ranks populated", theta, len(xs))
+		}
+		slope := leastSquaresSlope(xs, ys)
+		if math.Abs(-slope-theta) > 0.1 {
+			t.Errorf("theta=%g: rank-frequency slope %.3f, want ~%.3f (±0.1)", theta, slope, -theta)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesHead(t *testing.T) {
+	const n, draws = 100, 100_000
+	headShare := func(theta float64) float64 {
+		z, err := NewZipf(5, n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	uniform, skewed := headShare(0), headShare(0.99)
+	if skewed < 5*uniform {
+		t.Errorf("theta=0.99 head share %.4f should dwarf uniform %.4f", skewed, uniform)
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z, err := NewZipf(1, 64, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 64 || z.Theta() != 0.75 {
+		t.Fatalf("accessors: n=%d theta=%g, want 64 / 0.75", z.N(), z.Theta())
+	}
+}
+
+func leastSquaresSlope(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

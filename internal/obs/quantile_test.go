@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the exact arithmetic of the derived percentiles —
+// rank = q·count, linear interpolation inside the owning bucket, +Inf
+// clamping — because the load harness's macro p99/p999 gate rides on
+// them. A behavior change here silently re-bases every committed
+// BENCH_macro baseline.
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestQuantileExact(t *testing.T) {
+	type obs struct {
+		v float64
+		n int
+	}
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []obs
+		q      float64
+		want   float64
+	}{
+		// Four observations landing in (1, 2]: rank q·4 interpolates
+		// linearly across that one bucket.
+		{"p50 single bucket of four", []float64{1, 2, 4}, []obs{{1.5, 4}}, 0.50, 1.5},
+		{"p99 single bucket of four", []float64{1, 2, 4}, []obs{{1.5, 4}}, 0.99, 1.99},
+		{"p999 single bucket of four", []float64{1, 2, 4}, []obs{{1.5, 4}}, 0.999, 1.999},
+
+		// One observation per bucket: each quartile rank lands exactly on
+		// a bucket's upper bound.
+		{"p25 spread", []float64{1, 2, 4}, []obs{{0.5, 1}, {1.5, 1}, {3, 1}, {8, 1}}, 0.25, 1},
+		{"p50 spread", []float64{1, 2, 4}, []obs{{0.5, 1}, {1.5, 1}, {3, 1}, {8, 1}}, 0.50, 2},
+		{"p75 spread", []float64{1, 2, 4}, []obs{{0.5, 1}, {1.5, 1}, {3, 1}, {8, 1}}, 0.75, 4},
+		// The rank falls in the +Inf bucket: clamp to the last bound.
+		{"p99 clamps at overflow", []float64{1, 2, 4}, []obs{{0.5, 1}, {1.5, 1}, {3, 1}, {8, 1}}, 0.99, 4},
+		{"overflow only", []float64{1, 2, 4}, []obs{{100, 10}}, 0.5, 4},
+
+		// First bucket interpolates from lo = 0.
+		{"first bucket from zero", []float64{10}, []obs{{5, 1}}, 0.5, 5},
+		{"first bucket of two", []float64{10}, []obs{{5, 2}}, 0.5, 5},
+
+		// A single-bound histogram is the degenerate geometry: inside or
+		// clamped, nothing else.
+		{"single bound inside", []float64{10}, []obs{{3, 4}}, 0.25, 2.5},
+		{"single bound overflow", []float64{10}, []obs{{11, 3}}, 0.999, 10},
+
+		// Boundary value: an observation equal to a bound belongs to that
+		// bound's bucket (cumulative ≤ semantics).
+		{"boundary observation", []float64{1, 2, 4}, []obs{{2, 2}}, 0.5, 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram("q_exact", tc.bounds)
+			for _, o := range tc.obs {
+				for i := 0; i < o.n; i++ {
+					h.Observe(o.v)
+				}
+			}
+			if got := h.Quantile(tc.q); !almost(got, tc.want) {
+				t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram("q_empty", []float64{1, 2, 4})
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	s := h.Stats()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 || s.P999 != 0 {
+		t.Fatalf("empty Stats = %+v, want all zero", s)
+	}
+}
+
+func TestStatsDerivesPinnedPercentiles(t *testing.T) {
+	h := NewHistogram("q_stats", []float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Stats()
+	if s.Count != 4 || !almost(s.Sum, 6.0) {
+		t.Fatalf("Stats totals = %+v", s)
+	}
+	if !almost(s.P50, 1.5) || !almost(s.P99, 1.99) || !almost(s.P999, 1.999) {
+		t.Fatalf("Stats percentiles = p50 %g p99 %g p999 %g, want 1.5 / 1.99 / 1.999", s.P50, s.P99, s.P999)
+	}
+}
+
+func TestStatsByLabelExact(t *testing.T) {
+	v := NewHistogramVec("q_vec", "op", []float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		v.With("read").Observe(1.5)
+	}
+	v.With("write").Observe(100)
+	by := v.StatsByLabel()
+	if len(by) != 2 {
+		t.Fatalf("StatsByLabel returned %d entries, want 2", len(by))
+	}
+	if r := by["read"]; !almost(r.P99, 1.99) || r.Count != 4 {
+		t.Fatalf("read stats = %+v", r)
+	}
+	if w := by["write"]; !almost(w.P50, 4) || w.Count != 1 {
+		t.Fatalf("write stats (overflow clamp) = %+v", w)
+	}
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Coverage gate: run the full test suite with a coverage profile, print
+# per-package coverage, and fail if total statement coverage drops
+# below the committed floor. The floor ratchets up, never down — raise
+# it when a PR meaningfully lifts coverage, per ROADMAP policy.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+floor="${COVER_FLOOR:-70.0}"
+profile="$(mktemp)"
+out="$(mktemp)"
+trap 'rm -f "$profile" "$out"' EXIT
+
+echo "== go test -coverprofile (all packages)"
+go test -coverprofile="$profile" ./... | tee "$out"
+if grep -q "^FAIL" "$out"; then
+  echo "FAIL: tests failed" >&2; exit 1
+fi
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+  echo "FAIL: total coverage ${total}% is below the ${floor}% floor" >&2
+  exit 1
+}
+echo "PASS: coverage"

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"pnn"
+	"pnn/api"
+	"pnn/internal/loadgen"
+)
+
+var fuzzOps = []pnn.Op{pnn.OpNonzero, pnn.OpProbabilities, pnn.OpTopK, pnn.OpThreshold, pnn.OpExpectedNN}
+
+// FuzzParseParams drives the query-string parser — the first code an
+// unauthenticated request reaches — with arbitrary parameter strings.
+// It must reject garbage with an error, never a panic, and anything it
+// accepts must come out normalized (a later engine build trusts it).
+func FuzzParseParams(f *testing.F) {
+	f.Add("demo", "1.5", "2.5", "index", "exact", "0.05", "3", "0.2")
+	f.Add("fleet", "-0", "1e308", "direct", "mc", "0", "-1", "nan")
+	f.Add("", "", "", "", "", "", "", "")
+	f.Add("demo", "NaN", "Inf", "diagram", "mcbudget", "1e-300", "4096", "1")
+	f.Add("demo", "1", "1", "bogus", "bogus", "x", "x", "x")
+
+	f.Fuzz(func(t *testing.T, dataset, x, y, backend, method, eps, k, tau string) {
+		v := url.Values{}
+		for key, val := range map[string]string{
+			"dataset": dataset, "x": x, "y": y,
+			"backend": backend, "method": method, "eps": eps,
+			"k": k, "tau": tau,
+		} {
+			if val != "" {
+				v.Set(key, val)
+			}
+		}
+		r := &http.Request{URL: &url.URL{Path: "/v1/query", RawQuery: v.Encode()}}
+		for _, op := range fuzzOps {
+			p, err := parseParams(r, op)
+			if err != nil {
+				continue
+			}
+			switch p.key.Backend {
+			case "index", "direct", "diagram":
+			default:
+				t.Fatalf("accepted params with unnormalized backend %q", p.key.Backend)
+			}
+			switch p.key.Method {
+			case "exact", "spiral", "mc", "mcbudget":
+			default:
+				t.Fatalf("accepted params with unnormalized method %q", p.key.Method)
+			}
+			if p.dataset == "" {
+				t.Fatal("accepted params without a dataset")
+			}
+		}
+	})
+}
+
+// FuzzStorePoints feeds arbitrary JSON through the insert-points body
+// decode path (the same unmarshal + shape validation the handler
+// runs). Seeds come from the load generator's insert corpus.
+func FuzzStorePoints(f *testing.F) {
+	for _, kind := range []string{"disks", "discrete"} {
+		spec := loadgen.DefaultSpec()
+		spec.Kind = kind
+		if err := spec.Set("mix", "insert=1"); err != nil {
+			f.Fatal(err)
+		}
+		gen, err := loadgen.NewGen(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			req := gen.Next()
+			body, err := json.Marshal(api.InsertPoints{Disks: req.Disks, Discrete: req.Discrete})
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(body)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"disks":[],"discrete":[]}`))
+	f.Add([]byte(`{"disks":[{"x":1e308,"y":-1e308,"r":-1}],"discrete":[{"x":[1],"y":[]}]}`))
+	f.Add([]byte(`{"discrete":[{"x":null,"y":null,"w":[1,2,3]}]}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req api.InsertPoints
+		if err := json.Unmarshal(body, &req); err != nil {
+			return
+		}
+		pts, err := storePoints(req)
+		if err == nil && len(pts) == 0 {
+			t.Fatal("storePoints accepted a pointless insert")
+		}
+		if err == nil && len(req.Disks) > 0 && len(req.Discrete) > 0 {
+			t.Fatal("storePoints accepted a mixed-kind insert")
+		}
+	})
+}
