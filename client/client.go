@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -372,12 +373,41 @@ func (c *Client) get(ctx context.Context, path string, v url.Values, out any) er
 	return c.do(ctx, http.MethodGet, path, v, nil, out)
 }
 
+// retryBackoff bounds the jittered pause before do's single retry
+// pass: long enough for an engine-swap or store hiccup to clear, short
+// enough that an interactive caller barely notices.
+const retryBackoff = 25 * time.Millisecond
+
 // do performs one request with endpoint failover: starting from the
 // preferred endpoint, each endpoint is tried in rotation until one
 // answers with a non-5xx status. The answering endpoint becomes
 // preferred. 2xx bodies decode into out; other statuses become
 // *APIError.
+//
+// When a full pass over the endpoints ends on a retryable 503
+// ("unavailable": engine-generation churn under a write burst, a store
+// briefly poisoned mid-failover), the pass is repeated once after a
+// short jittered backoff. do serves only idempotent reads — queries,
+// batch queries, listings — so the retry can never double-apply
+// anything; mutations go through doAdmin, which never retries.
 func (c *Client) do(ctx context.Context, method, path string, v url.Values, reqBody []byte, out any) error {
+	err := c.doPass(ctx, method, path, v, reqBody, out)
+	if !retryableUnavailable(err) || ctx.Err() != nil {
+		return err
+	}
+	// Half-to-full jitter decorrelates a thundering herd of callers all
+	// bounced by the same transient.
+	pause := retryBackoff/2 + time.Duration(rand.Int63n(int64(retryBackoff/2)))
+	select {
+	case <-time.After(pause):
+	case <-ctx.Done():
+		return err
+	}
+	return c.doPass(ctx, method, path, v, reqBody, out)
+}
+
+// doPass tries every endpoint once, in rotation from the preferred one.
+func (c *Client) doPass(ctx context.Context, method, path string, v url.Values, reqBody []byte, out any) error {
 	start := int(c.preferred.Load()) % len(c.bases)
 	var lastErr error
 	for i := 0; i < len(c.bases); i++ {
@@ -400,6 +430,17 @@ func (c *Client) do(ctx context.Context, method, path string, v url.Values, reqB
 		}
 	}
 	return lastErr
+}
+
+// retryableUnavailable reports whether err is the server saying "try
+// again": a 503 carrying the stable "unavailable" code. Other 5xx
+// replies (internal bugs) and transport errors are not retried — the
+// endpoint rotation already covered connection-level failover.
+func retryableUnavailable(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) &&
+		apiErr.StatusCode == http.StatusServiceUnavailable &&
+		apiErr.Code == api.CodeUnavailable
 }
 
 // doOne performs one request against one endpoint. admin marks the

@@ -2,11 +2,14 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pnn"
@@ -271,6 +274,76 @@ func TestClientMultiFailover(t *testing.T) {
 
 	if _, err := NewMulti(nil); err == nil {
 		t.Error("NewMulti(nil): want an error")
+	}
+}
+
+// TestClientRetriesUnavailable pins the read-retry contract: a
+// retryable 503 ("unavailable" — engine churn under writes, a store
+// failing over) on every endpoint is retried exactly once after a
+// backoff, so a flapping server costs latency, not an error. Non-503
+// failures and non-"unavailable" 503s must not retry, and mutations
+// must never retry even on a retryable 503.
+func TestClientRetriesUnavailable(t *testing.T) {
+	var calls atomic.Int64
+	flap := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.Error{Error: "engine swapping", Code: api.CodeUnavailable})
+			return
+		}
+		json.NewEncoder(w).Encode(api.Nonzero{Dataset: "fleet", N: 1, Indices: []int{0}})
+	}))
+	defer flap.Close()
+
+	c := New(flap.URL, WithHTTPClient(flap.Client()), WithAdminToken("tok"))
+	got, err := c.Nonzero(context.Background(), "fleet", 1, 2, nil)
+	if err != nil {
+		t.Fatalf("read against flapping server: %v (want the retry to absorb one 503)", err)
+	}
+	if len(got.Indices) != 1 || calls.Load() != 2 {
+		t.Fatalf("retry shape wrong: indices %v after %d calls, want 1 index after 2 calls", got.Indices, calls.Load())
+	}
+
+	// An expired context suppresses the retry: the first answer stands.
+	calls.Store(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Nonzero(ctx, "fleet", 1, 2, nil); err == nil {
+		t.Fatal("cancelled read: want an error")
+	}
+
+	// A mutation hitting the same flap must surface the 503 untouched:
+	// doAdmin never retries (a timed-out-but-applied write could land
+	// twice).
+	calls.Store(0)
+	_, err = c.DeletePoint(context.Background(), "fleet", 1)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation on flap: %v, want the 503 surfaced", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("mutation retried: %d calls, want 1", calls.Load())
+	}
+}
+
+// TestClientNoRetryOnPermanent5xx: a 503 without the "unavailable"
+// code (or any other 5xx) is not known-retryable; the client must not
+// double the load on a struggling server.
+func TestClientNoRetryOnPermanent5xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(api.Error{Error: "boom", Code: api.CodeInternal})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
+	if _, err := c.Nonzero(context.Background(), "fleet", 1, 2, nil); err == nil {
+		t.Fatal("want an error from a 500-only server")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("500 retried: %d calls, want 1", calls.Load())
 	}
 }
 

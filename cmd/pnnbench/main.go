@@ -1069,6 +1069,73 @@ func expMicrobench() {
 			})
 		}
 	}
+
+	// The delta-apply write path (PR 9): one point folded into a standing
+	// dynamic index of writeN points, vs. the pre-delta serving behaviour
+	// of rebuilding a static index over the whole dataset for any write.
+	// The gated row is the delta cost (ns/op, allocs/op); the rebuild
+	// cost and the speedup ratio ride along in params so BENCH readers
+	// see both sides of the trade without a second gated row.
+	writeN := 100_000
+	if *quick {
+		writeN = 20_000
+	}
+	wspan := math.Sqrt(float64(writeN)) * 10
+	wr := rand.New(rand.NewSource(42))
+	wpoint := func() pnn.DiscretePoint {
+		cx, cy := wr.Float64()*wspan, wr.Float64()*wspan
+		return pnn.DiscretePoint{Locations: []pnn.Point{
+			pnn.Pt(cx, cy), pnn.Pt(cx+wr.Float64()*2-1, cy+wr.Float64()*2-1),
+		}}
+	}
+	wpts := make([]pnn.DiscretePoint, writeN)
+	for i := range wpts {
+		wpts[i] = wpoint()
+	}
+	wset, err := pnn.NewDiscreteSet(wpts)
+	if err != nil {
+		panic(err)
+	}
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pnn.New(wset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wdyn, err := pnn.NewDynamic()
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range wpts {
+		if _, err := wdyn.InsertDiscrete(p); err != nil {
+			panic(err)
+		}
+	}
+	delta := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wdyn.InsertDiscrete(wpoint()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(rebuild.NsPerOp()) / float64(delta.NsPerOp())
+	fmt.Printf("%-23s %-12d %-10d %d   (rebuild %d ns/op, %.0fx)\n",
+		"write-apply", delta.NsPerOp(), delta.AllocsPerOp(), delta.AllocedBytesPerOp(),
+		rebuild.NsPerOp(), speedup)
+	if *jsonDir != "" {
+		writeBenchRecord(benchRecord{
+			Name: "micro-write-apply",
+			Params: map[string]any{
+				"quick": *quick, "seed": *seed, "n": writeN,
+				"rebuild_ns_op": rebuild.NsPerOp(), "speedup": speedup,
+			},
+			NsOp:   delta.NsPerOp(),
+			Ops:    int64(delta.N),
+			Allocs: delta.AllocsPerOp(),
+			Bytes:  delta.AllocedBytesPerOp(),
+		})
+	}
 }
 
 // E21 — ablation: polyline flattening density vs diagram-query agreement

@@ -65,6 +65,8 @@ var (
 	logLevel    = flag.String("log-level", "info", "structured log level: debug logs every request, info only slow ones (off disables)")
 	slowQuery   = flag.Duration("slow-query", time.Second, "log requests at least this slow at Warn (0 disables)")
 	pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it leaks stacks and heap contents)")
+	engineMode  = flag.String("engine", server.EngineDynamic, "write-path engine for durable datasets: dynamic (deltas applied in place) or static (rebuild on every write)")
+	compactFrac = flag.Float64("delta-compact-fraction", 0, "deletes-to-live ratio above which a delta falls back to a compacting rebuild (0 = default 0.25, negative disables)")
 )
 
 func main() {
@@ -106,6 +108,10 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+	if *engineMode != server.EngineDynamic && *engineMode != server.EngineStatic {
+		log.Fatalf("pnnserve: -engine must be %q or %q, got %q",
+			server.EngineDynamic, server.EngineStatic, *engineMode)
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -157,6 +163,10 @@ func main() {
 		AdminToken:         *adminToken,
 		Logger:             logger,
 		SlowQueryThreshold: orDisabledDur(*slowQuery),
+		EngineMode:         *engineMode,
+		// The flag follows Config's convention directly: zero picks the
+		// default fraction, negative disables the fallback.
+		DeltaCompactFraction: *compactFrac,
 	})
 	handler := srv.Handler()
 	if *pprofFlag {

@@ -1,6 +1,7 @@
 package pnn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -65,6 +66,10 @@ type DynamicIndex struct {
 	// queries; nil until the first such query (or when empty).
 	view      *Index
 	viewDirty bool
+
+	// rebuiltBase accumulates the rebuild-work counters of trackers
+	// retired by compact, so Stats reports a lifetime total.
+	rebuiltBase uint64
 }
 
 type dynKind int
@@ -234,6 +239,7 @@ func (d *DynamicIndex) compact() {
 		live = append(live, d.items[s])
 	}
 	d.items = live
+	d.rebuiltBase += d.tracker.Rebuilt()
 	d.tracker = logmethod.New()
 	d.idToSlot = make(map[PointID]int, len(live))
 	d.liveSlots = d.liveSlots[:0]
@@ -359,6 +365,26 @@ func (d *DynamicIndex) Nonzero(q Point) ([]int, error) {
 	if len(d.liveSlots) == 0 {
 		return []int{}, nil
 	}
+	return d.nonzeroLocked(q, nil), nil
+}
+
+// NonzeroInto is Nonzero appending into buf (reused from its start,
+// grown as needed) — the caller-buffer variant matching
+// Index.NonzeroInto. The returned slice shares buf's memory and is only
+// valid until the next NonzeroInto call with the same buffer.
+func (d *DynamicIndex) NonzeroInto(q Point, buf []int) ([]int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.liveSlots) == 0 {
+		return buf[:0], nil
+	}
+	return d.nonzeroLocked(q, buf[:0]), nil
+}
+
+// nonzeroLocked appends the ranks of NN≠0(q) to dst (which must be
+// empty) in increasing order; the caller holds at least a read lock and
+// has ruled out the empty index.
+func (d *DynamicIndex) nonzeroLocked(q Point, dst []int) []int {
 	gq := toGeom(q)
 	// Stage 1, merged: the live minimum of Δ over all buckets.
 	min1 := math.Inf(1)
@@ -399,13 +425,15 @@ func (d *DynamicIndex) Nonzero(q Point) ([]int, error) {
 			cand = append(cand, argSlot)
 		}
 	}
-	out := make([]int, 0, len(cand))
+	if dst == nil {
+		dst = make([]int, 0, len(cand))
+	}
 	for _, s := range cand {
 		r, _ := slices.BinarySearch(d.liveSlots, s)
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	sort.Ints(out)
-	return out, nil
+	sort.Ints(dst)
+	return dst
 }
 
 // viewIndex returns the static engine over the current survivors,
@@ -548,6 +576,97 @@ func (d *DynamicIndex) ExpectedNN(q Point) (int, float64, error) {
 		return -1, 0, nil
 	}
 	return v.ExpectedNN(q)
+}
+
+// ProbabilitiesInto is Probabilities writing into buf (resized to Len(),
+// grown as needed) — the caller-buffer variant matching
+// Index.ProbabilitiesInto. The returned slice shares buf's memory and is
+// only valid until the next ProbabilitiesInto call with the same buffer.
+func (d *DynamicIndex) ProbabilitiesInto(q Point, buf []float64) ([]float64, error) {
+	v, err := d.viewIndex()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return buf[:0], nil
+	}
+	return v.ProbabilitiesInto(q, buf)
+}
+
+// Eps returns the additive query accuracy of the configured quantifier
+// (0 for exact engines) — what Index.Eps reports for a static engine
+// built with the same options.
+func (d *DynamicIndex) Eps() float64 {
+	switch d.cfg.quant.kind {
+	case quantMonteCarlo, quantSpiral:
+		return d.cfg.quant.eps
+	}
+	return 0
+}
+
+// QueryBatchOps answers a heterogeneous batch over the live points,
+// concurrently and in input order — the same contract as
+// Index.QueryBatchOps, so both engine types can sit behind one batching
+// layer. Each request locks the index independently: a batch running
+// concurrently with mutations answers each request against some
+// then-current state, never a torn one.
+func (d *DynamicIndex) QueryBatchOps(ctx context.Context, reqs []Request, workers int) ([]OpResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	res := make([]OpResult, len(reqs))
+	runPool(ctx, len(reqs), workers, func(i int) { res[i] = d.applyOp(reqs[i]) })
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (d *DynamicIndex) applyOp(r Request) OpResult {
+	var out OpResult
+	switch r.Op {
+	case OpNonzero:
+		out.Nonzero, out.Err = d.Nonzero(r.Q)
+	case OpProbabilities:
+		out.Probabilities, out.Err = d.Probabilities(r.Q)
+	case OpTopK:
+		out.Ranked, out.Err = d.TopK(r.Q, r.K)
+	case OpThreshold:
+		out.Threshold, out.Err = d.Threshold(r.Q, r.Tau)
+	case OpExpectedNN:
+		out.ExpectedIndex, out.ExpectedDist, out.Err = d.ExpectedNN(r.Q)
+	default:
+		out.Err = fmt.Errorf("pnn: unknown batch op %d: %w", r.Op, ErrUnsupported)
+	}
+	return out
+}
+
+// DynamicStats reports the engine's amortized-cost counters: the live
+// point count, the arena garbage awaiting compaction, the bucket count
+// of the logarithmic decomposition, and the cumulative number of members
+// passed through static bucket (re)builds since construction — the
+// Bentley–Saxe amortized work a rebuild-per-write design would pay in
+// full on every mutation.
+type DynamicStats struct {
+	Live           int
+	Garbage        int
+	Buckets        int
+	RebuiltMembers uint64
+}
+
+// Stats returns the current cost counters.
+func (d *DynamicIndex) Stats() DynamicStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return DynamicStats{
+		Live:           len(d.liveSlots),
+		Garbage:        len(d.items) - len(d.liveSlots),
+		Buckets:        len(d.tracker.Buckets()),
+		RebuiltMembers: d.rebuiltBase + d.tracker.Rebuilt(),
+	}
 }
 
 // dynBucket is one bucket's static structure: stage-1 bound merging and

@@ -8,7 +8,7 @@ import (
 // LockDiscipline enforces two lock rules. Everywhere: no sync.Mutex or
 // sync.RWMutex copied by value (signatures, receivers, assignments,
 // range variables). In the serving packages (server, store,
-// server/shard): no mutex held across a channel send, a
+// server/shard, server/engine): no mutex held across a channel send, a
 // sync.WaitGroup.Wait, or an outbound HTTP call — the exact shape of
 // the PR-5 registry-refresh and batcher-retirement races, where a
 // blocking operation under a lock turned a mutation race into a
@@ -27,9 +27,10 @@ var LockDiscipline = &Analyzer{
 // heldAcrossPackages are the module-relative packages the held-across
 // sub-rule patrols.
 var heldAcrossPackages = map[string]bool{
-	"server":       true,
-	"store":        true,
-	"server/shard": true,
+	"server":        true,
+	"store":         true,
+	"server/shard":  true,
+	"server/engine": true,
 }
 
 func runLockDiscipline(pass *Pass) {

@@ -64,6 +64,9 @@ type Tracker struct {
 	// alive marks live slots (false = tombstoned).
 	alive map[int]bool
 	dead  int
+	// rebuilt counts the members passed through build callbacks since
+	// New — the cumulative amortized rebuild work of the decomposition.
+	rebuilt uint64
 }
 
 // New returns an empty tracker.
@@ -79,6 +82,13 @@ func (t *Tracker) Dead() int { return t.dead }
 
 // Alive reports whether slot is a live member.
 func (t *Tracker) Alive(slot int) bool { return t.alive[slot] }
+
+// Rebuilt returns the cumulative number of members handed to build
+// callbacks since New — the total static (re)build work the method has
+// amortized. One insert into a tracker of n live members contributes
+// O(log n) to this counter over its lifetime; a rebuild-per-write
+// design would contribute n per write.
+func (t *Tracker) Rebuilt() uint64 { return t.rebuilt }
 
 // Buckets returns the current buckets (shared, read-only; valid until
 // the next mutation). Order is unspecified.
@@ -99,6 +109,7 @@ func (t *Tracker) Insert(slot int, build Build) error {
 	for {
 		lvl := levelFor(len(cur))
 		if lvl >= len(t.byLevel) || t.byLevel[lvl] == nil {
+			t.rebuilt += uint64(len(cur))
 			t.attach(&Bucket{Level: lvl, Slots: cur, Data: build(cur)})
 			return nil
 		}
@@ -130,6 +141,7 @@ func (t *Tracker) Bulk(slots []int, build Build) error {
 	for _, s := range slots {
 		t.alive[s] = true
 	}
+	t.rebuilt += uint64(len(slots))
 	t.attach(&Bucket{Level: lvl, Slots: slices.Clone(slots), Data: build(slots)})
 	return nil
 }
@@ -181,6 +193,7 @@ func (t *Tracker) RebuildAll(build Build) {
 	t.byLevel = t.byLevel[:0]
 	t.dead = 0
 	if len(liveSlots) > 0 {
+		t.rebuilt += uint64(len(liveSlots))
 		t.attach(&Bucket{Level: levelFor(len(liveSlots)), Slots: liveSlots, Data: build(liveSlots)})
 	}
 }

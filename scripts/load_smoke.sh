@@ -79,6 +79,14 @@ echo "== mixed read/write load against the single node"
   -mix read=8,write=2 -point-theta 0.9 \
   -name macro-single-node -out "$workdir/bench" \
   -fail-on-nonretryable | tee "$workdir/single.out"
+
+echo "== write-heavy load against the single node (delta apply path)"
+"$workdir/pnnload" \
+  -target "http://127.0.0.1:$single_port" -admin-token "$token" \
+  -seed "$seed" -qps "$qps" -duration "$duration" \
+  -mix read=2,write=8 -point-theta 0.9 \
+  -name macro-write-heavy -out "$workdir/bench" \
+  -fail-on-nonretryable | tee "$workdir/write_heavy.out"
 kill "${pids[0]}" 2>/dev/null || true
 wait "${pids[0]}" 2>/dev/null || true
 pids=()
@@ -109,7 +117,7 @@ wait_healthy "$router_port" "${pids[2]}" "pnnrouter"
   -fail-on-nonretryable | tee "$workdir/routed.out"
 
 echo "== emitted macro rows are valid and gated by benchdiff"
-for name in macro-single-node macro-routed; do
+for name in macro-single-node macro-write-heavy macro-routed; do
   row="$workdir/bench/BENCH_$name.json"
   [ -s "$row" ] || { echo "FAIL: $row missing or empty" >&2; exit 1; }
   grep -q '"macro": true' "$row" || { echo "FAIL: $row lacks the macro marker" >&2; exit 1; }
@@ -118,7 +126,7 @@ done
 # To (re)generate the committed baselines, run with
 # LOAD_BASELINE_OUT=bench and commit the copied rows.
 if [ -n "${LOAD_BASELINE_OUT:-}" ]; then
-  cp "$workdir"/bench/BENCH_macro-single-node.json "$workdir"/bench/BENCH_macro-routed.json "$LOAD_BASELINE_OUT/"
+  cp "$workdir"/bench/BENCH_macro-single-node.json "$workdir"/bench/BENCH_macro-write-heavy.json "$workdir"/bench/BENCH_macro-routed.json "$LOAD_BASELINE_OUT/"
   echo "ok   baselines copied to $LOAD_BASELINE_OUT"
 fi
 # Latency on shared CI runners is noisy; the committed baselines gate

@@ -62,6 +62,9 @@ func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) refreshDataset(name string) error {
 	l := s.lockRefresh(name)
 	defer s.unlockRefresh(name, l)
+	if s.deltaRefresh(name) {
+		return nil
+	}
 	// View reads (kind, set, version) under one store-lock acquisition:
 	// two separate Dataset+Set calls could straddle a concurrent drop
 	// (500 for an already-committed mutation) or drop+recreate (the old
@@ -76,6 +79,58 @@ func (s *Server) refreshDataset(name string) error {
 	}
 	s.reg.Upsert(name, info.Kind, set, info.Version)
 	return nil
+}
+
+// deltaRefresh attempts the delta write path: read the ops committed
+// since the registry's version and fold them into the live engines in
+// place, skipping the full store read and generation swap. It reports
+// whether the registry was brought current. The fallbacks — any false
+// return — land on the View+Upsert swap below: engine mode static, a
+// dataset the registry has not loaded yet, a kind change (drop +
+// recreate resets the op tail base, so OpsSince reports a gap), an op
+// tail gap after many buffered mutations, and a delete-heavy delta
+// (folding tombstones one by one is worse than one compacting
+// rebuild). The caller holds the per-name refresh lock, which is what
+// serializes ApplyDelta per dataset.
+func (s *Server) deltaRefresh(name string) bool {
+	if s.cfg.EngineMode != EngineDynamic {
+		return false
+	}
+	d := s.reg.Get(name)
+	if d == nil || !d.Durable() {
+		return false
+	}
+	info, ops, ok, err := s.cfg.Store.OpsSince(name, d.Version())
+	if err != nil || !ok || info.Kind != d.Kind {
+		return false
+	}
+	if deleteHeavy(ops, info.N, s.cfg.DeltaCompactFraction) {
+		return false
+	}
+	return s.reg.ApplyDelta(name, info.Kind, info.Version, info.N, ops)
+}
+
+// deleteHeavy reports whether a delta carries enough deletes, relative
+// to the dataset's live count, that compacting via a fresh build beats
+// folding tombstones in place. frac ≤ 0 disables the heuristic; small
+// absolute counts (< deltaCompactMin) never trigger it.
+func deleteHeavy(ops []store.DeltaOp, live int, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	del := 0
+	for _, op := range ops {
+		if op.Deleted != 0 {
+			del++
+		}
+	}
+	if del < deltaCompactMin {
+		return false
+	}
+	if live < 1 {
+		live = 1
+	}
+	return float64(del) >= frac*float64(live)
 }
 
 // refreshLock is one name's refresh mutex plus the count of holders

@@ -7,24 +7,28 @@ import (
 	"time"
 
 	"pnn"
+	"pnn/server/engine"
 )
 
 // ErrBatcherClosed is returned by Submit after Close.
 var ErrBatcherClosed = errors.New("server: batcher closed")
 
 // Batcher coalesces concurrent single-query requests against one
-// pnn.Index into QueryBatchOps calls. A batch is flushed when it
+// query engine into QueryBatchOps calls. A batch is flushed when it
 // reaches MaxBatch requests ("full") or when Window elapses after the
 // first request of the batch arrives ("window"), whichever comes
 // first — so a lone request waits at most Window, and a burst of
 // requests amortizes the per-call overhead and query-level parallelism
 // of one batch call.
 //
-// The index is read-only and every query independent, so coalescing
-// never changes answers: a coalesced request returns exactly what the
-// same pnn.Index call would return sequentially.
+// Every query is independent, so coalescing never changes answers: a
+// coalesced request returns exactly what the same engine call would
+// return sequentially. The engine may mutate between batches (the
+// delta write path applies ops in place); the batcher is pinned to the
+// engine, not to a dataset version, and keeps draining across version
+// bumps.
 type Batcher struct {
-	idx      *pnn.Index
+	q        engine.Querier
 	window   time.Duration
 	maxBatch int
 	workers  int
@@ -55,15 +59,16 @@ type pendingReq struct {
 	enq time.Time
 }
 
-// NewBatcher builds a batcher over idx. window ≤ 0 means flush every
-// submission immediately (no coalescing); maxBatch ≤ 0 defaults to 64;
-// workers follows pnn.QueryBatchOps semantics (≤ 0 means GOMAXPROCS).
-func NewBatcher(idx *pnn.Index, window time.Duration, maxBatch, workers int, onFlush func(int, string)) *Batcher {
+// NewBatcher builds a batcher over q (a pnn.Index, pnn.DynamicIndex,
+// or engine.Engine). window ≤ 0 means flush every submission
+// immediately (no coalescing); maxBatch ≤ 0 defaults to 64; workers
+// follows pnn.QueryBatchOps semantics (≤ 0 means GOMAXPROCS).
+func NewBatcher(q engine.Querier, window time.Duration, maxBatch, workers int, onFlush func(int, string)) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
 	return &Batcher{
-		idx:      idx,
+		q:        q,
 		window:   window,
 		maxBatch: maxBatch,
 		workers:  workers,
@@ -187,7 +192,7 @@ func (b *Batcher) run(batch []pendingReq, reason string) {
 	if b.onExec != nil {
 		start = time.Now()
 	}
-	res, err := b.idx.QueryBatchOps(context.Background(), reqs, b.workers)
+	res, err := b.q.QueryBatchOps(context.Background(), reqs, b.workers)
 	if b.onExec != nil {
 		b.onExec(time.Since(start))
 	}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pnn/api"
+)
+
+// TestDeltaPathMatchesStaticRebuild is the write-path equivalence
+// property: a server serving mutations through the delta path (dynamic
+// engines, ops folded in place) must answer every query bitwise
+// identically to a server that rebuilds a fresh static pnn.Index from
+// store.View after every mutation. Both servers see the same seeded
+// random interleaving of inserts and deletes over HTTP; after each
+// mutation every facade op is compared at several query points, across
+// set kinds and quantifier methods. At the end the test verifies the
+// comparison was not vacuous: the dynamic server must actually have
+// folded deltas into a live engine, and the static server must not
+// have.
+func TestDeltaPathMatchesStaticRebuild(t *testing.T) {
+	cases := []struct {
+		name string
+		kind string
+		qs   string // extra query parameters selecting the method
+	}{
+		{"discrete-exact", "discrete", ""},
+		{"discrete-spiral", "discrete", "&method=spiral&eps=0.1"},
+		{"disks-exact", "disks", ""},
+		{"disks-mc", "disks", "&method=mc&eps=0.2&delta=0.2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deltaEquivalence(t, tc.kind, tc.qs)
+		})
+	}
+}
+
+// mutate applies one mutation to both servers and requires identical
+// acknowledgements (the stores evolve in lockstep, so versions and
+// assigned ids must match byte for byte).
+func mutateBoth(t *testing.T, dyn, stat *httptest.Server, method, path string, body any) []byte {
+	t.Helper()
+	ds, draw := adminDo(t, dyn, method, path, body, testToken)
+	ss, sraw := adminDo(t, stat, method, path, body, testToken)
+	if ds != http.StatusOK || ss != http.StatusOK {
+		t.Fatalf("%s %s: dynamic %d %s, static %d %s", method, path, ds, draw, ss, sraw)
+	}
+	if !bytes.Equal(draw, sraw) {
+		t.Fatalf("%s %s acks diverged:\ndynamic %s\nstatic  %s", method, path, draw, sraw)
+	}
+	return draw
+}
+
+func deltaEquivalence(t *testing.T, kind, qs string) {
+	const name = "prop"
+	dynSrv, dynHS, _ := storeServer(t, Config{BatchWindow: -1})
+	statSrv, statHS, _ := storeServer(t, Config{BatchWindow: -1, EngineMode: EngineStatic})
+
+	mutateBoth(t, dynHS, statHS, http.MethodPut, "/v1/datasets/"+name, api.CreateDataset{Kind: kind})
+
+	rng := rand.New(rand.NewSource(7))
+	insert := func(n int) api.InsertPoints {
+		var req api.InsertPoints
+		for i := 0; i < n; i++ {
+			if kind == "disks" {
+				req.Disks = append(req.Disks, api.DiskPointJSON{
+					X: rng.Float64() * 10, Y: rng.Float64() * 10, R: rng.Float64() * 2,
+				})
+				continue
+			}
+			locs := 1 + rng.Intn(2)
+			var p api.DiscretePointJSON
+			for l := 0; l < locs; l++ {
+				p.X = append(p.X, rng.Float64()*10)
+				p.Y = append(p.Y, rng.Float64()*10)
+			}
+			req.Discrete = append(req.Discrete, p)
+		}
+		return req
+	}
+
+	// Query points chosen so some land inside the cloud and some at its
+	// edge; k and tau exercise ranking and cutoff paths.
+	probes := []string{"x=2&y=3", "x=9.5&y=0.5"}
+	compare := func(step string) {
+		t.Helper()
+		for _, op := range api.Ops {
+			for _, pt := range probes {
+				path := fmt.Sprintf("/v1/%s?dataset=%s&%s%s", op, name, pt, qs)
+				switch op {
+				case "topk":
+					path += "&k=3"
+				case "threshold":
+					path += "&tau=0.2"
+				}
+				ds, _, dbody := getBody(t, dynHS, path)
+				ss, _, sbody := getBody(t, statHS, path)
+				if ds != ss {
+					t.Fatalf("%s: GET %s: dynamic %d, static %d", step, path, ds, ss)
+				}
+				if ds != http.StatusOK {
+					t.Fatalf("%s: GET %s: %d %s", step, path, ds, dbody)
+				}
+				if !bytes.Equal(dbody, sbody) {
+					t.Fatalf("%s: GET %s diverged:\ndynamic %s\nstatic  %s", step, path, dbody, sbody)
+				}
+			}
+		}
+	}
+
+	// Seed enough points that deletes cannot empty the dataset.
+	ack := mutateBoth(t, dynHS, statHS, http.MethodPost, "/v1/datasets/"+name+"/points", insert(4))
+	ids := decodeMutation(t, ack).IDs
+	compare("seed")
+
+	for step := 0; step < 24; step++ {
+		if rng.Float64() < 0.35 && len(ids) > 2 {
+			i := rng.Intn(len(ids))
+			mutateBoth(t, dynHS, statHS, http.MethodDelete,
+				fmt.Sprintf("/v1/datasets/%s/points/%d", name, ids[i]), nil)
+			ids = append(ids[:i], ids[i+1:]...)
+		} else {
+			ack := mutateBoth(t, dynHS, statHS, http.MethodPost,
+				"/v1/datasets/"+name+"/points", insert(1+rng.Intn(3)))
+			ids = append(ids, decodeMutation(t, ack).IDs...)
+		}
+		compare(fmt.Sprintf("step %d", step))
+	}
+
+	// Not vacuous: the dynamic server folded deltas into a surviving
+	// engine; the static server only ever rebuilt.
+	if ins := engineInserts(t, dynSrv, name); ins == 0 {
+		t.Fatal("dynamic server never applied a delta — the equivalence compared two rebuild paths")
+	}
+	if ins := engineInserts(t, statSrv, name); ins != 0 {
+		t.Fatalf("static server applied %d delta inserts, want pure rebuilds", ins)
+	}
+}
+
+// engineInserts sums delta-applied inserts across a dataset's live
+// engines.
+func engineInserts(t *testing.T, srv *Server, name string) uint64 {
+	t.Helper()
+	d := srv.reg.Get(name)
+	if d == nil {
+		t.Fatalf("dataset %q missing from registry", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total uint64
+	for _, e := range d.entries {
+		if e.built.Load() {
+			total += e.eng.Cost().Inserts
+		}
+	}
+	return total
+}

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pnn"
+	"pnn/server/engine"
+	"pnn/store"
 )
 
 // IndexKey identifies one engine configuration of a dataset: the NN≠0
@@ -77,8 +80,13 @@ type Dataset struct {
 
 	mu sync.Mutex
 	// set is the currently served point set; nil when the dataset is
-	// empty (created but no points yet).
+	// empty (created but no points yet) — or when the delta write path
+	// has made it stale (applyDelta clears it; durable datasets served
+	// by delta-applied engines read the store, not this cache).
 	set pnn.UncertainSet
+	// n is the current live point count, maintained across both set
+	// swaps and delta applies.
+	n int
 	// version is the dataset's monotone mutation version. It keys the
 	// result cache, so entries cached against an older version can
 	// never be served after a write.
@@ -86,13 +94,22 @@ type Dataset struct {
 	entries map[IndexKey]*indexEntry
 }
 
-// indexEntry builds one (index, batcher) pair exactly once; concurrent
-// first users block on the build and share the result.
+// indexEntry builds one (engine, batcher) pair exactly once;
+// concurrent first users block on the build and share the result.
 type indexEntry struct {
 	once    sync.Once
-	idx     *pnn.Index
+	eng     engine.Engine
 	err     error
 	batcher *Batcher
+	// built flips true once the build has completed successfully; it is
+	// the synchronization point letting applyDelta read applied and eng
+	// without joining the once.
+	built atomic.Bool
+	// applied is the dataset version the engine's state reflects — set
+	// by the build (to the store version it actually read, which may be
+	// ahead of the entry's label version) and advanced by applyDelta.
+	// Mutated only pre-publication or under Dataset.mu after built.
+	applied uint64
 }
 
 // Snapshot returns the dataset's current point set and version under
@@ -119,11 +136,18 @@ func (d *Dataset) Version() uint64 {
 
 // Len returns the current point count (0 when empty).
 func (d *Dataset) Len() int {
-	set, _ := d.Snapshot()
-	if set == nil {
-		return 0
-	}
-	return set.Len()
+	n, _ := d.Stats()
+	return n
+}
+
+// Stats returns the dataset's current point count and version under
+// one lock acquisition — the consistent pair the serving path keys
+// caches and emptiness checks by. Unlike Snapshot it stays accurate on
+// the delta write path, where the cached set goes stale.
+func (d *Dataset) Stats() (int, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n, d.version
 }
 
 // Durable reports whether the dataset is store-backed (mutable).
@@ -150,10 +174,76 @@ func (d *Dataset) update(set pnn.UncertainSet, version uint64) {
 	}
 	old := d.entries
 	d.set = set
+	d.n = setLen(set)
 	d.version = version
 	d.entries = make(map[IndexKey]*indexEntry)
 	d.mu.Unlock()
 	go closeEntries(old)
+}
+
+func setLen(set pnn.UncertainSet) int {
+	if set == nil {
+		return 0
+	}
+	return set.Len()
+}
+
+// applyDelta folds committed mutations into the dataset's live engines
+// and bumps the version in place — no generation swap, so batchers
+// keep draining and caches key naturally off the new version. Engines
+// that cannot absorb the delta are retired individually and rebuilt
+// lazily on their next query: static engines (Apply demands a
+// rebuild), builds still in flight (they read the store directly and
+// may predate these ops without being patchable), and engines whose
+// Apply failed. Per-engine `applied` filtering keeps an engine whose
+// build already read a newer store state from replaying ops twice.
+// Stale deltas (version not newer) are ignored.
+func (d *Dataset) applyDelta(version uint64, n int, ops []store.DeltaOp) {
+	d.mu.Lock()
+	if version <= d.version {
+		d.mu.Unlock()
+		return
+	}
+	var retired map[IndexKey]*indexEntry
+	retire := func(key IndexKey, e *indexEntry) {
+		if retired == nil {
+			retired = make(map[IndexKey]*indexEntry)
+		}
+		retired[key] = e
+		delete(d.entries, key)
+	}
+	for key, e := range d.entries {
+		if !e.built.Load() {
+			retire(key, e)
+			continue
+		}
+		if err := e.eng.Apply(opsAfter(ops, e.applied)); err != nil {
+			retire(key, e)
+			continue
+		}
+		if version > e.applied {
+			e.applied = version
+		}
+	}
+	// The cached set predates these ops; durable datasets on the delta
+	// path are rebuilt from the store, never from this cache.
+	d.set = nil
+	d.n = n
+	d.version = version
+	d.mu.Unlock()
+	if retired != nil {
+		go closeEntries(retired)
+	}
+}
+
+// opsAfter returns the suffix of ops with Seq > applied (ops are in
+// increasing Seq order).
+func opsAfter(ops []store.DeltaOp, applied uint64) []store.DeltaOp {
+	i := 0
+	for i < len(ops) && ops[i].Seq <= applied {
+		i++
+	}
+	return ops[i:]
 }
 
 // closeEntries gracefully closes every built batcher of a retired
@@ -211,12 +301,18 @@ func (d *Dataset) entry(key IndexKey, version uint64, maxEngines int, build func
 	e.once.Do(func() {
 		defer func() {
 			if r := recover(); r != nil {
-				e.idx, e.batcher = nil, nil
+				e.eng, e.batcher = nil, nil
 				e.err = fmt.Errorf("server: building %s engine: panic: %v", key, r)
 			}
 		}()
 		build(e)
 	})
+	if e.err == nil && e.eng != nil {
+		// Publish the build to applyDelta, which must not join the once
+		// under the dataset lock. Re-storing on later lookups is
+		// harmless.
+		e.built.Store(true)
+	}
 	if e.err != nil {
 		// A failed build must not occupy a cap slot forever (cheap
 		// failing configurations could otherwise lock the dataset out
@@ -266,7 +362,7 @@ func (r *Registry) Add(name string, set pnn.UncertainSet) error {
 	}
 	return r.add(&Dataset{
 		Name: name, Kind: kindOf(set),
-		set: set, version: 1,
+		set: set, n: set.Len(), version: 1,
 		entries: make(map[IndexKey]*indexEntry),
 	})
 }
@@ -283,7 +379,7 @@ func (r *Registry) AddDurable(name, kind string, set pnn.UncertainSet, version u
 func newDurableDataset(name, kind string, set pnn.UncertainSet, version uint64) *Dataset {
 	return &Dataset{
 		Name: name, Kind: kind, durable: true,
-		set: set, version: version,
+		set: set, n: setLen(set), version: version,
 		entries: make(map[IndexKey]*indexEntry),
 	}
 }
@@ -330,6 +426,27 @@ func (r *Registry) Upsert(name, kind string, set pnn.UncertainSet, version uint6
 		d.update(set, version)
 		r.mu.Unlock()
 	}
+}
+
+// ApplyDelta folds committed mutations into the named durable
+// dataset's live engines and bumps its version in place — the delta
+// write path, skipping both the full set copy and the engine
+// generation swap Upsert pays. It reports false when the delta cannot
+// be applied against the registered entry — the name is absent, not
+// durable, or registered under a different kind (dropped and
+// recreated between refreshes) — and the caller must fall back to a
+// full Upsert swap. Callers serialize refreshes per name (the server's
+// refresh lock), so ApplyDelta never races a kind-changing Upsert on
+// the same dataset.
+func (r *Registry) ApplyDelta(name, kind string, version uint64, n int, ops []store.DeltaOp) bool {
+	r.mu.RLock()
+	d := r.datasets[name]
+	r.mu.RUnlock()
+	if d == nil || !d.durable || d.Kind != kind {
+		return false
+	}
+	d.applyDelta(version, n, ops)
+	return true
 }
 
 // Remove unregisters a dataset and closes its batchers in the

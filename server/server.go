@@ -17,6 +17,7 @@ import (
 	"pnn"
 	"pnn/api"
 	"pnn/internal/obs"
+	"pnn/server/engine"
 	"pnn/store"
 )
 
@@ -51,6 +52,22 @@ type Config struct {
 	// through it, and its datasets are loaded into the registry at New.
 	// Without a store the mutation endpoints answer 409 read_only.
 	Store *store.Store
+	// EngineMode selects how durable datasets are served. EngineDynamic
+	// (the default) backs them with delta-applied pnn.DynamicIndex
+	// engines: a write flows to live engines as a mutation delta,
+	// costing amortized O(log n) instead of a full rebuild per engine.
+	// EngineStatic restores the pre-delta behavior — every write swaps
+	// the engine generation and rebuilds lazily. Requests with
+	// backend=diagram always get a static engine (a diagram cannot
+	// answer under a merged bound), rebuilt per write.
+	EngineMode string
+	// DeltaCompactFraction bounds delete-heavy deltas on the dynamic
+	// path: when one refresh carries more deletes than this fraction of
+	// the dataset's live points (and at least deltaCompactMin of them),
+	// the refresh falls back to a generation swap so tombstone-heavy
+	// engines are rebuilt compactly instead of patched. 0 means the
+	// default (0.25); < 0 disables the fallback (always apply deltas).
+	DeltaCompactFraction float64
 	// AdminToken guards the mutation endpoints: requests must carry
 	// "Authorization: Bearer <AdminToken>". Empty means the mutation
 	// endpoints are disabled (403) even with a store — the admin
@@ -66,6 +83,21 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 }
 
+// EngineMode values.
+const (
+	// EngineDynamic serves durable datasets through delta-applied
+	// dynamic engines (the default).
+	EngineDynamic = "dynamic"
+	// EngineStatic serves durable datasets through rebuild-on-write
+	// static engines (the pre-delta write path).
+	EngineStatic = "static"
+)
+
+// deltaCompactMin is the minimum number of deletes in one refresh
+// before DeltaCompactFraction can force a swap: point-at-a-time churn
+// on tiny datasets must never degenerate into rebuild-per-delete.
+const deltaCompactMin = 4
+
 // DefaultConfig returns the documented defaults.
 func DefaultConfig() Config {
 	return Config{
@@ -75,6 +107,8 @@ func DefaultConfig() Config {
 		RequestTimeout:       30 * time.Second,
 		MaxEnginesPerDataset: 32,
 		SlowQueryThreshold:   time.Second,
+		EngineMode:           EngineDynamic,
+		DeltaCompactFraction: 0.25,
 	}
 }
 
@@ -112,6 +146,15 @@ func (c Config) withDefaults() Config {
 		c.SlowQueryThreshold = 0
 	case c.SlowQueryThreshold == 0:
 		c.SlowQueryThreshold = d.SlowQueryThreshold
+	}
+	if c.EngineMode == "" {
+		c.EngineMode = d.EngineMode
+	}
+	switch {
+	case c.DeltaCompactFraction < 0:
+		c.DeltaCompactFraction = 0
+	case c.DeltaCompactFraction == 0:
+		c.DeltaCompactFraction = d.DeltaCompactFraction
 	}
 	return c
 }
@@ -257,11 +300,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		if d == nil {
 			continue // removed between Names and Get
 		}
-		set, version := d.Snapshot()
-		n := 0
-		if set != nil {
-			n = set.Len()
-		}
+		n, version := d.Stats()
 		infos = append(infos, api.DatasetInfo{
 			Name: d.Name, Kind: d.Kind, N: n, Version: version, Indexes: d.Indexes(),
 		})
@@ -334,8 +373,8 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 				fmt.Errorf("unknown dataset %q", p.dataset)}
 		}
 		resolved = true
-		set, version := ds.Snapshot()
-		if set == nil {
+		n, version := ds.Stats()
+		if n == 0 {
 			return nil, "", &queryError{http.StatusConflict, api.CodeEmptyDataset,
 				fmt.Errorf("dataset %q has no points yet", p.dataset)}
 		}
@@ -354,25 +393,7 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, ErrBatcherClosed}
 		}
 		entry, err := ds.entry(p.key, version, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
-			opts, optErr := p.key.Options()
-			if optErr != nil {
-				e.err = optErr
-				return
-			}
-			s.metrics.indexBuilds.Inc()
-			build := obs.StartTimer()
-			e.idx, e.err = pnn.New(set, opts...)
-			s.metrics.stages.With("build").ObserveDuration(build.Total())
-			if e.err == nil {
-				e.batcher = NewBatcher(e.idx, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
-					s.cfg.BatchWorkers, s.metrics.flush)
-				// The entry is still private to this build, so wiring the
-				// stage observer here is race-free.
-				e.batcher.SetStageObserver(
-					s.metrics.stages.With("queue").ObserveDuration,
-					s.metrics.stages.With("execute").ObserveDuration,
-				)
-			}
+			s.buildEngine(e, ds, p.key, version)
 		})
 		if err != nil {
 			if errors.Is(err, errStaleVersion) {
@@ -385,6 +406,12 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
 		}
 		if entry.err != nil {
+			if errors.Is(entry.err, errStaleVersion) {
+				// The store moved (or dropped the dataset) between our
+				// snapshot and the build's authoritative read; retry.
+				lastErr = entry.err
+				continue
+			}
 			if errors.Is(entry.err, pnn.ErrUnsupported) {
 				return nil, "", &queryError{http.StatusBadRequest, api.CodeUnsupported, entry.err}
 			}
@@ -427,7 +454,7 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
 		}
 		enc := obs.StartTimer()
-		body, err = json.Marshal(p.response(op, ds, entry.idx, res))
+		body, err = json.Marshal(p.response(op, ds, entry.eng, res))
 		s.metrics.stages.With("encode").ObserveDuration(enc.Total())
 		if err != nil {
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
@@ -437,6 +464,74 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 	}
 	return nil, "", &queryError{http.StatusServiceUnavailable, api.CodeUnavailable,
 		fmt.Errorf("dataset %q is being mutated too rapidly: %w", p.dataset, lastErr)}
+}
+
+// buildEngine constructs one entry's engine and batcher. Durable
+// datasets build from an authoritative store read taken here — under
+// EngineDynamic a delta-applicable dynamic engine (except for
+// backend=diagram, which no dynamic engine can serve), otherwise a
+// static one. The store may already be ahead of the entry's label
+// version; e.applied records the version actually read, so applyDelta
+// never replays ops the build already saw. Non-durable datasets build
+// statically from the registry's immutable set, exactly as before the
+// delta path existed. Store reads that fail or disagree with the
+// registry's kind (a concurrent drop or drop+recreate) surface as
+// errStaleVersion, which the answer loop treats as one more retry.
+func (s *Server) buildEngine(e *indexEntry, ds *Dataset, key IndexKey, version uint64) {
+	opts, err := key.Options()
+	if err != nil {
+		e.err = err
+		return
+	}
+	s.metrics.indexBuilds.Inc()
+	build := obs.StartTimer()
+	defer func() { s.metrics.stages.With("build").ObserveDuration(build.Total()) }()
+	switch {
+	case ds.Durable() && s.cfg.Store != nil && s.cfg.EngineMode == EngineDynamic && key.Backend != "diagram":
+		info, ids, pts, err := s.cfg.Store.PointsView(ds.Name)
+		if err != nil || info.Kind != ds.Kind {
+			e.err = fmt.Errorf("store read during engine build (%v): %w", err, errStaleVersion)
+			return
+		}
+		eng, err := engine.BuildDynamic(ids, pts, opts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng, e.applied = eng, info.Version
+	case ds.Durable() && s.cfg.Store != nil:
+		info, set, err := s.cfg.Store.View(ds.Name)
+		if err != nil || info.Kind != ds.Kind || set == nil {
+			e.err = fmt.Errorf("store read during engine build (%v): %w", err, errStaleVersion)
+			return
+		}
+		ix, err := pnn.New(set, opts...)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng, e.applied = engine.NewStatic(ix), info.Version
+	default:
+		set := ds.Set()
+		if set == nil {
+			e.err = errStaleVersion
+			return
+		}
+		ix, err := pnn.New(set, opts...)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng, e.applied = engine.NewStatic(ix), version
+	}
+	e.batcher = NewBatcher(e.eng, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
+		s.cfg.BatchWorkers, s.metrics.flush)
+	// The entry is still private to this build, so wiring the stage
+	// observer here is race-free.
+	e.batcher.SetStageObserver(
+		s.metrics.stages.With("queue").ObserveDuration,
+		s.metrics.stages.With("execute").ObserveDuration,
+	)
 }
 
 // params is one parsed query request.
@@ -604,15 +699,16 @@ func (p params) request(op pnn.Op) pnn.Request {
 }
 
 // response shapes one OpResult into its wire type. Nil slices become
-// empty ones so the JSON is stable ( [] rather than null ).
-func (p params) response(op pnn.Op, ds *Dataset, idx *pnn.Index, res pnn.OpResult) any {
+// empty ones so the JSON is stable ( [] rather than null ). eng is the
+// engine that answered (its Len and Eps describe the answering state).
+func (p params) response(op pnn.Op, ds *Dataset, eng engine.Engine, res pnn.OpResult) any {
 	qp := api.Point{X: p.x, Y: p.y}
 	switch op {
 	case pnn.OpNonzero:
-		return api.Nonzero{Dataset: ds.Name, Query: qp, N: idx.Len(),
+		return api.Nonzero{Dataset: ds.Name, Query: qp, N: eng.Len(),
 			Indices: emptyIfNilInts(res.Nonzero)}
 	case pnn.OpProbabilities:
-		return api.Probabilities{Dataset: ds.Name, Query: qp, Eps: idx.Eps(),
+		return api.Probabilities{Dataset: ds.Name, Query: qp, Eps: eng.Eps(),
 			Probabilities: emptyIfNilFloats(res.Probabilities)}
 	case pnn.OpTopK:
 		out := make([]api.IndexProb, len(res.Ranked))

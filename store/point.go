@@ -69,6 +69,15 @@ func (p Point) validate(kind string) error {
 	return nil
 }
 
+// DiskPoint converts one stored disk shape to the pnn value a query
+// engine consumes — the exact conversion buildSet applies, exported so
+// engines applying mutation deltas build identical points.
+func DiskPoint(d datafile.DiskJSON) pnn.DiskPoint { return diskPoint(d) }
+
+// DiscretePoint converts one stored discrete shape to its pnn value;
+// see DiskPoint.
+func DiscretePoint(d datafile.DiscreteJSON) (pnn.DiscretePoint, error) { return discretePoint(d) }
+
 func diskPoint(d datafile.DiskJSON) pnn.DiskPoint {
 	dp := pnn.DiskPoint{Support: pnn.Disk{Center: pnn.Pt(d.X, d.Y), R: d.R}}
 	if d.Density == "gaussian" {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -56,6 +57,41 @@ type dataset struct {
 	// set caches the built pnn set; nil when dirty or empty.
 	set      pnn.UncertainSet
 	setDirty bool
+	// tail is the retained recent mutation history: exactly the ops
+	// with Seq in (tailBase, version], in commit order. OpsSince answers
+	// from it; once it would exceed maxTail the oldest half is dropped
+	// and tailBase advances, forcing readers further back onto View.
+	tail     []DeltaOp
+	tailBase uint64
+}
+
+// maxTail bounds the per-dataset retained op history. Refreshes read
+// the tail promptly after each commit, so in steady state it holds a
+// handful of ops; the cap only matters when a reader stalls.
+const maxTail = 1024
+
+// appendTail retains one committed op, trimming the oldest half when
+// the history exceeds maxTail so trims stay amortized O(1).
+func (d *dataset) appendTail(op DeltaOp) {
+	d.tail = append(d.tail, op)
+	if len(d.tail) > maxTail {
+		drop := len(d.tail) - maxTail/2
+		d.tailBase = d.tail[drop-1].Seq
+		d.tail = slices.Delete(d.tail, 0, drop)
+	}
+}
+
+// DeltaOp is one committed mutation of a dataset's point set in
+// engine-replayable form: either an insert of Points with their
+// assigned IDs (parallel slices, insertion order) or the deletion of
+// one point (Deleted != 0). Seq is the store sequence number — the
+// dataset version the op produced. The slices are immutable history
+// shared across readers; callers must not mutate them.
+type DeltaOp struct {
+	Seq     uint64
+	IDs     []uint64
+	Points  []Point
+	Deleted uint64
 }
 
 func (d *dataset) find(id uint64) (int, bool) {
@@ -136,6 +172,7 @@ func Open(dir string) (*Store, error) {
 				version:  sd.Version,
 				points:   sd.Points,
 				setDirty: true,
+				tailBase: sd.Version,
 			}
 		}
 	}
@@ -196,7 +233,7 @@ func (s *Store) apply(rec record) error {
 		if rec.Kind != KindDisks && rec.Kind != KindDiscrete {
 			return fmt.Errorf("store: unknown kind %q", rec.Kind)
 		}
-		s.datasets[rec.Dataset] = &dataset{kind: rec.Kind, nextID: 1, version: rec.Seq}
+		s.datasets[rec.Dataset] = &dataset{kind: rec.Kind, nextID: 1, version: rec.Seq, tailBase: rec.Seq}
 	case "drop":
 		if _, ok := s.datasets[rec.Dataset]; !ok {
 			return ErrUnknownDataset
@@ -213,8 +250,10 @@ func (s *Store) apply(rec record) error {
 			return ErrKindMismatch
 		}
 		id := rec.FirstID
+		ids := make([]uint64, 0, len(rec.Points))
 		for _, p := range rec.Points {
 			d.points = append(d.points, storedPoint{ID: id, P: p})
+			ids = append(ids, id)
 			id++
 		}
 		if id > d.nextID {
@@ -222,6 +261,7 @@ func (s *Store) apply(rec record) error {
 		}
 		d.version = rec.Seq
 		d.setDirty = true
+		d.appendTail(DeltaOp{Seq: rec.Seq, IDs: ids, Points: rec.Points})
 	case "delete":
 		d, ok := s.datasets[rec.Dataset]
 		if !ok {
@@ -234,6 +274,7 @@ func (s *Store) apply(rec record) error {
 		d.points = append(d.points[:i], d.points[i+1:]...)
 		d.version = rec.Seq
 		d.setDirty = true
+		d.appendTail(DeltaOp{Seq: rec.Seq, Deleted: rec.ID})
 	default:
 		return fmt.Errorf("store: unknown op %q", rec.Op)
 	}
@@ -479,6 +520,54 @@ func (s *Store) View(name string) (DatasetInfo, pnn.UncertainSet, error) {
 		return DatasetInfo{}, nil, err
 	}
 	return DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version}, set, nil
+}
+
+// OpsSince returns one dataset's info plus the committed mutations
+// with sequence numbers strictly greater than version, in commit
+// order, under a single lock acquisition. ok reports whether the
+// retained history still reaches back to version: when it does not —
+// the reader stalled past the tail cap, or the dataset was dropped and
+// recreated (a fresh incarnation's history starts at its create op) —
+// ok is false and the caller must fall back to a full View read. The
+// returned ops' slices are shared immutable history; callers must not
+// mutate them.
+func (s *Store) OpsSince(name string, version uint64) (DatasetInfo, []DeltaOp, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return DatasetInfo{}, nil, false, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	info := DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version}
+	if version < d.tailBase {
+		return info, nil, false, nil
+	}
+	i := sort.Search(len(d.tail), func(i int) bool { return d.tail[i].Seq > version })
+	// Copy the op headers: trims shift d.tail in place under s.mu, so a
+	// subslice handed out here would be rewritten underneath the caller.
+	ops := make([]DeltaOp, len(d.tail)-i)
+	copy(ops, d.tail[i:])
+	return info, ops, true, nil
+}
+
+// PointsView returns one dataset's info together with its live points
+// and their stable ids (parallel slices, insertion order) under a
+// single lock acquisition — the atomic read a dynamic engine build
+// needs, with the same never-mixes-two-mutations guarantee as View.
+func (s *Store) PointsView(name string) (DatasetInfo, []uint64, []Point, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return DatasetInfo{}, nil, nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	ids := make([]uint64, len(d.points))
+	pts := make([]Point, len(d.points))
+	for i, sp := range d.points {
+		ids[i] = sp.ID
+		pts[i] = sp.P
+	}
+	return DatasetInfo{Name: name, Kind: d.kind, N: len(d.points), Version: d.version}, ids, pts, nil
 }
 
 // setLocked returns d's built point set (nil when empty), rebuilding
