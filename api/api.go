@@ -30,6 +30,10 @@ type Error struct {
 	// RequestIDHeader), so a failure in hand can be correlated with the
 	// router and backend log lines that produced it.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID echoes the request's trace ID (see TraceParentHeader), so
+	// a failure in hand can be looked up in /debug/traces on every tier
+	// the request crossed.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Stable error codes carried in Error.Code. HTTP statuses tell the
@@ -224,6 +228,16 @@ const BackendHeader = "X-Pnn-Backend"
 // and the backend's log line. It is a header rather than a body field
 // so cached bodies stay byte-identical across requests.
 const RequestIDHeader = "X-Pnn-Request-Id"
+
+// TraceParentHeader carries the distributed trace context end to end
+// in the W3C trace-context format
+// (`00-<32 hex trace id>-<16 hex span id>-<2 hex flags>`): minted at
+// the first pnn tier a request reaches unless the client supplied its
+// own, forwarded on every proxied hop and scatter-gather sub-request
+// with the forwarder's span as the new parent, and echoed on the
+// response. One trace ID names the same request's spans in
+// /debug/traces on every tier it crossed.
+const TraceParentHeader = "Traceparent"
 
 // BatchPath is the heterogeneous-batch endpoint, served by both
 // pnnserve and pnnrouter (which scatter-gathers it across backends).

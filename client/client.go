@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pnn/api"
+	"pnn/internal/obs"
 )
 
 // Params selects the engine configuration a query runs against,
@@ -73,6 +74,11 @@ type APIError struct {
 	// matches the request's log lines on every tier it touched. Empty
 	// when talking to servers predating request tracing.
 	RequestID string
+	// TraceID is the distributed trace the failed request ran under —
+	// look it up at /debug/traces on the tier that answered (and, for
+	// routed requests, on the backends it touched). Empty when talking
+	// to servers predating span tracing.
+	TraceID string
 }
 
 // Error renders the status, code, message, and request ID.
@@ -87,6 +93,9 @@ func (e *APIError) Error() string {
 	b.WriteString(e.Message)
 	if e.RequestID != "" {
 		fmt.Fprintf(&b, " [request %s]", e.RequestID)
+	}
+	if e.TraceID != "" {
+		fmt.Fprintf(&b, " [trace %s]", e.TraceID)
 	}
 	return b.String()
 }
@@ -462,6 +471,12 @@ func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Val
 	if reqBody != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Join the caller's distributed trace, if ctx carries one (a caller
+	// that wants its requests traced mints the IDs with obs.StartTrace).
+	// The server echoes the final traceparent on the response either way.
+	if tp := obs.TraceParent(ctx); tp != "" {
+		req.Header.Set(api.TraceParentHeader, tp)
+	}
 	if admin && c.adminToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.adminToken)
 	}
@@ -475,19 +490,26 @@ func (c *Client) doOne(ctx context.Context, base, method, path string, v url.Val
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		// Prefer the error body's request ID; fall back to the response
-		// header, which survives even when the body is not an api.Error
-		// (e.g. TimeoutHandler's plaintext 503 — the middleware stamped
-		// the header before the handler ran).
+		// Prefer the error body's request and trace IDs; fall back to the
+		// response headers, which survive even when the body is not an
+		// api.Error (e.g. TimeoutHandler's plaintext 503 — the middleware
+		// stamped the headers before the handler ran).
 		reqID := resp.Header.Get(api.RequestIDHeader)
+		var traceID string
+		if tid, _, ok := obs.ParseTraceParent(resp.Header.Get(api.TraceParentHeader)); ok {
+			traceID = tid
+		}
 		var apiErr api.Error
 		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
 			if apiErr.RequestID != "" {
 				reqID = apiErr.RequestID
 			}
-			return &APIError{StatusCode: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error, RequestID: reqID}
+			if apiErr.TraceID != "" {
+				traceID = apiErr.TraceID
+			}
+			return &APIError{StatusCode: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error, RequestID: reqID, TraceID: traceID}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body)), RequestID: reqID}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(body)), RequestID: reqID, TraceID: traceID}
 	}
 	return json.Unmarshal(body, out)
 }

@@ -1036,6 +1036,21 @@ func expMicrobench() {
 				h.Observe(float64(i%1000) * 1e-6)
 			}
 		}},
+		// The tracing hot path (PR 10): StartSpan/End on a request whose
+		// trace is NOT being recorded — the overwhelmingly common case at
+		// production sample rates. The CI bench gate holds this at zero
+		// allocs/op so span instrumentation stays free when not sampled.
+		{"obs-span", map[string]any{"sampled": false}, func(b *testing.B) {
+			tr := obs.NewTracerSeeded(0, 0, obs.DefaultTraceBuffer, 1)
+			ctx, root := obs.StartTrace(context.Background(), tr, "bench", "")
+			defer root.End()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sctx, span := obs.StartSpan(ctx, "work")
+				span.End()
+				_ = sctx
+			}
+		}},
 		{"dyn-mixed-90-10", map[string]any{"n": dynN, "reads": 9}, func(b *testing.B) {
 			dyn := newDynBench(b, dynN)
 			b.ResetTimer()

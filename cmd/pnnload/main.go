@@ -172,6 +172,16 @@ func run(spec loadgen.Spec) error {
 		for code, n := range rec.Errors {
 			fmt.Printf("   error %s: %d\n", code, n)
 		}
+		if len(res.Slowest) > 0 {
+			// Trace IDs of the run's slowest requests; look them up at
+			// /debug/traces on the target (slow-capture keeps every trace
+			// at or beyond the server's -slow-query threshold).
+			fmt.Println("   slowest traces:")
+			for _, t := range res.Slowest {
+				fmt.Printf("     %v  %s %s  trace=%s\n",
+					t.Latency.Round(time.Microsecond), t.Op, t.Dataset, t.TraceID)
+			}
+		}
 		if *outDir != "" {
 			if err := rec.WriteJSON(*outDir); err != nil {
 				return err

@@ -45,6 +45,8 @@ var (
 	logLevel      = flag.String("log-level", "info", "structured log level: debug logs every request, info only slow ones (off disables)")
 	slowQuery     = flag.Duration("slow-query", time.Second, "log requests at least this slow at Warn (0 disables)")
 	pprofFlag     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it leaks stacks and heap contents)")
+	traceSample   = flag.Float64("trace-sample", 0, "fraction of requests whose spans are kept at /debug/traces (0 keeps only slow traces, 1 keeps all)")
+	traceBuffer   = flag.Int("trace-buffer", 256, "traces retained in the /debug/traces ring (0 disables tracing)")
 )
 
 func main() {
@@ -80,6 +82,8 @@ func main() {
 		RequestTimeout:     orDisabledDur(*timeout),
 		Logger:             logger,
 		SlowQueryThreshold: orDisabledDur(*slowQuery),
+		TraceSampleRate:    *traceSample,
+		TraceBuffer:        orDisabled(*traceBuffer),
 	})
 	if err != nil {
 		log.Fatalf("pnnrouter: %v", err)
@@ -118,4 +122,11 @@ func orDisabledDur(d time.Duration) time.Duration {
 		return -1
 	}
 	return d
+}
+
+func orDisabled(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
 }

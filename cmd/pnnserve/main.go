@@ -67,6 +67,8 @@ var (
 	pprofFlag   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: it leaks stacks and heap contents)")
 	engineMode  = flag.String("engine", server.EngineDynamic, "write-path engine for durable datasets: dynamic (deltas applied in place) or static (rebuild on every write)")
 	compactFrac = flag.Float64("delta-compact-fraction", 0, "deletes-to-live ratio above which a delta falls back to a compacting rebuild (0 = default 0.25, negative disables)")
+	traceSample = flag.Float64("trace-sample", 0, "fraction of requests whose spans are kept at /debug/traces (0 keeps only slow traces, 1 keeps all)")
+	traceBuffer = flag.Int("trace-buffer", 256, "traces retained in the /debug/traces ring (0 disables tracing)")
 )
 
 func main() {
@@ -167,6 +169,8 @@ func main() {
 		// The flag follows Config's convention directly: zero picks the
 		// default fraction, negative disables the fallback.
 		DeltaCompactFraction: *compactFrac,
+		TraceSampleRate:      *traceSample,
+		TraceBuffer:          orDisabled(*traceBuffer),
 	})
 	handler := srv.Handler()
 	if *pprofFlag {
@@ -218,13 +222,15 @@ func importDataset(st *store.Store, name string, df *datafile.File) error {
 	default:
 		return fmt.Errorf("kind %q cannot be stored", df.Kind)
 	}
-	if _, err := st.CreateDataset(name, kind); err != nil {
+	// Imports run at startup before any request exists, so there is no
+	// trace to join — Background is the honest context here.
+	if _, err := st.CreateDataset(context.Background(), name, kind); err != nil {
 		return err
 	}
 	if len(pts) == 0 {
 		return nil
 	}
-	_, err := st.InsertPoints(name, pts)
+	_, err := st.InsertPoints(context.Background(), name, pts)
 	return err
 }
 

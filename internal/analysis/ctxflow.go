@@ -9,13 +9,18 @@ import (
 // context.Context must neither mint a fresh root context
 // (context.Background/context.TODO — which silently detaches the work
 // from the caller's deadline and cancellation) nor block the request
-// on a wall-clock time.Sleep. Goroutines spawned inside such a
-// function (go func() { … }) are deliberately out of scope: detached
-// background work owning a fresh context is legitimate, as in the
-// batcher's flush path.
+// on a wall-clock time.Sleep. It also enforces span threading: a call
+// to obs.StartSpan returns a derived context that child spans hang off
+// — discarding it (blank identifier, bare expression statement) means
+// every span started downstream silently reparents onto the outer
+// span, flattening the trace; callers that genuinely want a
+// non-propagating child span should say so with obs.LeafSpan.
+// Goroutines spawned inside such a function (go func() { … }) are
+// deliberately out of scope: detached background work owning a fresh
+// context is legitimate, as in the batcher's flush path.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "functions taking a context must not call context.Background/TODO or time.Sleep",
+	Doc:  "functions taking a context must not call context.Background/TODO or time.Sleep, and must thread obs.StartSpan's derived context",
 	Run:  runCtxFlow,
 }
 
@@ -48,6 +53,18 @@ func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isObsStartSpan(info, call) {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						reportDroppedSpanCtx(pass, call)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isObsStartSpan(info, call) {
+				reportDroppedSpanCtx(pass, call)
+			}
 		case *ast.GoStmt:
 			// Detached goroutines may own a fresh context; skip the spawned
 			// function but keep checking its synchronously evaluated args.
@@ -91,4 +108,16 @@ func reportCtxCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(),
 			"time.Sleep on a request path; respect ctx cancellation (timer + select) instead")
 	}
+}
+
+// isObsStartSpan matches a call to obs.StartSpan by package name, so
+// the rule covers the real pnn/internal/obs and testdata twins alike.
+func isObsStartSpan(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "obs" && fn.Name() == "StartSpan"
+}
+
+func reportDroppedSpanCtx(pass *Pass, call *ast.CallExpr) {
+	pass.Reportf(call.Pos(),
+		"obs.StartSpan's derived context is discarded, so downstream spans reparent onto the outer span; pass it onward or use obs.LeafSpan")
 }

@@ -5,6 +5,8 @@ package ctxflow
 import (
 	"context"
 	"time"
+
+	"example.test/ctxflow/obs"
 )
 
 func handle(ctx context.Context, retry bool) error {
@@ -34,4 +36,23 @@ func detached(ctx context.Context, done chan struct{}) {
 // plain takes no context: wall-clock pacing is its own business.
 func plain(d time.Duration) {
 	time.Sleep(d)
+}
+
+// dropped discards StartSpan's derived context two ways: blank
+// assignment and a bare expression statement. Both flatten the trace.
+func dropped(ctx context.Context) error {
+	_, span := obs.StartSpan(ctx, "work") // want "obs.StartSpan's derived context is discarded"
+	defer span.End()
+	obs.StartSpan(ctx, "aside") // want "obs.StartSpan's derived context is discarded"
+	return ctx.Err()
+}
+
+// threaded keeps the derived context, as the rule demands; a LeafSpan
+// is the sanctioned way to not propagate.
+func threaded(ctx context.Context) error {
+	ctx, span := obs.StartSpan(ctx, "work")
+	defer span.End()
+	leaf := obs.LeafSpan(ctx, "leaf")
+	leaf.End()
+	return ctx.Err()
 }

@@ -1,0 +1,22 @@
+// Package obs is the testdata twin of the real tracing package: just
+// enough surface for the ctxflow analyzer's span-threading rule, which
+// matches StartSpan by package name.
+package obs
+
+import "context"
+
+// Span is a recording span; End finishes it.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// StartSpan returns a derived context the caller must thread onward.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// LeafSpan is the sanctioned non-propagating child span.
+func LeafSpan(ctx context.Context, name string) *Span {
+	return &Span{}
+}

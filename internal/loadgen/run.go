@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -57,7 +58,25 @@ type Result struct {
 	// requests, overall and by op.
 	Overall obs.Stats
 	PerOp   map[string]obs.Stats
+	// Slowest lists the run's slowest completed requests, slowest
+	// first. Every load request carries a freshly minted traceparent,
+	// so each entry's TraceID can be looked up at /debug/traces on the
+	// serving tiers (their slow-capture keeps every trace at or beyond
+	// the slow-query threshold regardless of sample rate).
+	Slowest []SlowTrace
 }
+
+// SlowTrace identifies one slow request for cross-referencing against
+// the server-side span trace at /debug/traces.
+type SlowTrace struct {
+	TraceID string
+	Op      string
+	Dataset string
+	Latency time.Duration
+}
+
+// maxSlowTraces bounds Result.Slowest.
+const maxSlowTraces = 10
 
 // AchievedQPS is the completion rate over the measured wall time.
 func (r *Result) AchievedQPS() float64 {
@@ -103,9 +122,10 @@ type runState struct {
 	overall *obs.Histogram
 	errs    *obs.CounterVec
 
-	mu    sync.Mutex
-	ids   map[string][]uint64 // per-dataset ids our inserts created
-	noops int64
+	mu      sync.Mutex
+	ids     map[string][]uint64 // per-dataset ids our inserts created
+	noops   int64
+	slowest []SlowTrace // descending by latency, capped at maxSlowTraces
 }
 
 // Run offers the spec's request sequence open-loop against the target:
@@ -197,12 +217,18 @@ loop:
 	res.Overall = st.overall.Stats()
 	res.PerOp = st.latency.StatsByLabel()
 	res.Completed = int64(res.Overall.Count)
+	res.Slowest = st.slowest
 	return res, nil
 }
 
 // execute issues one request, recording latency under the request's op
 // and the outcome under its error code.
 func (st *runState) execute(ctx context.Context, req Request) {
+	// Every load request carries freshly minted W3C trace IDs (nil
+	// tracer — the harness records no spans itself), which the client
+	// forwards as the traceparent header. The slowest requests' trace
+	// IDs surface in Result.Slowest for lookup at /debug/traces.
+	ctx, _ = obs.StartTrace(ctx, nil, "load", "")
 	op := req.Op
 	if op == OpDelete {
 		id, ok := st.popID(req.Dataset)
@@ -216,7 +242,7 @@ func (st *runState) execute(ctx context.Context, req Request) {
 		}
 		start := time.Now()
 		_, err := st.cli.DeletePoint(ctx, req.Dataset, id)
-		st.record(op, start, err)
+		st.record(ctx, op, req.Dataset, start, err)
 		return
 	}
 	start := time.Now()
@@ -251,14 +277,35 @@ func (st *runState) execute(ctx context.Context, req Request) {
 	default:
 		err = fmt.Errorf("loadgen: unknown op %q", op)
 	}
-	st.record(op, start, err)
+	st.record(ctx, op, req.Dataset, start, err)
 }
 
-func (st *runState) record(op string, start time.Time, err error) {
-	st.latency.With(op).ObserveDuration(time.Since(start))
-	st.overall.ObserveDuration(time.Since(start))
+func (st *runState) record(ctx context.Context, op, dataset string, start time.Time, err error) {
+	d := time.Since(start)
+	st.latency.With(op).ObserveDuration(d)
+	st.overall.ObserveDuration(d)
 	if err != nil {
 		st.errs.Inc(errCode(err))
+	}
+	st.noteSlow(SlowTrace{TraceID: obs.TraceID(ctx), Op: op, Dataset: dataset, Latency: d})
+}
+
+// noteSlow keeps the run's top-maxSlowTraces latencies, descending, by
+// sorted insertion — cheap enough to run on every completion because
+// the common case (faster than the current floor with a full list) is
+// one binary search under the lock.
+func (st *runState) noteSlow(t SlowTrace) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i := sort.Search(len(st.slowest), func(i int) bool { return st.slowest[i].Latency < t.Latency })
+	if i >= maxSlowTraces {
+		return
+	}
+	st.slowest = append(st.slowest, SlowTrace{})
+	copy(st.slowest[i+1:], st.slowest[i:])
+	st.slowest[i] = t
+	if len(st.slowest) > maxSlowTraces {
+		st.slowest = st.slowest[:maxSlowTraces]
 	}
 }
 

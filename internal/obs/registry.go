@@ -109,10 +109,14 @@ func (r *Registry) Render() string {
 // Snapshot is the /debug/obs view of a registry: counters and gauges
 // by family and label, histograms summarized with derived percentiles.
 // Scalar (unlabeled) families appear under the empty label "".
+// Runtime is filled by the serving handlers (see ReadRuntimeStats),
+// not by Registry.Snapshot — it stays nil for bare registries so
+// existing consumers of the JSON shape are unaffected.
 type Snapshot struct {
 	Counters   map[string]map[string]uint64  `json:"counters"`
 	Gauges     map[string]map[string]float64 `json:"gauges"`
 	Histograms map[string]map[string]Stats   `json:"histograms"`
+	Runtime    *RuntimeStats                 `json:"runtime,omitempty"`
 }
 
 // Snapshot derives the registry's debug view.

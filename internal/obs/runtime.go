@@ -1,0 +1,55 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is the process-health corner of /debug/obs: scheduler
+// and memory pressure that per-request metrics can't explain on their
+// own (a latency spike with a GC pause under it reads differently
+// from one without).
+type RuntimeStats struct {
+	Goroutines        int     `json:"goroutines"`
+	HeapAllocBytes    uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes      uint64  `json:"heap_sys_bytes"`
+	GCCycles          uint32  `json:"gc_cycles"`
+	GCPauseTotalSecs  float64 `json:"gc_pause_total_seconds"`
+	LastGCPauseSecs   float64 `json:"gc_last_pause_seconds"`
+	NextGCTargetBytes uint64  `json:"next_gc_target_bytes"`
+}
+
+// ReadRuntimeStats samples the runtime. It calls ReadMemStats, which
+// briefly stops the world — fine for a debug endpoint or a scrape,
+// not for a per-request path.
+func ReadRuntimeStats() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	rs := RuntimeStats{
+		Goroutines:        runtime.NumGoroutine(),
+		HeapAllocBytes:    m.HeapAlloc,
+		HeapSysBytes:      m.HeapSys,
+		GCCycles:          m.NumGC,
+		GCPauseTotalSecs:  float64(m.PauseTotalNs) / 1e9,
+		NextGCTargetBytes: m.NextGC,
+	}
+	if m.NumGC > 0 {
+		rs.LastGCPauseSecs = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+	}
+	return rs
+}
+
+// RegisterRuntimeGauges adds goroutine, heap, and GC-pause gauges to a
+// registry, read at scrape time.
+func RegisterRuntimeGauges(r *Registry) {
+	r.NewGaugeFunc("pnn_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.NewGaugeFunc("pnn_heap_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.NewGaugeFunc("pnn_gc_pause_seconds_total", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+}

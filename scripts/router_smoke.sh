@@ -29,7 +29,8 @@ for port in "$b1_port" "$b2_port"; do
     -addr "127.0.0.1:$port" \
     -data "fleet=$workdir/fleet.json" \
     -data "demo=$workdir/demo.json" \
-    -batch-window 1ms &
+    -batch-window 1ms \
+    -trace-sample 1 &
   pids+=($!)
 done
 b1_pid="${pids[0]}"
@@ -40,6 +41,7 @@ echo "== starting pnnrouter on :$router_port"
   -addr "127.0.0.1:$router_port" \
   -backends "127.0.0.1:$b1_port,127.0.0.1:$b2_port" \
   -probe-interval 200ms \
+  -trace-sample 1 \
   -pprof -log-level off &
 pids+=($!)
 router_pid="${pids[2]}"
@@ -158,6 +160,24 @@ if [ "$echoed" != "smoke1234abcd" ]; then
   echo "FAIL: supplied request id not echoed back, got '${echoed:-none}'" >&2; exit 1
 fi
 echo "ok   X-Pnn-Request-Id echoed"
+
+echo "== traceparent echoed and trace kept on both tiers"
+trace_id='abcdefabcdefabcdefabcdefabcdef12'
+tp="00-$trace_id-1234567890abcdef-01"
+echoed_tp="$(curl -sS -o /dev/null -D - -H "Traceparent: $tp" "$base/v1/nonzero?dataset=fleet&x=5&y=6" | tr -d '\r' | awk -F': ' 'tolower($1)=="traceparent"{print $2}')"
+case "$echoed_tp" in
+  00-$trace_id-*) echo "ok   supplied trace id echoed on Traceparent" ;;
+  *) echo "FAIL: traceparent not echoed through router, got '${echoed_tp:-none}'" >&2; exit 1 ;;
+esac
+curl -sS "$base/debug/traces" > "$workdir/traces"
+grep -q "$trace_id" "$workdir/traces" || {
+  echo "FAIL: router /debug/traces lacks the traced request" >&2; cat "$workdir/traces" >&2; exit 1; }
+# Backend 2 is already dead here, so the traced query necessarily
+# failed over to backend 1 — its ring must hold the same trace.
+curl -sS "http://127.0.0.1:$b1_port/debug/traces" > "$workdir/betraces"
+grep -q "$trace_id" "$workdir/betraces" || {
+  echo "FAIL: backend /debug/traces lacks the routed trace" >&2; exit 1; }
+echo "ok   one trace id spans router and backend /debug/traces"
 
 echo "== pprof reachable with -pprof"
 curl -fsS -o /dev/null "$base/debug/pprof/cmdline" || {

@@ -21,6 +21,7 @@ echo "== starting pnnserve on :$port"
   -data "fleet=$workdir/fleet.json" \
   -gen 'demo=disks:n=50,seed=7' \
   -batch-window 1ms \
+  -trace-sample 1 \
   -pprof -log-level off &
 server_pid=$!
 
@@ -82,6 +83,19 @@ if [ "$echoed" != "smoke1234abcd" ]; then
   echo "FAIL: supplied request id not echoed back, got '${echoed:-none}'" >&2; exit 1
 fi
 echo "ok   X-Pnn-Request-Id minted and echoed"
+
+echo "== traceparent echo and /debug/traces"
+trace_id='abcdefabcdefabcdefabcdefabcdef12'
+tp="00-$trace_id-1234567890abcdef-01"
+echoed_tp="$(curl -sS -o /dev/null -D - -H "Traceparent: $tp" "$base/v1/nonzero?dataset=fleet&x=5&y=6" | tr -d '\r' | awk -F': ' 'tolower($1)=="traceparent"{print $2}')"
+case "$echoed_tp" in
+  00-$trace_id-*) echo "ok   supplied trace id echoed on Traceparent" ;;
+  *) echo "FAIL: traceparent not echoed, got '${echoed_tp:-none}'" >&2; exit 1 ;;
+esac
+curl -sS "$base/debug/traces" > "$workdir/traces"
+grep -q "$trace_id" "$workdir/traces" || {
+  echo "FAIL: /debug/traces lacks the traced request" >&2; cat "$workdir/traces" >&2; exit 1; }
+echo "ok   /debug/traces kept the traced request"
 
 echo "== latency histogram series"
 curl -sS "$base/metrics" > "$workdir/metrics"

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,7 @@ import (
 
 	"pnn/api"
 	"pnn/internal/datafile"
+	"pnn/internal/obs"
 	"pnn/store"
 )
 
@@ -59,10 +61,23 @@ func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc {
 // holds. Under the per-name lock each refresh reads the store's
 // current state, so the last one to run leaves the registry agreeing
 // with the store.
-func (s *Server) refreshDataset(name string) error {
+func (s *Server) refreshDataset(ctx context.Context, name string) error {
+	// Time the per-name lock acquisition: under write contention this is
+	// where mutations queue, and the wait is invisible to the WAL and
+	// apply histograms. The label is the dataset name only when the
+	// registry resolves it, so churned create-test-drop names cannot
+	// inflate the cardinality.
+	label := "other"
+	if s.reg.Get(name) != nil {
+		label = name
+	}
+	span := obs.LeafSpan(ctx, "refresh.lock")
+	wait := obs.StartTimer()
 	l := s.lockRefresh(name)
+	s.metrics.lockWait.With(label).ObserveDuration(wait.Total())
+	span.End()
 	defer s.unlockRefresh(name, l)
-	if s.deltaRefresh(name) {
+	if s.deltaRefresh(ctx, name) {
 		return nil
 	}
 	// View reads (kind, set, version) under one store-lock acquisition:
@@ -92,22 +107,45 @@ func (s *Server) refreshDataset(name string) error {
 // (folding tombstones one by one is worse than one compacting
 // rebuild). The caller holds the per-name refresh lock, which is what
 // serializes ApplyDelta per dataset.
-func (s *Server) deltaRefresh(name string) bool {
+func (s *Server) deltaRefresh(ctx context.Context, name string) bool {
 	if s.cfg.EngineMode != EngineDynamic {
+		s.metrics.deltaFallbacks.Inc("static")
 		return false
 	}
 	d := s.reg.Get(name)
 	if d == nil || !d.Durable() {
+		// First load of the name — there is nothing to delta against, so
+		// this is initialization, not a fallback.
 		return false
 	}
 	info, ops, ok, err := s.cfg.Store.OpsSince(name, d.Version())
-	if err != nil || !ok || info.Kind != d.Kind {
+	if err != nil || !ok {
+		s.metrics.deltaFallbacks.Inc("tail_gap")
+		return false
+	}
+	if info.Kind != d.Kind {
+		s.metrics.deltaFallbacks.Inc("kind_change")
 		return false
 	}
 	if deleteHeavy(ops, info.N, s.cfg.DeltaCompactFraction) {
+		s.metrics.deltaFallbacks.Inc("delete_heavy")
 		return false
 	}
-	return s.reg.ApplyDelta(name, info.Kind, info.Version, info.N, ops)
+	span := obs.LeafSpan(ctx, "delta.apply")
+	span.SetAttr("dataset", name)
+	t := obs.StartTimer()
+	applied := s.reg.ApplyDelta(name, info.Kind, info.Version, info.N, ops)
+	span.End()
+	if !applied {
+		// The registry entry changed under the name since the Get above —
+		// a drop + recreate, which is a kind change from the delta path's
+		// point of view.
+		s.metrics.deltaFallbacks.Inc("kind_change")
+		return false
+	}
+	s.metrics.deltaApplied.Inc()
+	s.metrics.deltaApply.ObserveDuration(t.Total())
+	return true
 }
 
 // deleteHeavy reports whether a delta carries enough deletes, relative
@@ -211,7 +249,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("decoding create request: %w", err))
 		return
 	}
-	m, err := s.cfg.Store.CreateDataset(name, req.Kind)
+	m, err := s.cfg.Store.CreateDataset(r.Context(), name, req.Kind)
 	if errors.Is(err, store.ErrExists) {
 		info, ierr := s.cfg.Store.Dataset(name)
 		if ierr != nil {
@@ -233,7 +271,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		s.mutationError(w, r, err)
 		return
 	}
-	if err := s.refreshDataset(name); err != nil {
+	if err := s.refreshDataset(r.Context(), name); err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
@@ -245,11 +283,11 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 // namesake resumes at a higher version, never a repeated one).
 func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if _, err := s.cfg.Store.DropDataset(name); err != nil {
+	if _, err := s.cfg.Store.DropDataset(r.Context(), name); err != nil {
 		s.mutationError(w, r, err)
 		return
 	}
-	if err := s.refreshDataset(name); err != nil {
+	if err := s.refreshDataset(r.Context(), name); err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
@@ -270,12 +308,18 @@ func (s *Server) handleInsertPoints(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, api.CodeBadParam, err)
 		return
 	}
-	m, err := s.cfg.Store.InsertPoints(name, pts)
+	// The store span groups the WAL and fsync legs of the commit under
+	// one node, so a trace reads top-down: insert → wal.append →
+	// fsync.wait, then delta.apply as the refresh leg.
+	ctx, span := obs.StartSpan(r.Context(), "store.insert")
+	span.SetAttr("dataset", name)
+	m, err := s.cfg.Store.InsertPoints(ctx, name, pts)
+	span.End()
 	if err != nil {
 		s.mutationError(w, r, err)
 		return
 	}
-	if err := s.refreshDataset(name); err != nil {
+	if err := s.refreshDataset(r.Context(), name); err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
@@ -291,12 +335,12 @@ func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("invalid point id %q", r.PathValue("id")))
 		return
 	}
-	m, err := s.cfg.Store.DeletePoint(name, id)
+	m, err := s.cfg.Store.DeletePoint(r.Context(), name, id)
 	if err != nil {
 		s.mutationError(w, r, err)
 		return
 	}
-	if err := s.refreshDataset(name); err != nil {
+	if err := s.refreshDataset(r.Context(), name); err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
@@ -313,7 +357,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.mutationError(w, r, err)
 		return
 	}
-	if err := s.cfg.Store.Compact(); err != nil {
+	if err := s.cfg.Store.Compact(r.Context()); err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}

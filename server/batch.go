@@ -95,12 +95,12 @@ func (s *Server) answerItem(ctx context.Context, it api.BatchItem) api.BatchResu
 
 // itemError shapes one failed batch item, counting it in
 // pnn_errors_total alongside the single-query failures (which count in
-// writeError) and stamping the batch's request ID so the item can be
-// correlated with the server's log line.
+// writeError) and stamping the batch's request and trace IDs so the
+// item can be correlated with the server's log line and trace.
 func (s *Server) itemError(ctx context.Context, code string, err error) api.BatchResult {
 	s.metrics.errors.Inc(code)
 	return api.BatchResult{Error: &api.Error{
-		Error: err.Error(), Code: code, RequestID: obs.RequestID(ctx),
+		Error: err.Error(), Code: code, RequestID: obs.RequestID(ctx), TraceID: obs.TraceID(ctx),
 	}}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pnn"
+	"pnn/internal/obs"
 	"pnn/server/engine"
 )
 
@@ -57,6 +58,13 @@ type pendingReq struct {
 	// enq is the Submit time, stamped only when a queue observer is
 	// wired, so unobserved batchers skip the clock read.
 	enq time.Time
+	// ctx is the submitter's request context, carried only so run can
+	// attach stage spans to the submitter's trace; the batch itself
+	// deliberately runs under Background (see run). span is the
+	// in-flight queue-wait span, reused for the execute span once the
+	// flush starts. Both are nil when the request is untraced.
+	ctx  context.Context
+	span *obs.Span
 }
 
 // NewBatcher builds a batcher over q (a pnn.Index, pnn.DynamicIndex,
@@ -105,6 +113,9 @@ func (b *Batcher) Submit(ctx context.Context, req pnn.Request) (pnn.OpResult, er
 	if b.onQueue != nil {
 		pr.enq = time.Now()
 	}
+	if span := obs.LeafSpan(ctx, "queue"); span != nil {
+		pr.ctx, pr.span = ctx, span
+	}
 	b.pending = append(b.pending, pr)
 	switch {
 	case len(b.pending) >= b.maxBatch:
@@ -130,6 +141,15 @@ func (b *Batcher) Submit(ctx context.Context, req pnn.Request) (pnn.OpResult, er
 	case <-ctx.Done():
 		return pnn.OpResult{}, ctx.Err()
 	}
+}
+
+// Depth returns the number of requests currently queued waiting for a
+// flush — the instantaneous backpressure signal behind the
+// pnn_queue_depth gauge.
+func (b *Batcher) Depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
 }
 
 // takeLocked steals the pending batch and disarms the window timer.
@@ -188,6 +208,16 @@ func (b *Batcher) run(batch []pendingReq, reason string) {
 			b.onQueue(now.Sub(p.enq))
 		}
 	}
+	// Each traced submitter's queue-wait span ends at flush start, and
+	// its execute span covers the shared engine call — the same interval
+	// appears in every batchmate's trace, which is the truth: they all
+	// waited on it.
+	for i := range batch {
+		if batch[i].span != nil {
+			batch[i].span.End()
+			batch[i].span = obs.LeafSpan(batch[i].ctx, "execute")
+		}
+	}
 	start := time.Time{}
 	if b.onExec != nil {
 		start = time.Now()
@@ -195,6 +225,9 @@ func (b *Batcher) run(batch []pendingReq, reason string) {
 	res, err := b.q.QueryBatchOps(context.Background(), reqs, b.workers)
 	if b.onExec != nil {
 		b.onExec(time.Since(start))
+	}
+	for i := range batch {
+		batch[i].span.End()
 	}
 	*rp = reqs[:0]
 	reqScratch.Put(rp)

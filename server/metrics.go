@@ -18,6 +18,12 @@ type Metrics struct {
 	batchedReqs *obs.Counter
 	indexBuilds *obs.Counter
 	flushes     *obs.CounterVec // pnn_batch_flushes_total{reason=}
+	// deltaApplied counts refreshes served by the in-place delta write
+	// path; deltaFallbacks the refreshes that fell back to a generation
+	// swap, by reason ("static", "tail_gap", "kind_change",
+	// "delete_heavy") — together they make the fast path observable.
+	deltaApplied   *obs.Counter    // pnn_delta_applied_total
+	deltaFallbacks *obs.CounterVec // pnn_delta_fallback_total{reason=}
 
 	// reqLatency is the per-endpoint end-to-end latency; dsLatency the
 	// same by dataset (only datasets the registry resolves, so the
@@ -29,24 +35,38 @@ type Metrics struct {
 	dsLatency  *obs.HistogramVec // pnn_dataset_duration_seconds{dataset=}
 	stages     *obs.HistogramVec // pnn_stage_duration_seconds{stage=}
 	batchSizes *obs.Histogram    // pnn_batch_size
+	// Contention telemetry: queueWait decomposes batcher queueing per
+	// dataset (the aggregate lives in stages{stage="queue"}), lockWait
+	// the time mutations block on the per-dataset refresh lock, and
+	// deltaApply the in-place delta fold. Labels are dataset names the
+	// registry resolves, so cardinality stays bounded by hosted
+	// datasets.
+	queueWait  *obs.HistogramVec // pnn_queue_wait_seconds{dataset=}
+	lockWait   *obs.HistogramVec // pnn_lock_wait_seconds{dataset=}
+	deltaApply *obs.Histogram    // pnn_delta_apply_duration_seconds
 }
 
 func newMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	return &Metrics{
-		reg:         reg,
-		requests:    reg.NewCounterVec("pnn_requests_total", "endpoint"),
-		errors:      reg.NewCounterVec("pnn_errors_total", "code"),
-		cacheHits:   reg.NewCounter("pnn_cache_hits_total"),
-		cacheMisses: reg.NewCounter("pnn_cache_misses_total"),
-		batches:     reg.NewCounter("pnn_batches_total"),
-		batchedReqs: reg.NewCounter("pnn_batched_requests_total"),
-		indexBuilds: reg.NewCounter("pnn_index_builds_total"),
-		flushes:     reg.NewCounterVec("pnn_batch_flushes_total", "reason"),
-		reqLatency:  reg.NewHistogramVec("pnn_request_duration_seconds", "endpoint", obs.DurationBuckets),
-		dsLatency:   reg.NewHistogramVec("pnn_dataset_duration_seconds", "dataset", obs.DurationBuckets),
-		stages:      reg.NewHistogramVec("pnn_stage_duration_seconds", "stage", obs.DurationBuckets),
-		batchSizes:  reg.NewHistogram("pnn_batch_size", obs.SizeBuckets),
+		reg:            reg,
+		requests:       reg.NewCounterVec("pnn_requests_total", "endpoint"),
+		errors:         reg.NewCounterVec("pnn_errors_total", "code"),
+		cacheHits:      reg.NewCounter("pnn_cache_hits_total"),
+		cacheMisses:    reg.NewCounter("pnn_cache_misses_total"),
+		batches:        reg.NewCounter("pnn_batches_total"),
+		batchedReqs:    reg.NewCounter("pnn_batched_requests_total"),
+		indexBuilds:    reg.NewCounter("pnn_index_builds_total"),
+		flushes:        reg.NewCounterVec("pnn_batch_flushes_total", "reason"),
+		deltaApplied:   reg.NewCounter("pnn_delta_applied_total"),
+		deltaFallbacks: reg.NewCounterVec("pnn_delta_fallback_total", "reason"),
+		reqLatency:     reg.NewHistogramVec("pnn_request_duration_seconds", "endpoint", obs.DurationBuckets),
+		dsLatency:      reg.NewHistogramVec("pnn_dataset_duration_seconds", "dataset", obs.DurationBuckets),
+		stages:         reg.NewHistogramVec("pnn_stage_duration_seconds", "stage", obs.DurationBuckets),
+		batchSizes:     reg.NewHistogram("pnn_batch_size", obs.SizeBuckets),
+		queueWait:      reg.NewHistogramVec("pnn_queue_wait_seconds", "dataset", obs.DurationBuckets),
+		lockWait:       reg.NewHistogramVec("pnn_lock_wait_seconds", "dataset", obs.DurationBuckets),
+		deltaApply:     reg.NewHistogram("pnn_delta_apply_duration_seconds", obs.DurationBuckets),
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"pnn/api"
@@ -19,7 +20,7 @@ func endpointOf(path string) string {
 		return "healthz"
 	case "/metrics":
 		return "metrics"
-	case "/debug/obs":
+	case "/debug/obs", "/debug/traces":
 		return "debug"
 	case api.BatchPath:
 		return "batch"
@@ -56,15 +57,17 @@ func (w *statusWriter) WriteHeader(status int) {
 
 // instrument is the server's edge middleware: it assigns the request
 // ID (minting one unless the client or a fronting router supplied it),
-// echoes it on the response before any handler writes, counts and
+// joins or starts the distributed trace from the traceparent header,
+// echoes both on the response before any handler writes, counts and
 // times the request per endpoint, and emits one structured log line
 // per request — Debug normally, Warn at or beyond the slow-query
 // threshold.
 //
 // It wraps OUTSIDE the timeout handler on purpose: http.TimeoutHandler
 // discards headers its inner handler set once the deadline fires, so
-// the request ID must land on the real ResponseWriter first — a
-// timed-out response still correlates with its log lines.
+// the request and trace IDs must land on the real ResponseWriter
+// first — a timed-out response still correlates with its log lines and
+// its trace.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(api.RequestIDHeader)
@@ -72,15 +75,22 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set(api.RequestIDHeader, id)
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 
 		endpoint := endpointOf(r.URL.Path)
+		ctx, root := obs.StartTrace(obs.WithRequestID(r.Context(), id),
+			s.tracer, endpoint, r.Header.Get(api.TraceParentHeader))
+		w.Header().Set(api.TraceParentHeader, obs.TraceParent(ctx))
+		root.SetAttr("dataset", r.URL.Query().Get("dataset"))
+		r = r.WithContext(ctx)
+
 		s.metrics.requests.Inc(endpoint)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t := obs.StartTimer()
 		next.ServeHTTP(sw, r)
 		d := t.Total()
 		s.metrics.reqLatency.With(endpoint).ObserveDuration(d)
+		root.SetAttr("status", strconv.Itoa(sw.status))
+		root.End()
 
 		level := slog.LevelDebug
 		msg := "request"
@@ -88,8 +98,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			level = slog.LevelWarn
 			msg = "slow request"
 		}
-		s.logger.Log(r.Context(), level, msg,
+		s.logger.Log(ctx, level, msg,
 			"request_id", id,
+			"trace_id", obs.TraceID(ctx),
 			"endpoint", endpoint,
 			"dataset", r.URL.Query().Get("dataset"),
 			"status", sw.status,
@@ -101,7 +112,22 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // handleDebugObs serves GET /debug/obs: the registry's derived
 // statistics (p50/p99/p999 per histogram label) as JSON, for humans
 // and load harnesses that want latency numbers without a Prometheus
-// stack.
+// stack, plus a runtime-health block (goroutines, heap, GC pauses).
 func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.reg.Snapshot(), "")
+	snap := s.metrics.reg.Snapshot()
+	rs := obs.ReadRuntimeStats()
+	snap.Runtime = &rs
+	s.writeJSON(w, http.StatusOK, snap, "")
+}
+
+// handleDebugTraces serves GET /debug/traces: the tracer's in-memory
+// ring of kept traces (sampled plus every slow one), newest first.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Snapshot()
+	if traces == nil {
+		traces = []obs.TraceData{}
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceData `json:"traces"`
+	}{traces}, "")
 }

@@ -153,6 +153,28 @@ func (d *Dataset) Stats() (int, uint64) {
 // Durable reports whether the dataset is store-backed (mutable).
 func (d *Dataset) Durable() bool { return d.durable }
 
+// QueueDepth sums the requests queued in the dataset's batchers —
+// the live backpressure signal behind the pnn_queue_depth gauge.
+// Only published builds are consulted (built.Load is the
+// synchronization point for reading e.batcher without joining the
+// once), and the batchers are polled outside d.mu so a scrape never
+// contends with the serving path's lock ordering.
+func (d *Dataset) QueueDepth() int {
+	d.mu.Lock()
+	entries := make([]*indexEntry, 0, len(d.entries))
+	for _, e := range d.entries {
+		entries = append(entries, e)
+	}
+	d.mu.Unlock()
+	depth := 0
+	for _, e := range entries {
+		if e.built.Load() && e.batcher != nil {
+			depth += e.batcher.Depth()
+		}
+	}
+	return depth
+}
+
 // Indexes returns the number of engines built (or building) for the
 // current version.
 func (d *Dataset) Indexes() int {

@@ -79,8 +79,21 @@ type Config struct {
 	Logger *slog.Logger
 	// SlowQueryThreshold promotes the per-request log line to Warn once
 	// the request takes at least this long; 0 means the default (1s),
-	// < 0 disables slow-query promotion.
+	// < 0 disables slow-query promotion. The tracer reuses it as the
+	// tail-capture threshold: every trace at least this slow is kept in
+	// the /debug/traces ring regardless of TraceSampleRate.
 	SlowQueryThreshold time.Duration
+	// TraceSampleRate is the fraction of requests whose spans are
+	// recorded and kept in the /debug/traces ring (0 keeps only slow
+	// traces; 1 keeps everything). Sampled traces forward their decision
+	// downstream via the traceparent header, so one decision covers the
+	// whole request tree.
+	TraceSampleRate float64
+	// TraceBuffer is the capacity of the in-memory trace ring served at
+	// /debug/traces; 0 means the default (obs.DefaultTraceBuffer),
+	// < 0 disables tracing entirely (IDs still mint and propagate for
+	// log and error correlation).
+	TraceBuffer int
 }
 
 // EngineMode values.
@@ -109,6 +122,7 @@ func DefaultConfig() Config {
 		SlowQueryThreshold:   time.Second,
 		EngineMode:           EngineDynamic,
 		DeltaCompactFraction: 0.25,
+		TraceBuffer:          obs.DefaultTraceBuffer,
 	}
 }
 
@@ -156,6 +170,9 @@ func (c Config) withDefaults() Config {
 	case c.DeltaCompactFraction == 0:
 		c.DeltaCompactFraction = d.DeltaCompactFraction
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = d.TraceBuffer
+	}
 	return c
 }
 
@@ -168,6 +185,7 @@ type Server struct {
 	cache   *resultCache
 	metrics *Metrics
 	logger  *slog.Logger
+	tracer  *obs.Tracer
 	handler http.Handler
 	// refreshLocks serializes refreshDataset per dataset name: the
 	// read-store-then-update-registry sequence is not atomic, so
@@ -201,7 +219,23 @@ func New(reg *Registry, cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
 	}
+	if cfg.TraceBuffer > 0 {
+		s.tracer = obs.NewTracer(cfg.TraceSampleRate, cfg.SlowQueryThreshold, cfg.TraceBuffer)
+	}
 	s.metrics.reg.NewGaugeFunc("pnn_datasets", func() float64 { return float64(reg.Len()) })
+	obs.RegisterRuntimeGauges(s.metrics.reg)
+	// Queue depth is read live from the batchers at scrape time: a
+	// sustained non-zero depth under a flat execute histogram is the
+	// signature of batcher backpressure, visible without a trace.
+	s.metrics.reg.NewLabeledGaugeFunc("pnn_queue_depth", "dataset", func() map[string]float64 {
+		out := make(map[string]float64)
+		for _, name := range reg.Names() {
+			if d := reg.Get(name); d != nil {
+				out[name] = float64(d.QueueDepth())
+			}
+		}
+		return out
+	})
 	if cfg.Store != nil {
 		s.metrics.reg.Register(cfg.Store.Collectors()...)
 		for _, name := range cfg.Store.Names() {
@@ -216,6 +250,7 @@ func New(reg *Registry, cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/obs", s.handleDebugObs)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	for _, name := range api.Ops {
 		op, err := opFromString(name)
@@ -379,13 +414,18 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 				fmt.Errorf("dataset %q has no points yet", p.dataset)}
 		}
 		cacheKey := p.cacheKey(op, version)
+		span := obs.LeafSpan(ctx, "cache")
 		probe := obs.StartTimer()
 		body, ok := s.cache.Get(cacheKey)
 		s.metrics.stages.With("cache").ObserveDuration(probe.Total())
 		if ok {
+			span.SetAttr("cache", "hit")
+			span.End()
 			s.metrics.cacheHits.Inc()
 			return body, "hit", nil
 		}
+		span.SetAttr("cache", "miss")
+		span.End()
 		s.metrics.cacheMisses.Inc()
 		if s.closed.Load() {
 			// The cache may outlive Close and keep answering hits, but
@@ -393,7 +433,7 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, ErrBatcherClosed}
 		}
 		entry, err := ds.entry(p.key, version, s.cfg.MaxEnginesPerDataset, func(e *indexEntry) {
-			s.buildEngine(e, ds, p.key, version)
+			s.buildEngine(ctx, e, ds, p.key, version)
 		})
 		if err != nil {
 			if errors.Is(err, errStaleVersion) {
@@ -453,9 +493,11 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 			}
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, res.Err}
 		}
+		encSpan := obs.LeafSpan(ctx, "encode")
 		enc := obs.StartTimer()
 		body, err = json.Marshal(p.response(op, ds, entry.eng, res))
 		s.metrics.stages.With("encode").ObserveDuration(enc.Total())
+		encSpan.End()
 		if err != nil {
 			return nil, "", &queryError{http.StatusInternalServerError, api.CodeInternal, err}
 		}
@@ -477,13 +519,20 @@ func (s *Server) answer(ctx context.Context, op pnn.Op, p params) (body []byte, 
 // delta path existed. Store reads that fail or disagree with the
 // registry's kind (a concurrent drop or drop+recreate) surface as
 // errStaleVersion, which the answer loop treats as one more retry.
-func (s *Server) buildEngine(e *indexEntry, ds *Dataset, key IndexKey, version uint64) {
+func (s *Server) buildEngine(ctx context.Context, e *indexEntry, ds *Dataset, key IndexKey, version uint64) {
 	opts, err := key.Options()
 	if err != nil {
 		e.err = err
 		return
 	}
 	s.metrics.indexBuilds.Inc()
+	// The build runs under the entry's once, so only the first request
+	// for this engine pays it — and only that request's trace carries
+	// the build span.
+	span := obs.LeafSpan(ctx, "build")
+	span.SetAttr("dataset", ds.Name)
+	span.SetAttr("backend", key.Backend)
+	defer span.End()
 	build := obs.StartTimer()
 	defer func() { s.metrics.stages.With("build").ObserveDuration(build.Total()) }()
 	switch {
@@ -527,9 +576,15 @@ func (s *Server) buildEngine(e *indexEntry, ds *Dataset, key IndexKey, version u
 	e.batcher = NewBatcher(e.eng, s.cfg.BatchWindow, s.cfg.BatchMaxSize,
 		s.cfg.BatchWorkers, s.metrics.flush)
 	// The entry is still private to this build, so wiring the stage
-	// observer here is race-free.
+	// observer here is race-free. Queue wait feeds both the aggregate
+	// stage histogram and the per-dataset contention one.
+	stageQueue := s.metrics.stages.With("queue")
+	dsQueue := s.metrics.queueWait.With(ds.Name)
 	e.batcher.SetStageObserver(
-		s.metrics.stages.With("queue").ObserveDuration,
+		func(d time.Duration) {
+			stageQueue.ObserveDuration(d)
+			dsQueue.ObserveDuration(d)
+		},
 		s.metrics.stages.With("execute").ObserveDuration,
 	)
 }
@@ -796,17 +851,19 @@ const maxPooledEncBuf = 1 << 16
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
 	s.metrics.errors.Inc(code)
-	// The request ID travels in the request context, not the response
-	// header: under TimeoutHandler the inner handlers see a fresh header
-	// map, so the header set by the instrument middleware is invisible
-	// here even though it does reach the client. r may be nil on paths
-	// with no request in hand (writeJSON's encode-failure fallback).
-	var reqID string
+	// The request and trace IDs travel in the request context, not the
+	// response header: under TimeoutHandler the inner handlers see a
+	// fresh header map, so the headers set by the instrument middleware
+	// are invisible here even though they do reach the client. r may be
+	// nil on paths with no request in hand (writeJSON's encode-failure
+	// fallback).
+	var reqID, traceID string
 	if r != nil {
 		reqID = obs.RequestID(r.Context())
+		traceID = obs.TraceID(r.Context())
 	}
 	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code,
-		RequestID: reqID})
+		RequestID: reqID, TraceID: traceID})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

@@ -3,6 +3,7 @@ package shard
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"pnn/api"
@@ -19,7 +20,7 @@ func endpointOf(path string) string {
 		return "healthz"
 	case "/metrics":
 		return "metrics"
-	case "/debug/obs":
+	case "/debug/obs", "/debug/traces":
 		return "debug"
 	case api.BatchPath:
 		return "batch"
@@ -65,12 +66,14 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // instrument is the router's edge middleware: it assigns the request
-// ID (minting one unless the client supplied it), echoes it on the
+// ID (minting one unless the client supplied it), joins or starts the
+// distributed trace from the traceparent header, echoes both on the
 // response before any handler writes, counts and times the request per
 // endpoint, and emits one structured log line per request — Debug
-// normally, Warn at or beyond the slow-query threshold. The same ID is
-// forwarded to every backend the request touches (see attempt), so one
-// client request correlates across the whole fleet's logs.
+// normally, Warn at or beyond the slow-query threshold. The same IDs
+// are forwarded to every backend the request touches (see attempt), so
+// one client request correlates across the whole fleet's logs and
+// traces.
 func (rt *Router) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(api.RequestIDHeader)
@@ -78,9 +81,14 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set(api.RequestIDHeader, id)
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 
 		endpoint := endpointOf(r.URL.Path)
+		ctx, root := obs.StartTrace(obs.WithRequestID(r.Context(), id),
+			rt.tracer, endpoint, r.Header.Get(api.TraceParentHeader))
+		w.Header().Set(api.TraceParentHeader, obs.TraceParent(ctx))
+		root.SetAttr("dataset", r.URL.Query().Get("dataset"))
+		r = r.WithContext(ctx)
+
 		if apiEndpoint(endpoint) {
 			rt.metrics.requests.Inc()
 		}
@@ -89,6 +97,8 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 		d := t.Total()
 		rt.metrics.reqLatency.With(endpoint).ObserveDuration(d)
+		root.SetAttr("status", strconv.Itoa(sw.status))
+		root.End()
 
 		level := slog.LevelDebug
 		msg := "request"
@@ -96,8 +106,9 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 			level = slog.LevelWarn
 			msg = "slow request"
 		}
-		rt.logger.Log(r.Context(), level, msg,
+		rt.logger.Log(ctx, level, msg,
 			"request_id", id,
+			"trace_id", obs.TraceID(ctx),
 			"endpoint", endpoint,
 			"dataset", r.URL.Query().Get("dataset"),
 			"status", sw.status,
@@ -107,7 +118,23 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 }
 
 // handleDebugObs serves GET /debug/obs: the registry's derived
-// statistics (p50/p99/p999 per histogram label) as JSON.
+// statistics (p50/p99/p999 per histogram label) as JSON, plus a
+// runtime-health block (goroutines, heap, GC pauses).
 func (rt *Router) handleDebugObs(w http.ResponseWriter, r *http.Request) {
-	rt.writeJSON(w, http.StatusOK, rt.metrics.reg.Snapshot())
+	snap := rt.metrics.reg.Snapshot()
+	rs := obs.ReadRuntimeStats()
+	snap.Runtime = &rs
+	rt.writeJSON(w, http.StatusOK, snap)
+}
+
+// handleDebugTraces serves GET /debug/traces: the tracer's in-memory
+// ring of kept traces (sampled plus every slow one), newest first.
+func (rt *Router) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := rt.tracer.Snapshot()
+	if traces == nil {
+		traces = []obs.TraceData{}
+	}
+	rt.writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceData `json:"traces"`
+	}{traces})
 }

@@ -169,11 +169,11 @@ func (rt *Router) sendSubBatch(ctx context.Context, target *backend, items []api
 
 // itemError shapes one router-minted per-item error, counting it by
 // code (backend-minted item errors are counted by the backend) and
-// stamping the batch envelope's request ID.
+// stamping the batch envelope's request and trace IDs.
 func (rt *Router) itemError(ctx context.Context, code, msg string) api.BatchResult {
 	rt.metrics.errors.Inc(code)
 	return api.BatchResult{Error: &api.Error{
-		Error: msg, Code: code, RequestID: obs.RequestID(ctx),
+		Error: msg, Code: code, RequestID: obs.RequestID(ctx), TraceID: obs.TraceID(ctx),
 	}}
 }
 

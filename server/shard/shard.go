@@ -78,8 +78,19 @@ type Config struct {
 	Logger *slog.Logger
 	// SlowQueryThreshold promotes the per-request log line to Warn once
 	// the request takes at least this long; 0 means the default (1s),
-	// < 0 disables slow-query promotion.
+	// < 0 disables slow-query promotion. The tracer reuses it as the
+	// tail-capture threshold: every trace at least this slow is kept at
+	// /debug/traces regardless of TraceSampleRate.
 	SlowQueryThreshold time.Duration
+	// TraceSampleRate is the fraction of routed requests whose spans are
+	// recorded and kept at /debug/traces (0 keeps only slow traces).
+	// The sampling decision is forwarded to backends in the traceparent
+	// header, so a sampled routed request is traced end to end.
+	TraceSampleRate float64
+	// TraceBuffer is the capacity of the /debug/traces ring; 0 means
+	// the default (obs.DefaultTraceBuffer), < 0 disables tracing (IDs
+	// still mint and propagate for log and error correlation).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +115,9 @@ func (c Config) withDefaults() Config {
 	case c.SlowQueryThreshold == 0:
 		c.SlowQueryThreshold = time.Second
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = obs.DefaultTraceBuffer
+	}
 	return c
 }
 
@@ -115,6 +129,7 @@ type Router struct {
 	backends []*backend
 	metrics  *Metrics
 	logger   *slog.Logger
+	tracer   *obs.Tracer
 	handler  http.Handler
 	stopc    chan struct{}
 	stopOnce sync.Once
@@ -150,11 +165,16 @@ func New(cfg Config) (*Router, error) {
 	}
 	sort.Slice(rt.backends, func(i, j int) bool { return rt.backends[i].base < rt.backends[j].base })
 	rt.metrics = newMetrics(rt.backends)
+	obs.RegisterRuntimeGauges(rt.metrics.reg)
+	if cfg.TraceBuffer > 0 {
+		rt.tracer = obs.NewTracer(cfg.TraceSampleRate, cfg.SlowQueryThreshold, cfg.TraceBuffer)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", rt.handleHealth)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
 	mux.HandleFunc("/debug/obs", rt.handleDebugObs)
+	mux.HandleFunc("/debug/traces", rt.handleDebugTraces)
 	mux.HandleFunc("/v1/datasets", rt.handleDatasets)
 	for _, op := range api.Ops {
 		mux.HandleFunc(api.QueryPath(op), rt.handleQuery)
@@ -313,6 +333,15 @@ func (rt *Router) attempt(ctx context.Context, b *backend, method, pathAndQuery 
 	// envelope's ctx).
 	if id := obs.RequestID(ctx); id != "" {
 		req.Header.Set(api.RequestIDHeader, id)
+	}
+	// Forward the traceparent too — minted at the proxy span, so the
+	// backend joins the router's trace (inheriting its sampling
+	// decision) and its span tree nests under this very attempt.
+	span := obs.LeafSpan(ctx, "proxy")
+	span.SetAttr("backend", b.base)
+	defer span.End()
+	if tp := obs.TraceParentAt(ctx, span); tp != "" {
+		req.Header.Set(api.TraceParentHeader, tp)
 	}
 	start := time.Now()
 	rt.metrics.backendRequests.Inc(b.base)
@@ -594,15 +623,16 @@ func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError answers one router-originated error, counted by wire code
-// and stamped with the request ID from r's context (r may be nil on
-// paths with no request in hand).
+// and stamped with the request and trace IDs from r's context (r may
+// be nil on paths with no request in hand).
 func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
 	rt.metrics.errors.Inc(code)
-	var reqID string
+	var reqID, traceID string
 	if r != nil {
 		reqID = obs.RequestID(r.Context())
+		traceID = obs.TraceID(r.Context())
 	}
-	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code, RequestID: reqID})
+	body, _ := json.Marshal(api.Error{Error: err.Error(), Code: code, RequestID: reqID, TraceID: traceID})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -284,11 +285,16 @@ func (s *Store) apply(rec record) error {
 // commit assigns the next sequence number, applies rec, and writes it
 // to the WAL under the store lock (so sequence order, apply order, and
 // log order agree), then waits for the group-commit fsync outside the
-// lock before acknowledging.
-func (s *Store) commit(rec record) (Mutation, error) {
+// lock before acknowledging. ctx carries the caller's trace: the
+// wal.append span covers the store-lock tenure plus the log write, the
+// fsync.wait span the group-commit wait — together they decompose
+// where a slow write actually spent its time.
+func (s *Store) commit(ctx context.Context, rec record) (Mutation, error) {
+	span := obs.LeafSpan(ctx, "wal.append")
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		span.End()
 		return Mutation{}, ErrClosed
 	}
 	rec.Seq = s.seq + 1
@@ -296,6 +302,7 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		d := s.datasets[rec.Dataset]
 		if d == nil {
 			s.mu.Unlock()
+			span.End()
 			return Mutation{}, fmt.Errorf("%w: %q", ErrUnknownDataset, rec.Dataset)
 		}
 		rec.FirstID = d.nextID
@@ -303,10 +310,12 @@ func (s *Store) commit(rec record) (Mutation, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		s.mu.Unlock()
+		span.End()
 		return Mutation{}, err
 	}
 	if err := s.apply(rec); err != nil {
 		s.mu.Unlock()
+		span.End()
 		return Mutation{}, err
 	}
 	s.seq = rec.Seq
@@ -325,6 +334,7 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		// it onto an input-validation status.
 		s.closed = true
 		s.mu.Unlock()
+		span.End()
 		return Mutation{}, fmt.Errorf("store: wal append failed (store now refuses writes): %w; %w", err, ErrClosed)
 	}
 	m := Mutation{Dataset: rec.Dataset, Version: rec.Seq}
@@ -338,9 +348,12 @@ func (s *Store) commit(rec record) (Mutation, error) {
 		}
 	}
 	s.mu.Unlock()
+	span.End()
 	// waitSync runs outside s.mu (group commit), so a concurrent
 	// Compact may truncate the log before this record's fsync; the
 	// (off, gen) pair lets the WAL resolve that race — see waitSync.
+	span = obs.LeafSpan(ctx, "fsync.wait")
+	defer span.End()
 	if err := s.wal.waitSync(off, gen); err != nil {
 		// A failed fsync is sticky in the WAL; close the store too so
 		// in-memory state stops drifting ahead of the durable prefix.
@@ -355,27 +368,29 @@ func (s *Store) commit(rec record) (Mutation, error) {
 }
 
 // CreateDataset creates an empty dataset of the given kind ("disks" or
-// "discrete").
-func (s *Store) CreateDataset(name, kind string) (Mutation, error) {
+// "discrete"). ctx carries the caller's trace (see commit); it does
+// not cancel the commit — an op that reached the WAL is durable
+// regardless of the caller's fate.
+func (s *Store) CreateDataset(ctx context.Context, name, kind string) (Mutation, error) {
 	if !nameRE.MatchString(name) {
 		return Mutation{}, fmt.Errorf("store: invalid dataset name %q", name)
 	}
 	if kind != KindDisks && kind != KindDiscrete {
 		return Mutation{}, fmt.Errorf("store: unknown kind %q", kind)
 	}
-	return s.commit(record{Op: "create", Dataset: name, Kind: kind})
+	return s.commit(ctx, record{Op: "create", Dataset: name, Kind: kind})
 }
 
 // DropDataset removes a dataset and all its points.
-func (s *Store) DropDataset(name string) (Mutation, error) {
-	return s.commit(record{Op: "drop", Dataset: name})
+func (s *Store) DropDataset(ctx context.Context, name string) (Mutation, error) {
+	return s.commit(ctx, record{Op: "drop", Dataset: name})
 }
 
 // InsertPoints appends points to a dataset, assigning consecutive
 // stable ids (returned in Mutation.IDs, in input order). All points
 // are validated against the dataset's kind before anything is logged;
 // the insert is all-or-nothing.
-func (s *Store) InsertPoints(name string, pts []Point) (Mutation, error) {
+func (s *Store) InsertPoints(ctx context.Context, name string, pts []Point) (Mutation, error) {
 	if len(pts) == 0 {
 		return Mutation{}, errors.New("store: no points to insert")
 	}
@@ -394,17 +409,20 @@ func (s *Store) InsertPoints(name string, pts []Point) (Mutation, error) {
 	}
 	// Kind rides along so apply (and replay) can re-check it against
 	// the dataset the op actually lands on.
-	return s.commit(record{Op: "insert", Dataset: name, Kind: kind, Points: pts})
+	return s.commit(ctx, record{Op: "insert", Dataset: name, Kind: kind, Points: pts})
 }
 
 // DeletePoint removes one point by id.
-func (s *Store) DeletePoint(name string, id uint64) (Mutation, error) {
-	return s.commit(record{Op: "delete", Dataset: name, ID: id})
+func (s *Store) DeletePoint(ctx context.Context, name string, id uint64) (Mutation, error) {
+	return s.commit(ctx, record{Op: "delete", Dataset: name, ID: id})
 }
 
 // Compact folds the whole state into a fresh snapshot and truncates
-// the WAL. Mutations block for the duration.
-func (s *Store) Compact() error {
+// the WAL. Mutations block for the duration. ctx carries the caller's
+// trace; the snapshot write itself is never cancelled mid-file.
+func (s *Store) Compact(ctx context.Context) error {
+	span := obs.LeafSpan(ctx, "snapshot.write")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,20 +36,20 @@ func TestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
 
-	if _, err := s.CreateDataset("fleet", KindDiscrete); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "fleet", KindDiscrete); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CreateDataset("fleet", KindDiscrete); !errors.Is(err, ErrExists) {
+	if _, err := s.CreateDataset(context.Background(), "fleet", KindDiscrete); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if _, err := s.CreateDataset("bad name!", KindDisks); err == nil {
+	if _, err := s.CreateDataset(context.Background(), "bad name!", KindDisks); err == nil {
 		t.Fatal("invalid name accepted")
 	}
-	if _, err := s.CreateDataset("x", "squares"); err == nil {
+	if _, err := s.CreateDataset(context.Background(), "x", "squares"); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 
-	m, err := s.InsertPoints("fleet", []Point{
+	m, err := s.InsertPoints(context.Background(), "fleet", []Point{
 		discrete([]float64{1, 2}, []float64{3, 4}),
 		discrete([]float64{5}, []float64{6}),
 	})
@@ -58,10 +59,10 @@ func TestRoundTrip(t *testing.T) {
 	if len(m.IDs) != 2 || m.IDs[0] != 1 || m.IDs[1] != 2 || m.N != 2 {
 		t.Fatalf("insert ack = %+v", m)
 	}
-	if _, err := s.InsertPoints("fleet", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrKindMismatch) {
+	if _, err := s.InsertPoints(context.Background(), "fleet", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrKindMismatch) {
 		t.Fatalf("kind mismatch: %v", err)
 	}
-	if _, err := s.InsertPoints("nope", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrUnknownDataset) {
+	if _, err := s.InsertPoints(context.Background(), "nope", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrUnknownDataset) {
 		t.Fatalf("unknown dataset: %v", err)
 	}
 
@@ -76,14 +77,14 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m2, err := s.DeletePoint("fleet", m.IDs[0])
+	m2, err := s.DeletePoint(context.Background(), "fleet", m.IDs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m2.Version <= v1 || m2.N != 1 {
 		t.Fatalf("delete ack = %+v (previous version %d)", m2, v1)
 	}
-	if _, err := s.DeletePoint("fleet", 99); !errors.Is(err, ErrUnknownPoint) {
+	if _, err := s.DeletePoint(context.Background(), "fleet", 99); !errors.Is(err, ErrUnknownPoint) {
 		t.Fatalf("unknown point: %v", err)
 	}
 
@@ -114,7 +115,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("recovered version %d, want %d", di.Version, m2.Version)
 	}
 	// Ids keep advancing after recovery (no reuse).
-	m3, err := s2.InsertPoints("fleet", []Point{discrete([]float64{9}, []float64{9})})
+	m3, err := s2.InsertPoints(context.Background(), "fleet", []Point{discrete([]float64{9}, []float64{9})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,20 +127,20 @@ func TestRoundTrip(t *testing.T) {
 func TestCompactAndRecover(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
-	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "a", KindDisks); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.InsertPoints("a", []Point{disk(1, 2, 3), disk(4, 5, 6)}); err != nil {
+	if _, err := s.InsertPoints(context.Background(), "a", []Point{disk(1, 2, 3), disk(4, 5, 6)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Compact(); err != nil {
+	if err := s.Compact(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// WAL is empty after compaction; ops keep flowing.
 	if fi, err := os.Stat(filepath.Join(dir, walFile)); err != nil || fi.Size() != 0 {
 		t.Fatalf("wal after compact: %v, %v", fi, err)
 	}
-	m, err := s.InsertPoints("a", []Point{disk(7, 8, 9)})
+	m, err := s.InsertPoints(context.Background(), "a", []Point{disk(7, 8, 9)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,13 +164,13 @@ func TestCompactAndRecover(t *testing.T) {
 func TestSnapshotCorruption(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
-	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "a", KindDisks); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.InsertPoints("a", []Point{disk(1, 2, 3)}); err != nil {
+	if _, err := s.InsertPoints(context.Background(), "a", []Point{disk(1, 2, 3)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Compact(); err != nil {
+	if err := s.Compact(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -247,22 +248,22 @@ func TestTornWriteRecovery(t *testing.T) {
 		name := datasets[rng.Intn(len(datasets))]
 		switch rng.Intn(10) {
 		case 0:
-			if _, err := s.CreateDataset(fmt.Sprintf("d%d", op), KindDisks); err != nil {
+			if _, err := s.CreateDataset(context.Background(), fmt.Sprintf("d%d", op), KindDisks); err != nil {
 				t.Fatal(err)
 			}
 		default:
 			if _, err := s.Dataset(name); err != nil {
-				if _, err := s.CreateDataset(name, KindDisks); err != nil {
+				if _, err := s.CreateDataset(context.Background(), name, KindDisks); err != nil {
 					t.Fatal(err)
 				}
 				record()
 			}
 			if len(liveIDs) > 0 && rng.Intn(4) == 0 {
-				if _, err := s.DeletePoint("a", liveIDs[0]); err == nil {
+				if _, err := s.DeletePoint(context.Background(), "a", liveIDs[0]); err == nil {
 					liveIDs = liveIDs[1:]
 				}
 			} else {
-				m, err := s.InsertPoints(name, []Point{disk(rng.Float64(), rng.Float64(), rng.Float64())})
+				m, err := s.InsertPoints(context.Background(), name, []Point{disk(rng.Float64(), rng.Float64(), rng.Float64())})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -324,7 +325,7 @@ func TestTornWriteRecovery(t *testing.T) {
 		}
 		// The reopened store accepts writes (the torn tail was cleanly
 		// truncated).
-		if _, err := rs.CreateDataset("post", KindDiscrete); err != nil {
+		if _, err := rs.CreateDataset(context.Background(), "post", KindDiscrete); err != nil {
 			t.Fatalf("truncated at %d: post-recovery write: %v", off, err)
 		}
 		rs.Close()
@@ -337,14 +338,14 @@ func TestTornWriteRecovery(t *testing.T) {
 // mistaking a dead disk for input validation.
 func TestWALFailurePoisonsStore(t *testing.T) {
 	s := mustOpen(t, t.TempDir())
-	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "a", KindDisks); err != nil {
 		t.Fatal(err)
 	}
 	s.wal.f.Close() // the disk vanishes under the log
-	if _, err := s.InsertPoints("a", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrClosed) {
+	if _, err := s.InsertPoints(context.Background(), "a", []Point{disk(0, 0, 1)}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("commit after wal failure: %v, want ErrClosed in the chain", err)
 	}
-	if _, err := s.CreateDataset("b", KindDiscrete); !errors.Is(err, ErrClosed) {
+	if _, err := s.CreateDataset(context.Background(), "b", KindDiscrete); !errors.Is(err, ErrClosed) {
 		t.Fatalf("op on poisoned store: %v, want ErrClosed", err)
 	}
 }
@@ -407,7 +408,7 @@ func TestWALTruncateEpoch(t *testing.T) {
 func TestCompactConcurrentWithWrites(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
-	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "a", KindDisks); err != nil {
 		t.Fatal(err)
 	}
 	const writers, each = 4, 40
@@ -423,7 +424,7 @@ func TestCompactConcurrentWithWrites(t *testing.T) {
 				return
 			default:
 			}
-			if err := s.Compact(); err != nil {
+			if err := s.Compact(context.Background()); err != nil {
 				errs <- fmt.Errorf("compact: %w", err)
 				return
 			}
@@ -436,7 +437,7 @@ func TestCompactConcurrentWithWrites(t *testing.T) {
 		go func(w int) {
 			defer writeWG.Done()
 			for i := 0; i < each; i++ {
-				m, err := s.InsertPoints("a", []Point{disk(float64(w), float64(i), 1)})
+				m, err := s.InsertPoints(context.Background(), "a", []Point{disk(float64(w), float64(i), 1)})
 				if err != nil {
 					errs <- err
 					return
@@ -482,7 +483,7 @@ func TestGroupCommitConcurrency(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)
 	defer s.Close()
-	if _, err := s.CreateDataset("a", KindDisks); err != nil {
+	if _, err := s.CreateDataset(context.Background(), "a", KindDisks); err != nil {
 		t.Fatal(err)
 	}
 	const writers, each = 8, 25
@@ -493,7 +494,7 @@ func TestGroupCommitConcurrency(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if _, err := s.InsertPoints("a", []Point{disk(float64(w), float64(i), 1)}); err != nil {
+				if _, err := s.InsertPoints(context.Background(), "a", []Point{disk(float64(w), float64(i), 1)}); err != nil {
 					errs <- err
 					return
 				}
